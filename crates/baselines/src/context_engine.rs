@@ -1,0 +1,235 @@
+//! BPEL/XL-style per-instance context engine with a dehydration store.
+//!
+//! Models the architecture the paper contrasts with in Sec. 2.1: "instance-
+//! local variables can be used for storing state information. Contexts that
+//! include these variable bindings have to be kept for each active process
+//! instance, which leads to scalability issues if the number of processes
+//! is large. Some execution systems try to overcome this problem by
+//! serializing data (dehydration) of 'stale' instances … the Oracle BPEL
+//! Process Manager stores application contexts in a relational database
+//! system (dehydration store) and reacquires them when processing
+//! continues."
+//!
+//! The engine runs a correlate-accumulate workload comparable to a Demaq
+//! slicing: each incoming message belongs to one process instance; the
+//! instance's context is an XML document that is loaded, grown by the new
+//! message, and saved back. At most `active_cap` contexts stay hydrated in
+//! memory; the rest are serialized to the dehydration directory and must be
+//! re-parsed on access — the per-message cost the paper attributes to this
+//! design.
+
+use demaq_xml::{parse, serialize, DocBuilder, Document};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Statistics of a run.
+#[derive(Debug, Default, Clone)]
+pub struct ContextStats {
+    pub messages: u64,
+    pub dehydrations: u64,
+    pub rehydrations: u64,
+    pub bytes_serialized: u64,
+}
+
+struct Hydrated {
+    doc: Arc<Document>,
+    last_used: u64,
+}
+
+/// The baseline engine.
+pub struct ContextEngine {
+    dir: PathBuf,
+    active_cap: usize,
+    hydrated: HashMap<String, Hydrated>,
+    /// Instances that have been dehydrated at least once.
+    on_disk: HashMap<String, PathBuf>,
+    tick: u64,
+    pub stats: ContextStats,
+}
+
+impl ContextEngine {
+    /// Create an engine with a dehydration store in `dir`, keeping at most
+    /// `active_cap` instance contexts in memory.
+    pub fn new(dir: impl Into<PathBuf>, active_cap: usize) -> std::io::Result<ContextEngine> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(ContextEngine {
+            dir,
+            active_cap: active_cap.max(1),
+            hydrated: HashMap::new(),
+            on_disk: HashMap::new(),
+            tick: 0,
+            stats: ContextStats::default(),
+        })
+    }
+
+    /// Deliver one message to its instance: load (possibly rehydrate) the
+    /// context, append the message to the context's history, store back.
+    /// Returns the number of messages now accumulated in the instance.
+    pub fn deliver(&mut self, instance: &str, message_xml: &str) -> std::io::Result<usize> {
+        self.tick += 1;
+        self.stats.messages += 1;
+        let tick = self.tick;
+
+        // Load or create the context document.
+        let doc = match self.hydrated.get_mut(instance) {
+            Some(h) => {
+                h.last_used = tick;
+                Arc::clone(&h.doc)
+            }
+            None => {
+                let doc = match self.on_disk.get(instance) {
+                    Some(path) => {
+                        // Rehydrate: read + parse the serialized context.
+                        self.stats.rehydrations += 1;
+                        let bytes = std::fs::read(path)?;
+                        parse(std::str::from_utf8(&bytes).expect("utf8 context")).map_err(|e| {
+                            std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
+                        })?
+                    }
+                    None => {
+                        let mut b = DocBuilder::new();
+                        b.start("context").attr("instance", instance).end();
+                        b.finish()
+                    }
+                };
+                self.make_room()?;
+                self.hydrated.insert(
+                    instance.to_string(),
+                    Hydrated {
+                        doc: Arc::clone(&doc),
+                        last_used: tick,
+                    },
+                );
+                doc
+            }
+        };
+
+        // Grow the context: copy the old variables + append the message
+        // (immutably rebuilding, as our trees are frozen — comparable cost
+        // to a DOM mutation + re-serialization in the modelled systems).
+        let msg = parse(message_xml)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        let mut b = DocBuilder::new();
+        b.start("context").attr("instance", instance);
+        if let Some(root) = doc.document_element() {
+            for c in root.children() {
+                b.copy_node(&c);
+            }
+        }
+        b.copy_node(&msg.document_element().expect("message root"));
+        b.end();
+        let new_doc = b.finish();
+        let count = new_doc
+            .document_element()
+            .map(|r| r.children().len())
+            .unwrap_or(0);
+        self.hydrated.insert(
+            instance.to_string(),
+            Hydrated {
+                doc: new_doc,
+                last_used: tick,
+            },
+        );
+        Ok(count)
+    }
+
+    /// Evict least-recently-used contexts past the cap (dehydration).
+    fn make_room(&mut self) -> std::io::Result<()> {
+        while self.hydrated.len() >= self.active_cap {
+            let victim = self
+                .hydrated
+                .iter()
+                .min_by_key(|(_, h)| h.last_used)
+                .map(|(k, _)| k.clone())
+                .expect("non-empty");
+            let h = self.hydrated.remove(&victim).expect("present");
+            let xml = serialize(&h.doc);
+            let path = self.dir.join(format!("{victim}.ctx"));
+            std::fs::write(&path, xml.as_bytes())?;
+            self.stats.dehydrations += 1;
+            self.stats.bytes_serialized += xml.len() as u64;
+            self.on_disk.insert(victim, path);
+        }
+        Ok(())
+    }
+
+    /// Number of messages accumulated for an instance (hydrating it if
+    /// needed) — the read path of the comparison workload.
+    pub fn instance_size(&mut self, instance: &str) -> std::io::Result<usize> {
+        // Reuse deliver's loading logic via a no-op touch: read path only.
+        if let Some(h) = self.hydrated.get(instance) {
+            return Ok(h
+                .doc
+                .document_element()
+                .map(|r| r.children().len())
+                .unwrap_or(0));
+        }
+        if let Some(path) = self.on_disk.get(instance) {
+            self.stats.rehydrations += 1;
+            let bytes = std::fs::read(path)?;
+            let doc = parse(std::str::from_utf8(&bytes).expect("utf8"))
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+            return Ok(doc
+                .document_element()
+                .map(|r| r.children().len())
+                .unwrap_or(0));
+        }
+        Ok(0)
+    }
+
+    /// Hydrated instance count (diagnostics).
+    pub fn hydrated_count(&self) -> usize {
+        self.hydrated.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempfile::TempDir;
+
+    #[test]
+    fn accumulates_messages_per_instance() {
+        let dir = TempDir::new().unwrap();
+        let mut eng = ContextEngine::new(dir.path(), 100).unwrap();
+        assert_eq!(eng.deliver("i1", "<a/>").unwrap(), 1);
+        assert_eq!(eng.deliver("i1", "<b/>").unwrap(), 2);
+        assert_eq!(eng.deliver("i2", "<a/>").unwrap(), 1);
+        assert_eq!(eng.instance_size("i1").unwrap(), 2);
+    }
+
+    #[test]
+    fn dehydrates_past_cap_and_rehydrates() {
+        let dir = TempDir::new().unwrap();
+        let mut eng = ContextEngine::new(dir.path(), 4).unwrap();
+        for i in 0..16 {
+            eng.deliver(&format!("inst-{i}"), "<m>payload</m>").unwrap();
+        }
+        assert!(eng.stats.dehydrations > 0, "LRU contexts were written out");
+        assert!(eng.hydrated_count() <= 4);
+        // Touching an old instance forces a rehydration (disk + parse).
+        let n = eng.deliver("inst-0", "<m2/>").unwrap();
+        assert_eq!(n, 2, "state survived the dehydration roundtrip");
+        assert!(eng.stats.rehydrations > 0);
+    }
+
+    #[test]
+    fn interleaved_instances_thrash_the_store() {
+        let dir = TempDir::new().unwrap();
+        let mut eng = ContextEngine::new(dir.path(), 2).unwrap();
+        for round in 0..5 {
+            for i in 0..6 {
+                eng.deliver(&format!("inst-{i}"), &format!("<m r='{round}'/>"))
+                    .unwrap();
+            }
+        }
+        // With 6 live instances and room for 2, almost every delivery
+        // rehydrates — the scalability issue the paper describes.
+        assert!(eng.stats.rehydrations as f64 >= eng.stats.messages as f64 * 0.5);
+        for i in 0..6 {
+            assert_eq!(eng.instance_size(&format!("inst-{i}")).unwrap(), 5);
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! # demaq-baselines
+//!
+//! Comparison systems for the benchmark suite — each implements the
+//! architecture the paper argues *against*, so the experiments in
+//! EXPERIMENTS.md can measure the claimed effect:
+//!
+//! * [`context_engine`] — a BPEL/XL-style engine keeping **per-instance
+//!   runtime contexts** with a dehydration store (paper Sec. 2.1:
+//!   "contexts … have to be kept for each active process instance, which
+//!   leads to scalability issues"; Oracle BPEL's "dehydration store").
+//!   Benchmark E1.
+//! * [`slice_scan`] — computing a slice's members by **merging the slice
+//!   definition into the query**, i.e. scanning the queues and evaluating
+//!   the key property per message, instead of the materialized slice index
+//!   (Sec. 4.3). Benchmark E2.
+//! * [`explicit_delete`] — **manual message deletion** management: every
+//!   module tracks its own retention conditions and must coordinate,
+//!   reproducing the "message leak" failure mode of Sec. 2.3.3.
+//!   Benchmark E8.
+
+pub mod context_engine;
+pub mod explicit_delete;
+pub mod slice_scan;
+
+pub use context_engine::ContextEngine;
+pub use explicit_delete::ExplicitDeleteStore;
+pub use slice_scan::scan_slice_members;

@@ -1,0 +1,65 @@
+//! E1 — Declarative message state vs. per-instance contexts (Sec. 2.1).
+//!
+//! Claim: "contexts … have to be kept for each active process instance,
+//! which leads to scalability issues if the number of processes is large";
+//! dehydration stores trade memory for serialize/parse churn. Demaq keeps
+//! state *as messages* and reaches it through slices, so per-message cost
+//! is flat in the number of instances.
+//!
+//! Workload: deliver a fixed number of correlated messages spread over N
+//! process instances, N ∈ {64, 512, 4096}. The baseline keeps at most 256
+//! hydrated contexts (the dehydration cap); Demaq runs its slicing engine.
+//! Expected shape: the baseline's cost per message grows sharply once
+//! N exceeds the hydration cap (every delivery rehydrates); Demaq stays
+//! roughly flat.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use demaq_baselines::ContextEngine;
+use demaq_bench::{correlate_server, feed_correlate};
+use demaq_store::LockGranularity;
+use tempfile::TempDir;
+
+const MESSAGES: usize = 2048;
+const HYDRATION_CAP: usize = 256;
+
+fn bench_e1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_state_model");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(MESSAGES as u64));
+
+    for &instances in &[64usize, 512, 4096] {
+        group.bench_with_input(
+            BenchmarkId::new("demaq_slices", instances),
+            &instances,
+            |b, &n| {
+                b.iter(|| {
+                    let server = correlate_server(LockGranularity::Slice);
+                    feed_correlate(&server, MESSAGES, n);
+                    server.run_until_idle().expect("run");
+                    server.stats().processed
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("bpel_contexts", instances),
+            &instances,
+            |b, &n| {
+                b.iter(|| {
+                    let dir = TempDir::new().expect("tempdir");
+                    let mut engine = ContextEngine::new(dir.path(), HYDRATION_CAP).expect("engine");
+                    for i in 0..MESSAGES {
+                        let inst = format!("i{}", i % n);
+                        engine
+                            .deliver(&inst, &format!("<event><n>{i}</n></event>"))
+                            .expect("deliver");
+                    }
+                    engine.stats.messages
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e1);
+criterion_main!(benches);

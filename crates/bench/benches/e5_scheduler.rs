@@ -1,0 +1,100 @@
+//! E5 — Priority scheduling (Sec. 3.1 / 4.4.2).
+//!
+//! Claim: "a message in a high priority queue may be processed before
+//! another one stored in a queue with a lower priority, even if it has
+//! been created more recently."
+//!
+//! Measured: (1) the *rank distribution* — with a mixed backlog of
+//! high-priority and bulk messages, after how many processing steps is the
+//! whole high-priority class drained, with and without priorities
+//! (printed once as the table EXPERIMENTS.md records); (2) scheduler
+//! overhead — throughput of a mixed backlog with priorities on vs. all
+//! priorities equal (the priority heap must not cost noticeable time).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use demaq::Server;
+use demaq_store::store::SyncPolicy;
+
+const BULK: usize = 900;
+const URGENT: usize = 100;
+
+fn build(priorities: bool) -> Server {
+    let (hp, lp) = if priorities { (10, 0) } else { (0, 0) };
+    let program = format!(
+        r#"
+        create queue urgent kind basic mode persistent priority {hp}
+        create queue bulk kind basic mode persistent priority {lp}
+        create queue done kind basic mode persistent
+        create rule u for urgent if (//m) then do enqueue <u/> into done
+        create rule b for bulk if (//m) then do enqueue <b/> into done
+        "#
+    );
+    Server::builder()
+        .program(&program)
+        .in_memory()
+        .sync_policy(SyncPolicy::Batch)
+        .build()
+        .expect("valid program")
+}
+
+fn feed(server: &Server) {
+    // Interleave: urgent messages arrive late, scattered through the bulk.
+    for i in 0..BULK {
+        server.enqueue_external("bulk", "<m/>").expect("enqueue");
+        if i % (BULK / URGENT) == BULK / URGENT - 1 {
+            server.enqueue_external("urgent", "<m/>").expect("enqueue");
+        }
+    }
+}
+
+/// Steps until every urgent message has been processed.
+fn urgent_drain_rank(server: &Server) -> usize {
+    let mut steps = 0usize;
+    loop {
+        if !server.step().expect("step") {
+            break;
+        }
+        steps += 1;
+        let done: usize = server
+            .queue_bodies("done")
+            .expect("read")
+            .iter()
+            .filter(|b| b.as_str() == "<u/>")
+            .count();
+        if done == URGENT {
+            return steps;
+        }
+    }
+    steps
+}
+
+fn rank_report() {
+    println!("\n--- E5 urgent-class drain rank (steps until all {URGENT} urgent done) ---");
+    for (label, prio) in [("priorities on", true), ("priorities off", false)] {
+        let server = build(prio);
+        feed(&server);
+        let rank = urgent_drain_rank(&server);
+        println!("{label:>16}: {rank:>5} of {} total steps", BULK + URGENT);
+    }
+    println!();
+}
+
+fn bench_e5(c: &mut Criterion) {
+    rank_report();
+    let mut group = c.benchmark_group("e5_scheduler");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements((BULK + URGENT) as u64));
+    for (label, prio) in [("with_priorities", true), ("uniform", false)] {
+        group.bench_with_input(BenchmarkId::new(label, BULK + URGENT), &prio, |b, &prio| {
+            b.iter(|| {
+                let server = build(prio);
+                feed(&server);
+                server.run_until_idle().expect("run")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e5);
+criterion_main!(benches);

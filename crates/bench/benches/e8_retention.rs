@@ -1,0 +1,138 @@
+//! E8 — Declarative retention vs. explicit deletion (Sec. 2.3.3).
+//!
+//! Claim: with explicit deletion, "the multiple retention requirements
+//! cannot be easily combined. In particular, the order in which the three
+//! conditions for safe message deletion become true varies from order to
+//! order. Thus, all modules would need to know about the message retention
+//! policy of the other parts of the application." Demaq couples retention
+//! to slice membership: each department resets its own slice; the GC does
+//! the rest.
+//!
+//! Workload: the paper's procurement retention scenario — every order is
+//! needed by packaging, finance, and operations research, whose release
+//! order varies per order. Measured: wall time for N orders through both
+//! designs; the baseline additionally reports its coordination calls, and
+//! a variant with one forgetful module demonstrates the leak (printed for
+//! EXPERIMENTS.md).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use demaq::Server;
+use demaq_baselines::ExplicitDeleteStore;
+use demaq_store::store::SyncPolicy;
+
+const PROGRAM: &str = r#"
+    create queue orders kind basic mode persistent
+    create queue events kind basic mode persistent
+    create property oid as xs:string fixed
+        queue orders value //@id
+        queue events value //@oid
+    create slicing packaging on oid
+    create slicing finance on oid
+    create slicing research on oid
+    (: Each department resets its slice when its own completion event
+       arrives — no department knows about the others. :)
+    create rule packagingDone for packaging
+      if (qs:message()/picked) then do reset packaging key qs:slicekey()
+    create rule financeDone for finance
+      if (qs:message()/paid) then do reset finance key qs:slicekey()
+    create rule researchDone for research
+      if (qs:message()/monthEnd) then do reset research key qs:slicekey()
+"#;
+
+/// Per-order permutation of the three completion events.
+fn event_order(i: usize) -> [&'static str; 3] {
+    match i % 3 {
+        0 => ["picked", "paid", "monthEnd"],
+        1 => ["paid", "monthEnd", "picked"],
+        _ => ["monthEnd", "picked", "paid"],
+    }
+}
+
+fn run_demaq(orders: usize) -> usize {
+    let server = Server::builder()
+        .program(PROGRAM)
+        .in_memory()
+        .sync_policy(SyncPolicy::Batch)
+        .build()
+        .expect("valid");
+    for i in 0..orders {
+        server
+            .enqueue_external("orders", &format!("<order id='o{i}'/>"))
+            .expect("enq");
+        for ev in event_order(i) {
+            server
+                .enqueue_external("events", &format!("<{ev} oid='o{i}'/>"))
+                .expect("enq");
+        }
+    }
+    server.run_until_idle().expect("run");
+    server.gc().expect("gc")
+}
+
+fn run_explicit(orders: usize, forgetful: bool) -> (usize, usize) {
+    let mut store = ExplicitDeleteStore::new();
+    for i in 0..orders {
+        let id = store.insert(
+            format!("<order id='o{i}'/>"),
+            &["packaging", "finance", "research"],
+        );
+        for (k, ev) in event_order(i).iter().enumerate() {
+            let module: &'static str = match *ev {
+                "picked" => "packaging",
+                "paid" => "finance",
+                _ => "research",
+            };
+            store.release(id, module);
+            // Defensive coordination: every module attempts the delete,
+            // except the forgetful variant's last module.
+            if !(forgetful && k == 2) {
+                store.try_delete(id);
+            }
+        }
+    }
+    (store.live(), store.leaked())
+}
+
+fn leak_report() {
+    println!("\n--- E8 correctness: forgetful module ---");
+    let (live, leaked) = run_explicit(300, true);
+    println!("explicit deletion, one module forgets try_delete: {live} live, {leaked} leaked");
+    let (live, leaked) = run_explicit(300, false);
+    println!("explicit deletion, disciplined modules:          {live} live, {leaked} leaked");
+    println!("demaq slicing GC purges everything regardless of release order\n");
+}
+
+fn bench_e8(c: &mut Criterion) {
+    leak_report();
+    let mut group = c.benchmark_group("e8_retention");
+    group.sample_size(10);
+    for &orders in &[50usize, 200] {
+        group.throughput(Throughput::Elements(orders as u64));
+        group.bench_with_input(
+            BenchmarkId::new("demaq_slices", orders),
+            &orders,
+            |b, &n| {
+                b.iter(|| {
+                    let purged = run_demaq(n);
+                    assert_eq!(purged, n * 4, "order + 3 events per order all purged");
+                    purged
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("explicit_delete", orders),
+            &orders,
+            |b, &n| {
+                b.iter(|| {
+                    let (live, leaked) = run_explicit(n, false);
+                    assert_eq!((live, leaked), (0, 0));
+                    live
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e8);
+criterion_main!(benches);

@@ -1,0 +1,218 @@
+//! Compiled application model.
+//!
+//! The [`CompiledApp`] is the deployed form of a QDL/QML program: schemas
+//! and WSDL interfaces are parsed, rules are grouped per target and
+//! rewritten by the [`crate::compiler`], and cross-reference maps
+//! (property → slicings, queue → properties) are precomputed for the hot
+//! path.
+
+use crate::compiler::{self, CompiledRule};
+use demaq_net::WsdlInterface;
+use demaq_qdl::{AppSpec, PropKind, PropertyDecl, QueueDecl, QueueKind, SlicingDecl};
+use demaq_xml::schema::Schema;
+use std::collections::HashMap;
+
+/// A queue with its compiled artifacts.
+pub struct CompiledQueue {
+    pub decl: QueueDecl,
+    /// Parsed schema, when declared.
+    pub schema: Option<Schema>,
+    /// Parsed WSDL interface, for outgoing gateways with `interface`.
+    pub interface: Option<WsdlInterface>,
+    /// Rules attached directly to this queue, in program order.
+    pub rules: Vec<CompiledRule>,
+}
+
+/// A slicing with its rules.
+pub struct CompiledSlicing {
+    pub decl: SlicingDecl,
+    pub rules: Vec<CompiledRule>,
+}
+
+/// The deployed application.
+pub struct CompiledApp {
+    pub spec: AppSpec,
+    pub queues: HashMap<String, CompiledQueue>,
+    pub slicings: HashMap<String, CompiledSlicing>,
+    /// property name -> declaration
+    pub properties: HashMap<String, PropertyDecl>,
+    /// property name -> slicing names keyed by it
+    pub slicings_by_property: HashMap<String, Vec<String>>,
+}
+
+/// Error while compiling an application.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError(pub String);
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "application compilation failed: {}", self.0)
+    }
+}
+impl std::error::Error for CompileError {}
+
+impl CompiledApp {
+    /// Compile a validated [`AppSpec`]. `wsdl_files` resolves `interface`
+    /// clause file names to WSDL content (the simulation's stand-in for
+    /// reading WSDL from disk/URL).
+    pub fn compile(
+        spec: AppSpec,
+        wsdl_files: &HashMap<String, String>,
+    ) -> Result<CompiledApp, CompileError> {
+        let violations = demaq_qdl::validate(&spec);
+        if !violations.is_empty() {
+            let msgs: Vec<String> = violations.iter().map(|v| v.to_string()).collect();
+            return Err(CompileError(msgs.join("; ")));
+        }
+
+        let mut schemas = HashMap::new();
+        for (name, src) in &spec.schemas {
+            let schema =
+                Schema::parse(src).map_err(|e| CompileError(format!("schema `{name}`: {e}")))?;
+            schemas.insert(name.clone(), schema);
+        }
+
+        let mut queues = HashMap::new();
+        for q in &spec.queues {
+            let schema = match &q.schema {
+                Some(s) => Some(schemas.get(s).cloned().ok_or_else(|| {
+                    CompileError(format!("queue `{}`: unknown schema `{s}`", q.name))
+                })?),
+                None => None,
+            };
+            let interface = match &q.interface {
+                Some((file, port)) => {
+                    let content = wsdl_files.get(file).ok_or_else(|| {
+                        CompileError(format!(
+                            "queue `{}`: interface file `{file}` not provided (register it via ServerBuilder::wsdl_file)",
+                            q.name
+                        ))
+                    })?;
+                    Some(
+                        WsdlInterface::parse(content, port)
+                            .map_err(|e| CompileError(format!("queue `{}`: {e}", q.name)))?,
+                    )
+                }
+                None => None,
+            };
+            queues.insert(
+                q.name.clone(),
+                CompiledQueue {
+                    decl: q.clone(),
+                    schema,
+                    interface,
+                    rules: Vec::new(),
+                },
+            );
+        }
+
+        let mut slicings = HashMap::new();
+        let mut slicings_by_property: HashMap<String, Vec<String>> = HashMap::new();
+        for s in &spec.slicings {
+            slicings.insert(
+                s.name.clone(),
+                CompiledSlicing {
+                    decl: s.clone(),
+                    rules: Vec::new(),
+                },
+            );
+            slicings_by_property
+                .entry(s.property.clone())
+                .or_default()
+                .push(s.name.clone());
+        }
+
+        let properties: HashMap<String, PropertyDecl> = spec
+            .properties
+            .iter()
+            .map(|p| (p.name.clone(), p.clone()))
+            .collect();
+
+        // Compile rules into their targets.
+        for r in &spec.rules {
+            let on_slicing = slicings.contains_key(&r.target);
+            let compiled = compiler::compile_rule(r, &spec, on_slicing)
+                .map_err(|e| CompileError(format!("rule `{}`: {e}", r.name)))?;
+            if on_slicing {
+                slicings
+                    .get_mut(&r.target)
+                    .expect("checked")
+                    .rules
+                    .push(compiled);
+            } else {
+                queues
+                    .get_mut(&r.target)
+                    .expect("validated")
+                    .rules
+                    .push(compiled);
+            }
+        }
+
+        Ok(CompiledApp {
+            spec,
+            queues,
+            slicings,
+            properties,
+            slicings_by_property,
+        })
+    }
+
+    /// The queue kind (engine dispatch).
+    pub fn queue_kind(&self, name: &str) -> Option<QueueKind> {
+        self.queues.get(name).map(|q| q.decl.kind)
+    }
+
+    /// Properties that have a value binding or inheritance on this queue —
+    /// the set to compute at enqueue time.
+    pub fn properties_for_queue<'a>(&'a self, queue: &str) -> Vec<&'a PropertyDecl> {
+        self.properties
+            .values()
+            .filter(|p| {
+                p.kind == PropKind::Inherited
+                    || p.bindings
+                        .iter()
+                        .any(|b| b.queues.iter().any(|q| q == queue))
+            })
+            .collect()
+    }
+
+    /// All slicing rules that pertain to a message carrying the given
+    /// property names: rules of slicings keyed by any of those properties.
+    pub fn slicing_rules_for<'a>(
+        &'a self,
+        prop_names: impl Iterator<Item = &'a str>,
+    ) -> Vec<(&'a str, &'a CompiledSlicing)> {
+        let mut out = Vec::new();
+        for p in prop_names {
+            if let Some(slicing_names) = self.slicings_by_property.get(p) {
+                for sname in slicing_names {
+                    if let Some(s) = self.slicings.get(sname) {
+                        out.push((sname.as_str(), s));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Resolve the error queue for a failure in `rule` (possibly None) on
+    /// `queue`: rule-level, then queue-level, then system-level
+    /// (paper Sec. 3.6's levels).
+    pub fn error_queue_for<'a>(
+        &'a self,
+        rule: Option<&'a CompiledRule>,
+        queue: &str,
+    ) -> Option<&'a str> {
+        if let Some(r) = rule {
+            if let Some(eq) = &r.error_queue {
+                return Some(eq);
+            }
+        }
+        if let Some(q) = self.queues.get(queue) {
+            if let Some(eq) = &q.decl.error_queue {
+                return Some(eq);
+            }
+        }
+        self.spec.system_error_queue.as_deref()
+    }
+}

@@ -1,0 +1,1335 @@
+//! The Demaq server: execution model, error routing, time, and gateways.
+//!
+//! Implements the paper's Sec. 3.1 execution model: an iterative cycle
+//! with detached coupling. Each unprocessed message is processed exactly
+//! once; processing evaluates all rules pertaining to its queue (including
+//! slicing rules) into a pending action list that executes in the same
+//! store transaction. Many processing transactions may run concurrently
+//! ([`Server::process_all_parallel`]) under queue- or slice-granularity
+//! locking (Sec. 4.3).
+
+use crate::app::CompiledApp;
+use crate::compiler::{merge_rules, CompiledRule};
+use crate::errors::{error_message, kind};
+use crate::gateway::GatewayManager;
+use crate::host::{atomic_to_prop, prop_to_atomic, QsHost, SliceCtx};
+use crate::properties::{compute_properties, system, PropError};
+use crate::scheduler::Scheduler;
+use demaq_net::{Clock, Envelope, Network, TimerWheel};
+use demaq_qdl::{parse_program, AppSpec, QueueKind};
+use demaq_store::store::SyncPolicy;
+use demaq_store::{
+    LockGranularity, LockKey, LockMode, MessageStore, MsgId, PropValue, QueueMode, StoreError,
+    StoreOptions, StoredMessage, TxnId,
+};
+use demaq_xml::{parse as parse_xml, Document, NodeRef};
+use demaq_xquery::{
+    Atomic, DynamicContext, Error as XqError, Evaluator, Expr, Item, Sequence, StaticContext,
+    Update,
+};
+use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Engine error.
+#[derive(Debug)]
+pub enum EngineError {
+    Compile(String),
+    Store(StoreError),
+    Xml(String),
+    Query(XqError),
+    Config(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Compile(m) => write!(f, "compile error: {m}"),
+            EngineError::Store(e) => write!(f, "store error: {e}"),
+            EngineError::Xml(m) => write!(f, "XML error: {m}"),
+            EngineError::Query(e) => write!(f, "query error: {e}"),
+            EngineError::Config(m) => write!(f, "configuration error: {m}"),
+        }
+    }
+}
+impl std::error::Error for EngineError {}
+
+impl From<StoreError> for EngineError {
+    fn from(e: StoreError) -> Self {
+        EngineError::Store(e)
+    }
+}
+impl From<XqError> for EngineError {
+    fn from(e: XqError) -> Self {
+        EngineError::Query(e)
+    }
+}
+
+use crate::Result;
+
+/// How rule bodies are evaluated per message (benchmark E6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanMode {
+    /// Evaluate each rule separately (precise error routing, trigger
+    /// pre-filtering).
+    RuleAtATime,
+    /// Evaluate the merged per-queue canonical plan where possible
+    /// (paper Sec. 4.4.1).
+    Merged,
+}
+
+/// Counters exposed for tests, examples, and benchmarks.
+#[derive(Debug, Default, Clone)]
+pub struct ServerStats {
+    pub processed: u64,
+    pub enqueued: u64,
+    pub errors_routed: u64,
+    pub rules_evaluated: u64,
+    pub rules_skipped_by_filter: u64,
+    pub deadlock_retries: u64,
+    pub timers_fired: u64,
+    pub gc_purged: u64,
+}
+
+/// Payload parked on an echo-queue timer.
+#[derive(Debug, Clone, PartialEq)]
+struct TimerJob {
+    target: String,
+    payload: String,
+    props: Vec<(String, PropValue)>,
+}
+impl Eq for TimerJob {}
+
+/// Builder for [`Server`].
+pub struct ServerBuilder {
+    program: Option<String>,
+    spec: Option<AppSpec>,
+    dir: Option<PathBuf>,
+    in_memory: bool,
+    sync: SyncPolicy,
+    lock_granularity: LockGranularity,
+    plan_mode: PlanMode,
+    seed: u64,
+    clock: Option<Clock>,
+    network: Option<Arc<Network>>,
+    wsdl_files: HashMap<String, String>,
+    collections: HashMap<String, Vec<Arc<Document>>>,
+    server_addr: String,
+    start_time_ms: i64,
+}
+
+impl Default for ServerBuilder {
+    fn default() -> Self {
+        ServerBuilder {
+            program: None,
+            spec: None,
+            dir: None,
+            in_memory: false,
+            sync: SyncPolicy::Always,
+            lock_granularity: LockGranularity::Slice,
+            plan_mode: PlanMode::RuleAtATime,
+            seed: 7,
+            clock: None,
+            network: None,
+            wsdl_files: HashMap::new(),
+            collections: HashMap::new(),
+            server_addr: "demaq://node".into(),
+            start_time_ms: 0,
+        }
+    }
+}
+
+impl ServerBuilder {
+    /// QDL/QML source of the application.
+    pub fn program(mut self, src: &str) -> Self {
+        self.program = Some(src.to_string());
+        self
+    }
+
+    /// Pre-parsed application.
+    pub fn spec(mut self, spec: AppSpec) -> Self {
+        self.spec = Some(spec);
+        self
+    }
+
+    /// Store directory (persistent across restarts).
+    pub fn dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.dir = Some(dir.into());
+        self
+    }
+
+    /// Use a throwaway temp directory (examples, tests).
+    pub fn in_memory(mut self) -> Self {
+        self.in_memory = true;
+        self
+    }
+
+    /// Commit durability policy.
+    pub fn sync_policy(mut self, sync: SyncPolicy) -> Self {
+        self.sync = sync;
+        self
+    }
+
+    /// Lock granularity (paper Sec. 4.3; benchmark E3).
+    pub fn lock_granularity(mut self, g: LockGranularity) -> Self {
+        self.lock_granularity = g;
+        self
+    }
+
+    /// Rule evaluation mode (benchmark E6).
+    pub fn plan_mode(mut self, m: PlanMode) -> Self {
+        self.plan_mode = m;
+        self
+    }
+
+    /// RNG seed for the network failure injection.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Use an existing clock (sharing time with other servers).
+    pub fn clock(mut self, clock: Clock) -> Self {
+        self.clock = Some(clock);
+        self
+    }
+
+    /// Use an existing network (multi-node scenarios).
+    pub fn network(mut self, net: Arc<Network>) -> Self {
+        self.network = Some(net);
+        self
+    }
+
+    /// Provide the content of a WSDL file referenced by an `interface`
+    /// clause.
+    pub fn wsdl_file(mut self, name: &str, content: &str) -> Self {
+        self.wsdl_files
+            .insert(name.to_string(), content.to_string());
+        self
+    }
+
+    /// Register master data reachable via `fn:collection(name)`.
+    pub fn collection(mut self, name: &str, docs: Vec<Arc<Document>>) -> Self {
+        self.collections.insert(name.to_string(), docs);
+        self
+    }
+
+    /// This node's transport address.
+    pub fn server_addr(mut self, addr: &str) -> Self {
+        self.server_addr = addr.to_string();
+        self
+    }
+
+    /// Virtual-clock start (epoch ms).
+    pub fn start_time_ms(mut self, ms: i64) -> Self {
+        self.start_time_ms = ms;
+        self
+    }
+
+    /// Compile the application and open the store.
+    pub fn build(self) -> Result<Server> {
+        let spec = match (self.spec, self.program) {
+            (Some(s), _) => s,
+            (None, Some(p)) => {
+                parse_program(&p).map_err(|e| EngineError::Compile(e.to_string()))?
+            }
+            (None, None) => return Err(EngineError::Config("no program provided".into())),
+        };
+        let app = CompiledApp::compile(spec, &self.wsdl_files)
+            .map_err(|e| EngineError::Compile(e.to_string()))?;
+
+        let dir = match (self.dir, self.in_memory) {
+            (Some(d), _) => d,
+            (None, true) => std::env::temp_dir().join(format!(
+                "demaq-{}-{}",
+                std::process::id(),
+                NEXT_TMP.fetch_add(1, Ordering::Relaxed)
+            )),
+            (None, false) => {
+                return Err(EngineError::Config(
+                    "choose a store directory with .dir(..) or .in_memory()".into(),
+                ))
+            }
+        };
+        let mut opts = StoreOptions::new(dir);
+        opts.sync = self.sync;
+        opts.lock_granularity = self.lock_granularity;
+        let store = Arc::new(MessageStore::open(opts)?);
+
+        // Declare queues (idempotent against recovered state).
+        for (name, q) in &app.queues {
+            let mode = if q.decl.persistent {
+                QueueMode::Persistent
+            } else {
+                QueueMode::Transient
+            };
+            store.create_queue(name, mode, q.decl.priority)?;
+        }
+
+        // Clock resolution: explicit > the supplied network's clock (time
+        // must be shared, or fast-forwarding would desynchronize delivery)
+        // > a fresh virtual clock.
+        let clock = match (&self.clock, &self.network) {
+            (Some(c), _) => c.clone(),
+            (None, Some(net)) => net.clock().clone(),
+            (None, None) => Clock::virtual_at(self.start_time_ms),
+        };
+        let net = self
+            .network
+            .unwrap_or_else(|| Arc::new(Network::new(clock.clone(), self.seed)));
+        let app = Arc::new(app);
+        let gateways = GatewayManager::new(&app, Arc::clone(&net), self.server_addr);
+
+        let server = Server {
+            app,
+            store,
+            net,
+            clock,
+            timers: TimerWheel::new(),
+            gateways,
+            scheduler: Scheduler::new(),
+            collections: Arc::new(self.collections),
+            plan_mode: self.plan_mode,
+            stats: Mutex::new(ServerStats::default()),
+            doc_cache: Mutex::new(HashMap::new()),
+            active_workers: AtomicUsize::new(0),
+        };
+        // Recovery: re-schedule surviving unprocessed messages.
+        for (msg, queue, prio) in server.store.unprocessed() {
+            server.scheduler.push(msg, &queue, prio);
+        }
+        Ok(server)
+    }
+}
+
+static NEXT_TMP: AtomicU64 = AtomicU64::new(0);
+
+/// A running Demaq node.
+pub struct Server {
+    app: Arc<CompiledApp>,
+    store: Arc<MessageStore>,
+    net: Arc<Network>,
+    clock: Clock,
+    timers: TimerWheel<TimerJob>,
+    gateways: GatewayManager,
+    scheduler: Scheduler,
+    collections: Arc<HashMap<String, Vec<Arc<Document>>>>,
+    plan_mode: PlanMode,
+    stats: Mutex<ServerStats>,
+    /// Cache of parsed message documents.
+    doc_cache: Mutex<HashMap<MsgId, Arc<Document>>>,
+    active_workers: AtomicUsize,
+}
+
+impl Server {
+    /// Start building a server.
+    pub fn builder() -> ServerBuilder {
+        ServerBuilder::default()
+    }
+
+    /// The compiled application.
+    pub fn app(&self) -> &CompiledApp {
+        &self.app
+    }
+
+    /// The underlying store (inspection, checkpoints).
+    pub fn store(&self) -> &Arc<MessageStore> {
+        &self.store
+    }
+
+    /// The simulated network.
+    pub fn network(&self) -> &Arc<Network> {
+        &self.net
+    }
+
+    /// The engine clock.
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> ServerStats {
+        self.stats.lock().clone()
+    }
+
+    // ---- message ingestion ----------------------------------------------------
+
+    /// Enqueue an external message (as if received out-of-band). Validates
+    /// against the queue schema.
+    pub fn enqueue_external(&self, queue: &str, xml: &str) -> Result<MsgId> {
+        self.enqueue_with(queue, xml, &[], None, Vec::new())
+    }
+
+    /// Enqueue with explicit property values.
+    pub fn enqueue_external_with_props(
+        &self,
+        queue: &str,
+        xml: &str,
+        explicit: &[(String, Atomic)],
+    ) -> Result<MsgId> {
+        self.enqueue_with(queue, xml, explicit, None, Vec::new())
+    }
+
+    fn enqueue_with(
+        &self,
+        queue: &str,
+        xml: &str,
+        explicit: &[(String, Atomic)],
+        trigger_props: Option<&[(String, PropValue)]>,
+        mut system_props: Vec<(String, PropValue)>,
+    ) -> Result<MsgId> {
+        let cq = self
+            .app
+            .queues
+            .get(queue)
+            .ok_or_else(|| EngineError::Config(format!("unknown queue `{queue}`")))?;
+        let doc = parse_xml(xml).map_err(|e| EngineError::Xml(e.to_string()))?;
+        if let Some(schema) = &cq.schema {
+            let violations = schema.validate(&doc.root());
+            if !violations.is_empty() {
+                return Err(EngineError::Xml(format!(
+                    "schema violation on `{queue}`: {}",
+                    violations[0]
+                )));
+            }
+        }
+        let now = self.clock.now();
+        if !system_props.iter().any(|(n, _)| n == system::CREATED_AT) {
+            system_props.push((system::CREATED_AT.to_string(), PropValue::DateTime(now)));
+        }
+        let props = compute_properties(
+            &self.app,
+            queue,
+            &doc.root(),
+            explicit,
+            trigger_props,
+            system_props,
+            now,
+        )
+        .map_err(|e| EngineError::Compile(e.to_string()))?;
+
+        let txn = self.store.begin();
+        let result = (|| -> Result<MsgId> {
+            let id = self
+                .store
+                .enqueue(txn, queue, xml.to_string(), props.clone(), now)?;
+            self.add_slice_memberships(txn, id, &props)?;
+            self.store.commit(txn)?;
+            Ok(id)
+        })();
+        match result {
+            Ok(id) => {
+                self.stats.lock().enqueued += 1;
+                self.doc_cache_insert(id, doc);
+                self.scheduler.push(id, queue, cq.decl.priority);
+                self.post_commit_queue_effects(queue, id)?;
+                Ok(id)
+            }
+            Err(e) => {
+                self.store.abort(txn);
+                Err(e)
+            }
+        }
+    }
+
+    /// Register slice memberships for a freshly enqueued message: for every
+    /// slicing whose key property the message carries.
+    fn add_slice_memberships(
+        &self,
+        txn: TxnId,
+        msg: MsgId,
+        props: &[(String, PropValue)],
+    ) -> Result<()> {
+        for (pname, value) in props {
+            if let Some(slicings) = self.app.slicings_by_property.get(pname) {
+                for s in slicings {
+                    self.store.slice_add(txn, s, value.clone(), msg)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ---- processing loop -------------------------------------------------------
+
+    /// Process a single scheduled message, if any. Returns whether work was
+    /// done.
+    pub fn step(&self) -> Result<bool> {
+        match self.scheduler.pop() {
+            Some((msg, queue)) => {
+                self.process_message(msg, &queue)?;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    /// Drive everything to quiescence: process messages, pump the network,
+    /// fire timers, retry reliable sends — fast-forwarding the virtual
+    /// clock when idle. Returns the number of messages processed.
+    pub fn run_until_idle(&self) -> Result<u64> {
+        let mut processed = 0u64;
+        loop {
+            let mut progressed = false;
+            while self.step()? {
+                processed += 1;
+                progressed = true;
+            }
+            if std::env::var("DEMAQ_DEBUG").is_ok() {
+                eprintln!("loop: processed={processed} sched={} now={} net_inflight={} net_due={:?} timers={:?} retry={:?}",
+                    self.scheduler.len(), self.clock.now(), self.net.in_flight(), self.net.next_due(), self.timers.next_due(), self.gateways.next_retry_at());
+            }
+            if self.pump_environment()? {
+                progressed = true;
+            }
+            if progressed {
+                continue;
+            }
+            // Idle: fast-forward a virtual clock to the next event.
+            if self.clock.is_virtual() {
+                let next = [
+                    self.timers.next_due(),
+                    self.net.next_due(),
+                    self.gateways.next_retry_at(),
+                ]
+                .into_iter()
+                .flatten()
+                .min();
+                match next {
+                    Some(t) if t > self.clock.now() => {
+                        self.clock.set(t);
+                        continue;
+                    }
+                    Some(_) => continue,
+                    None => break,
+                }
+            } else {
+                break;
+            }
+        }
+        Ok(processed)
+    }
+
+    /// Deliver due envelopes, drain gateway inboxes, fire due timers, tick
+    /// reliable channels. Returns whether anything happened.
+    fn pump_environment(&self) -> Result<bool> {
+        let mut progressed = false;
+        if self.net.pump() > 0 {
+            progressed = true;
+        }
+        // Incoming gateway deliveries become messages.
+        for (queue, env) in self.gateways.take_inbox() {
+            progressed = true;
+            self.ingest_envelope(&queue, env)?;
+        }
+        // Reliable retransmissions and exhausted sends.
+        let failures = self.gateways.tick();
+        for (queue, env, err) in failures {
+            progressed = true;
+            self.route_transport_error(&queue, &env.body, env.header("creatingRule"), &err)?;
+        }
+        // Echo-queue timers.
+        let now = self.clock.now();
+        for firing in self.timers.due(now) {
+            progressed = true;
+            self.stats.lock().timers_fired += 1;
+            let job = firing.payload;
+            self.enqueue_with(&job.target, &job.payload, &[], Some(&job.props), Vec::new())?;
+        }
+        Ok(progressed)
+    }
+
+    fn ingest_envelope(&self, queue: &str, env: Envelope) -> Result<()> {
+        let mut system_props = vec![
+            (system::SENDER.to_string(), PropValue::Str(env.from.clone())),
+            (
+                system::CREATED_AT.to_string(),
+                PropValue::DateTime(self.clock.now()),
+            ),
+        ];
+        if let Some(conn) = env.conn {
+            system_props.push((
+                system::CONNECTION.to_string(),
+                PropValue::Int(conn.0 as i64),
+            ));
+        }
+        match parse_xml(&env.body) {
+            Ok(_) => match self.enqueue_with(queue, &env.body, &[], None, system_props) {
+                Ok(_) => Ok(()),
+                Err(EngineError::Xml(detail)) => {
+                    // Schema violations on a gateway: message-related error.
+                    self.route_error(kind::SCHEMA, &detail, None, queue, None, Some(&env.body))
+                }
+                Err(other) => Err(other),
+            },
+            Err(e) => {
+                // Not well-formed: a message-related error (paper Sec. 3.6).
+                self.route_error(
+                    kind::MALFORMED,
+                    &e.to_string(),
+                    None,
+                    queue,
+                    None,
+                    Some(&env.body),
+                )
+            }
+        }
+    }
+
+    // ---- the heart: processing one message ---------------------------------------
+
+    fn process_message(&self, msg_id: MsgId, queue: &str) -> Result<()> {
+        // Deadlock victims retry a few times before giving up to the error
+        // path.
+        for attempt in 0..4 {
+            match self.try_process(msg_id, queue) {
+                Ok(()) => return Ok(()),
+                Err(EngineError::Store(StoreError::Deadlock))
+                | Err(EngineError::Store(StoreError::LockTimeout))
+                    if attempt < 3 =>
+                {
+                    self.stats.lock().deadlock_retries += 1;
+                    continue;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        unreachable!("loop either returns Ok or the final error");
+    }
+
+    fn try_process(&self, msg_id: MsgId, queue: &str) -> Result<()> {
+        let stored = self.store.message(msg_id)?;
+        let doc = self.parse_cached(&stored)?;
+        let cq = self
+            .app
+            .queues
+            .get(queue)
+            .ok_or_else(|| EngineError::Config(format!("unknown queue `{queue}`")))?;
+
+        // The applicable slicing contexts: slicings keyed by a property the
+        // message carries.
+        let mut slice_rules: Vec<(SliceCtx, &CompiledRule)> = Vec::new();
+        let mut slice_keys: Vec<(String, PropValue)> = Vec::new();
+        for (pname, value) in &stored.props {
+            if let Some(slicings) = self.app.slicings_by_property.get(pname) {
+                for sname in slicings {
+                    slice_keys.push((sname.clone(), value.clone()));
+                    let cs = &self.app.slicings[sname];
+                    for rule in &cs.rules {
+                        slice_rules.push((
+                            SliceCtx {
+                                slicing: sname.clone(),
+                                key: value.clone(),
+                                members: Sequence::empty(), // filled per evaluation
+                            },
+                            rule,
+                        ));
+                    }
+                }
+            }
+        }
+
+        let txn = self.store.begin();
+        let result = self.evaluate_and_execute(txn, &stored, &doc, cq, &slice_rules, &slice_keys);
+        match result {
+            Ok(new_messages) => {
+                self.store.mark_processed(txn, msg_id)?;
+                self.store.commit(txn)?;
+                self.stats.lock().processed += 1;
+                // Post-commit: schedule new work, gateway/echo side effects.
+                for (new_id, new_queue) in new_messages {
+                    let prio = self
+                        .app
+                        .queues
+                        .get(&new_queue)
+                        .map(|q| q.decl.priority)
+                        .unwrap_or(0);
+                    self.scheduler.push(new_id, &new_queue, prio);
+                    self.post_commit_queue_effects(&new_queue, new_id)?;
+                }
+                Ok(())
+            }
+            Err(ProcessingError::Store(StoreError::Deadlock)) => {
+                self.store.abort(txn);
+                // Put the message back for retry.
+                self.scheduler.requeue(msg_id, queue, cq.decl.priority);
+                Err(EngineError::Store(StoreError::Deadlock))
+            }
+            Err(ProcessingError::Store(StoreError::LockTimeout)) => {
+                self.store.abort(txn);
+                self.scheduler.requeue(msg_id, queue, cq.decl.priority);
+                Err(EngineError::Store(StoreError::LockTimeout))
+            }
+            Err(ProcessingError::Store(e)) => {
+                self.store.abort(txn);
+                Err(EngineError::Store(e))
+            }
+            Err(ProcessingError::Rule {
+                rule,
+                error_kind,
+                detail,
+            }) => {
+                // Application-level failure: abort, then route an error
+                // message and mark the original processed (Sec. 3.6).
+                self.store.abort(txn);
+                let eq_rule = cq.rules.iter().find(|r| r.name == rule);
+                let eq = self.app.error_queue_for(eq_rule, queue).map(str::to_string);
+                self.mark_processed_standalone(msg_id)?;
+                self.route_error(
+                    &error_kind,
+                    &detail,
+                    Some(&rule),
+                    queue,
+                    Some(msg_id),
+                    Some(&stored.payload),
+                )?;
+                let _ = eq;
+                Ok(())
+            }
+        }
+    }
+
+    /// Evaluate all rules and execute the pending updates inside `txn`.
+    /// Returns the new (msg, queue) pairs enqueued.
+    fn evaluate_and_execute(
+        &self,
+        txn: TxnId,
+        stored: &StoredMessage,
+        doc: &Arc<Document>,
+        cq: &crate::app::CompiledQueue,
+        slice_rules: &[(SliceCtx, &CompiledRule)],
+        slice_keys: &[(String, PropValue)],
+    ) -> std::result::Result<Vec<(MsgId, String)>, ProcessingError> {
+        // ---- locking (paper Sec. 4.3) -------------------------------------
+        self.acquire_locks(txn, stored, cq, slice_rules, slice_keys)?;
+
+        // ---- rule evaluation (snapshot) ------------------------------------
+        let msg_root = doc.root();
+        let element_names = element_name_set(&msg_root);
+        let mut updates: Vec<(Option<String>, Update)> = Vec::new(); // (rule name, update)
+
+        // Queue rules: merged plan or rule-at-a-time.
+        let merged = if self.plan_mode == PlanMode::Merged {
+            merge_rules(&cq.rules)
+        } else {
+            None
+        };
+        match merged {
+            Some(plan) => {
+                self.stats.lock().rules_evaluated += cq.rules.len() as u64;
+                let ups = self
+                    .eval_rule_body(&plan, stored, &msg_root, None)
+                    .map_err(|e| ProcessingError::rule("<merged-plan>", e))?;
+                updates.extend(ups.into_iter().map(|u| (None, u)));
+            }
+            None => {
+                for rule in &cq.rules {
+                    if let Some(trigger) = &rule.trigger_elements {
+                        if !trigger.iter().any(|t| element_names.contains(t.as_str())) {
+                            self.stats.lock().rules_skipped_by_filter += 1;
+                            continue;
+                        }
+                    }
+                    self.stats.lock().rules_evaluated += 1;
+                    let ups = self
+                        .eval_rule_body(&rule.body, stored, &msg_root, None)
+                        .map_err(|e| ProcessingError::rule(&rule.name, e))?;
+                    updates.extend(ups.into_iter().map(|u| (Some(rule.name.clone()), u)));
+                }
+            }
+        }
+
+        // Slicing rules, each with its slice context.
+        for (ctx, rule) in slice_rules {
+            self.stats.lock().rules_evaluated += 1;
+            let members = self.slice_member_docs(&ctx.slicing, &ctx.key)?;
+            let full_ctx = SliceCtx {
+                slicing: ctx.slicing.clone(),
+                key: ctx.key.clone(),
+                members,
+            };
+            let ups = self
+                .eval_rule_body(&rule.body, stored, &msg_root, Some(full_ctx))
+                .map_err(|e| ProcessingError::rule(&rule.name, e))?;
+            // Bare `do reset` in a slicing rule targets this slice.
+            for u in ups {
+                let u = match u {
+                    Update::Reset {
+                        slicing: None,
+                        key: None,
+                    } => Update::Reset {
+                        slicing: Some(ctx.slicing.as_str().into()),
+                        key: Some(prop_to_atomic(&ctx.key)),
+                    },
+                    other => other,
+                };
+                updates.push((Some(rule.name.clone()), u));
+            }
+        }
+
+        // ---- action execution ------------------------------------------------
+        let mut new_messages = Vec::new();
+        for (rule_name, update) in updates {
+            match update {
+                Update::Enqueue {
+                    queue: target,
+                    message,
+                    props,
+                } => {
+                    let target_name = target.local.clone();
+                    let (id, q) = self
+                        .execute_enqueue(
+                            txn,
+                            stored,
+                            rule_name.as_deref(),
+                            &target_name,
+                            message,
+                            props,
+                        )
+                        .map_err(|e| match e {
+                            ExecError::Store(s) => ProcessingError::Store(s),
+                            ExecError::App { kind: k, detail } => ProcessingError::Rule {
+                                rule: rule_name.clone().unwrap_or_else(|| "<unknown>".into()),
+                                error_kind: k,
+                                detail,
+                            },
+                        })?;
+                    new_messages.push((id, q));
+                }
+                Update::Reset { slicing, key } => {
+                    let Some(slicing) = slicing else {
+                        return Err(ProcessingError::Rule {
+                            rule: rule_name.unwrap_or_else(|| "<unknown>".into()),
+                            error_kind: kind::APPLICATION.into(),
+                            detail:
+                                "do reset without parameters is only valid in rules on slicings"
+                                    .into(),
+                        });
+                    };
+                    let Some(key) = key else {
+                        return Err(ProcessingError::Rule {
+                            rule: rule_name.unwrap_or_else(|| "<unknown>".into()),
+                            error_kind: kind::APPLICATION.into(),
+                            detail: "do reset needs a key".into(),
+                        });
+                    };
+                    self.store
+                        .slice_reset(txn, &slicing.local, atomic_to_prop(&key))
+                        .map_err(ProcessingError::Store)?;
+                }
+                other => {
+                    // XQUF tree updates cannot touch the append-only store.
+                    return Err(ProcessingError::Rule {
+                        rule: rule_name.unwrap_or_else(|| "<unknown>".into()),
+                        error_kind: kind::APPLICATION.into(),
+                        detail: format!(
+                            "tree update {other:?} is not applicable: stored messages are immutable"
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(new_messages)
+    }
+
+    fn acquire_locks(
+        &self,
+        txn: TxnId,
+        stored: &StoredMessage,
+        cq: &crate::app::CompiledQueue,
+        slice_rules: &[(SliceCtx, &CompiledRule)],
+        slice_keys: &[(String, PropValue)],
+    ) -> std::result::Result<(), ProcessingError> {
+        let mut plan: Vec<(LockKey, LockMode)> = Vec::new();
+        let all_rules = cq.rules.iter().chain(slice_rules.iter().map(|(_, r)| *r));
+        match self.store.lock_granularity() {
+            LockGranularity::Queue => {
+                plan.push((LockKey::Queue(stored.queue.clone()), LockMode::Exclusive));
+                for rule in all_rules {
+                    for w in &rule.writes_queues {
+                        plan.push((LockKey::Queue(w.clone()), LockMode::Exclusive));
+                    }
+                    for r in &rule.reads_queues {
+                        plan.push((LockKey::Queue(r.clone()), LockMode::Shared));
+                    }
+                }
+            }
+            LockGranularity::Slice => {
+                plan.push((LockKey::Message(stored.id), LockMode::Exclusive));
+                for (s, k) in slice_keys {
+                    plan.push((LockKey::Slice(s.clone(), k.clone()), LockMode::Exclusive));
+                }
+                for rule in all_rules {
+                    for r in &rule.reads_queues {
+                        plan.push((LockKey::Queue(r.clone()), LockMode::Shared));
+                    }
+                }
+            }
+        }
+        // Deterministic order, exclusive-before-shared on equal keys, dedup.
+        plan.sort_by(|(a, am), (b, bm)| {
+            lock_key_order(a)
+                .cmp(&lock_key_order(b))
+                .then_with(|| (*am == LockMode::Shared).cmp(&(*bm == LockMode::Shared)))
+        });
+        let mut seen: HashSet<LockKey> = HashSet::new();
+        for (key, mode) in plan {
+            if seen.insert(key.clone()) {
+                self.store
+                    .locks
+                    .acquire(txn, key, mode)
+                    .map_err(ProcessingError::Store)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Evaluate one rule body, returning its pending updates.
+    fn eval_rule_body(
+        &self,
+        body: &Expr,
+        stored: &StoredMessage,
+        msg_root: &NodeRef,
+        slice: Option<SliceCtx>,
+    ) -> std::result::Result<Vec<Update>, XqError> {
+        // The reader clones the store handle (closures in the host must be
+        // 'static); documents are re-parsed per access, which matches the
+        // snapshot semantics (committed state at evaluation time).
+        let queue_reader: crate::host::QueueReader = {
+            let handle = DocCacheHandle {
+                store: Arc::clone(&self.store),
+            };
+            Arc::new(move |qname: &str| handle.queue_docs(qname))
+        };
+        let host = QsHost {
+            message: msg_root.clone(),
+            properties: stored.props.clone(),
+            queue_name: stored.queue.clone(),
+            queue_reader,
+            slice,
+            collections: Arc::clone(&self.collections),
+            now_ms: self.clock.now(),
+        };
+        let sctx = StaticContext::default();
+        let dctx = DynamicContext::new(Arc::new(host));
+        let mut ev = Evaluator::new(&sctx, &dctx);
+        ev.eval_with_context(body, msg_root.clone())?;
+        Ok(std::mem::take(&mut ev.updates))
+    }
+
+    /// Parsed document roots of a slice's current members.
+    fn slice_member_docs(
+        &self,
+        slicing: &str,
+        key: &PropValue,
+    ) -> std::result::Result<Sequence, ProcessingError> {
+        let ids = self.store.slice_members(slicing, key);
+        let mut out = Vec::with_capacity(ids.len());
+        for id in ids {
+            let stored = self.store.message(id).map_err(ProcessingError::Store)?;
+            let doc = self
+                .parse_cached(&stored)
+                .map_err(|e| ProcessingError::Rule {
+                    rule: "<slice-access>".into(),
+                    error_kind: kind::APPLICATION.into(),
+                    detail: e.to_string(),
+                })?;
+            out.push(Item::Node(doc.root()));
+        }
+        Ok(Sequence(out))
+    }
+
+    /// Execute a single `do enqueue` action inside `txn`.
+    fn execute_enqueue(
+        &self,
+        txn: TxnId,
+        trigger: &StoredMessage,
+        rule_name: Option<&str>,
+        target: &str,
+        message: Arc<Document>,
+        explicit_props: Vec<(String, Atomic)>,
+    ) -> std::result::Result<(MsgId, String), ExecError> {
+        let cq = self.app.queues.get(target).ok_or_else(|| ExecError::App {
+            kind: kind::APPLICATION.into(),
+            detail: format!("enqueue into undeclared queue `{target}`"),
+        })?;
+        // Schema check (message-related error class).
+        if let Some(schema) = &cq.schema {
+            let violations = schema.validate(&message.root());
+            if !violations.is_empty() {
+                return Err(ExecError::App {
+                    kind: kind::SCHEMA.into(),
+                    detail: format!("target `{target}`: {}", violations[0]),
+                });
+            }
+        }
+        // WSDL interface check for outgoing gateways.
+        if let Some(iface) = &cq.interface {
+            if let Some(root) = message.document_element() {
+                if let Err(e) = iface.validate_outgoing(&root) {
+                    return Err(ExecError::App {
+                        kind: e.kind_element().into(),
+                        detail: e.to_string(),
+                    });
+                }
+            }
+        }
+        let now = self.clock.now();
+        let mut system_props = vec![(system::CREATED_AT.to_string(), PropValue::DateTime(now))];
+        if let Some(r) = rule_name {
+            system_props.push((
+                system::CREATING_RULE.to_string(),
+                PropValue::Str(r.to_string()),
+            ));
+        }
+        let props = compute_properties(
+            &self.app,
+            target,
+            &message.root(),
+            &explicit_props,
+            Some(&trigger.props),
+            system_props,
+            now,
+        )
+        .map_err(|e: PropError| ExecError::App {
+            kind: kind::PROPERTY.into(),
+            detail: e.0,
+        })?;
+        let payload = message.root().to_xml();
+        let id = self
+            .store
+            .enqueue(txn, target, payload, props.clone(), now)
+            .map_err(ExecError::Store)?;
+        self.add_slice_memberships(txn, id, &props)
+            .map_err(|e| match e {
+                EngineError::Store(s) => ExecError::Store(s),
+                other => ExecError::App {
+                    kind: kind::APPLICATION.into(),
+                    detail: other.to_string(),
+                },
+            })?;
+        self.doc_cache_insert(id, message);
+        self.stats.lock().enqueued += 1;
+        Ok((id, target.to_string()))
+    }
+
+    /// Post-commit side effects of a message landing in `queue`: outgoing
+    /// gateway sends and echo-queue timer registration.
+    fn post_commit_queue_effects(&self, queue: &str, msg_id: MsgId) -> Result<()> {
+        let Some(cq) = self.app.queues.get(queue) else {
+            return Ok(());
+        };
+        match cq.decl.kind {
+            QueueKind::OutgoingGateway => {
+                let stored = self.store.message(msg_id)?;
+                let doc = self.parse_cached(&stored)?;
+                if let Err(e) = self.gateways.send(queue, &stored, &doc.root()) {
+                    let creating_rule = match stored.prop(system::CREATING_RULE) {
+                        Some(PropValue::Str(r)) => Some(r.clone()),
+                        _ => None,
+                    };
+                    self.route_transport_error(
+                        queue,
+                        &stored.payload,
+                        creating_rule.as_deref(),
+                        &e,
+                    )?;
+                }
+            }
+            QueueKind::Echo => {
+                let stored = self.store.message(msg_id)?;
+                let delay_ms = match stored.prop("delay") {
+                    Some(PropValue::Duration(ms)) => Some(*ms),
+                    Some(PropValue::Int(ms)) => Some(*ms),
+                    Some(PropValue::Str(s)) => {
+                        demaq_xquery::value::parse_duration(s).or_else(|| s.parse().ok())
+                    }
+                    _ => None,
+                };
+                let target = match stored.prop("target") {
+                    Some(PropValue::Str(t)) => Some(t.clone()),
+                    _ => None,
+                };
+                match (delay_ms, target) {
+                    (Some(d), Some(t)) if self.app.queues.contains_key(&t) => {
+                        // The echoed message inherits the original's
+                        // properties minus the timer controls.
+                        let props: Vec<(String, PropValue)> = stored
+                            .props
+                            .iter()
+                            .filter(|(n, _)| n != "delay" && n != "target")
+                            .cloned()
+                            .collect();
+                        self.timers.schedule(
+                            self.clock.now() + d.max(0),
+                            TimerJob {
+                                target: t,
+                                payload: stored.payload.clone(),
+                                props,
+                            },
+                        );
+                    }
+                    (d, t) => {
+                        let detail = format!(
+                            "echo queue `{queue}` needs `delay` and a valid `target` property \
+                             (got delay={d:?}, target={t:?})"
+                        );
+                        self.route_error(
+                            kind::TIMER,
+                            &detail,
+                            None,
+                            queue,
+                            Some(msg_id),
+                            Some(&stored.payload),
+                        )?;
+                    }
+                }
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+
+    // ---- error routing -----------------------------------------------------------
+
+    /// Transport failures route through the error queue of the *rule that
+    /// created the message* (the paper's Fig. 10: network errors from the
+    /// confirmation sent by `confirmOrder` land in `crmErrors`), falling
+    /// back to the gateway queue's and the system error queue.
+    fn route_transport_error(
+        &self,
+        gateway_queue: &str,
+        payload: &str,
+        creating_rule: Option<&str>,
+        err: &demaq_net::TransportError,
+    ) -> Result<()> {
+        self.route_error(
+            err.kind_element(),
+            &err.to_string(),
+            creating_rule,
+            gateway_queue,
+            None,
+            Some(payload),
+        )
+    }
+
+    /// Build an `<error>` message and enqueue it into the resolved error
+    /// queue (rule > queue > system levels, Sec. 3.6). Errors without a
+    /// reachable error queue are counted and dropped.
+    fn route_error(
+        &self,
+        error_kind: &str,
+        detail: &str,
+        rule: Option<&str>,
+        queue: &str,
+        msg_id: Option<MsgId>,
+        payload: Option<&str>,
+    ) -> Result<()> {
+        let rule_ref = rule.and_then(|r| {
+            self.app
+                .queues
+                .values()
+                .flat_map(|cq| cq.rules.iter())
+                .chain(self.app.slicings.values().flat_map(|s| s.rules.iter()))
+                .find(|cr| cr.name == r)
+        });
+        let Some(eq) = self.app.error_queue_for(rule_ref, queue) else {
+            self.stats.lock().errors_routed += 1;
+            return Ok(());
+        };
+        let eq = eq.to_string();
+        let doc = error_message(error_kind, detail, rule, queue, msg_id, payload);
+        let xml = doc.root().to_xml();
+        self.stats.lock().errors_routed += 1;
+        // Error enqueue runs its own transaction; failures here are fatal
+        // (the paper's "masking higher level failures" resort would be a
+        // persistent error queue, which this is).
+        self.enqueue_with(&eq, &xml, &[], None, Vec::new())?;
+        Ok(())
+    }
+
+    fn mark_processed_standalone(&self, msg: MsgId) -> Result<()> {
+        let txn = self.store.begin();
+        match self
+            .store
+            .mark_processed(txn, msg)
+            .and_then(|_| self.store.commit(txn))
+        {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.store.abort(txn);
+                Err(e.into())
+            }
+        }
+    }
+
+    // ---- parallel processing (benchmark E3) ----------------------------------------
+
+    /// Process everything currently schedulable using `threads` workers.
+    /// Network/timer pumping is not performed inside; call
+    /// [`Server::run_until_idle`] afterwards for gateway scenarios.
+    pub fn process_all_parallel(&self, threads: usize) -> Result<u64> {
+        let processed = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..threads.max(1) {
+                scope.spawn(|| loop {
+                    match self.scheduler.pop() {
+                        Some((msg, queue)) => {
+                            self.active_workers.fetch_add(1, Ordering::SeqCst);
+                            let r = self.process_message(msg, &queue);
+                            self.active_workers.fetch_sub(1, Ordering::SeqCst);
+                            if r.is_ok() {
+                                processed.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        None => {
+                            // Exit only when no one is mid-flight (they may
+                            // still enqueue more work).
+                            if self.active_workers.load(Ordering::SeqCst) == 0 {
+                                break;
+                            }
+                            std::thread::yield_now();
+                        }
+                    }
+                });
+            }
+        });
+        Ok(processed.load(Ordering::Relaxed))
+    }
+
+    // ---- inspection & maintenance -----------------------------------------------------
+
+    /// Payload strings of all retained messages of a queue (tests/examples).
+    pub fn queue_bodies(&self, queue: &str) -> Result<Vec<String>> {
+        Ok(self
+            .store
+            .queue_messages(queue)?
+            .into_iter()
+            .map(|m| m.payload)
+            .collect())
+    }
+
+    /// All retained messages of a queue.
+    pub fn queue_messages(&self, queue: &str) -> Result<Vec<StoredMessage>> {
+        Ok(self.store.queue_messages(queue)?)
+    }
+
+    /// Run the retention GC (paper Sec. 2.3.3) — also invoked by
+    /// [`Server::maintenance`].
+    pub fn gc(&self) -> Result<usize> {
+        let purged = self.store.gc()?;
+        self.stats.lock().gc_purged += purged as u64;
+        if purged > 0 {
+            // Drop cached documents of purged messages.
+            let mut cache = self.doc_cache.lock();
+            let live: HashSet<MsgId> = self
+                .store
+                .unprocessed()
+                .iter()
+                .map(|(m, _, _)| *m)
+                .collect();
+            cache.retain(|id, _| live.contains(id) || self.store.message(*id).is_ok());
+        }
+        Ok(purged)
+    }
+
+    /// Background maintenance: GC + checkpoint ("physical cleanup is
+    /// decoupled from message processing … for example in times of low
+    /// system load", Sec. 2.3.3).
+    pub fn maintenance(&self) -> Result<usize> {
+        let purged = self.gc()?;
+        self.store.checkpoint()?;
+        Ok(purged)
+    }
+
+    /// Advance the virtual clock manually (tests).
+    pub fn advance_time(&self, ms: i64) {
+        self.clock.advance(ms);
+    }
+
+    fn parse_cached(&self, stored: &StoredMessage) -> Result<Arc<Document>> {
+        if let Some(doc) = self.doc_cache.lock().get(&stored.id) {
+            return Ok(Arc::clone(doc));
+        }
+        let doc = parse_xml(&stored.payload).map_err(|e| EngineError::Xml(e.to_string()))?;
+        self.doc_cache_insert(stored.id, Arc::clone(&doc));
+        Ok(doc)
+    }
+
+    fn doc_cache_insert(&self, id: MsgId, doc: Arc<Document>) {
+        let mut cache = self.doc_cache.lock();
+        if cache.len() > 8192 {
+            cache.clear();
+        }
+        cache.insert(id, doc);
+    }
+}
+
+/// Queue-reader helper: owns what the closure needs without borrowing the
+/// server.
+struct DocCacheHandle {
+    store: Arc<MessageStore>,
+}
+
+impl DocCacheHandle {
+    fn queue_docs(&self, qname: &str) -> std::result::Result<Sequence, XqError> {
+        let msgs = self
+            .store
+            .queue_messages(qname)
+            .map_err(|e| XqError::dynamic(format!("qs:queue(\"{qname}\"): {e}")))?;
+        let mut out = Vec::with_capacity(msgs.len());
+        for m in msgs {
+            let doc = parse_xml(&m.payload)
+                .map_err(|e| XqError::dynamic(format!("stored message {}: {e}", m.id)))?;
+            out.push(Item::Node(doc.root()));
+        }
+        Ok(Sequence(out))
+    }
+}
+
+fn lock_key_order(k: &LockKey) -> (u8, String) {
+    match k {
+        LockKey::Queue(q) => (0, q.clone()),
+        LockKey::Slice(s, v) => (1, format!("{s}\u{0}{v}")),
+        LockKey::Message(m) => (2, format!("{:020}", m.0)),
+    }
+}
+
+/// Names of all elements in a document (trigger pre-filtering).
+fn element_name_set(root: &NodeRef) -> HashSet<String> {
+    let mut out = HashSet::new();
+    for n in root.descendants() {
+        if let Some(q) = n.name() {
+            out.insert(q.local.clone());
+        }
+    }
+    out
+}
+
+/// Internal error classification during processing.
+enum ProcessingError {
+    Store(StoreError),
+    Rule {
+        rule: String,
+        error_kind: String,
+        detail: String,
+    },
+}
+
+impl ProcessingError {
+    fn rule(name: &str, e: XqError) -> ProcessingError {
+        ProcessingError::Rule {
+            rule: name.to_string(),
+            error_kind: kind::APPLICATION.to_string(),
+            detail: e.to_string(),
+        }
+    }
+}
+
+enum ExecError {
+    Store(StoreError),
+    App { kind: String, detail: String },
+}

@@ -1,0 +1,125 @@
+//! Error messages as XML (paper Sec. 3.6).
+//!
+//! "Errors are represented by XML messages sent to error queues. … The
+//! error message not only contains an error specification according to a
+//! predefined schema, but may also contain (a reference to) the data which
+//! caused the error, such as message IDs or corrupt incoming message
+//! bodies."
+//!
+//! Schema produced here (matched by Fig. 10's `/error/disconnectedTransport`
+//! pattern):
+//!
+//! ```xml
+//! <error>
+//!   <disconnectedTransport/>          <!-- error-kind element -->
+//!   <detail>human readable text</detail>
+//!   <rule>confirmOrder</rule>         <!-- when a rule was involved -->
+//!   <queue>crm</queue>
+//!   <messageID>m42</messageID>
+//!   <initialMessage>…copy of the triggering message…</initialMessage>
+//! </error>
+//! ```
+
+use demaq_store::MsgId;
+use demaq_xml::{parse, DocBuilder, Document};
+use std::sync::Arc;
+
+/// Error-kind tokens for non-transport failures (transport kinds come from
+/// [`demaq_net::TransportError::kind_element`]).
+pub mod kind {
+    /// XQuery evaluation failure inside a rule (dynamic/type errors).
+    pub const APPLICATION: &str = "applicationError";
+    /// Message rejected by a queue schema.
+    pub const SCHEMA: &str = "schemaViolation";
+    /// Property computation failed.
+    pub const PROPERTY: &str = "propertyError";
+    /// Incoming gateway payload was not well-formed XML.
+    pub const MALFORMED: &str = "malformedMessage";
+    /// Echo-queue message lacked timer properties.
+    pub const TIMER: &str = "timerError";
+}
+
+/// Build an `<error>` document.
+pub fn error_message(
+    kind_element: &str,
+    detail: &str,
+    rule: Option<&str>,
+    queue: &str,
+    msg_id: Option<MsgId>,
+    initial_payload: Option<&str>,
+) -> Arc<Document> {
+    let mut b = DocBuilder::new();
+    b.start("error");
+    b.start(kind_element).end();
+    b.start("detail").text(detail).end();
+    if let Some(r) = rule {
+        b.start("rule").text(r).end();
+    }
+    b.start("queue").text(queue).end();
+    if let Some(id) = msg_id {
+        b.start("messageID").text(id.to_string()).end();
+    }
+    if let Some(payload) = initial_payload {
+        b.start("initialMessage");
+        match parse(payload) {
+            Ok(doc) => {
+                for c in doc.root().children() {
+                    b.copy_node(&c);
+                }
+            }
+            // Corrupt bodies are embedded as text, per the paper ("corrupt
+            // incoming message bodies").
+            Err(_) => {
+                b.text(payload);
+            }
+        }
+        b.end();
+    }
+    b.end();
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_document_shape() {
+        let doc = error_message(
+            "disconnectedTransport",
+            "endpoint `customer` is disconnected",
+            Some("confirmOrder"),
+            "crm",
+            Some(MsgId(42)),
+            Some("<customerOrder><orderID>7</orderID></customerOrder>"),
+        );
+        let xml = doc.root().to_xml();
+        assert!(xml.starts_with("<error><disconnectedTransport/>"));
+        assert!(xml.contains("<rule>confirmOrder</rule>"));
+        assert!(xml.contains("<queue>crm</queue>"));
+        assert!(xml.contains("<messageID>m42</messageID>"));
+        assert!(xml.contains(
+            "<initialMessage><customerOrder><orderID>7</orderID></customerOrder></initialMessage>"
+        ));
+        // The Fig. 10 patterns evaluate against it.
+        let hit = demaq_xquery::eval_query("/error/disconnectedTransport", &doc.root()).unwrap();
+        assert_eq!(hit.len(), 1);
+        let oid = demaq_xquery::eval_query("string(/error/initialMessage//orderID)", &doc.root())
+            .unwrap();
+        assert_eq!(oid.to_string(), "7");
+    }
+
+    #[test]
+    fn corrupt_payload_embedded_as_text() {
+        let doc = error_message(
+            kind::MALFORMED,
+            "parse error",
+            None,
+            "gw",
+            None,
+            Some("<broken"),
+        );
+        let txt = demaq_xquery::eval_query("string(/error/initialMessage)", &doc.root()).unwrap();
+        assert_eq!(txt.to_string(), "<broken");
+    }
+}

@@ -1,0 +1,308 @@
+//! The `qs:` function library (paper Sec. 3.4/3.5.2), exposed to rule
+//! bodies through the XQuery engine's host-function hook.
+//!
+//! A fresh [`QsHost`] is built for each message-processing evaluation,
+//! closing over the triggering message, its properties, the queue reader,
+//! and — for rules on slicings — the current slice.
+
+use demaq_store::PropValue;
+use demaq_xml::{Document, NodeRef, QName};
+use demaq_xquery::value::{parse_date_time, parse_duration};
+use demaq_xquery::{Atomic, Error as XqError, HostFunctions, Item, Sequence};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Convert a stored property value to an XQuery atomic.
+pub fn prop_to_atomic(v: &PropValue) -> Atomic {
+    match v {
+        PropValue::Str(s) => Atomic::Str(s.clone()),
+        PropValue::Int(i) => Atomic::Int(*i),
+        PropValue::Bool(b) => Atomic::Bool(*b),
+        PropValue::Double(d) => Atomic::Double(*d),
+        PropValue::DateTime(ms) => Atomic::DateTime(*ms),
+        PropValue::Duration(ms) => Atomic::Duration(*ms),
+    }
+}
+
+/// Convert an XQuery atomic to a stored property value.
+pub fn atomic_to_prop(a: &Atomic) -> PropValue {
+    match a {
+        Atomic::Str(s) | Atomic::Untyped(s) => PropValue::Str(s.clone()),
+        Atomic::Int(i) => PropValue::Int(*i),
+        Atomic::Bool(b) => PropValue::Bool(*b),
+        Atomic::Decimal(d) | Atomic::Double(d) => PropValue::Double(*d),
+        Atomic::DateTime(ms) => PropValue::DateTime(*ms),
+        Atomic::Duration(ms) => PropValue::Duration(*ms),
+        Atomic::QName(q) => PropValue::Str(q.lexical()),
+    }
+}
+
+/// Cast a property value to the `xs:` type a QDL declaration names.
+pub fn cast_prop(v: &PropValue, ty: &str) -> Result<PropValue, String> {
+    let err = |m: String| m;
+    match ty {
+        "xs:string" => Ok(PropValue::Str(v.render())),
+        "xs:integer" | "xs:int" | "xs:long" => match v {
+            PropValue::Int(i) => Ok(PropValue::Int(*i)),
+            PropValue::Double(d) if d.is_finite() => Ok(PropValue::Int(*d as i64)),
+            PropValue::Bool(b) => Ok(PropValue::Int(*b as i64)),
+            PropValue::Str(s) => s
+                .trim()
+                .parse()
+                .map(PropValue::Int)
+                .map_err(|_| err(format!("cannot cast `{s}` to {ty}"))),
+            other => Err(err(format!("cannot cast {other:?} to {ty}"))),
+        },
+        "xs:boolean" => match v {
+            PropValue::Bool(b) => Ok(PropValue::Bool(*b)),
+            PropValue::Int(i) => Ok(PropValue::Bool(*i != 0)),
+            PropValue::Str(s) => match s.trim() {
+                "true" | "1" => Ok(PropValue::Bool(true)),
+                "false" | "0" => Ok(PropValue::Bool(false)),
+                other => Err(err(format!("cannot cast `{other}` to xs:boolean"))),
+            },
+            other => Err(err(format!("cannot cast {other:?} to xs:boolean"))),
+        },
+        "xs:double" | "xs:decimal" => match v {
+            PropValue::Double(d) => Ok(PropValue::Double(*d)),
+            PropValue::Int(i) => Ok(PropValue::Double(*i as f64)),
+            PropValue::Str(s) => s
+                .trim()
+                .parse()
+                .map(PropValue::Double)
+                .map_err(|_| err(format!("cannot cast `{s}` to {ty}"))),
+            other => Err(err(format!("cannot cast {other:?} to {ty}"))),
+        },
+        "xs:dateTime" => match v {
+            PropValue::DateTime(ms) => Ok(PropValue::DateTime(*ms)),
+            PropValue::Int(ms) => Ok(PropValue::DateTime(*ms)),
+            PropValue::Str(s) => parse_date_time(s)
+                .map(PropValue::DateTime)
+                .ok_or_else(|| err(format!("cannot cast `{s}` to xs:dateTime"))),
+            other => Err(err(format!("cannot cast {other:?} to xs:dateTime"))),
+        },
+        "xs:dayTimeDuration" | "xs:duration" => match v {
+            PropValue::Duration(ms) => Ok(PropValue::Duration(*ms)),
+            PropValue::Int(ms) => Ok(PropValue::Duration(*ms)),
+            PropValue::Str(s) => parse_duration(s)
+                .map(PropValue::Duration)
+                .ok_or_else(|| err(format!("cannot cast `{s}` to xs:dayTimeDuration"))),
+            other => Err(err(format!("cannot cast {other:?} to {ty}"))),
+        },
+        other => Err(err(format!("unsupported property type `{other}`"))),
+    }
+}
+
+/// Reader giving rule evaluation access to queue contents: returns the
+/// document roots of all retained messages of a queue.
+pub type QueueReader = Arc<dyn Fn(&str) -> Result<Sequence, XqError> + Send + Sync>;
+
+/// The slice context for rules attached to slicings.
+pub struct SliceCtx {
+    pub slicing: String,
+    pub key: PropValue,
+    /// Document roots of the slice's current members.
+    pub members: Sequence,
+}
+
+/// Host functions for one rule-evaluation pass.
+pub struct QsHost {
+    /// Document root of the triggering message.
+    pub message: NodeRef,
+    /// Properties of the triggering message (system + declared).
+    pub properties: Vec<(String, PropValue)>,
+    /// Name of the queue containing the triggering message.
+    pub queue_name: String,
+    pub queue_reader: QueueReader,
+    pub slice: Option<SliceCtx>,
+    /// Master data collections (paper Sec. 3.5.2's `collection("crm")`).
+    pub collections: Arc<HashMap<String, Vec<Arc<Document>>>>,
+    /// Engine clock reading for `fn:current-dateTime()`.
+    pub now_ms: i64,
+}
+
+impl HostFunctions for QsHost {
+    fn call(&self, name: &QName, args: &[Sequence]) -> Option<Result<Sequence, XqError>> {
+        if name.prefix.as_deref() != Some("qs") {
+            return None;
+        }
+        let arity = args.len();
+        Some(match (name.local.as_str(), arity) {
+            ("message", 0) => Ok(Sequence::one(self.message.clone())),
+            ("queue", 1) => {
+                let qname = match args[0].string_value() {
+                    Ok(s) => s,
+                    Err(e) => return Some(Err(e)),
+                };
+                (self.queue_reader)(&qname)
+            }
+            ("queue", 0) => Err(XqError::dynamic(
+                "qs:queue() without arguments is only valid in rules on queues \
+                 (the compiler injects the queue name)",
+            )),
+            ("property", 1) => {
+                let pname = match args[0].string_value() {
+                    Ok(s) => s,
+                    Err(e) => return Some(Err(e)),
+                };
+                match self.properties.iter().find(|(n, _)| *n == pname) {
+                    Some((_, v)) => Ok(Sequence::one(prop_to_atomic(v))),
+                    None => Ok(Sequence::empty()),
+                }
+            }
+            ("queuename", 0) => Ok(Sequence::str(self.queue_name.clone())),
+            ("slice", 0) => match &self.slice {
+                Some(ctx) => Ok(ctx.members.clone()),
+                None => Err(XqError::dynamic(
+                    "qs:slice() is only available in rules on slicings (paper Sec. 3.5.2)",
+                )),
+            },
+            ("slicekey", 0) => match &self.slice {
+                Some(ctx) => Ok(Sequence::one(prop_to_atomic(&ctx.key))),
+                None => Err(XqError::dynamic(
+                    "qs:slicekey() is only available in rules on slicings (paper Sec. 3.5.2)",
+                )),
+            },
+            (other, n) => Err(XqError::unknown_function(format!(
+                "unknown function qs:{other}#{n}"
+            ))),
+        })
+    }
+
+    fn collection(&self, name: &str) -> Result<Sequence, XqError> {
+        match self.collections.get(name) {
+            Some(docs) => Ok(docs.iter().map(|d| Item::Node(d.root())).collect()),
+            None => Err(XqError::dynamic(format!(
+                "no collection `{name}` registered"
+            ))),
+        }
+    }
+
+    fn current_date_time_ms(&self) -> i64 {
+        self.now_ms
+    }
+}
+
+/// Minimal host used when evaluating property value expressions (they may
+/// call `current-dateTime()` but have no queue context).
+pub struct ClockHost {
+    pub now_ms: i64,
+}
+
+impl HostFunctions for ClockHost {
+    fn call(&self, _name: &QName, _args: &[Sequence]) -> Option<Result<Sequence, XqError>> {
+        None
+    }
+
+    fn current_date_time_ms(&self) -> i64 {
+        self.now_ms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prop_atomic_roundtrip() {
+        let values = vec![
+            PropValue::Str("x".into()),
+            PropValue::Int(-7),
+            PropValue::Bool(true),
+            PropValue::Double(2.5),
+            PropValue::DateTime(1000),
+            PropValue::Duration(500),
+        ];
+        for v in values {
+            assert_eq!(atomic_to_prop(&prop_to_atomic(&v)), v);
+        }
+    }
+
+    #[test]
+    fn cast_prop_types() {
+        assert_eq!(
+            cast_prop(&PropValue::Str("42".into()), "xs:integer"),
+            Ok(PropValue::Int(42))
+        );
+        assert_eq!(
+            cast_prop(&PropValue::Int(1), "xs:boolean"),
+            Ok(PropValue::Bool(true))
+        );
+        assert_eq!(
+            cast_prop(&PropValue::Str("false".into()), "xs:boolean"),
+            Ok(PropValue::Bool(false))
+        );
+        assert_eq!(
+            cast_prop(&PropValue::Int(3), "xs:string"),
+            Ok(PropValue::Str("3".into()))
+        );
+        assert_eq!(
+            cast_prop(&PropValue::Str("PT5S".into()), "xs:dayTimeDuration"),
+            Ok(PropValue::Duration(5000))
+        );
+        assert!(cast_prop(&PropValue::Str("zap".into()), "xs:integer").is_err());
+        assert!(cast_prop(&PropValue::Str("x".into()), "xs:nosuch").is_err());
+    }
+
+    #[test]
+    fn qs_functions_through_host() {
+        use demaq_xquery::{parse_expr, DynamicContext, Evaluator, StaticContext};
+        let msg = demaq_xml::parse("<order><id>9</id></order>").unwrap();
+        let inv = demaq_xml::parse("<invoice>55</invoice>").unwrap();
+        let inv2 = inv.clone();
+        let host = QsHost {
+            message: msg.root(),
+            properties: vec![("orderID".into(), PropValue::Str("o9".into()))],
+            queue_name: "crm".into(),
+            queue_reader: Arc::new(move |q| {
+                if q == "invoices" {
+                    Ok(Sequence::one(inv2.root()))
+                } else {
+                    Ok(Sequence::empty())
+                }
+            }),
+            slice: Some(SliceCtx {
+                slicing: "orders".into(),
+                key: PropValue::Str("o9".into()),
+                members: Sequence::one(msg.root()),
+            }),
+            collections: Arc::new(HashMap::new()),
+            now_ms: 86_400_000,
+        };
+        let sctx = StaticContext::default();
+        let dctx = DynamicContext::new(Arc::new(host));
+        let eval = |q: &str| {
+            let expr = parse_expr(q).unwrap();
+            let mut ev = Evaluator::new(&sctx, &dctx);
+            ev.eval_with_context(&expr, msg.root()).unwrap().to_string()
+        };
+        assert_eq!(eval("qs:message()//id"), "9");
+        assert_eq!(eval("string(qs:queue('invoices'))"), "55");
+        assert_eq!(eval("qs:property('orderID')"), "o9");
+        assert_eq!(eval("qs:property('nope')"), "");
+        assert_eq!(eval("qs:queuename()"), "crm");
+        assert_eq!(eval("qs:slicekey()"), "o9");
+        assert_eq!(eval("count(qs:slice())"), "1");
+        assert_eq!(eval("string(current-dateTime())"), "1970-01-02T00:00:00Z");
+    }
+
+    #[test]
+    fn slice_functions_error_without_slice_context() {
+        use demaq_xquery::{parse_expr, DynamicContext, Evaluator, StaticContext};
+        let msg = demaq_xml::parse("<m/>").unwrap();
+        let host = QsHost {
+            message: msg.root(),
+            properties: vec![],
+            queue_name: "q".into(),
+            queue_reader: Arc::new(|_| Ok(Sequence::empty())),
+            slice: None,
+            collections: Arc::new(HashMap::new()),
+            now_ms: 0,
+        };
+        let sctx = StaticContext::default();
+        let dctx = DynamicContext::new(Arc::new(host));
+        let mut ev = Evaluator::new(&sctx, &dctx);
+        let expr = parse_expr("qs:slice()").unwrap();
+        assert!(ev.eval_with_context(&expr, msg.root()).is_err());
+    }
+}

@@ -1,0 +1,282 @@
+//! Property computation at message creation (paper Sec. 2.2).
+//!
+//! "Properties are key/value pairs, with unique names and a typed, atomic
+//! value. They are determined during message creation and remain fixed
+//! over the message's lifetime." Sources, in the paper's order:
+//!
+//! * **Explicit** — `with p value e` on `do enqueue` (rejected for `fixed`
+//!   properties),
+//! * **System** — set by the engine (creating rule, creation timestamp,
+//!   sender of incoming gateway messages, connection handle),
+//! * **Inherited** — copied from the triggering message,
+//! * **Computed** — the declaration's `queue … value Expr` binding
+//!   evaluated against the new message body.
+
+use crate::app::CompiledApp;
+use crate::host::{atomic_to_prop, cast_prop, ClockHost};
+use demaq_qdl::PropKind;
+use demaq_store::PropValue;
+use demaq_xml::NodeRef;
+use demaq_xquery::{Atomic, DynamicContext, Evaluator, StaticContext};
+use std::sync::Arc;
+
+/// Property computation failure (routed to error queues as an
+/// application-program-related error).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PropError(pub String);
+
+impl std::fmt::Display for PropError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "property error: {}", self.0)
+    }
+}
+impl std::error::Error for PropError {}
+
+/// Names reserved for system properties.
+pub mod system {
+    /// Rule that created the message.
+    pub const CREATING_RULE: &str = "creatingRule";
+    /// Creation timestamp (xs:dateTime, engine clock).
+    pub const CREATED_AT: &str = "createdAt";
+    /// Sender address (incoming gateway messages).
+    pub const SENDER: &str = "Sender";
+    /// Connection handle for synchronous exchanges.
+    pub const CONNECTION: &str = "connection";
+}
+
+/// Compute the full property list for a message entering `queue`.
+///
+/// * `explicit` — values from `with … value …` clauses,
+/// * `trigger_props` — the triggering message's properties (inheritance
+///   source; `None` for external messages),
+/// * `system_props` — engine-provided system properties.
+pub fn compute_properties(
+    app: &CompiledApp,
+    queue: &str,
+    msg_root: &NodeRef,
+    explicit: &[(String, Atomic)],
+    trigger_props: Option<&[(String, PropValue)]>,
+    system_props: Vec<(String, PropValue)>,
+    now_ms: i64,
+) -> Result<Vec<(String, PropValue)>, PropError> {
+    let mut out: Vec<(String, PropValue)> = Vec::new();
+    let set = |out: &mut Vec<(String, PropValue)>, name: &str, v: PropValue| {
+        if let Some(slot) = out.iter_mut().find(|(n, _)| n == name) {
+            slot.1 = v;
+        } else {
+            out.push((name.to_string(), v));
+        }
+    };
+
+    // System properties first; explicit values may not override them.
+    for (n, v) in system_props {
+        set(&mut out, &n, v);
+    }
+
+    let sctx = StaticContext::default();
+    let dctx = DynamicContext::new(Arc::new(ClockHost { now_ms }));
+
+    // Declared properties relevant to this queue, in declaration order.
+    for prop in &app.spec.properties {
+        let binding = prop
+            .bindings
+            .iter()
+            .find(|b| b.queues.iter().any(|q| q == queue));
+        let relevant = binding.is_some() || prop.kind == PropKind::Inherited;
+        if !relevant {
+            continue;
+        }
+        let explicit_value = explicit
+            .iter()
+            .find(|(n, _)| *n == prop.name)
+            .map(|(_, a)| a);
+        if explicit_value.is_some() && prop.kind == PropKind::Fixed {
+            return Err(PropError(format!(
+                "property `{}` is fixed and may not be set explicitly",
+                prop.name
+            )));
+        }
+        let raw: Option<PropValue> = if let Some(a) = explicit_value {
+            Some(atomic_to_prop(a))
+        } else if prop.kind == PropKind::Fixed {
+            // Always computed.
+            match binding {
+                Some(b) => eval_binding(&sctx, &dctx, &b.value, msg_root)?,
+                None => None,
+            }
+        } else if prop.kind == PropKind::Inherited {
+            // Inherit from the trigger; fall back to the binding default.
+            let inherited = trigger_props
+                .and_then(|tp| tp.iter().find(|(n, _)| *n == prop.name))
+                .map(|(_, v)| v.clone());
+            match inherited {
+                Some(v) => Some(v),
+                None => match binding {
+                    Some(b) => eval_binding(&sctx, &dctx, &b.value, msg_root)?,
+                    None => None,
+                },
+            }
+        } else {
+            // Explicit-kind property without an explicit value: the binding
+            // is its default/computed value.
+            match binding {
+                Some(b) => eval_binding(&sctx, &dctx, &b.value, msg_root)?,
+                None => None,
+            }
+        };
+        if let Some(v) = raw {
+            let typed = cast_prop(&v, &prop.ty)
+                .map_err(|e| PropError(format!("property `{}`: {e}", prop.name)))?;
+            set(&mut out, &prop.name, typed);
+        }
+    }
+
+    // Undeclared explicit properties are allowed as ad-hoc values (the
+    // paper's Example 3.1 sets `Sender` without a declaration).
+    for (name, a) in explicit {
+        let declared = app.properties.contains_key(name);
+        if !declared && !out.iter().any(|(n, _)| n == name) {
+            out.push((name.clone(), atomic_to_prop(a)));
+        } else if !declared {
+            // Explicit wins over a same-named system default, except the
+            // engine-owned ones.
+            if name != system::CREATING_RULE && name != system::CREATED_AT {
+                set(&mut out, name, atomic_to_prop(a));
+            }
+        }
+    }
+
+    Ok(out)
+}
+
+fn eval_binding(
+    sctx: &StaticContext,
+    dctx: &DynamicContext,
+    value: &demaq_xquery::Expr,
+    msg_root: &NodeRef,
+) -> Result<Option<PropValue>, PropError> {
+    let mut ev = Evaluator::new(sctx, dctx);
+    let seq = ev
+        .eval_with_context(value, msg_root.clone())
+        .map_err(|e| PropError(format!("value expression failed: {e}")))?;
+    Ok(seq.0.first().map(|item| atomic_to_prop(&item.atomize())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::CompiledApp;
+    use demaq_qdl::parse_program;
+    use std::collections::HashMap;
+
+    fn app(src: &str) -> CompiledApp {
+        CompiledApp::compile(parse_program(src).unwrap(), &HashMap::new()).unwrap()
+    }
+
+    const PROGRAM: &str = r#"
+        create queue order kind basic mode persistent
+        create queue confirmation kind basic mode persistent
+        create property orderID as xs:string fixed
+            queue order value //orderID
+            queue confirmation value /confirmedOrder/ID
+        create property isVIPorder as xs:boolean inherited
+            queue order, confirmation value false
+        create property amount as xs:integer
+            queue order value //total
+    "#;
+
+    fn root(xml: &str) -> NodeRef {
+        demaq_xml::parse(xml).unwrap().root()
+    }
+
+    #[test]
+    fn computed_fixed_property() {
+        let app = app(PROGRAM);
+        let msg = root("<order><orderID>o-1</orderID><total>5</total></order>");
+        let props = compute_properties(&app, "order", &msg, &[], None, vec![], 0).unwrap();
+        assert!(props.contains(&("orderID".into(), PropValue::Str("o-1".into()))));
+        assert!(props.contains(&("amount".into(), PropValue::Int(5))));
+        assert!(props.contains(&("isVIPorder".into(), PropValue::Bool(false))));
+    }
+
+    #[test]
+    fn per_queue_computed_values_differ() {
+        let app = app(PROGRAM);
+        let msg = root("<confirmedOrder><ID>c-9</ID></confirmedOrder>");
+        let props = compute_properties(&app, "confirmation", &msg, &[], None, vec![], 0).unwrap();
+        assert!(props.contains(&("orderID".into(), PropValue::Str("c-9".into()))));
+    }
+
+    #[test]
+    fn fixed_rejects_explicit() {
+        let app = app(PROGRAM);
+        let msg = root("<order><orderID>o</orderID></order>");
+        let explicit = vec![("orderID".to_string(), Atomic::Str("forged".into()))];
+        let err = compute_properties(&app, "order", &msg, &explicit, None, vec![], 0).unwrap_err();
+        assert!(err.0.contains("fixed"));
+    }
+
+    #[test]
+    fn inherited_property_propagates() {
+        let app = app(PROGRAM);
+        let msg = root("<order><orderID>o</orderID></order>");
+        let trigger = vec![("isVIPorder".to_string(), PropValue::Bool(true))];
+        let props =
+            compute_properties(&app, "order", &msg, &[], Some(&trigger), vec![], 0).unwrap();
+        assert!(props.contains(&("isVIPorder".into(), PropValue::Bool(true))));
+    }
+
+    #[test]
+    fn explicit_overrides_inheritance() {
+        // Paper: "automatically propagated … if not explicitly set to a
+        // different value".
+        let app = app(PROGRAM);
+        let msg = root("<order/>");
+        let trigger = vec![("isVIPorder".to_string(), PropValue::Bool(true))];
+        let explicit = vec![("isVIPorder".to_string(), Atomic::Bool(false))];
+        let props =
+            compute_properties(&app, "order", &msg, &explicit, Some(&trigger), vec![], 0).unwrap();
+        assert!(props.contains(&("isVIPorder".into(), PropValue::Bool(false))));
+    }
+
+    #[test]
+    fn missing_path_value_leaves_property_absent() {
+        let app = app(PROGRAM);
+        let msg = root("<order><nothing/></order>");
+        let props = compute_properties(&app, "order", &msg, &[], None, vec![], 0).unwrap();
+        assert!(!props.iter().any(|(n, _)| n == "orderID"));
+    }
+
+    #[test]
+    fn type_cast_failure_is_an_error() {
+        let app = app(PROGRAM);
+        let msg = root("<order><total>not-a-number</total></order>");
+        let err = compute_properties(&app, "order", &msg, &[], None, vec![], 0).unwrap_err();
+        assert!(err.0.contains("amount"));
+    }
+
+    #[test]
+    fn undeclared_explicit_properties_allowed() {
+        let app = app(PROGRAM);
+        let msg = root("<order/>");
+        let explicit = vec![("Sender".to_string(), Atomic::Str("http://x/".into()))];
+        let props = compute_properties(&app, "order", &msg, &explicit, None, vec![], 0).unwrap();
+        assert!(props.contains(&("Sender".into(), PropValue::Str("http://x/".into()))));
+    }
+
+    #[test]
+    fn system_properties_present() {
+        let app = app(PROGRAM);
+        let msg = root("<order/>");
+        let sys = vec![
+            (
+                system::CREATING_RULE.to_string(),
+                PropValue::Str("r1".into()),
+            ),
+            (system::CREATED_AT.to_string(), PropValue::DateTime(123)),
+        ];
+        let props = compute_properties(&app, "order", &msg, &[], None, sys, 0).unwrap();
+        assert!(props.contains(&("creatingRule".into(), PropValue::Str("r1".into()))));
+        assert!(props.contains(&("createdAt".into(), PropValue::DateTime(123))));
+    }
+}

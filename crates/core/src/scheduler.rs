@@ -1,0 +1,136 @@
+//! The message scheduler (paper Sec. 3.1 / 4.4.2).
+//!
+//! "The scheduler maintains a list of all unprocessed messages and chooses
+//! the next message to be handled, considering both their temporal
+//! ordering and the priority of the containing queues. Thus, a message in
+//! a high priority queue may be processed before another one stored in a
+//! queue with a lower priority, even if it has been created more recently."
+
+use demaq_store::MsgId;
+use parking_lot::Mutex;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+/// One schedulable unit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct WorkItem {
+    priority: i32,
+    /// Arrival order: lower MsgId first within a priority class.
+    msg: Reverse<MsgId>,
+    queue: String,
+}
+
+impl PartialOrd for WorkItem {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for WorkItem {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Max-heap: highest priority first, then earliest message.
+        (self.priority, &self.msg).cmp(&(other.priority, &other.msg))
+    }
+}
+
+/// Priority/arrival-order scheduler over unprocessed messages.
+#[derive(Default)]
+pub struct Scheduler {
+    inner: Mutex<SchedState>,
+}
+
+#[derive(Default)]
+struct SchedState {
+    heap: BinaryHeap<WorkItem>,
+    /// Guards against double-scheduling (e.g. recovery + runtime).
+    queued: HashSet<MsgId>,
+}
+
+impl Scheduler {
+    pub fn new() -> Scheduler {
+        Scheduler::default()
+    }
+
+    /// Add an unprocessed message.
+    pub fn push(&self, msg: MsgId, queue: &str, priority: i32) {
+        let mut st = self.inner.lock();
+        if st.queued.insert(msg) {
+            st.heap.push(WorkItem {
+                priority,
+                msg: Reverse(msg),
+                queue: queue.to_string(),
+            });
+        }
+    }
+
+    /// Claim the next message to process.
+    pub fn pop(&self) -> Option<(MsgId, String)> {
+        let mut st = self.inner.lock();
+        let item = st.heap.pop()?;
+        st.queued.remove(&item.msg.0);
+        Some((item.msg.0, item.queue))
+    }
+
+    /// Put a message back (lock conflict / deadlock retry) — it keeps its
+    /// position by id.
+    pub fn requeue(&self, msg: MsgId, queue: &str, priority: i32) {
+        self.push(msg, queue, priority);
+    }
+
+    /// Pending count.
+    pub fn len(&self) -> usize {
+        self.inner.lock().heap.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_then_arrival() {
+        let s = Scheduler::new();
+        s.push(MsgId(1), "lo", 0);
+        s.push(MsgId(2), "hi", 10);
+        s.push(MsgId(3), "lo", 0);
+        s.push(MsgId(4), "hi", 10);
+        let order: Vec<MsgId> = std::iter::from_fn(|| s.pop().map(|(m, _)| m)).collect();
+        // High-priority first (in arrival order), then low-priority.
+        assert_eq!(order, [MsgId(2), MsgId(4), MsgId(1), MsgId(3)]);
+    }
+
+    #[test]
+    fn fifo_within_queue() {
+        let s = Scheduler::new();
+        for i in 1..=5 {
+            s.push(MsgId(i), "q", 0);
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| s.pop().map(|(m, _)| m.0)).collect();
+        assert_eq!(order, [1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn no_double_scheduling() {
+        let s = Scheduler::new();
+        s.push(MsgId(1), "q", 0);
+        s.push(MsgId(1), "q", 0);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.pop().unwrap().0, MsgId(1));
+        assert!(s.pop().is_none());
+        // After popping it may be requeued (retry).
+        s.requeue(MsgId(1), "q", 0);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn negative_priorities_sort_last() {
+        let s = Scheduler::new();
+        s.push(MsgId(1), "bg", -5);
+        s.push(MsgId(2), "fg", 0);
+        assert_eq!(s.pop().unwrap().0, MsgId(2));
+        assert_eq!(s.pop().unwrap().0, MsgId(1));
+    }
+}

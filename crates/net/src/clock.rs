@@ -1,0 +1,126 @@
+//! Virtual/wall clock.
+//!
+//! All time in the reproduction flows through a [`Clock`]: transport
+//! latency, echo-queue timeouts, `fn:current-dateTime()`, and message
+//! arrival timestamps. Virtual mode makes every paper scenario (grace
+//! periods, reminders — Example 3.4) deterministic; wall mode is available
+//! for long-running servers.
+
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::Arc;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// A shareable clock handle.
+#[derive(Clone)]
+pub struct Clock {
+    inner: Arc<ClockInner>,
+}
+
+struct ClockInner {
+    /// Virtual milliseconds since the epoch.
+    now_ms: AtomicI64,
+    /// When true, `now()` reads the system clock instead.
+    wall: AtomicBool,
+}
+
+impl Default for Clock {
+    fn default() -> Self {
+        Clock::virtual_at(0)
+    }
+}
+
+impl Clock {
+    /// A virtual clock starting at `start_ms`.
+    pub fn virtual_at(start_ms: i64) -> Clock {
+        Clock {
+            inner: Arc::new(ClockInner {
+                now_ms: AtomicI64::new(start_ms),
+                wall: AtomicBool::new(false),
+            }),
+        }
+    }
+
+    /// A wall clock.
+    pub fn wall() -> Clock {
+        Clock {
+            inner: Arc::new(ClockInner {
+                now_ms: AtomicI64::new(0),
+                wall: AtomicBool::new(true),
+            }),
+        }
+    }
+
+    /// Current time in epoch milliseconds.
+    pub fn now(&self) -> i64 {
+        if self.inner.wall.load(Ordering::Relaxed) {
+            SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map(|d| d.as_millis() as i64)
+                .unwrap_or(0)
+        } else {
+            self.inner.now_ms.load(Ordering::SeqCst)
+        }
+    }
+
+    /// Advance virtual time by `ms` (no-op guard on wall clocks). Returns
+    /// the new now.
+    pub fn advance(&self, ms: i64) -> i64 {
+        assert!(ms >= 0, "time cannot run backwards");
+        if self.inner.wall.load(Ordering::Relaxed) {
+            return self.now();
+        }
+        self.inner.now_ms.fetch_add(ms, Ordering::SeqCst) + ms
+    }
+
+    /// Set absolute virtual time (must not go backwards).
+    pub fn set(&self, now_ms: i64) {
+        let prev = self.inner.now_ms.load(Ordering::SeqCst);
+        assert!(
+            now_ms >= prev,
+            "time cannot run backwards ({now_ms} < {prev})"
+        );
+        self.inner.now_ms.store(now_ms, Ordering::SeqCst);
+    }
+
+    /// Is this a virtual clock?
+    pub fn is_virtual(&self) -> bool {
+        !self.inner.wall.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_clock_advances_deterministically() {
+        let c = Clock::virtual_at(1000);
+        assert_eq!(c.now(), 1000);
+        assert_eq!(c.advance(500), 1500);
+        assert_eq!(c.now(), 1500);
+        c.set(2000);
+        assert_eq!(c.now(), 2000);
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    fn set_backwards_panics() {
+        let c = Clock::virtual_at(100);
+        c.set(50);
+    }
+
+    #[test]
+    fn clones_share_time() {
+        let a = Clock::virtual_at(0);
+        let b = a.clone();
+        a.advance(42);
+        assert_eq!(b.now(), 42);
+    }
+
+    #[test]
+    fn wall_clock_moves() {
+        let c = Clock::wall();
+        assert!(c.now() > 1_500_000_000_000); // after 2017 in ms
+        assert!(!c.is_virtual());
+    }
+}

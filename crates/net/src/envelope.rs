@@ -1,0 +1,105 @@
+//! Transport envelopes — the SOAP-envelope stand-in.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static NEXT_UID: AtomicU64 = AtomicU64::new(1);
+static NEXT_CONN: AtomicU64 = AtomicU64::new(1);
+
+/// Identifies a synchronous request/response correlation — the paper's
+/// "connection handles" system property (Sec. 2.2): "Connection handles
+/// support synchronous communication, where a response message must be
+/// correlated with an existing connection created by an incoming request."
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ConnectionHandle(pub u64);
+
+impl ConnectionHandle {
+    /// Allocate a fresh handle (done by the transport when a request
+    /// arrives).
+    pub fn fresh() -> ConnectionHandle {
+        ConnectionHandle(NEXT_CONN.fetch_add(1, Ordering::Relaxed))
+    }
+}
+
+impl fmt::Display for ConnectionHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "conn-{}", self.0)
+    }
+}
+
+/// A message in flight.
+#[derive(Debug, Clone)]
+pub struct Envelope {
+    /// Destination endpoint address (e.g. `http://ws.chem.invalid/`).
+    pub to: String,
+    /// Sender address.
+    pub from: String,
+    /// Serialized XML body.
+    pub body: String,
+    /// Transport headers (reliability sequence numbers, security tokens…).
+    pub headers: Vec<(String, String)>,
+    /// Unique id for duplicate suppression.
+    pub uid: u64,
+    /// Present when this message belongs to a synchronous exchange.
+    pub conn: Option<ConnectionHandle>,
+}
+
+impl Envelope {
+    /// Build an envelope with a fresh uid.
+    pub fn new(
+        to: impl Into<String>,
+        from: impl Into<String>,
+        body: impl Into<String>,
+    ) -> Envelope {
+        Envelope {
+            to: to.into(),
+            from: from.into(),
+            body: body.into(),
+            headers: Vec::new(),
+            uid: NEXT_UID.fetch_add(1, Ordering::Relaxed),
+            conn: None,
+        }
+    }
+
+    /// Attach a header.
+    pub fn with_header(mut self, k: impl Into<String>, v: impl Into<String>) -> Envelope {
+        self.headers.push((k.into(), v.into()));
+        self
+    }
+
+    /// Attach a connection handle.
+    pub fn with_conn(mut self, conn: ConnectionHandle) -> Envelope {
+        self.conn = Some(conn);
+        self
+    }
+
+    /// Header lookup.
+    pub fn header(&self, k: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == k)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uids_are_unique() {
+        let a = Envelope::new("x", "y", "<m/>");
+        let b = Envelope::new("x", "y", "<m/>");
+        assert_ne!(a.uid, b.uid);
+    }
+
+    #[test]
+    fn headers_and_conn() {
+        let e = Envelope::new("svc", "me", "<m/>")
+            .with_header("WS-Security", "token")
+            .with_conn(ConnectionHandle::fresh());
+        assert_eq!(e.header("WS-Security"), Some("token"));
+        assert_eq!(e.header("missing"), None);
+        assert!(e.conn.is_some());
+    }
+}

@@ -1,0 +1,50 @@
+//! Transport error classes (paper Sec. 3.6, "Network related").
+
+use std::fmt;
+
+/// Why a send failed. Mirrors the error taxonomy the paper enumerates —
+/// "temporal or permanent unavailability of remote transport endpoints,
+/// name resolution failures, timeouts or routing errors … invalid
+/// certificates, wrong signatures or decryption failures".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportError {
+    /// No endpoint registered under the address ("name resolution failure").
+    NoRoute(String),
+    /// Endpoint exists but is disconnected.
+    Disconnected(String),
+    /// Reliable delivery gave up after exhausting retries.
+    Timeout(String),
+    /// A security policy rejected the message (WS-Security stand-in).
+    SecurityViolation(String),
+    /// The interface description rejected the message body.
+    InterfaceMismatch(String),
+}
+
+impl TransportError {
+    /// Stable error-kind token used in generated `<error>` messages so
+    /// QML rules can dispatch on it (`/error/disconnectedTransport` etc.,
+    /// as in the paper's Fig. 10).
+    pub fn kind_element(&self) -> &'static str {
+        match self {
+            TransportError::NoRoute(_) => "noRoute",
+            TransportError::Disconnected(_) => "disconnectedTransport",
+            TransportError::Timeout(_) => "deliveryTimeout",
+            TransportError::SecurityViolation(_) => "securityViolation",
+            TransportError::InterfaceMismatch(_) => "interfaceMismatch",
+        }
+    }
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::NoRoute(a) => write!(f, "no route to `{a}`"),
+            TransportError::Disconnected(a) => write!(f, "endpoint `{a}` is disconnected"),
+            TransportError::Timeout(a) => write!(f, "delivery to `{a}` timed out"),
+            TransportError::SecurityViolation(m) => write!(f, "security violation: {m}"),
+            TransportError::InterfaceMismatch(m) => write!(f, "interface mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}

@@ -1,0 +1,34 @@
+//! # demaq-net
+//!
+//! Simulated network substrate for Demaq's gateway queues (paper Sec. 2.1.2
+//! / 4.2). The paper's system speaks SOAP over HTTP/SMTP to real Web
+//! Services; this reproduction substitutes an in-process transport that
+//! exercises the same code paths:
+//!
+//! * an **endpoint registry** with asynchronous, latency-modelled delivery
+//!   ([`network::Network`]),
+//! * **failure injection** — disconnected endpoints, message drop rates —
+//!   so applications must handle the error classes of Sec. 3.6,
+//! * a **reliable-messaging layer** ([`reliable`]) with acknowledgements,
+//!   retries and duplicate suppression (the WS-ReliableMessaging stand-in),
+//! * **connection handles** correlating synchronous request/response pairs,
+//! * a **virtual clock** ([`clock::Clock`]) driving both transport latency
+//!   and Demaq's time-based (echo) queues, deterministic for tests,
+//! * **WSDL-lite** interface descriptions ([`wsdl`]) validating the
+//!   messages sent through a gateway against the remote service's
+//!   declared operations.
+
+pub mod clock;
+pub mod envelope;
+pub mod error;
+pub mod network;
+pub mod reliable;
+pub mod timer;
+pub mod wsdl;
+
+pub use clock::Clock;
+pub use envelope::{ConnectionHandle, Envelope};
+pub use error::TransportError;
+pub use network::{DeliveryHandler, Network};
+pub use timer::TimerWheel;
+pub use wsdl::WsdlInterface;

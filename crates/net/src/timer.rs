@@ -1,0 +1,127 @@
+//! Timer wheel backing Demaq's time-based (echo) queues (paper
+//! Sec. 2.1.3): "echo queues … enqueue any message sent to them into some
+//! target queue after a timeout has expired."
+
+use parking_lot::Mutex;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A scheduled firing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Firing<T> {
+    pub at: i64,
+    pub seq: u64,
+    pub payload: T,
+}
+
+impl<T: Eq> PartialOrd for Firing<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T: Eq> Ord for Firing<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Min-heap of scheduled payloads ordered by firing time (FIFO within the
+/// same instant).
+pub struct TimerWheel<T: Eq> {
+    inner: Mutex<WheelState<T>>,
+}
+
+struct WheelState<T: Eq> {
+    heap: BinaryHeap<Reverse<Firing<T>>>,
+    seq: u64,
+}
+
+impl<T: Eq> Default for TimerWheel<T> {
+    fn default() -> Self {
+        TimerWheel {
+            inner: Mutex::new(WheelState {
+                heap: BinaryHeap::new(),
+                seq: 0,
+            }),
+        }
+    }
+}
+
+impl<T: Eq> TimerWheel<T> {
+    pub fn new() -> TimerWheel<T> {
+        TimerWheel::default()
+    }
+
+    /// Schedule `payload` to fire at absolute time `at`.
+    pub fn schedule(&self, at: i64, payload: T) {
+        let mut st = self.inner.lock();
+        let seq = st.seq;
+        st.seq += 1;
+        st.heap.push(Reverse(Firing { at, seq, payload }));
+    }
+
+    /// Pop every firing due at or before `now`, in firing order.
+    pub fn due(&self, now: i64) -> Vec<Firing<T>> {
+        let mut st = self.inner.lock();
+        let mut out = Vec::new();
+        while let Some(Reverse(f)) = st.heap.peek() {
+            if f.at > now {
+                break;
+            }
+            out.push(st.heap.pop().expect("peeked").0);
+        }
+        out
+    }
+
+    /// Time of the next firing, if any (lets the server fast-forward a
+    /// virtual clock to the next interesting instant).
+    pub fn next_due(&self) -> Option<i64> {
+        self.inner.lock().heap.peek().map(|Reverse(f)| f.at)
+    }
+
+    /// Number of scheduled firings.
+    pub fn len(&self) -> usize {
+        self.inner.lock().heap.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_in_time_order() {
+        let w = TimerWheel::new();
+        w.schedule(30, "c");
+        w.schedule(10, "a");
+        w.schedule(20, "b");
+        assert_eq!(w.next_due(), Some(10));
+        let fired: Vec<_> = w.due(25).into_iter().map(|f| f.payload).collect();
+        assert_eq!(fired, ["a", "b"]);
+        assert_eq!(w.len(), 1);
+        let fired: Vec<_> = w.due(100).into_iter().map(|f| f.payload).collect();
+        assert_eq!(fired, ["c"]);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn fifo_within_same_instant() {
+        let w = TimerWheel::new();
+        w.schedule(5, "first");
+        w.schedule(5, "second");
+        let fired: Vec<_> = w.due(5).into_iter().map(|f| f.payload).collect();
+        assert_eq!(fired, ["first", "second"]);
+    }
+
+    #[test]
+    fn nothing_due_before_time() {
+        let w = TimerWheel::new();
+        w.schedule(100, 1);
+        assert!(w.due(99).is_empty());
+        assert_eq!(w.len(), 1);
+    }
+}

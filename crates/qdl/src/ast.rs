@@ -1,0 +1,120 @@
+//! Abstract syntax of Demaq application programs.
+
+use demaq_xquery::Expr;
+
+/// The kind of a queue (paper Sec. 2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueKind {
+    /// Local message storage.
+    Basic,
+    /// Receives messages from remote endpoints.
+    IncomingGateway,
+    /// Messages placed here are sent to a remote endpoint.
+    OutgoingGateway,
+    /// Time-based queue: re-enqueues messages into a target queue after a
+    /// timeout (Sec. 2.1.3).
+    Echo,
+}
+
+/// `create queue …`.
+#[derive(Debug, Clone)]
+pub struct QueueDecl {
+    pub name: String,
+    pub kind: QueueKind,
+    pub persistent: bool,
+    /// Scheduler priority; higher is processed first. Default 0.
+    pub priority: i32,
+    /// Name of a schema all messages must conform to.
+    pub schema: Option<String>,
+    /// Queue-level error queue (Sec. 3.6).
+    pub error_queue: Option<String>,
+    /// `interface FILE port PORT` (outgoing gateways).
+    pub interface: Option<(String, String)>,
+    /// `using EXT policy FILE` pairs (WS-ReliableMessaging, WS-Security…).
+    pub extensions: Vec<(String, String)>,
+    /// Remote endpoint address this gateway binds to (reproduction
+    /// extension; the paper resolves this from the WSDL).
+    pub endpoint: Option<String>,
+}
+
+/// How a property obtains its value (paper Sec. 2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PropKind {
+    /// May be set explicitly at enqueue; bindings give defaults.
+    Explicit,
+    /// Propagates from the triggering message unless explicitly set.
+    Inherited,
+    /// Always computed; explicit values are rejected.
+    Fixed,
+}
+
+/// One `queue a, b value Expr` group of a property declaration.
+#[derive(Debug, Clone)]
+pub struct PropBinding {
+    pub queues: Vec<String>,
+    pub value: Expr,
+    /// Original expression text (diagnostics).
+    pub value_src: String,
+}
+
+/// `create property …`.
+#[derive(Debug, Clone)]
+pub struct PropertyDecl {
+    pub name: String,
+    /// `xs:` type name, e.g. `xs:boolean`.
+    pub ty: String,
+    pub kind: PropKind,
+    pub bindings: Vec<PropBinding>,
+}
+
+/// `create slicing NAME on PROPERTY` (paper Sec. 2.3.1).
+#[derive(Debug, Clone)]
+pub struct SlicingDecl {
+    pub name: String,
+    pub property: String,
+}
+
+/// `create rule NAME for TARGET [errorqueue Q] Body` (paper Sec. 3.3).
+#[derive(Debug, Clone)]
+pub struct RuleDecl {
+    pub name: String,
+    /// A queue name or a slicing name.
+    pub target: String,
+    pub error_queue: Option<String>,
+    pub body: Expr,
+    /// Original body text (diagnostics, recompilation).
+    pub body_src: String,
+}
+
+/// A complete parsed application.
+#[derive(Debug, Clone, Default)]
+pub struct AppSpec {
+    pub queues: Vec<QueueDecl>,
+    pub properties: Vec<PropertyDecl>,
+    pub slicings: Vec<SlicingDecl>,
+    pub rules: Vec<RuleDecl>,
+    /// Inline schemas: name -> schema-lite source.
+    pub schemas: Vec<(String, String)>,
+    /// System-level error queue (Sec. 3.6).
+    pub system_error_queue: Option<String>,
+}
+
+impl AppSpec {
+    pub fn queue(&self, name: &str) -> Option<&QueueDecl> {
+        self.queues.iter().find(|q| q.name == name)
+    }
+
+    pub fn slicing(&self, name: &str) -> Option<&SlicingDecl> {
+        self.slicings.iter().find(|s| s.name == name)
+    }
+
+    pub fn property(&self, name: &str) -> Option<&PropertyDecl> {
+        self.properties.iter().find(|p| p.name == name)
+    }
+
+    /// Rules attached to a target (queue or slicing), in program order —
+    /// evaluation order follows definition order.
+    pub fn rules_for(&self, target: &str) -> Vec<&RuleDecl> {
+        self.rules.iter().filter(|r| r.target == target).collect()
+    }
+}

@@ -1,0 +1,321 @@
+//! Semantic validation of parsed applications.
+//!
+//! Enforces the constraints the paper states or implies:
+//! * unique queue / property / slicing / rule names,
+//! * rules target an existing queue or slicing,
+//! * slicings reference declared properties,
+//! * property bindings reference declared queues,
+//! * `qs:slice()` / `qs:slicekey()` only in rules on slicings ("Both of
+//!   these functions are only available to rules defined on slicings",
+//!   Sec. 3.5.2),
+//! * error queues exist and are not themselves gateways *to nowhere*,
+//! * reliable-messaging extensions require persistent queues ("in order to
+//!   use the reliable messaging extensions … the created queue must be
+//!   persistent", Sec. 2.1.2),
+//! * outgoing gateways have an interface or endpoint to send to,
+//! * queue schemas reference declared schemas.
+
+use crate::ast::{AppSpec, QueueKind};
+use demaq_xquery::Expr;
+use std::collections::HashSet;
+use std::fmt;
+
+/// A validation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidationError {
+    pub subject: String,
+    pub msg: String,
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.subject, self.msg)
+    }
+}
+impl std::error::Error for ValidationError {}
+
+/// Validate an application; returns all violations (empty = valid).
+pub fn validate(app: &AppSpec) -> Vec<ValidationError> {
+    let mut errors = Vec::new();
+    let mut err = |subject: &str, msg: String| {
+        errors.push(ValidationError {
+            subject: subject.to_string(),
+            msg,
+        })
+    };
+
+    // Unique names per namespace.
+    let mut seen = HashSet::new();
+    for q in &app.queues {
+        if !seen.insert(("queue", q.name.clone())) {
+            err(&q.name, "duplicate queue name".into());
+        }
+    }
+    let mut seen = HashSet::new();
+    for p in &app.properties {
+        if !seen.insert(p.name.clone()) {
+            err(&p.name, "duplicate property name".into());
+        }
+    }
+    let mut seen = HashSet::new();
+    for s in &app.slicings {
+        if !seen.insert(s.name.clone()) {
+            err(&s.name, "duplicate slicing name".into());
+        }
+        if app.queues.iter().any(|q| q.name == s.name) {
+            err(&s.name, "slicing name collides with a queue name".into());
+        }
+    }
+    let mut seen = HashSet::new();
+    for r in &app.rules {
+        if !seen.insert(r.name.clone()) {
+            err(&r.name, "duplicate rule name".into());
+        }
+    }
+
+    let queue_names: HashSet<&str> = app.queues.iter().map(|q| q.name.as_str()).collect();
+    let slicing_names: HashSet<&str> = app.slicings.iter().map(|s| s.name.as_str()).collect();
+    let schema_names: HashSet<&str> = app.schemas.iter().map(|(n, _)| n.as_str()).collect();
+
+    // Slicings -> properties.
+    for s in &app.slicings {
+        if app.property(&s.property).is_none() {
+            err(
+                &s.name,
+                format!("slicing references undeclared property `{}`", s.property),
+            );
+        }
+    }
+
+    // Property bindings -> queues; fixed properties need a binding.
+    for p in &app.properties {
+        for b in &p.bindings {
+            for q in &b.queues {
+                if !queue_names.contains(q.as_str()) {
+                    err(&p.name, format!("property bound to undeclared queue `{q}`"));
+                }
+            }
+        }
+        if p.kind == crate::ast::PropKind::Fixed && p.bindings.is_empty() {
+            err(
+                &p.name,
+                "fixed property needs at least one `queue … value …` binding".into(),
+            );
+        }
+    }
+
+    // Queues: schemas, error queues, gateway requirements.
+    for q in &app.queues {
+        if let Some(schema) = &q.schema {
+            if !schema_names.contains(schema.as_str()) {
+                err(&q.name, format!("references undeclared schema `{schema}`"));
+            }
+        }
+        if let Some(eq) = &q.error_queue {
+            if !queue_names.contains(eq.as_str()) {
+                err(&q.name, format!("error queue `{eq}` is not declared"));
+            }
+        }
+        let reliable = q
+            .extensions
+            .iter()
+            .any(|(e, _)| e == "WS-ReliableMessaging");
+        if reliable && !q.persistent {
+            err(
+                &q.name,
+                "WS-ReliableMessaging requires a persistent queue (paper Sec. 2.1.2)".into(),
+            );
+        }
+        if q.kind == QueueKind::OutgoingGateway && q.interface.is_none() && q.endpoint.is_none() {
+            err(
+                &q.name,
+                "outgoing gateway needs an `interface` or `endpoint` clause".into(),
+            );
+        }
+        if q.kind != QueueKind::OutgoingGateway && q.interface.is_some() {
+            err(
+                &q.name,
+                "`interface` is only meaningful on outgoing gateways".into(),
+            );
+        }
+    }
+
+    // System error queue.
+    if let Some(eq) = &app.system_error_queue {
+        if !queue_names.contains(eq.as_str()) {
+            err(
+                "system",
+                format!("system error queue `{eq}` is not declared"),
+            );
+        }
+    }
+
+    // Rules: target resolution, error queues, slice-function scoping.
+    for r in &app.rules {
+        let on_queue = queue_names.contains(r.target.as_str());
+        let on_slicing = slicing_names.contains(r.target.as_str());
+        if !on_queue && !on_slicing {
+            err(
+                &r.name,
+                format!(
+                    "rule target `{}` is neither a queue nor a slicing",
+                    r.target
+                ),
+            );
+        }
+        if let Some(eq) = &r.error_queue {
+            if !queue_names.contains(eq.as_str()) {
+                err(&r.name, format!("error queue `{eq}` is not declared"));
+            }
+        }
+        let mut uses_slice_fn = false;
+        let mut enqueue_targets: Vec<String> = Vec::new();
+        r.body.visit(&mut |e| {
+            if let Expr::FunctionCall { name, .. } = e {
+                if name.prefix.as_deref() == Some("qs")
+                    && matches!(name.local.as_str(), "slice" | "slicekey")
+                {
+                    uses_slice_fn = true;
+                }
+            }
+            if let Expr::Enqueue { queue, .. } = e {
+                enqueue_targets.push(queue.local.clone());
+            }
+        });
+        if uses_slice_fn && !on_slicing {
+            err(
+                &r.name,
+                "qs:slice()/qs:slicekey() are only available in rules on slicings (Sec. 3.5.2)"
+                    .into(),
+            );
+        }
+        for t in enqueue_targets {
+            if !queue_names.contains(t.as_str()) {
+                err(&r.name, format!("enqueues into undeclared queue `{t}`"));
+            }
+        }
+    }
+
+    errors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::validate;
+    use crate::parse_program;
+
+    fn errors_of(src: &str) -> Vec<String> {
+        validate(&parse_program(src).unwrap())
+            .into_iter()
+            .map(|e| e.msg)
+            .collect()
+    }
+
+    #[test]
+    fn valid_program_passes() {
+        let errs = errors_of(
+            r#"
+            create queue crm kind basic mode persistent
+            create queue customer kind outgoingGateway mode persistent endpoint "urn:cust"
+            create property requestID as xs:string fixed queue crm value //requestID
+            create slicing requestMsgs on requestID
+            create rule fwd for crm
+              if (//offerRequest) then do enqueue <x/> into customer
+            create rule joined for requestMsgs
+              if (qs:slice()[/a]) then do reset
+            "#,
+        );
+        assert!(errs.is_empty(), "{errs:?}");
+    }
+
+    #[test]
+    fn duplicate_names_detected() {
+        let errs = errors_of(
+            "create queue q kind basic mode persistent\ncreate queue q kind basic mode transient",
+        );
+        assert!(errs.iter().any(|e| e.contains("duplicate queue")));
+    }
+
+    #[test]
+    fn unknown_rule_target() {
+        let errs = errors_of("create rule r for ghost do reset");
+        assert!(errs
+            .iter()
+            .any(|e| e.contains("neither a queue nor a slicing")));
+    }
+
+    #[test]
+    fn slice_functions_require_slicing_rule() {
+        let errs = errors_of(
+            r#"
+            create queue q kind basic mode persistent
+            create rule bad for q
+              if (qs:slice()[/x]) then do reset
+            "#,
+        );
+        assert!(errs
+            .iter()
+            .any(|e| e.contains("only available in rules on slicings")));
+    }
+
+    #[test]
+    fn reliable_messaging_needs_persistence() {
+        let errs = errors_of(
+            r#"
+            create queue g kind outgoingGateway mode transient
+              using WS-ReliableMessaging policy p.xml endpoint "urn:x"
+            "#,
+        );
+        assert!(errs
+            .iter()
+            .any(|e| e.contains("requires a persistent queue")));
+    }
+
+    #[test]
+    fn slicing_needs_declared_property() {
+        let errs = errors_of("create slicing s on ghost");
+        assert!(errs.iter().any(|e| e.contains("undeclared property")));
+    }
+
+    #[test]
+    fn enqueue_target_must_exist() {
+        let errs = errors_of(
+            r#"
+            create queue q kind basic mode persistent
+            create rule r for q do enqueue <m/> into nowhere
+            "#,
+        );
+        assert!(errs
+            .iter()
+            .any(|e| e.contains("undeclared queue `nowhere`")));
+    }
+
+    #[test]
+    fn outgoing_gateway_needs_destination() {
+        let errs = errors_of("create queue g kind outgoingGateway mode persistent");
+        assert!(errs
+            .iter()
+            .any(|e| e.contains("interface") && e.contains("endpoint")));
+    }
+
+    #[test]
+    fn schema_reference_checked() {
+        let errs = errors_of("create queue q kind basic mode persistent schema ghost");
+        assert!(errs.iter().any(|e| e.contains("undeclared schema")));
+    }
+
+    #[test]
+    fn error_queue_must_exist() {
+        let errs = errors_of(
+            r#"
+            create queue q kind basic mode persistent errorqueue ghost
+            create rule r for q errorqueue ghost2 do reset
+            set errorqueue ghost3
+            "#,
+        );
+        assert_eq!(
+            errs.iter().filter(|e| e.contains("not declared")).count(),
+            3
+        );
+    }
+}

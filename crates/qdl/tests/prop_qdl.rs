@@ -1,0 +1,119 @@
+//! Property-based tests for the QDL program parser: robustness against
+//! arbitrary input and structural fidelity for generated programs.
+
+use demaq_qdl::{parse_program, validate, PropKind, QueueKind};
+use proptest::prelude::*;
+
+fn qname() -> impl Strategy<Value = String> {
+    "[a-z][a-zA-Z0-9]{0,8}".prop_map(|s| s)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn parser_never_panics(input in ".{0,200}") {
+        let _ = parse_program(&input);
+    }
+
+    #[test]
+    fn statement_soup_never_panics(
+        parts in proptest::collection::vec(
+            prop_oneof![
+                Just("create queue q kind basic mode persistent".to_string()),
+                Just("create property p as xs:string".to_string()),
+                Just("create slicing s on p".to_string()),
+                Just("create rule r for q do reset".to_string()),
+                Just("set errorqueue e".to_string()),
+                Just("kind".to_string()),
+                Just("mode".to_string()),
+                Just("value //x".to_string()),
+                Just("queue a, b".to_string()),
+                "[a-z{}()/<>]{0,10}".prop_map(|s| s),
+            ],
+            0..8,
+        )
+    ) {
+        let program = parts.join("\n");
+        if let Ok(spec) = parse_program(&program) {
+            // Whatever parses must validate without panicking.
+            let _ = validate(&spec);
+        }
+    }
+
+    #[test]
+    fn generated_programs_roundtrip_structure(
+        names in proptest::collection::hash_set(qname(), 1..6),
+    ) {
+        // Build a program from distinct queue names; parse and compare the
+        // structural content.
+        let names: Vec<String> = names.into_iter().collect();
+        let mut program = String::new();
+        let mut queues = Vec::new();
+        for (i, n) in names.iter().enumerate() {
+            let kind = if i % 2 == 0 { "basic" } else { "echo" };
+            let mode = if i % 3 == 0 { "transient" } else { "persistent" };
+            let prio = (i as i32) - 2;
+            program.push_str(&format!(
+                "create queue {n} kind {kind} mode {mode} priority {prio}\n"
+            ));
+            queues.push((n.clone(), kind, mode == "persistent", prio));
+        }
+        let spec = parse_program(&program).expect("generated program parses");
+        prop_assert_eq!(spec.queues.len(), queues.len());
+        for (name, kind, persistent, prio) in queues {
+            let q = spec.queue(&name).expect("queue present");
+            prop_assert_eq!(q.persistent, persistent);
+            prop_assert_eq!(q.priority, prio);
+            let expected_kind =
+                if kind == "basic" { QueueKind::Basic } else { QueueKind::Echo };
+            prop_assert_eq!(q.kind, expected_kind);
+        }
+        prop_assert!(validate(&spec).is_empty());
+    }
+
+    #[test]
+    fn property_declarations_roundtrip(
+        pname in qname(),
+        qnames in proptest::collection::hash_set(qname(), 1..4),
+        ty in prop_oneof![Just("xs:string"), Just("xs:integer"), Just("xs:boolean")],
+        kind in prop_oneof![Just(""), Just("inherited"), Just("fixed")],
+    ) {
+        let queues: Vec<String> = qnames.into_iter().collect();
+        prop_assume!(!queues.contains(&pname));
+        let mut program = String::new();
+        for q in &queues {
+            program.push_str(&format!("create queue {q} kind basic mode persistent\n"));
+        }
+        program.push_str(&format!(
+            "create property {pname} as {ty} {kind} queue {} value //x\n",
+            queues.join(", ")
+        ));
+        let spec = parse_program(&program).expect("parses");
+        let p = spec.property(&pname).expect("property present");
+        prop_assert_eq!(&p.ty, ty);
+        let expected = match kind {
+            "inherited" => PropKind::Inherited,
+            "fixed" => PropKind::Fixed,
+            _ => PropKind::Explicit,
+        };
+        prop_assert_eq!(p.kind, expected);
+        prop_assert_eq!(p.bindings[0].queues.len(), queues.len());
+        prop_assert!(validate(&spec).is_empty(), "{:?}", validate(&spec));
+    }
+
+    #[test]
+    fn rule_bodies_with_arbitrary_xpath_fragments(
+        elem in "[a-z]{1,8}",
+        target in "[a-z]{1,8}",
+    ) {
+        let program = format!(
+            "create queue {target} kind basic mode persistent\n\
+             create rule r for {target} if (//{elem}) then do enqueue <{elem}/> into {target}\n"
+        );
+        let spec = parse_program(&program).expect("parses");
+        prop_assert_eq!(spec.rules.len(), 1);
+        prop_assert!(spec.rules[0].body.is_updating());
+        prop_assert!(validate(&spec).is_empty());
+    }
+}

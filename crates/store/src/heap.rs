@@ -1,0 +1,373 @@
+//! Slotted-page heap file for message payloads.
+//!
+//! Records (serialized XML messages) are stored in slotted pages; records
+//! larger than one page are split into chained chunks. The heap is
+//! append-mostly: Demaq messages are immutable, so the only mutation is
+//! deletion by the retention GC, which tombstones slots and recycles fully
+//! empty pages through a free list.
+//!
+//! Page layout:
+//! ```text
+//! [0..2)  slot count (u16)
+//! [2..4)  free offset (u16)   — start of unused space
+//! [4..)   chunk data grows upward
+//! [..END] slot directory grows downward: per slot (offset u16, len u16)
+//! ```
+//! Chunk layout: `[next_page u32][next_slot u16][payload …]`; the first
+//! chunk is prefixed with the record's total length (u32).
+
+use crate::error::{Result, StoreError};
+use crate::pager::{BufferPool, PageId, PAGE_SIZE};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Location of a record (its first chunk).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RecordId {
+    pub page: PageId,
+    pub slot: u16,
+}
+
+const HDR: usize = 4;
+const SLOT: usize = 4;
+const CHUNK_HDR: usize = 6;
+const NO_PAGE: u32 = u32::MAX;
+const TOMBSTONE: u16 = u16::MAX;
+
+/// Maximum chunk payload that fits in an empty page.
+const MAX_CHUNK: usize = PAGE_SIZE - HDR - SLOT - CHUNK_HDR - 4;
+
+/// Append-only heap of variable-length records with overflow chains.
+pub struct HeapFile {
+    pool: Arc<BufferPool>,
+    inner: Mutex<HeapInner>,
+}
+
+struct HeapInner {
+    /// Page currently being filled by appends.
+    current: Option<PageId>,
+    /// Fully-emptied pages available for reuse.
+    free_pages: Vec<PageId>,
+    /// Live record count (for stats/GC accounting).
+    live_records: u64,
+}
+
+impl HeapFile {
+    pub fn new(pool: Arc<BufferPool>) -> HeapFile {
+        HeapFile {
+            pool,
+            inner: Mutex::new(HeapInner {
+                current: None,
+                free_pages: Vec::new(),
+                live_records: 0,
+            }),
+        }
+    }
+
+    /// Restore free-list state from a checkpoint.
+    pub fn restore(&self, free_pages: Vec<PageId>, live_records: u64) {
+        let mut inner = self.inner.lock();
+        inner.free_pages = free_pages;
+        inner.live_records = live_records;
+        inner.current = None;
+    }
+
+    /// Snapshot the free list for checkpointing.
+    pub fn free_list(&self) -> Vec<PageId> {
+        self.inner.lock().free_pages.clone()
+    }
+
+    /// Number of live (non-deleted) records.
+    pub fn live_records(&self) -> u64 {
+        self.inner.lock().live_records
+    }
+
+    /// Append a record, returning its id.
+    pub fn append(&self, bytes: &[u8]) -> Result<RecordId> {
+        let mut inner = self.inner.lock();
+        // Split into chunks, last chunk first so each chunk knows its
+        // successor's location.
+        let mut remaining: Vec<&[u8]> = Vec::new();
+        let mut rest = bytes;
+        loop {
+            // First chunk carries a 4-byte total-length prefix.
+            let cap = if rest.len() == bytes.len() {
+                MAX_CHUNK
+            } else {
+                MAX_CHUNK + 4
+            };
+            if rest.len() <= cap {
+                remaining.push(rest);
+                break;
+            }
+            let (head, tail) = rest.split_at(cap);
+            remaining.push(head);
+            rest = tail;
+        }
+        let mut next: Option<RecordId> = None;
+        for (i, chunk) in remaining.iter().enumerate().rev() {
+            let is_first = i == 0;
+            let mut data = Vec::with_capacity(chunk.len() + CHUNK_HDR + 4);
+            match next {
+                Some(rid) => {
+                    data.extend_from_slice(&rid.page.0.to_le_bytes());
+                    data.extend_from_slice(&rid.slot.to_le_bytes());
+                }
+                None => {
+                    data.extend_from_slice(&NO_PAGE.to_le_bytes());
+                    data.extend_from_slice(&0u16.to_le_bytes());
+                }
+            }
+            if is_first {
+                data.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+            }
+            data.extend_from_slice(chunk);
+            next = Some(self.place_chunk(&mut inner, &data)?);
+        }
+        inner.live_records += 1;
+        Ok(next.expect("at least one chunk"))
+    }
+
+    fn place_chunk(&self, inner: &mut HeapInner, data: &[u8]) -> Result<RecordId> {
+        let need = data.len() + SLOT;
+        // Try the current fill page.
+        if let Some(pid) = inner.current {
+            if let Some(rid) = self.try_place(pid, data, need)? {
+                return Ok(rid);
+            }
+        }
+        // Take from the free list or allocate fresh.
+        let pid = match inner.free_pages.pop() {
+            Some(p) => {
+                // Reset the page header.
+                self.pool.with_page_mut(p, |pg| {
+                    pg.data[..HDR].fill(0);
+                    pg.write_u16(2, HDR as u16);
+                })?;
+                p
+            }
+            None => {
+                let p = self.pool.allocate()?;
+                self.pool
+                    .with_page_mut(p, |pg| pg.write_u16(2, HDR as u16))?;
+                p
+            }
+        };
+        inner.current = Some(pid);
+        match self.try_place(pid, data, need)? {
+            Some(rid) => Ok(rid),
+            None => Err(StoreError::Corrupt("fresh page cannot hold chunk".into())),
+        }
+    }
+
+    fn try_place(&self, pid: PageId, data: &[u8], need: usize) -> Result<Option<RecordId>> {
+        self.pool.with_page_mut(pid, |pg| {
+            let slots = pg.read_u16(0) as usize;
+            let free_off = pg.read_u16(2) as usize;
+            let dir_start = PAGE_SIZE - (slots + 1) * SLOT;
+            if free_off + need > dir_start + SLOT {
+                return None;
+            }
+            // Write the chunk and its slot entry.
+            pg.data[free_off..free_off + data.len()].copy_from_slice(data);
+            let slot_at = PAGE_SIZE - (slots + 1) * SLOT;
+            pg.write_u16(slot_at, free_off as u16);
+            pg.write_u16(slot_at + 2, data.len() as u16);
+            pg.write_u16(0, (slots + 1) as u16);
+            pg.write_u16(2, (free_off + data.len()) as u16);
+            Some(RecordId {
+                page: pid,
+                slot: slots as u16,
+            })
+        })
+    }
+
+    /// Read a whole record by id.
+    pub fn read(&self, rid: RecordId) -> Result<Vec<u8>> {
+        let mut out: Vec<u8> = Vec::new();
+        let mut total: Option<usize> = None;
+        let mut cur = Some(rid);
+        let mut first = true;
+        while let Some(rid) = cur {
+            let (next, chunk) = self.read_chunk(rid, first)?;
+            if first {
+                total = Some(chunk.0);
+                out.reserve(chunk.0);
+            }
+            out.extend_from_slice(&chunk.1);
+            cur = next;
+            first = false;
+        }
+        let total = total.unwrap_or(0);
+        if out.len() != total {
+            return Err(StoreError::Corrupt(format!(
+                "record {rid:?}: expected {total} bytes, found {}",
+                out.len()
+            )));
+        }
+        Ok(out)
+    }
+
+    /// Returns (next chunk id, (total_len_if_first, payload bytes)).
+    fn read_chunk(
+        &self,
+        rid: RecordId,
+        first: bool,
+    ) -> Result<(Option<RecordId>, (usize, Vec<u8>))> {
+        self.pool.with_page(rid.page, |pg| {
+            let slots = pg.read_u16(0);
+            if rid.slot >= slots {
+                return Err(StoreError::NotFound(format!("record {rid:?}")));
+            }
+            let slot_at = PAGE_SIZE - (rid.slot as usize + 1) * SLOT;
+            let off = pg.read_u16(slot_at) as usize;
+            let len = pg.read_u16(slot_at + 2);
+            if len == TOMBSTONE {
+                return Err(StoreError::NotFound(format!("record {rid:?} was deleted")));
+            }
+            let len = len as usize;
+            let data = &pg.data[off..off + len];
+            let next_page = u32::from_le_bytes(data[0..4].try_into().unwrap());
+            let next_slot = u16::from_le_bytes(data[4..6].try_into().unwrap());
+            let next = if next_page == NO_PAGE {
+                None
+            } else {
+                Some(RecordId {
+                    page: PageId(next_page),
+                    slot: next_slot,
+                })
+            };
+            let (total, payload_start) = if first {
+                (
+                    u32::from_le_bytes(data[6..10].try_into().unwrap()) as usize,
+                    10,
+                )
+            } else {
+                (0, 6)
+            };
+            Ok((next, (total, data[payload_start..].to_vec())))
+        })?
+    }
+
+    /// Delete a record (all its chunks). Pages whose slots are all
+    /// tombstones are recycled via the free list.
+    pub fn delete(&self, rid: RecordId) -> Result<()> {
+        let mut cur = Some(rid);
+        let mut first = true;
+        let mut freed_pages = Vec::new();
+        while let Some(rid) = cur {
+            let next = self.read_chunk(rid, first).map(|(n, _)| n)?;
+            let all_dead = self.pool.with_page_mut(rid.page, |pg| {
+                let slot_at = PAGE_SIZE - (rid.slot as usize + 1) * SLOT;
+                pg.write_u16(slot_at + 2, TOMBSTONE);
+                let slots = pg.read_u16(0) as usize;
+                (0..slots).all(|s| {
+                    let at = PAGE_SIZE - (s + 1) * SLOT;
+                    pg.read_u16(at + 2) == TOMBSTONE
+                })
+            })?;
+            if all_dead {
+                freed_pages.push(rid.page);
+            }
+            cur = next;
+            first = false;
+        }
+        let mut inner = self.inner.lock();
+        inner.live_records = inner.live_records.saturating_sub(1);
+        for p in freed_pages {
+            if inner.current == Some(p) {
+                inner.current = None;
+            }
+            if !inner.free_pages.contains(&p) {
+                inner.free_pages.push(p);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pager::DiskManager;
+    use tempfile::TempDir;
+
+    fn heap() -> (TempDir, HeapFile) {
+        let dir = TempDir::new().unwrap();
+        let disk = Arc::new(DiskManager::open(&dir.path().join("heap.db")).unwrap());
+        let pool = Arc::new(BufferPool::new(disk, 64));
+        (dir, HeapFile::new(pool))
+    }
+
+    #[test]
+    fn small_records_roundtrip() {
+        let (_d, h) = heap();
+        let mut rids = Vec::new();
+        for i in 0..100 {
+            let payload = format!("<msg n='{i}'>payload {i}</msg>");
+            rids.push((h.append(payload.as_bytes()).unwrap(), payload));
+        }
+        for (rid, payload) in &rids {
+            assert_eq!(h.read(*rid).unwrap(), payload.as_bytes());
+        }
+        assert_eq!(h.live_records(), 100);
+    }
+
+    #[test]
+    fn large_record_spans_pages() {
+        let (_d, h) = heap();
+        let big: Vec<u8> = (0..PAGE_SIZE * 3 + 123).map(|i| (i % 251) as u8).collect();
+        let rid = h.append(&big).unwrap();
+        assert_eq!(h.read(rid).unwrap(), big);
+    }
+
+    #[test]
+    fn empty_record() {
+        let (_d, h) = heap();
+        let rid = h.append(b"").unwrap();
+        assert_eq!(h.read(rid).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn delete_then_read_fails() {
+        let (_d, h) = heap();
+        let rid = h.append(b"gone soon").unwrap();
+        h.delete(rid).unwrap();
+        assert!(matches!(h.read(rid), Err(StoreError::NotFound(_))));
+        assert_eq!(h.live_records(), 0);
+    }
+
+    #[test]
+    fn pages_are_recycled_after_full_deletion() {
+        let (_d, h) = heap();
+        // Fill pages with large records, delete all, then re-append and
+        // observe the free list shrink.
+        let big = vec![7u8; PAGE_SIZE * 2];
+        let rids: Vec<_> = (0..4).map(|_| h.append(&big).unwrap()).collect();
+        for rid in rids {
+            h.delete(rid).unwrap();
+        }
+        let free_before = h.free_list().len();
+        assert!(free_before > 0, "expected recycled pages");
+        let _ = h.append(&big).unwrap();
+        assert!(h.free_list().len() < free_before);
+    }
+
+    #[test]
+    fn interleaved_append_delete() {
+        let (_d, h) = heap();
+        let mut live = Vec::new();
+        for i in 0..200 {
+            let payload = format!("<m>{}</m>", "x".repeat(i * 7 % 300));
+            let rid = h.append(payload.as_bytes()).unwrap();
+            live.push((rid, payload));
+            if i % 3 == 0 {
+                let (rid, _) = live.remove(0);
+                h.delete(rid).unwrap();
+            }
+        }
+        for (rid, payload) in &live {
+            assert_eq!(h.read(*rid).unwrap(), payload.as_bytes());
+        }
+    }
+}

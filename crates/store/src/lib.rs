@@ -1,0 +1,43 @@
+//! # demaq-store
+//!
+//! A transactional, append-only XML **message store** — the substitute for
+//! the Natix native XML data store with recoverable queue extensions that
+//! the Demaq paper builds on (Sec. 4.1).
+//!
+//! Architecture:
+//!
+//! * **Pager / buffer pool** ([`pager`]): fixed-size pages in a heap file
+//!   with an LRU buffer pool — message payloads live here.
+//! * **Heap file** ([`heap`]): slotted, append-only record storage with
+//!   overflow chains for large messages.
+//! * **Write-ahead log** ([`wal`]): logical redo records (enqueue, mark
+//!   processed, slice ops, resets, purges) with CRC framing and
+//!   configurable sync policy (per-commit fsync or group commit).
+//! * **Transactions** ([`txn`]): deferred-write transactions under strict
+//!   two-phase locking with queue/slice/message granularity (Sec. 4.3's
+//!   "locking just the affected slices") and wait-for-graph deadlock
+//!   detection.
+//! * **Queues & slices** ([`store`], [`slice`]): append-only message
+//!   queues ("messages are never modified after they have been created"),
+//!   the slice index (a B-tree keyed by slice key, Sec. 4.3), slice
+//!   lifetimes (resets), and retention-by-slice-membership GC
+//!   (Sec. 2.3.3) that never needs to analyze the log to delete.
+//! * **Checkpoint + recovery** ([`checkpoint`], [`recovery`]): fuzzy
+//!   snapshots of the logical state plus committed-transaction redo.
+
+pub mod checkpoint;
+pub mod error;
+pub mod heap;
+pub mod lock;
+pub mod pager;
+pub(crate) mod recovery;
+pub mod slice;
+pub mod store;
+pub mod txn;
+pub mod types;
+pub mod wal;
+
+pub use error::{Result, StoreError};
+pub use lock::{LockGranularity, LockKey, LockMode};
+pub use store::{MessageStore, QueueInfo, StoreOptions, SyncPolicy};
+pub use types::{MsgId, PropValue, QueueMode, StoredMessage, TxnId};

@@ -1,0 +1,262 @@
+//! The slice index: materialized "virtual queues" (paper Sec. 2.3, 4.3).
+//!
+//! A slicing partitions messages by a property value (the *slice key*);
+//! each distinct key denotes one slice. The index is the paper's proposed
+//! physical representation — "similar to the materialized views concept in
+//! RDBMSs … a B-Tree indexed by the slice key" — here an ordered map from
+//! `(slicing, key)` to slice state.
+//!
+//! Slices have *lifetimes* (Sec. 2.3.2): a reset bumps the slice's epoch;
+//! only messages added in the current epoch are visible. Retention
+//! (Sec. 2.3.3) couples physical deletion to membership: a message may be
+//! purged only when it is processed and no slice of a current lifetime
+//! contains it.
+
+use crate::types::{MsgId, PropValue};
+use std::collections::{BTreeMap, HashMap};
+
+/// State of one slice (one key of one slicing).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SliceState {
+    /// Current lifetime; bumped by resets.
+    pub epoch: u64,
+    /// Members with the epoch they were added under (ascending MsgId =
+    /// arrival order).
+    pub members: Vec<(MsgId, u64)>,
+}
+
+impl SliceState {
+    /// Messages visible in the current lifetime.
+    pub fn current_members(&self) -> impl Iterator<Item = MsgId> + '_ {
+        let epoch = self.epoch;
+        self.members
+            .iter()
+            .filter(move |(_, e)| *e == epoch)
+            .map(|(m, _)| *m)
+    }
+}
+
+/// The full slice index across all slicings.
+#[derive(Debug, Default)]
+pub struct SliceIndex {
+    /// Ordered by (slicing, key) — range scans over one slicing's keys are
+    /// contiguous, as in the B-tree the paper suggests.
+    slices: BTreeMap<(String, PropValue), SliceState>,
+    /// Reverse index for retention checks: message -> memberships.
+    by_msg: HashMap<MsgId, Vec<(String, PropValue)>>,
+}
+
+impl SliceIndex {
+    pub fn new() -> SliceIndex {
+        SliceIndex::default()
+    }
+
+    /// Add `msg` to the slice `(slicing, key)` under its current epoch.
+    pub fn add(&mut self, slicing: &str, key: &PropValue, msg: MsgId) {
+        let state = self
+            .slices
+            .entry((slicing.to_string(), key.clone()))
+            .or_default();
+        let epoch = state.epoch;
+        if state.members.iter().any(|(m, e)| *m == msg && *e == epoch) {
+            return; // idempotent (log replay)
+        }
+        state.members.push((msg, epoch));
+        self.by_msg
+            .entry(msg)
+            .or_default()
+            .push((slicing.to_string(), key.clone()));
+    }
+
+    /// Begin a new lifetime for the slice. Returns the new epoch.
+    pub fn reset(&mut self, slicing: &str, key: &PropValue) -> u64 {
+        let state = self
+            .slices
+            .entry((slicing.to_string(), key.clone()))
+            .or_default();
+        state.epoch += 1;
+        state.epoch
+    }
+
+    /// Messages visible in the slice's current lifetime, in arrival order.
+    pub fn members(&self, slicing: &str, key: &PropValue) -> Vec<MsgId> {
+        match self.slices.get(&(slicing.to_string(), key.clone())) {
+            Some(s) => {
+                let mut v: Vec<MsgId> = s.current_members().collect();
+                v.sort();
+                v
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// All keys of one slicing that currently have visible members.
+    pub fn keys(&self, slicing: &str) -> Vec<PropValue> {
+        self.slices
+            .range(
+                (slicing.to_string(), PropValue::Str(String::new()))
+                    ..=(slicing.to_string(), PropValue::Duration(i64::MAX)),
+            )
+            .filter(|((s, _), state)| s == slicing && state.current_members().next().is_some())
+            .map(|((_, k), _)| k.clone())
+            .collect()
+    }
+
+    /// Is `msg` still needed — i.e. a member of any slice in its *current*
+    /// lifetime? (Paper Sec. 2.3.3: "a message is not physically removed
+    /// from the message store as long as it is contained in at least one
+    /// slice".)
+    pub fn is_retained(&self, msg: MsgId) -> bool {
+        match self.by_msg.get(&msg) {
+            None => false,
+            Some(memberships) => memberships.iter().any(|(s, k)| {
+                self.slices
+                    .get(&(s.clone(), k.clone()))
+                    .map(|state| {
+                        state
+                            .members
+                            .iter()
+                            .any(|(m, e)| *m == msg && *e == state.epoch)
+                    })
+                    .unwrap_or(false)
+            }),
+        }
+    }
+
+    /// Drop every trace of a purged message.
+    pub fn forget(&mut self, msg: MsgId) {
+        if let Some(memberships) = self.by_msg.remove(&msg) {
+            for (s, k) in memberships {
+                if let Some(state) = self.slices.get_mut(&(s, k)) {
+                    state.members.retain(|(m, _)| *m != msg);
+                }
+            }
+        }
+        // Garbage-collect empty slices at epoch 0 lazily.
+        self.slices
+            .retain(|_, s| !(s.members.is_empty() && s.epoch == 0));
+    }
+
+    /// Iterate all (slicing, key, state) for checkpointing.
+    pub fn iter(&self) -> impl Iterator<Item = (&(String, PropValue), &SliceState)> {
+        self.slices.iter()
+    }
+
+    /// Restore one slice from a checkpoint.
+    pub fn restore_slice(&mut self, slicing: String, key: PropValue, state: SliceState) {
+        for (m, e) in &state.members {
+            if *e == state.epoch {
+                self.by_msg
+                    .entry(*m)
+                    .or_default()
+                    .push((slicing.clone(), key.clone()));
+            } else {
+                // Old-lifetime members still count for reverse lookups so
+                // `forget` can clean them, but never for retention.
+                self.by_msg
+                    .entry(*m)
+                    .or_default()
+                    .push((slicing.clone(), key.clone()));
+            }
+        }
+        self.slices.insert((slicing, key), state);
+    }
+
+    /// Total number of slices tracked (diagnostics).
+    pub fn slice_count(&self) -> usize {
+        self.slices.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(s: &str) -> PropValue {
+        PropValue::Str(s.into())
+    }
+
+    #[test]
+    fn membership_and_order() {
+        let mut idx = SliceIndex::new();
+        idx.add("orders", &k("23"), MsgId(5));
+        idx.add("orders", &k("23"), MsgId(2));
+        idx.add("orders", &k("42"), MsgId(3));
+        assert_eq!(idx.members("orders", &k("23")), vec![MsgId(2), MsgId(5)]);
+        assert_eq!(idx.members("orders", &k("42")), vec![MsgId(3)]);
+        assert_eq!(idx.members("orders", &k("99")), Vec::<MsgId>::new());
+    }
+
+    #[test]
+    fn reset_hides_old_lifetime() {
+        let mut idx = SliceIndex::new();
+        idx.add("domains", &k("example.org"), MsgId(1));
+        idx.add("domains", &k("example.org"), MsgId(2));
+        idx.reset("domains", &k("example.org"));
+        assert!(idx.members("domains", &k("example.org")).is_empty());
+        // New-owner messages appear in the new lifetime.
+        idx.add("domains", &k("example.org"), MsgId(3));
+        assert_eq!(idx.members("domains", &k("example.org")), vec![MsgId(3)]);
+    }
+
+    #[test]
+    fn retention_follows_current_lifetime() {
+        let mut idx = SliceIndex::new();
+        idx.add("s", &k("a"), MsgId(1));
+        assert!(idx.is_retained(MsgId(1)));
+        idx.reset("s", &k("a"));
+        assert!(!idx.is_retained(MsgId(1)), "reset releases retention");
+        assert!(
+            !idx.is_retained(MsgId(99)),
+            "never-sliced message is unretained"
+        );
+    }
+
+    #[test]
+    fn multi_slice_retention() {
+        // Paper's procurement example: the same message is retained by the
+        // packaging, finance, and OR departments' slices independently.
+        let mut idx = SliceIndex::new();
+        idx.add("packaging", &k("o1"), MsgId(1));
+        idx.add("finance", &k("o1"), MsgId(1));
+        idx.add("monthly", &k("2026-07"), MsgId(1));
+        idx.reset("packaging", &k("o1"));
+        assert!(idx.is_retained(MsgId(1)));
+        idx.reset("finance", &k("o1"));
+        assert!(idx.is_retained(MsgId(1)));
+        idx.reset("monthly", &k("2026-07"));
+        assert!(!idx.is_retained(MsgId(1)), "all slices reset → purgeable");
+    }
+
+    #[test]
+    fn forget_removes_everywhere() {
+        let mut idx = SliceIndex::new();
+        idx.add("a", &k("x"), MsgId(1));
+        idx.add("b", &k("y"), MsgId(1));
+        idx.forget(MsgId(1));
+        assert!(idx.members("a", &k("x")).is_empty());
+        assert!(idx.members("b", &k("y")).is_empty());
+        assert!(!idx.is_retained(MsgId(1)));
+    }
+
+    #[test]
+    fn keys_lists_active_slices() {
+        let mut idx = SliceIndex::new();
+        idx.add("orders", &k("23"), MsgId(1));
+        idx.add("orders", &k("42"), MsgId(2));
+        idx.add("other", &k("zz"), MsgId(3));
+        let keys = idx.keys("orders");
+        assert_eq!(keys.len(), 2);
+        assert!(keys.contains(&k("23")) && keys.contains(&k("42")));
+        idx.reset("orders", &k("23"));
+        assert_eq!(idx.keys("orders").len(), 1);
+    }
+
+    #[test]
+    fn idempotent_add_for_replay() {
+        let mut idx = SliceIndex::new();
+        idx.add("s", &k("a"), MsgId(1));
+        idx.add("s", &k("a"), MsgId(1));
+        assert_eq!(idx.members("s", &k("a")).len(), 1);
+    }
+}

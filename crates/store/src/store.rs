@@ -1,0 +1,666 @@
+//! The message store facade: queues, transactions, checkpoints, GC.
+
+use crate::checkpoint::{SnapMessage, SnapQueue, Snapshot};
+use crate::error::{Result, StoreError};
+use crate::heap::{HeapFile, RecordId};
+use crate::lock::{LockGranularity, LockManager};
+use crate::pager::{BufferPool, DiskManager};
+use crate::recovery;
+use crate::slice::SliceIndex;
+use crate::txn::{TxnBuf, TxnOp};
+use crate::types::{MsgId, PropValue, QueueMode, StoredMessage, TxnId};
+use crate::wal::{LogRecord, LogWriter, WalSync};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Commit durability policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncPolicy {
+    /// fsync the WAL on every commit — full durability, matches the paper's
+    /// persistent business-process queues.
+    Always,
+    /// Buffer commits; fsync at checkpoints or explicit `sync()` — the
+    /// group-commit configuration used by the throughput benchmarks.
+    Batch,
+}
+
+/// Store configuration.
+#[derive(Debug, Clone)]
+pub struct StoreOptions {
+    /// Directory holding `heap.db`, `wal-*.log`, and `ckpt.snap`.
+    pub dir: PathBuf,
+    /// Buffer pool capacity in pages.
+    pub pool_pages: usize,
+    pub sync: SyncPolicy,
+    pub lock_granularity: LockGranularity,
+    pub lock_timeout: Duration,
+}
+
+impl StoreOptions {
+    pub fn new(dir: impl Into<PathBuf>) -> StoreOptions {
+        StoreOptions {
+            dir: dir.into(),
+            pool_pages: 1024,
+            sync: SyncPolicy::Always,
+            lock_granularity: LockGranularity::Slice,
+            lock_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Static queue description.
+#[derive(Debug, Clone)]
+pub struct QueueInfo {
+    pub name: String,
+    pub mode: QueueMode,
+    /// Scheduler priority (higher = sooner; paper Sec. 2.1.1 / 4.4.2).
+    pub priority: i32,
+}
+
+/// Where a payload lives.
+#[derive(Debug, Clone)]
+enum Payload {
+    Heap(RecordId),
+    Mem(String),
+}
+
+#[derive(Debug, Clone)]
+struct MsgMeta {
+    queue: String,
+    payload: Payload,
+    props: Vec<(String, PropValue)>,
+    processed: bool,
+    enqueued_at: i64,
+}
+
+pub(crate) struct QueueState {
+    pub(crate) info: QueueInfo,
+    /// All retained messages in arrival order (processed ones included —
+    /// the append-only model keeps them until the GC purges).
+    pub(crate) messages: Vec<MsgId>,
+}
+
+/// The logical (in-memory, WAL-backed) state.
+#[derive(Default)]
+pub(crate) struct Logical {
+    pub(crate) queues: HashMap<String, QueueState>,
+    pub(crate) messages: HashMap<MsgId, MsgMetaSlot>,
+    pub(crate) slices: SliceIndex,
+}
+
+// Newtype wrapper so recovery can construct metas without exposing fields
+// publicly.
+pub(crate) struct MsgMetaSlot(MsgMeta);
+
+impl Logical {
+    pub(crate) fn insert_message(
+        &mut self,
+        id: MsgId,
+        queue: String,
+        rid: Option<RecordId>,
+        inline: Option<String>,
+        props: Vec<(String, PropValue)>,
+        processed: bool,
+        enqueued_at: i64,
+    ) {
+        let payload = match (rid, inline) {
+            (Some(r), _) => Payload::Heap(r),
+            (None, Some(s)) => Payload::Mem(s),
+            (None, None) => Payload::Mem(String::new()),
+        };
+        self.messages.insert(
+            id,
+            MsgMetaSlot(MsgMeta {
+                queue: queue.clone(),
+                payload,
+                props,
+                processed,
+                enqueued_at,
+            }),
+        );
+        let messages = &mut self
+            .queues
+            .entry(queue.clone())
+            .or_insert_with(|| QueueState {
+                info: QueueInfo {
+                    name: queue,
+                    mode: QueueMode::Persistent,
+                    priority: 0,
+                },
+                messages: Vec::new(),
+            })
+            .messages;
+        // Queue order is id (arrival) order. Concurrent transactions may
+        // commit out of id order, so insert at the sorted position — almost
+        // always the tail.
+        match messages.last() {
+            Some(&last) if last > id => {
+                let pos = messages.binary_search(&id).unwrap_or_else(|p| p);
+                messages.insert(pos, id);
+            }
+            _ => messages.push(id),
+        }
+    }
+
+    pub(crate) fn ensure_queue(&mut self, name: &str) {
+        self.queues
+            .entry(name.to_string())
+            .or_insert_with(|| QueueState {
+                info: QueueInfo {
+                    name: name.to_string(),
+                    mode: QueueMode::Persistent,
+                    priority: 0,
+                },
+                messages: Vec::new(),
+            });
+    }
+
+    pub(crate) fn mark_processed(&mut self, msg: MsgId) {
+        if let Some(m) = self.messages.get_mut(&msg) {
+            m.0.processed = true;
+        }
+    }
+
+    pub(crate) fn has_message(&self, msg: MsgId) -> bool {
+        self.messages.contains_key(&msg)
+    }
+
+    pub(crate) fn message_is_persistent(&self, msg: MsgId) -> Option<bool> {
+        let meta = self.messages.get(&msg)?;
+        Some(matches!(meta.0.payload, Payload::Heap(_)))
+    }
+}
+
+/// The transactional XML message store.
+pub struct MessageStore {
+    opts: StoreOptions,
+    pub(crate) pool: Arc<BufferPool>,
+    pub(crate) heap: HeapFile,
+    wal: Mutex<LogWriter>,
+    wal_index: AtomicU64,
+    /// Lock manager — the engine acquires queue/slice/message locks here.
+    pub locks: LockManager,
+    state: RwLock<Logical>,
+    txns: Mutex<HashMap<TxnId, TxnBuf>>,
+    next_msg: AtomicU64,
+    next_txn: AtomicU64,
+    /// Commits since the last WAL sync (group-commit accounting).
+    unsynced_commits: AtomicU64,
+}
+
+impl MessageStore {
+    /// Open (or create) a store, running crash recovery if needed.
+    pub fn open(opts: StoreOptions) -> Result<MessageStore> {
+        std::fs::create_dir_all(&opts.dir)?;
+        let disk = Arc::new(DiskManager::open(&opts.dir.join("heap.db"))?);
+        let pool = Arc::new(BufferPool::new(disk, opts.pool_pages));
+        let heap = HeapFile::new(Arc::clone(&pool));
+        let rec = recovery::recover(&opts.dir, &pool, &heap)?;
+        let wal_path = opts.dir.join(format!("wal-{:06}.log", rec.wal_index));
+        let wal_sync = match opts.sync {
+            SyncPolicy::Always => WalSync::Always,
+            SyncPolicy::Batch => WalSync::OnDemand,
+        };
+        let wal = LogWriter::open(&wal_path, wal_sync)?;
+        let store = MessageStore {
+            locks: LockManager::new(opts.lock_timeout),
+            pool,
+            heap,
+            wal: Mutex::new(wal),
+            wal_index: AtomicU64::new(rec.wal_index),
+            state: RwLock::new(rec.logical),
+            txns: Mutex::new(HashMap::new()),
+            next_msg: AtomicU64::new(rec.next_msg),
+            next_txn: AtomicU64::new(rec.next_txn),
+            unsynced_commits: AtomicU64::new(0),
+            opts,
+        };
+        // Note: deletions dropped by a crash are *re-derived* by the next
+        // `gc()` call (paper Sec. 4.1: deletions are never logged) — the
+        // engine triggers GC as background maintenance rather than at open.
+        Ok(store)
+    }
+
+    /// Declare a queue. Idempotent: recovery may have pre-created it; this
+    /// updates mode/priority to the application definition.
+    pub fn create_queue(&self, name: &str, mode: QueueMode, priority: i32) -> Result<()> {
+        let mut state = self.state.write();
+        match state.queues.get_mut(name) {
+            Some(q) => {
+                q.info.mode = mode;
+                q.info.priority = priority;
+            }
+            None => {
+                state.queues.insert(
+                    name.to_string(),
+                    QueueState {
+                        info: QueueInfo {
+                            name: name.to_string(),
+                            mode,
+                            priority,
+                        },
+                        messages: Vec::new(),
+                    },
+                );
+            }
+        }
+        Ok(())
+    }
+
+    /// Queue metadata.
+    pub fn queue_info(&self, name: &str) -> Option<QueueInfo> {
+        self.state.read().queues.get(name).map(|q| q.info.clone())
+    }
+
+    /// All queue names.
+    pub fn queue_names(&self) -> Vec<String> {
+        self.state.read().queues.keys().cloned().collect()
+    }
+
+    // ---- transactions ------------------------------------------------------
+
+    /// Begin a transaction.
+    pub fn begin(&self) -> TxnId {
+        let id = TxnId(self.next_txn.fetch_add(1, Ordering::Relaxed));
+        self.txns.lock().insert(id, TxnBuf::new(id));
+        id
+    }
+
+    fn with_txn<R>(&self, txn: TxnId, f: impl FnOnce(&mut TxnBuf) -> R) -> Result<R> {
+        let mut txns = self.txns.lock();
+        let buf = txns.get_mut(&txn).ok_or(StoreError::TxnClosed)?;
+        Ok(f(buf))
+    }
+
+    /// Buffer an enqueue; the message id is assigned immediately so the
+    /// caller can attach slice memberships in the same transaction.
+    pub fn enqueue(
+        &self,
+        txn: TxnId,
+        queue: &str,
+        payload: String,
+        props: Vec<(String, PropValue)>,
+        enqueued_at: i64,
+    ) -> Result<MsgId> {
+        if !self.state.read().queues.contains_key(queue) {
+            return Err(StoreError::NotFound(format!("queue `{queue}`")));
+        }
+        let msg = MsgId(self.next_msg.fetch_add(1, Ordering::Relaxed));
+        self.with_txn(txn, |buf| {
+            buf.ops.push(TxnOp::Enqueue {
+                queue: queue.to_string(),
+                msg,
+                payload,
+                props,
+                enqueued_at,
+            });
+        })?;
+        Ok(msg)
+    }
+
+    /// Buffer a processed-mark.
+    pub fn mark_processed(&self, txn: TxnId, msg: MsgId) -> Result<()> {
+        self.with_txn(txn, |buf| buf.ops.push(TxnOp::MarkProcessed { msg }))
+    }
+
+    /// Buffer a slice membership.
+    pub fn slice_add(&self, txn: TxnId, slicing: &str, key: PropValue, msg: MsgId) -> Result<()> {
+        self.with_txn(txn, |buf| {
+            buf.ops.push(TxnOp::SliceAdd {
+                slicing: slicing.to_string(),
+                key,
+                msg,
+            })
+        })
+    }
+
+    /// Buffer a slice reset.
+    pub fn slice_reset(&self, txn: TxnId, slicing: &str, key: PropValue) -> Result<()> {
+        self.with_txn(txn, |buf| {
+            buf.ops.push(TxnOp::SliceReset {
+                slicing: slicing.to_string(),
+                key,
+            })
+        })
+    }
+
+    /// Commit: WAL-log the persistent effects, apply all effects, release
+    /// locks.
+    pub fn commit(&self, txn: TxnId) -> Result<()> {
+        let buf = self.txns.lock().remove(&txn).ok_or(StoreError::TxnClosed)?;
+        // Phase 1: write-ahead logging (persistent effects only).
+        {
+            let state = self.state.read();
+            let persistent_ops: Vec<&TxnOp> = buf
+                .ops
+                .iter()
+                .filter(|op| self.op_is_persistent(&state, &buf, op))
+                .collect();
+            if !persistent_ops.is_empty() {
+                let wal = self.wal.lock();
+                wal.append(&LogRecord::Begin { txn })?;
+                for op in persistent_ops {
+                    let rec = match op {
+                        TxnOp::Enqueue {
+                            queue,
+                            msg,
+                            payload,
+                            props,
+                            enqueued_at,
+                        } => LogRecord::Enqueue {
+                            txn,
+                            queue: queue.clone(),
+                            msg: *msg,
+                            payload: payload.clone(),
+                            props: props.clone(),
+                            enqueued_at: *enqueued_at,
+                        },
+                        TxnOp::MarkProcessed { msg } => LogRecord::MarkProcessed { txn, msg: *msg },
+                        TxnOp::SliceAdd { slicing, key, msg } => LogRecord::SliceAdd {
+                            txn,
+                            slicing: slicing.clone(),
+                            key: key.clone(),
+                            msg: *msg,
+                        },
+                        TxnOp::SliceReset { slicing, key } => LogRecord::SliceReset {
+                            txn,
+                            slicing: slicing.clone(),
+                            key: key.clone(),
+                        },
+                    };
+                    wal.append(&rec)?;
+                }
+                wal.commit(txn)?;
+                self.unsynced_commits.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        // Phase 2: apply to the logical state.
+        {
+            let mut state = self.state.write();
+            for op in &buf.ops {
+                match op {
+                    TxnOp::Enqueue {
+                        queue,
+                        msg,
+                        payload,
+                        props,
+                        enqueued_at,
+                    } => {
+                        let persistent = state
+                            .queues
+                            .get(queue)
+                            .map(|q| q.info.mode == QueueMode::Persistent)
+                            .unwrap_or(true);
+                        let (rid, inline) = if persistent {
+                            (Some(self.heap.append(payload.as_bytes())?), None)
+                        } else {
+                            (None, Some(payload.clone()))
+                        };
+                        state.insert_message(
+                            *msg,
+                            queue.clone(),
+                            rid,
+                            inline,
+                            props.clone(),
+                            false,
+                            *enqueued_at,
+                        );
+                    }
+                    TxnOp::MarkProcessed { msg } => state.mark_processed(*msg),
+                    TxnOp::SliceAdd { slicing, key, msg } => state.slices.add(slicing, key, *msg),
+                    TxnOp::SliceReset { slicing, key } => {
+                        state.slices.reset(slicing, key);
+                    }
+                }
+            }
+        }
+        self.locks.release_all(txn);
+        Ok(())
+    }
+
+    fn op_is_persistent(&self, state: &Logical, buf: &TxnBuf, op: &TxnOp) -> bool {
+        let queue_persistent = |q: &str| {
+            state
+                .queues
+                .get(q)
+                .map(|qs| qs.info.mode == QueueMode::Persistent)
+                .unwrap_or(true)
+        };
+        let msg_persistent = |m: MsgId| {
+            // Either already stored, or being enqueued by this very txn.
+            state.message_is_persistent(m).unwrap_or_else(|| {
+                buf.ops.iter().any(|o| match o {
+                    TxnOp::Enqueue { msg, queue, .. } => *msg == m && queue_persistent(queue),
+                    _ => false,
+                })
+            })
+        };
+        match op {
+            TxnOp::Enqueue { queue, .. } => queue_persistent(queue),
+            TxnOp::MarkProcessed { msg } => msg_persistent(*msg),
+            TxnOp::SliceAdd { msg, .. } => msg_persistent(*msg),
+            TxnOp::SliceReset { .. } => true,
+        }
+    }
+
+    /// Abort: drop the buffer, release locks.
+    pub fn abort(&self, txn: TxnId) {
+        self.txns.lock().remove(&txn);
+        let _ = self.wal.lock().append(&LogRecord::Abort { txn });
+        self.locks.release_all(txn);
+    }
+
+    // ---- reads -----------------------------------------------------------------
+
+    fn load(&self, state: &Logical, id: MsgId) -> Result<StoredMessage> {
+        let meta = state
+            .messages
+            .get(&id)
+            .ok_or_else(|| StoreError::NotFound(format!("message {id}")))?;
+        let payload = match &meta.0.payload {
+            Payload::Mem(s) => s.clone(),
+            Payload::Heap(rid) => String::from_utf8(self.heap.read(*rid)?)
+                .map_err(|_| StoreError::Corrupt(format!("message {id} payload is not UTF-8")))?,
+        };
+        Ok(StoredMessage {
+            id,
+            queue: meta.0.queue.clone(),
+            payload,
+            props: meta.0.props.clone(),
+            processed: meta.0.processed,
+            enqueued_at: meta.0.enqueued_at,
+        })
+    }
+
+    /// Read one message.
+    pub fn message(&self, id: MsgId) -> Result<StoredMessage> {
+        let state = self.state.read();
+        self.load(&state, id)
+    }
+
+    /// All retained messages of a queue in arrival order.
+    pub fn queue_messages(&self, queue: &str) -> Result<Vec<StoredMessage>> {
+        let state = self.state.read();
+        let q = state
+            .queues
+            .get(queue)
+            .ok_or_else(|| StoreError::NotFound(format!("queue `{queue}`")))?;
+        q.messages.iter().map(|&id| self.load(&state, id)).collect()
+    }
+
+    /// Ids of unprocessed messages across all queues, with queue priority —
+    /// the scheduler's worklist (recovered after a crash).
+    pub fn unprocessed(&self) -> Vec<(MsgId, String, i32)> {
+        let state = self.state.read();
+        let mut out: Vec<(MsgId, String, i32)> = state
+            .messages
+            .iter()
+            .filter(|(_, m)| !m.0.processed)
+            .map(|(&id, m)| {
+                let prio = state
+                    .queues
+                    .get(&m.0.queue)
+                    .map(|q| q.info.priority)
+                    .unwrap_or(0);
+                (id, m.0.queue.clone(), prio)
+            })
+            .collect();
+        out.sort_by_key(|(id, _, _)| *id);
+        out
+    }
+
+    /// Visible members of one slice, in arrival order.
+    pub fn slice_members(&self, slicing: &str, key: &PropValue) -> Vec<MsgId> {
+        self.state.read().slices.members(slicing, key)
+    }
+
+    /// Keys of a slicing with visible members.
+    pub fn slice_keys(&self, slicing: &str) -> Vec<PropValue> {
+        self.state.read().slices.keys(slicing)
+    }
+
+    /// Is the message retained by any slice lifetime?
+    pub fn is_retained(&self, msg: MsgId) -> bool {
+        self.state.read().slices.is_retained(msg)
+    }
+
+    /// Count of messages currently stored (processed + unprocessed).
+    pub fn message_count(&self) -> usize {
+        self.state.read().messages.len()
+    }
+
+    // ---- maintenance ----------------------------------------------------------
+
+    /// Garbage-collect: purge processed messages not retained by any slice
+    /// (paper Sec. 2.3.3). Deletions are *not* WAL-logged (Sec. 4.1) — after
+    /// a crash the same decision is recomputed. Returns purge count.
+    pub fn gc(&self) -> Result<usize> {
+        let mut state = self.state.write();
+        let victims: Vec<MsgId> = state
+            .messages
+            .iter()
+            .filter(|(id, m)| m.0.processed && !state.slices.is_retained(**id))
+            .map(|(&id, _)| id)
+            .collect();
+        for id in &victims {
+            if let Some(meta) = state.messages.remove(id) {
+                if let Payload::Heap(rid) = meta.0.payload {
+                    // Tolerate double-deletes after replay.
+                    let _ = self.heap.delete(rid);
+                }
+                if let Some(q) = state.queues.get_mut(&meta.0.queue) {
+                    q.messages.retain(|m| m != id);
+                }
+            }
+            state.slices.forget(*id);
+        }
+        Ok(victims.len())
+    }
+
+    /// Force the WAL to disk (group-commit boundary under
+    /// [`SyncPolicy::Batch`]).
+    pub fn sync(&self) -> Result<()> {
+        self.unsynced_commits.store(0, Ordering::Relaxed);
+        self.wal.lock().sync_now()
+    }
+
+    /// Take a checkpoint: flush the heap, cut a snapshot, rotate the WAL.
+    pub fn checkpoint(&self) -> Result<()> {
+        let state = self.state.write(); // stop-the-world (simple & correct)
+        self.wal.lock().sync_now()?;
+        self.pool.flush_all()?;
+        let new_index = self.wal_index.load(Ordering::SeqCst) + 1;
+
+        let mut snap = Snapshot {
+            wal_index: new_index,
+            next_msg: self.next_msg.load(Ordering::SeqCst),
+            next_txn: self.next_txn.load(Ordering::SeqCst),
+            heap_free: self.heap.free_list(),
+            heap_live: self.heap.live_records(),
+            ..Default::default()
+        };
+        for (name, q) in &state.queues {
+            snap.queues.push(SnapQueue {
+                name: name.clone(),
+                persistent: q.info.mode == QueueMode::Persistent,
+                priority: q.info.priority,
+            });
+        }
+        for (&id, meta) in &state.messages {
+            if let Payload::Heap(rid) = meta.0.payload {
+                snap.messages.push(SnapMessage {
+                    id,
+                    queue: meta.0.queue.clone(),
+                    rid_page: rid.page.0,
+                    rid_slot: rid.slot,
+                    processed: meta.0.processed,
+                    enqueued_at: meta.0.enqueued_at,
+                    props: meta.0.props.clone(),
+                });
+            }
+            // Transient messages are deliberately omitted.
+        }
+        for ((slicing, key), sstate) in state.slices.iter() {
+            // Keep only memberships of persistent messages; epoch always.
+            let members: Vec<(MsgId, u64)> = sstate
+                .members
+                .iter()
+                .filter(|(m, _)| state.message_is_persistent(*m).unwrap_or(false))
+                .cloned()
+                .collect();
+            snap.slices.push((
+                slicing.clone(),
+                key.clone(),
+                crate::slice::SliceState {
+                    epoch: sstate.epoch,
+                    members,
+                },
+            ));
+        }
+
+        // Switch to the new WAL segment *before* publishing the snapshot:
+        // if we crash in between, the old snapshot still covers both files.
+        let new_wal_path = self.opts.dir.join(format!("wal-{new_index:06}.log"));
+        let wal_sync = match self.opts.sync {
+            SyncPolicy::Always => WalSync::Always,
+            SyncPolicy::Batch => WalSync::OnDemand,
+        };
+        {
+            let mut wal = self.wal.lock();
+            *wal = LogWriter::open(&new_wal_path, wal_sync)?;
+            self.wal_index.store(new_index, Ordering::SeqCst);
+        }
+        snap.write_to(&self.opts.dir.join("ckpt.snap"))?;
+        // Old segments are now superfluous.
+        for i in 0..new_index {
+            let _ = std::fs::remove_file(self.opts.dir.join(format!("wal-{i:06}.log")));
+        }
+        drop(state);
+        Ok(())
+    }
+
+    /// Bytes appended to the current WAL segment (benchmark metric E4).
+    pub fn wal_bytes_logged(&self) -> u64 {
+        self.wal.lock().bytes_logged()
+    }
+
+    /// Buffer-pool statistics.
+    pub fn pool_stats(&self) -> crate::pager::PoolStats {
+        self.pool.stats()
+    }
+
+    /// Configured lock granularity (engine reads this to decide what to
+    /// lock per message-processing transaction).
+    pub fn lock_granularity(&self) -> LockGranularity {
+        self.opts.lock_granularity
+    }
+
+    /// Directory this store lives in.
+    pub fn dir(&self) -> &PathBuf {
+        &self.opts.dir
+    }
+}

@@ -1,0 +1,59 @@
+//! Transaction buffers: deferred-write transactions.
+//!
+//! A Demaq message-processing transaction evaluates rules against a
+//! snapshot and only then executes the pending actions (paper Sec. 3.1).
+//! The store mirrors that: writes buffer in a [`TxnBuf`] and apply at
+//! commit, under locks acquired during the transaction (strict 2PL). An
+//! abort simply discards the buffer.
+
+use crate::types::{MsgId, PropValue, TxnId};
+
+/// A buffered write operation.
+#[derive(Debug, Clone)]
+pub enum TxnOp {
+    Enqueue {
+        queue: String,
+        msg: MsgId,
+        payload: String,
+        props: Vec<(String, PropValue)>,
+        enqueued_at: i64,
+    },
+    MarkProcessed {
+        msg: MsgId,
+    },
+    SliceAdd {
+        slicing: String,
+        key: PropValue,
+        msg: MsgId,
+    },
+    SliceReset {
+        slicing: String,
+        key: PropValue,
+    },
+}
+
+/// State of an open transaction.
+#[derive(Debug)]
+pub struct TxnBuf {
+    pub id: TxnId,
+    pub ops: Vec<TxnOp>,
+}
+
+impl TxnBuf {
+    pub fn new(id: TxnId) -> TxnBuf {
+        TxnBuf {
+            id,
+            ops: Vec::new(),
+        }
+    }
+
+    /// Messages this transaction will enqueue (visible to itself for
+    /// property inheritance, not for queries — Demaq rules never need to
+    /// read their own pending actions).
+    pub fn pending_enqueues(&self) -> impl Iterator<Item = (&String, MsgId)> {
+        self.ops.iter().filter_map(|op| match op {
+            TxnOp::Enqueue { queue, msg, .. } => Some((queue, *msg)),
+            _ => None,
+        })
+    }
+}

@@ -1,0 +1,550 @@
+//! Write-ahead log with logical redo records.
+//!
+//! Demaq's append-only queues allow purely *logical* logging: every state
+//! change is one of a handful of idempotent-by-replay operations, and
+//! in-place updates never happen (paper Sec. 4.1: "our append-only approach
+//! for message queues simplifies logging and recovery because there are
+//! fewer in-place updates"). Deletions by the retention GC need *no*
+//! logging at all — after a crash, the decision to delete is re-derivable
+//! from slice membership ("frees the system from the need to fully log
+//! message deletions").
+//!
+//! Record framing: `[len u32][crc32 u32][payload]`; a torn tail is detected
+//! by length/CRC mismatch and truncated (standard WAL practice).
+
+use crate::error::{Result, StoreError};
+use crate::types::{Lsn, MsgId, PropValue, TxnId};
+use parking_lot::Mutex;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// One logical WAL record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogRecord {
+    Begin {
+        txn: TxnId,
+    },
+    Commit {
+        txn: TxnId,
+    },
+    Abort {
+        txn: TxnId,
+    },
+    /// A message entered a queue.
+    Enqueue {
+        txn: TxnId,
+        queue: String,
+        msg: MsgId,
+        payload: String,
+        props: Vec<(String, PropValue)>,
+        enqueued_at: i64,
+    },
+    /// The rule engine finished processing a message.
+    MarkProcessed {
+        txn: TxnId,
+        msg: MsgId,
+    },
+    /// A message joined a slice (slicing name + key).
+    SliceAdd {
+        txn: TxnId,
+        slicing: String,
+        key: PropValue,
+        msg: MsgId,
+    },
+    /// A slice began a new lifetime.
+    SliceReset {
+        txn: TxnId,
+        slicing: String,
+        key: PropValue,
+    },
+    /// Fuzzy checkpoint marker: state as of this LSN lives in the named
+    /// snapshot file.
+    Checkpoint {
+        snapshot: String,
+    },
+}
+
+const T_BEGIN: u8 = 1;
+const T_COMMIT: u8 = 2;
+const T_ABORT: u8 = 3;
+const T_ENQUEUE: u8 = 4;
+const T_PROCESSED: u8 = 5;
+const T_SLICE_ADD: u8 = 6;
+const T_SLICE_RESET: u8 = 7;
+const T_CHECKPOINT: u8 = 8;
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn get_str(buf: &[u8], at: &mut usize) -> Option<String> {
+    let len = u32::from_le_bytes(buf.get(*at..*at + 4)?.try_into().ok()?) as usize;
+    *at += 4;
+    let s = std::str::from_utf8(buf.get(*at..*at + len)?)
+        .ok()?
+        .to_string();
+    *at += len;
+    Some(s)
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn get_u64(buf: &[u8], at: &mut usize) -> Option<u64> {
+    let v = u64::from_le_bytes(buf.get(*at..*at + 8)?.try_into().ok()?);
+    *at += 8;
+    Some(v)
+}
+
+fn put_i64(out: &mut Vec<u8>, v: i64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn get_i64(buf: &[u8], at: &mut usize) -> Option<i64> {
+    let v = i64::from_le_bytes(buf.get(*at..*at + 8)?.try_into().ok()?);
+    *at += 8;
+    Some(v)
+}
+
+impl LogRecord {
+    /// Serialize the record payload (without framing).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            LogRecord::Begin { txn } => {
+                out.push(T_BEGIN);
+                put_u64(&mut out, txn.0);
+            }
+            LogRecord::Commit { txn } => {
+                out.push(T_COMMIT);
+                put_u64(&mut out, txn.0);
+            }
+            LogRecord::Abort { txn } => {
+                out.push(T_ABORT);
+                put_u64(&mut out, txn.0);
+            }
+            LogRecord::Enqueue {
+                txn,
+                queue,
+                msg,
+                payload,
+                props,
+                enqueued_at,
+            } => {
+                out.push(T_ENQUEUE);
+                put_u64(&mut out, txn.0);
+                put_str(&mut out, queue);
+                put_u64(&mut out, msg.0);
+                put_i64(&mut out, *enqueued_at);
+                put_str(&mut out, payload);
+                out.extend_from_slice(&(props.len() as u32).to_le_bytes());
+                for (name, value) in props {
+                    put_str(&mut out, name);
+                    value.encode(&mut out);
+                }
+            }
+            LogRecord::MarkProcessed { txn, msg } => {
+                out.push(T_PROCESSED);
+                put_u64(&mut out, txn.0);
+                put_u64(&mut out, msg.0);
+            }
+            LogRecord::SliceAdd {
+                txn,
+                slicing,
+                key,
+                msg,
+            } => {
+                out.push(T_SLICE_ADD);
+                put_u64(&mut out, txn.0);
+                put_str(&mut out, slicing);
+                key.encode(&mut out);
+                put_u64(&mut out, msg.0);
+            }
+            LogRecord::SliceReset { txn, slicing, key } => {
+                out.push(T_SLICE_RESET);
+                put_u64(&mut out, txn.0);
+                put_str(&mut out, slicing);
+                key.encode(&mut out);
+            }
+            LogRecord::Checkpoint { snapshot } => {
+                out.push(T_CHECKPOINT);
+                put_str(&mut out, snapshot);
+            }
+        }
+        out
+    }
+
+    /// Deserialize a record payload.
+    pub fn decode(buf: &[u8]) -> Option<LogRecord> {
+        let mut at = 0usize;
+        let tag = *buf.first()?;
+        at += 1;
+        let rec = match tag {
+            T_BEGIN => LogRecord::Begin {
+                txn: TxnId(get_u64(buf, &mut at)?),
+            },
+            T_COMMIT => LogRecord::Commit {
+                txn: TxnId(get_u64(buf, &mut at)?),
+            },
+            T_ABORT => LogRecord::Abort {
+                txn: TxnId(get_u64(buf, &mut at)?),
+            },
+            T_ENQUEUE => {
+                let txn = TxnId(get_u64(buf, &mut at)?);
+                let queue = get_str(buf, &mut at)?;
+                let msg = MsgId(get_u64(buf, &mut at)?);
+                let enqueued_at = get_i64(buf, &mut at)?;
+                let payload = get_str(buf, &mut at)?;
+                let n = u32::from_le_bytes(buf.get(at..at + 4)?.try_into().ok()?) as usize;
+                at += 4;
+                let mut props = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let name = get_str(buf, &mut at)?;
+                    let value = PropValue::decode(buf, &mut at)?;
+                    props.push((name, value));
+                }
+                LogRecord::Enqueue {
+                    txn,
+                    queue,
+                    msg,
+                    payload,
+                    props,
+                    enqueued_at,
+                }
+            }
+            T_PROCESSED => LogRecord::MarkProcessed {
+                txn: TxnId(get_u64(buf, &mut at)?),
+                msg: MsgId(get_u64(buf, &mut at)?),
+            },
+            T_SLICE_ADD => LogRecord::SliceAdd {
+                txn: TxnId(get_u64(buf, &mut at)?),
+                slicing: get_str(buf, &mut at)?,
+                key: PropValue::decode(buf, &mut at)?,
+                msg: MsgId(get_u64(buf, &mut at)?),
+            },
+            T_SLICE_RESET => LogRecord::SliceReset {
+                txn: TxnId(get_u64(buf, &mut at)?),
+                slicing: get_str(buf, &mut at)?,
+                key: PropValue::decode(buf, &mut at)?,
+            },
+            T_CHECKPOINT => LogRecord::Checkpoint {
+                snapshot: get_str(buf, &mut at)?,
+            },
+            _ => return None,
+        };
+        if at != buf.len() {
+            return None;
+        }
+        Some(rec)
+    }
+
+    /// The transaction this record belongs to, if any.
+    pub fn txn(&self) -> Option<TxnId> {
+        match self {
+            LogRecord::Begin { txn }
+            | LogRecord::Commit { txn }
+            | LogRecord::Abort { txn }
+            | LogRecord::Enqueue { txn, .. }
+            | LogRecord::MarkProcessed { txn, .. }
+            | LogRecord::SliceAdd { txn, .. }
+            | LogRecord::SliceReset { txn, .. } => Some(*txn),
+            LogRecord::Checkpoint { .. } => None,
+        }
+    }
+}
+
+/// CRC32 (IEEE 802.3, reflected) — small standalone implementation to keep
+/// the dependency set minimal.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc: u32 = 0xFFFF_FFFF;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Durability policy for commits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalSync {
+    /// fsync on every commit.
+    Always,
+    /// fsync when asked explicitly / at checkpoints only (group commit is
+    /// driven by the store, which batches several commits per sync).
+    OnDemand,
+}
+
+/// The write side of the log.
+pub struct LogWriter {
+    inner: Mutex<WriterInner>,
+    sync: WalSync,
+}
+
+struct WriterInner {
+    file: BufWriter<File>,
+    /// Next byte offset (== LSN of the next record).
+    offset: u64,
+    /// Bytes written since the last sync (stats for the recovery bench).
+    bytes_logged: u64,
+}
+
+impl LogWriter {
+    /// Open (append mode) or create the log at `path`.
+    pub fn open(path: &Path, sync: WalSync) -> Result<LogWriter> {
+        let file = OpenOptions::new()
+            .read(true)
+            .append(true)
+            .create(true)
+            .open(path)?;
+        let offset = file.metadata()?.len();
+        Ok(LogWriter {
+            inner: Mutex::new(WriterInner {
+                file: BufWriter::new(file),
+                offset,
+                bytes_logged: 0,
+            }),
+            sync,
+        })
+    }
+
+    /// Append a record; returns its LSN. Does not sync.
+    pub fn append(&self, rec: &LogRecord) -> Result<Lsn> {
+        let payload = rec.encode();
+        let mut framed = Vec::with_capacity(payload.len() + 8);
+        framed.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        framed.extend_from_slice(&crc32(&payload).to_le_bytes());
+        framed.extend_from_slice(&payload);
+        let mut inner = self.inner.lock();
+        let lsn = Lsn(inner.offset);
+        inner.file.write_all(&framed)?;
+        inner.offset += framed.len() as u64;
+        inner.bytes_logged += framed.len() as u64;
+        Ok(lsn)
+    }
+
+    /// Append a commit record and make it durable per the sync policy.
+    pub fn commit(&self, txn: TxnId) -> Result<Lsn> {
+        let lsn = self.append(&LogRecord::Commit { txn })?;
+        match self.sync {
+            WalSync::Always => self.sync_now()?,
+            WalSync::OnDemand => {
+                self.inner.lock().file.flush()?;
+            }
+        }
+        Ok(lsn)
+    }
+
+    /// Flush buffers and fsync.
+    pub fn sync_now(&self) -> Result<()> {
+        let mut inner = self.inner.lock();
+        inner.file.flush()?;
+        inner.file.get_ref().sync_data()?;
+        Ok(())
+    }
+
+    /// Total bytes appended since open (benchmark metric E4).
+    pub fn bytes_logged(&self) -> u64 {
+        self.inner.lock().bytes_logged
+    }
+
+    /// Current end-of-log LSN.
+    pub fn end_lsn(&self) -> Lsn {
+        Lsn(self.inner.lock().offset)
+    }
+}
+
+/// Read every valid record from a log file; stops cleanly at a torn tail.
+pub fn read_log(path: &Path) -> Result<Vec<(Lsn, LogRecord)>> {
+    let mut file = match File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e.into()),
+    };
+    let mut buf = Vec::new();
+    file.read_to_end(&mut buf)?;
+    let mut out = Vec::new();
+    let mut at = 0usize;
+    while at + 8 <= buf.len() {
+        let len = u32::from_le_bytes(buf[at..at + 4].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(buf[at + 4..at + 8].try_into().unwrap());
+        if at + 8 + len > buf.len() {
+            break; // torn tail
+        }
+        let payload = &buf[at + 8..at + 8 + len];
+        if crc32(payload) != crc {
+            break; // torn/corrupt tail
+        }
+        match LogRecord::decode(payload) {
+            Some(rec) => out.push((Lsn(at as u64), rec)),
+            None => {
+                return Err(StoreError::Corrupt(format!(
+                    "undecodable log record at offset {at}"
+                )))
+            }
+        }
+        at += 8 + len;
+    }
+    Ok(out)
+}
+
+/// Truncate the log file (after a checkpoint has captured its effects).
+pub fn truncate_log(path: &Path) -> Result<()> {
+    let file = OpenOptions::new()
+        .write(true)
+        .create(true)
+        .truncate(true)
+        .open(path)?;
+    file.sync_data()?;
+    Ok(())
+}
+
+/// Convenience for the recovery bench: current size of the log file.
+pub fn log_size(path: &PathBuf) -> u64 {
+    std::fs::metadata(path).map(|m| m.len()).unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempfile::TempDir;
+
+    fn sample_records() -> Vec<LogRecord> {
+        vec![
+            LogRecord::Begin { txn: TxnId(1) },
+            LogRecord::Enqueue {
+                txn: TxnId(1),
+                queue: "finance".into(),
+                msg: MsgId(10),
+                payload: "<order><id>7</id></order>".into(),
+                props: vec![
+                    ("orderID".into(), PropValue::Str("7".into())),
+                    ("isVIP".into(), PropValue::Bool(false)),
+                ],
+                enqueued_at: 123_456,
+            },
+            LogRecord::SliceAdd {
+                txn: TxnId(1),
+                slicing: "orders".into(),
+                key: PropValue::Str("7".into()),
+                msg: MsgId(10),
+            },
+            LogRecord::MarkProcessed {
+                txn: TxnId(1),
+                msg: MsgId(9),
+            },
+            LogRecord::SliceReset {
+                txn: TxnId(1),
+                slicing: "orders".into(),
+                key: PropValue::Str("6".into()),
+            },
+            LogRecord::Commit { txn: TxnId(1) },
+            LogRecord::Abort { txn: TxnId(2) },
+            LogRecord::Checkpoint {
+                snapshot: "ckpt-000001".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn record_encode_decode_roundtrip() {
+        for rec in sample_records() {
+            let buf = rec.encode();
+            let back = LogRecord::decode(&buf).unwrap();
+            assert_eq!(back, rec);
+        }
+    }
+
+    #[test]
+    fn write_then_read_log() {
+        let dir = TempDir::new().unwrap();
+        let path = dir.path().join("wal.log");
+        let w = LogWriter::open(&path, WalSync::Always).unwrap();
+        for rec in sample_records() {
+            w.append(&rec).unwrap();
+        }
+        w.sync_now().unwrap();
+        let read: Vec<LogRecord> = read_log(&path)
+            .unwrap()
+            .into_iter()
+            .map(|(_, r)| r)
+            .collect();
+        assert_eq!(read, sample_records());
+    }
+
+    #[test]
+    fn torn_tail_is_ignored() {
+        let dir = TempDir::new().unwrap();
+        let path = dir.path().join("wal.log");
+        let w = LogWriter::open(&path, WalSync::Always).unwrap();
+        for rec in sample_records() {
+            w.append(&rec).unwrap();
+        }
+        w.sync_now().unwrap();
+        drop(w);
+        // Append garbage simulating a torn write.
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(&[200, 1, 0, 0, 77, 77]).unwrap();
+        let read = read_log(&path).unwrap();
+        assert_eq!(read.len(), sample_records().len());
+    }
+
+    #[test]
+    fn corrupted_crc_stops_scan() {
+        let dir = TempDir::new().unwrap();
+        let path = dir.path().join("wal.log");
+        let w = LogWriter::open(&path, WalSync::Always).unwrap();
+        for rec in sample_records() {
+            w.append(&rec).unwrap();
+        }
+        w.sync_now().unwrap();
+        drop(w);
+        // Flip a byte in the middle: scan stops at the damaged record.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let read = read_log(&path).unwrap();
+        assert!(read.len() < sample_records().len());
+    }
+
+    #[test]
+    fn lsn_monotonic_and_reopen_appends() {
+        let dir = TempDir::new().unwrap();
+        let path = dir.path().join("wal.log");
+        let l1;
+        {
+            let w = LogWriter::open(&path, WalSync::Always).unwrap();
+            l1 = w.append(&LogRecord::Begin { txn: TxnId(1) }).unwrap();
+            w.sync_now().unwrap();
+        }
+        let w = LogWriter::open(&path, WalSync::Always).unwrap();
+        let l2 = w.append(&LogRecord::Commit { txn: TxnId(1) }).unwrap();
+        assert!(l2 > l1);
+        w.sync_now().unwrap();
+        assert_eq!(read_log(&path).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // Standard test vector: CRC-32 of "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn truncate_resets_log() {
+        let dir = TempDir::new().unwrap();
+        let path = dir.path().join("wal.log");
+        let w = LogWriter::open(&path, WalSync::Always).unwrap();
+        w.append(&LogRecord::Begin { txn: TxnId(1) }).unwrap();
+        w.sync_now().unwrap();
+        drop(w);
+        truncate_log(&path).unwrap();
+        assert!(read_log(&path).unwrap().is_empty());
+    }
+}

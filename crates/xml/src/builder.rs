@@ -1,0 +1,232 @@
+//! Programmatic construction of frozen [`Document`]s.
+//!
+//! Both the parser and the XQuery node constructors funnel through
+//! [`DocBuilder`], which assigns arena ids in document order
+//! (element → its attributes → its children) so that id comparison *is*
+//! document order.
+
+use crate::qname::QName;
+use crate::tree::{Document, NodeData, NodeId, NodeKind, NodeRef};
+use std::sync::Arc;
+
+/// Incremental builder for a single document.
+pub struct DocBuilder {
+    nodes: Vec<NodeData>,
+    /// Stack of open element ids (document node at the bottom).
+    stack: Vec<NodeId>,
+}
+
+impl Default for DocBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DocBuilder {
+    /// Start a new document.
+    pub fn new() -> Self {
+        let doc = NodeData {
+            parent: None,
+            kind: NodeKind::Document,
+            children: Vec::new(),
+            attrs: Vec::new(),
+        };
+        DocBuilder {
+            nodes: vec![doc],
+            stack: vec![NodeId::DOC],
+        }
+    }
+
+    fn cur(&self) -> NodeId {
+        *self.stack.last().expect("builder stack never empty")
+    }
+
+    fn push_node(&mut self, kind: NodeKind) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        let parent = self.cur();
+        self.nodes.push(NodeData {
+            parent: Some(parent),
+            kind,
+            children: Vec::new(),
+            attrs: Vec::new(),
+        });
+        self.nodes[parent.0 as usize].children.push(id);
+        id
+    }
+
+    /// Open an element; subsequent content goes inside until [`Self::end`].
+    pub fn start(&mut self, name: impl Into<QName>) -> &mut Self {
+        let id = self.push_node(NodeKind::Element(name.into()));
+        self.stack.push(id);
+        self
+    }
+
+    /// Add an attribute to the currently open element. Must be called before
+    /// any child content is added (document-order ids).
+    pub fn attr(&mut self, name: impl Into<QName>, value: impl Into<String>) -> &mut Self {
+        let parent = self.cur();
+        assert!(
+            matches!(self.nodes[parent.0 as usize].kind, NodeKind::Element(_)),
+            "attributes only allowed on elements"
+        );
+        debug_assert!(
+            self.nodes[parent.0 as usize].children.is_empty(),
+            "attributes must precede children for document order"
+        );
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(NodeData {
+            parent: Some(parent),
+            kind: NodeKind::Attribute(name.into(), value.into()),
+            children: Vec::new(),
+            attrs: Vec::new(),
+        });
+        self.nodes[parent.0 as usize].attrs.push(id);
+        self
+    }
+
+    /// Append a text node. Consecutive text nodes are merged (XDM requires
+    /// no adjacent text siblings).
+    pub fn text(&mut self, value: impl AsRef<str>) -> &mut Self {
+        let value = value.as_ref();
+        if value.is_empty() {
+            return self;
+        }
+        let parent = self.cur();
+        if let Some(&last) = self.nodes[parent.0 as usize].children.last() {
+            if let NodeKind::Text(t) = &mut self.nodes[last.0 as usize].kind {
+                t.push_str(value);
+                return self;
+            }
+        }
+        self.push_node(NodeKind::Text(value.to_string()));
+        self
+    }
+
+    /// Append a comment node.
+    pub fn comment(&mut self, value: impl Into<String>) -> &mut Self {
+        self.push_node(NodeKind::Comment(value.into()));
+        self
+    }
+
+    /// Append a processing instruction.
+    pub fn pi(&mut self, target: impl Into<String>, data: impl Into<String>) -> &mut Self {
+        self.push_node(NodeKind::Pi {
+            target: target.into(),
+            data: data.into(),
+        });
+        self
+    }
+
+    /// Close the current element.
+    pub fn end(&mut self) -> &mut Self {
+        assert!(self.stack.len() > 1, "end() without matching start()");
+        self.stack.pop();
+        self
+    }
+
+    /// Deep-copy `node` (and its subtree) as a child of the current element.
+    /// This is how XQuery constructors copy existing nodes into new trees.
+    pub fn copy_node(&mut self, node: &NodeRef) -> &mut Self {
+        match node.kind() {
+            NodeKind::Document => {
+                for c in node.children() {
+                    self.copy_node(&c);
+                }
+            }
+            NodeKind::Element(q) => {
+                self.start(q.clone());
+                for a in node.attributes() {
+                    if let NodeKind::Attribute(an, av) = a.kind() {
+                        self.attr(an.clone(), av.clone());
+                    }
+                }
+                for c in node.children() {
+                    self.copy_node(&c);
+                }
+                self.end();
+            }
+            NodeKind::Attribute(q, v) => {
+                self.attr(q.clone(), v.clone());
+            }
+            NodeKind::Text(t) => {
+                self.text(t);
+            }
+            NodeKind::Comment(c) => {
+                self.comment(c.clone());
+            }
+            NodeKind::Pi { target, data } => {
+                self.pi(target.clone(), data.clone());
+            }
+        }
+        self
+    }
+
+    /// Finish construction. Panics if elements are left open.
+    pub fn finish(self) -> Arc<Document> {
+        assert_eq!(self.stack.len(), 1, "unclosed elements at finish()");
+        Document::from_arena(self.nodes)
+    }
+
+    /// Convenience: a document with a single element containing text.
+    pub fn simple(name: &str, text: &str) -> Arc<Document> {
+        let mut b = DocBuilder::new();
+        b.start(name).text(text).end();
+        b.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_serialize() {
+        let mut b = DocBuilder::new();
+        b.start("order")
+            .attr("id", "42")
+            .start("item")
+            .text("chemicals")
+            .end()
+            .end();
+        let doc = b.finish();
+        assert_eq!(
+            doc.root().to_xml(),
+            r#"<order id="42"><item>chemicals</item></order>"#
+        );
+    }
+
+    #[test]
+    fn text_merging() {
+        let mut b = DocBuilder::new();
+        b.start("a").text("x").text("y").end();
+        let doc = b.finish();
+        let a = doc.document_element().unwrap();
+        assert_eq!(a.children().len(), 1);
+        assert_eq!(a.string_value(), "xy");
+    }
+
+    #[test]
+    fn copy_node_preserves_structure() {
+        let src = crate::parse("<a p='1'><b>t</b><!--c--></a>").unwrap();
+        let mut b = DocBuilder::new();
+        b.start("wrap")
+            .copy_node(&src.document_element().unwrap())
+            .end();
+        let doc = b.finish();
+        assert_eq!(
+            doc.root().to_xml(),
+            r#"<wrap><a p="1"><b>t</b><!--c--></a></wrap>"#
+        );
+        // copy is a distinct node
+        assert!(!doc.document_element().unwrap().children()[0]
+            .is_same_node(&src.document_element().unwrap()));
+    }
+
+    #[test]
+    #[should_panic(expected = "unclosed")]
+    fn unbalanced_builder_panics() {
+        let mut b = DocBuilder::new();
+        b.start("a");
+        b.finish();
+    }
+}

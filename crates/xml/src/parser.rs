@@ -1,0 +1,603 @@
+//! A namespace-aware, well-formedness-checking XML parser.
+//!
+//! Supports the constructs Demaq messages need: elements, attributes,
+//! character data, CDATA sections, comments, processing instructions, the
+//! XML declaration, predefined and numeric character references, and
+//! namespace declarations (`xmlns`, `xmlns:p`). DTDs are rejected (messages
+//! from untrusted peers must not trigger entity expansion).
+
+use crate::builder::DocBuilder;
+use crate::qname::QName;
+use crate::tree::Document;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Error produced while parsing XML, with 1-based line/column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub line: u32,
+    pub col: u32,
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "XML parse error at {}:{}: {}",
+            self.line, self.col, self.msg
+        )
+    }
+}
+impl std::error::Error for ParseError {}
+
+/// Parse a complete XML document (exactly one root element).
+pub fn parse(input: &str) -> Result<Arc<Document>, ParseError> {
+    Parser::new(input).parse_document(false)
+}
+
+/// Parse an XML fragment: zero or more top-level elements/text nodes.
+/// Used for message payload snippets in tests and the QML constructors.
+pub fn parse_fragment(input: &str) -> Result<Arc<Document>, ParseError> {
+    Parser::new(input).parse_document(true)
+}
+
+struct NsScope {
+    /// prefix -> uri; "" is the default namespace.
+    bindings: HashMap<String, String>,
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+    ns_stack: Vec<NsScope>,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        let mut base = HashMap::new();
+        base.insert(
+            "xml".to_string(),
+            "http://www.w3.org/XML/1998/namespace".to_string(),
+        );
+        Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            ns_stack: vec![NsScope { bindings: base }],
+        }
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            line: self.line,
+            col: self.col,
+            msg: msg.into(),
+        })
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    #[allow(dead_code)]
+    fn peek_at(&self, off: usize) -> Option<u8> {
+        self.bytes.get(self.pos + off).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.bytes[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn eat(&mut self, s: &str) -> bool {
+        if self.starts_with(s) {
+            for _ in 0..s.len() {
+                self.bump();
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, s: &str) -> Result<(), ParseError> {
+        if self.eat(s) {
+            Ok(())
+        } else {
+            self.err(format!("expected `{s}`"))
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.bump();
+        }
+    }
+
+    fn parse_document(mut self, fragment: bool) -> Result<Arc<Document>, ParseError> {
+        let mut b = DocBuilder::new();
+        // Optional XML declaration.
+        if self.starts_with("<?xml") {
+            self.read_until("?>")?;
+        }
+        let mut saw_root = false;
+        loop {
+            self.skip_misc_into(&mut b, fragment)?;
+            match self.peek() {
+                None => break,
+                Some(b'<') => {
+                    if !fragment && saw_root {
+                        return self.err("content after document element");
+                    }
+                    self.parse_element(&mut b)?;
+                    saw_root = true;
+                }
+                Some(_) if fragment => {
+                    let text = self.parse_char_data()?;
+                    b.text(&text);
+                }
+                Some(c) => return self.err(format!("unexpected character `{}`", c as char)),
+            }
+        }
+        if !fragment && !saw_root {
+            return self.err("no document element");
+        }
+        Ok(b.finish())
+    }
+
+    /// Skip whitespace/comments/PIs at top level (keeping comments/PIs).
+    fn skip_misc_into(&mut self, b: &mut DocBuilder, fragment: bool) -> Result<(), ParseError> {
+        loop {
+            if !fragment {
+                self.skip_ws();
+            }
+            if self.starts_with("<!--") {
+                let c = self.parse_comment()?;
+                b.comment(c);
+            } else if self.starts_with("<!DOCTYPE") {
+                return self.err("DOCTYPE declarations are not accepted");
+            } else if self.starts_with("<?") && !self.starts_with("<?xml") {
+                let (t, d) = self.parse_pi()?;
+                b.pi(t, d);
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn parse_element(&mut self, b: &mut DocBuilder) -> Result<(), ParseError> {
+        self.expect("<")?;
+        let name = self.parse_name()?;
+        // Collect raw attributes first; namespace decls affect resolution.
+        let mut raw_attrs: Vec<(String, String)> = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'>') | Some(b'/') => break,
+                None => return self.err("unexpected end of input in tag"),
+                _ => {
+                    let an = self.parse_name()?;
+                    self.skip_ws();
+                    self.expect("=")?;
+                    self.skip_ws();
+                    let av = self.parse_attr_value()?;
+                    if raw_attrs.iter().any(|(n, _)| *n == an) {
+                        return self.err(format!("duplicate attribute `{an}`"));
+                    }
+                    raw_attrs.push((an, av));
+                }
+            }
+        }
+        // Push a namespace scope with any declarations on this element.
+        let mut scope = NsScope {
+            bindings: HashMap::new(),
+        };
+        for (n, v) in &raw_attrs {
+            if n == "xmlns" {
+                scope.bindings.insert(String::new(), v.clone());
+            } else if let Some(p) = n.strip_prefix("xmlns:") {
+                if p.is_empty() {
+                    return self.err("empty namespace prefix declaration");
+                }
+                scope.bindings.insert(p.to_string(), v.clone());
+            }
+        }
+        self.ns_stack.push(scope);
+
+        let qname = self.resolve(&name, true)?;
+        b.start(qname.clone());
+        for (n, v) in &raw_attrs {
+            if n == "xmlns" || n.starts_with("xmlns:") {
+                // Namespace declarations are not attribute nodes in XDM,
+                // but keep them for serialization fidelity.
+                b.attr(QName::local(n.clone()), v.clone());
+                continue;
+            }
+            let aq = self.resolve(n, false)?;
+            b.attr(aq, v.clone());
+        }
+
+        let self_closing = self.eat("/");
+        self.expect(">")?;
+        if self_closing {
+            b.end();
+            self.ns_stack.pop();
+            return Ok(());
+        }
+
+        // Content until matching end tag.
+        loop {
+            if self.starts_with("</") {
+                self.expect("</")?;
+                let end_name = self.parse_name()?;
+                self.skip_ws();
+                self.expect(">")?;
+                if end_name != name {
+                    return self.err(format!(
+                        "mismatched end tag `</{end_name}>`, expected `</{name}>`"
+                    ));
+                }
+                b.end();
+                self.ns_stack.pop();
+                return Ok(());
+            } else if self.starts_with("<!--") {
+                let c = self.parse_comment()?;
+                b.comment(c);
+            } else if self.starts_with("<![CDATA[") {
+                let t = self.parse_cdata()?;
+                b.text(&t);
+            } else if self.starts_with("<?") {
+                let (t, d) = self.parse_pi()?;
+                b.pi(t, d);
+            } else if self.starts_with("<") {
+                self.parse_element(b)?;
+            } else if self.peek().is_none() {
+                return self.err(format!("unexpected end of input inside `<{name}>`"));
+            } else {
+                let text = self.parse_char_data()?;
+                b.text(&text);
+            }
+        }
+    }
+
+    fn resolve(&self, lexical: &str, use_default: bool) -> Result<QName, ParseError> {
+        let q = match QName::parse_lexical(lexical) {
+            Some(q) => q,
+            None => return self.err(format!("invalid QName `{lexical}`")),
+        };
+        let ns = match &q.prefix {
+            Some(p) => match self.lookup_ns(p) {
+                Some(uri) => Some(uri),
+                None => return self.err(format!("undeclared namespace prefix `{p}`")),
+            },
+            None if use_default => self.lookup_ns(""),
+            None => None,
+        };
+        Ok(QName {
+            ns: ns.filter(|u| !u.is_empty()),
+            prefix: q.prefix,
+            local: q.local,
+        })
+    }
+
+    fn lookup_ns(&self, prefix: &str) -> Option<String> {
+        for scope in self.ns_stack.iter().rev() {
+            if let Some(uri) = scope.bindings.get(prefix) {
+                return Some(uri.clone());
+            }
+        }
+        None
+    }
+
+    fn parse_name(&mut self) -> Result<String, ParseError> {
+        // Decode characters properly: names may contain non-ASCII letters,
+        // and byte-wise scanning would split multi-byte sequences.
+        let rest = std::str::from_utf8(&self.bytes[self.pos..]).map_err(|_| ParseError {
+            line: self.line,
+            col: self.col,
+            msg: "invalid UTF-8".into(),
+        })?;
+        let mut len = 0usize;
+        for (i, ch) in rest.char_indices() {
+            let ok = if i == 0 {
+                ch.is_alphabetic() || ch == '_' || ch == ':'
+            } else {
+                ch.is_alphanumeric() || matches!(ch, '_' | '-' | '.' | ':')
+            };
+            if !ok {
+                break;
+            }
+            len = i + ch.len_utf8();
+        }
+        if len == 0 {
+            return self.err("expected a name");
+        }
+        let name = rest[..len].to_string();
+        for _ in 0..len {
+            self.bump();
+        }
+        Ok(name)
+    }
+
+    fn parse_attr_value(&mut self) -> Result<String, ParseError> {
+        let quote = match self.peek() {
+            Some(q @ (b'"' | b'\'')) => q,
+            _ => return self.err("expected quoted attribute value"),
+        };
+        self.bump();
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return self.err("unterminated attribute value"),
+                Some(q) if q == quote => {
+                    self.bump();
+                    return Ok(out);
+                }
+                Some(b'<') => return self.err("`<` not allowed in attribute value"),
+                Some(b'&') => {
+                    let c = self.parse_reference()?;
+                    out.push_str(&c);
+                }
+                Some(_) => {
+                    out.push(self.bump_char()?);
+                }
+            }
+        }
+    }
+
+    fn bump_char(&mut self) -> Result<char, ParseError> {
+        let rest = std::str::from_utf8(&self.bytes[self.pos..]).map_err(|_| ParseError {
+            line: self.line,
+            col: self.col,
+            msg: "invalid UTF-8".into(),
+        })?;
+        let ch = rest.chars().next().ok_or(ParseError {
+            line: self.line,
+            col: self.col,
+            msg: "unexpected end of input".into(),
+        })?;
+        for _ in 0..ch.len_utf8() {
+            self.bump();
+        }
+        Ok(ch)
+    }
+
+    fn parse_char_data(&mut self) -> Result<String, ParseError> {
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None | Some(b'<') => return Ok(out),
+                Some(b'&') => {
+                    let c = self.parse_reference()?;
+                    out.push_str(&c);
+                }
+                Some(b']') if self.starts_with("]]>") => {
+                    return self.err("`]]>` not allowed in character data");
+                }
+                Some(_) => out.push(self.bump_char()?),
+            }
+        }
+    }
+
+    fn parse_reference(&mut self) -> Result<String, ParseError> {
+        self.expect("&")?;
+        if self.eat("#") {
+            let hex = self.eat("x");
+            let start = self.pos;
+            while matches!(self.peek(), Some(c) if (c as char).is_ascii_hexdigit()) {
+                self.bump();
+            }
+            let digits =
+                std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| ParseError {
+                    line: self.line,
+                    col: self.col,
+                    msg: "invalid UTF-8".into(),
+                })?;
+            self.expect(";")?;
+            let code = u32::from_str_radix(digits, if hex { 16 } else { 10 })
+                .ok()
+                .and_then(char::from_u32);
+            match code {
+                Some(c) => Ok(c.to_string()),
+                None => self.err("invalid character reference"),
+            }
+        } else {
+            let name = self.parse_name()?;
+            self.expect(";")?;
+            match name.as_str() {
+                "amp" => Ok("&".into()),
+                "lt" => Ok("<".into()),
+                "gt" => Ok(">".into()),
+                "apos" => Ok("'".into()),
+                "quot" => Ok("\"".into()),
+                other => self.err(format!("unknown entity `&{other};`")),
+            }
+        }
+    }
+
+    fn parse_comment(&mut self) -> Result<String, ParseError> {
+        self.expect("<!--")?;
+        let start = self.pos;
+        loop {
+            if self.starts_with("-->") {
+                let text = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| ParseError {
+                        line: self.line,
+                        col: self.col,
+                        msg: "invalid UTF-8".into(),
+                    })?
+                    .to_string();
+                if text.contains("--") {
+                    return self.err("`--` not allowed inside comments");
+                }
+                self.expect("-->")?;
+                return Ok(text);
+            }
+            if self.bump().is_none() {
+                return self.err("unterminated comment");
+            }
+        }
+    }
+
+    fn parse_cdata(&mut self) -> Result<String, ParseError> {
+        self.expect("<![CDATA[")?;
+        let start = self.pos;
+        loop {
+            if self.starts_with("]]>") {
+                let text = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| ParseError {
+                        line: self.line,
+                        col: self.col,
+                        msg: "invalid UTF-8".into(),
+                    })?
+                    .to_string();
+                self.expect("]]>")?;
+                return Ok(text);
+            }
+            if self.bump().is_none() {
+                return self.err("unterminated CDATA section");
+            }
+        }
+    }
+
+    fn parse_pi(&mut self) -> Result<(String, String), ParseError> {
+        self.expect("<?")?;
+        let target = self.parse_name()?;
+        if target.eq_ignore_ascii_case("xml") {
+            return self.err("reserved PI target `xml`");
+        }
+        self.skip_ws();
+        let data = self.read_until("?>")?;
+        Ok((target, data))
+    }
+
+    fn read_until(&mut self, delim: &str) -> Result<String, ParseError> {
+        let start = self.pos;
+        loop {
+            if self.starts_with(delim) {
+                let text = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| ParseError {
+                        line: self.line,
+                        col: self.col,
+                        msg: "invalid UTF-8".into(),
+                    })?
+                    .to_string();
+                self.expect(delim)?;
+                return Ok(text);
+            }
+            if self.bump().is_none() {
+                return self.err(format!("expected `{delim}` before end of input"));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serializer::serialize;
+
+    fn roundtrip(s: &str) -> String {
+        serialize(&parse(s).unwrap())
+    }
+
+    #[test]
+    fn simple_roundtrip() {
+        assert_eq!(
+            roundtrip("<a><b x=\"1\">hi</b></a>"),
+            "<a><b x=\"1\">hi</b></a>"
+        );
+    }
+
+    #[test]
+    fn self_closing_and_whitespace() {
+        assert_eq!(roundtrip("<a>\n  <b/>\n</a>"), "<a>\n  <b/>\n</a>");
+    }
+
+    #[test]
+    fn entities_decoded() {
+        let doc = parse("<a>&lt;&amp;&gt;&#65;&#x42;</a>").unwrap();
+        assert_eq!(doc.root().string_value(), "<&>AB");
+    }
+
+    #[test]
+    fn entities_reencoded_on_serialize() {
+        assert_eq!(roundtrip("<a>&lt;&amp;</a>"), "<a>&lt;&amp;</a>");
+    }
+
+    #[test]
+    fn cdata_becomes_text() {
+        let doc = parse("<a><![CDATA[<raw>&]]></a>").unwrap();
+        assert_eq!(doc.root().string_value(), "<raw>&");
+    }
+
+    #[test]
+    fn comments_and_pis_preserved() {
+        assert_eq!(
+            roundtrip("<a><!--note--><?t d?></a>"),
+            "<a><!--note--><?t d?></a>"
+        );
+    }
+
+    #[test]
+    fn xml_decl_skipped() {
+        let doc = parse("<?xml version=\"1.0\" encoding=\"UTF-8\"?><a/>").unwrap();
+        assert_eq!(serialize(&doc), "<a/>");
+    }
+
+    #[test]
+    fn namespace_resolution() {
+        let doc = parse(r#"<w:a xmlns:w="urn:w"><w:b/><c xmlns="urn:d"/></w:a>"#).unwrap();
+        let a = doc.document_element().unwrap();
+        assert_eq!(a.name().unwrap().ns.as_deref(), Some("urn:w"));
+        let kids = a.children();
+        assert_eq!(kids[0].name().unwrap().ns.as_deref(), Some("urn:w"));
+        assert_eq!(kids[1].name().unwrap().ns.as_deref(), Some("urn:d"));
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse("<a><b></a>").is_err()); // mismatched tags
+        assert!(parse("<a x='1' x='2'/>").is_err()); // duplicate attr
+        assert!(parse("<a>&bogus;</a>").is_err()); // unknown entity
+        assert!(parse("<a>").is_err()); // unterminated
+        assert!(parse("text only").is_err()); // no root element
+        assert!(parse("<a/><b/>").is_err()); // two roots
+        assert!(parse("<!DOCTYPE a><a/>").is_err()); // DTD rejected
+        assert!(parse(r#"<p:a xmlns:q="u"/>"#).is_err()); // undeclared prefix
+    }
+
+    #[test]
+    fn error_location() {
+        let err = parse("<a>\n<b></c></a>").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn fragment_allows_multiple_roots_and_text() {
+        let doc = parse_fragment("alpha<a/>beta<b/>").unwrap();
+        assert_eq!(doc.root().children().len(), 4);
+    }
+
+    #[test]
+    fn unicode_content() {
+        let doc = parse("<a>grüße 漢字</a>").unwrap();
+        assert_eq!(doc.root().string_value(), "grüße 漢字");
+    }
+}

@@ -1,0 +1,197 @@
+//! XML serialization: compact (canonical-ish) and pretty-printed forms.
+
+use crate::tree::{Document, NodeKind, NodeRef};
+use std::fmt::Write;
+use std::sync::Arc;
+
+/// Serialize a whole document compactly (no added whitespace).
+pub fn serialize(doc: &Arc<Document>) -> String {
+    serialize_node(&doc.root())
+}
+
+/// Serialize a node and its subtree compactly.
+pub fn serialize_node(node: &NodeRef) -> String {
+    let mut out = String::new();
+    write_node(&mut out, node, None, 0);
+    out
+}
+
+/// Serialize a document with 2-space indentation. Text-only elements stay
+/// on one line; mixed content is emitted verbatim to avoid changing the
+/// string value.
+pub fn serialize_pretty(doc: &Arc<Document>) -> String {
+    let mut out = String::new();
+    write_node(&mut out, &doc.root(), Some(2), 0);
+    if !out.ends_with('\n') {
+        out.push('\n');
+    }
+    out
+}
+
+fn write_node(out: &mut String, node: &NodeRef, indent: Option<usize>, depth: usize) {
+    match node.kind() {
+        NodeKind::Document => {
+            for c in node.children() {
+                write_node(out, &c, indent, depth);
+                if indent.is_some() && !out.ends_with('\n') {
+                    out.push('\n');
+                }
+            }
+        }
+        NodeKind::Element(name) => {
+            if let Some(step) = indent {
+                pad(out, step * depth);
+            }
+            out.push('<');
+            out.push_str(&name.lexical());
+            for a in node.attributes() {
+                if let NodeKind::Attribute(an, av) = a.kind() {
+                    let _ = write!(out, " {}=\"{}\"", an.lexical(), escape_attr(av));
+                }
+            }
+            let children = node.children();
+            if children.is_empty() {
+                out.push_str("/>");
+                if indent.is_some() {
+                    out.push('\n');
+                }
+                return;
+            }
+            out.push('>');
+            let text_only = children.iter().all(|c| c.is_text());
+            let has_text = children.iter().any(|c| c.is_text());
+            match indent {
+                Some(step) if !has_text => {
+                    out.push('\n');
+                    for c in &children {
+                        write_node(out, c, indent, depth + 1);
+                    }
+                    pad(out, step * depth);
+                }
+                Some(_) if text_only => {
+                    for c in &children {
+                        write_node(out, c, None, 0);
+                    }
+                }
+                _ => {
+                    // Mixed content: no reformatting (preserves string value).
+                    for c in &children {
+                        write_node(out, c, None, 0);
+                    }
+                }
+            }
+            out.push_str("</");
+            out.push_str(&name.lexical());
+            out.push('>');
+            if indent.is_some() {
+                out.push('\n');
+            }
+        }
+        NodeKind::Attribute(an, av) => {
+            let _ = write!(out, "{}=\"{}\"", an.lexical(), escape_attr(av));
+        }
+        NodeKind::Text(t) => out.push_str(&escape_text(t)),
+        NodeKind::Comment(c) => {
+            if let Some(step) = indent {
+                pad(out, step * depth);
+            }
+            let _ = write!(out, "<!--{c}-->");
+            if indent.is_some() {
+                out.push('\n');
+            }
+        }
+        NodeKind::Pi { target, data } => {
+            if let Some(step) = indent {
+                pad(out, step * depth);
+            }
+            if data.is_empty() {
+                let _ = write!(out, "<?{target}?>");
+            } else {
+                let _ = write!(out, "<?{target} {data}?>");
+            }
+            if indent.is_some() {
+                out.push('\n');
+            }
+        }
+    }
+}
+
+fn pad(out: &mut String, n: usize) {
+    for _ in 0..n {
+        out.push(' ');
+    }
+}
+
+/// Escape character data.
+pub fn escape_text(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escape an attribute value for double-quoted emission.
+pub fn escape_attr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '"' => out.push_str("&quot;"),
+            '\n' => out.push_str("&#10;"),
+            '\t' => out.push_str("&#9;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn escapes_special_chars() {
+        let mut b = crate::DocBuilder::new();
+        b.start("a").attr("x", "a\"b<c").text("1 < 2 & 3 > 2").end();
+        let doc = b.finish();
+        assert_eq!(
+            serialize(&doc),
+            "<a x=\"a&quot;b&lt;c\">1 &lt; 2 &amp; 3 &gt; 2</a>"
+        );
+        // Roundtrip: parse what we emitted and compare string values.
+        let doc2 = parse(&serialize(&doc)).unwrap();
+        assert!(doc.root().deep_equal(&doc2.root()));
+    }
+
+    #[test]
+    fn pretty_print_structure() {
+        let doc = parse("<a><b><c>x</c></b><d/></a>").unwrap();
+        let pretty = serialize_pretty(&doc);
+        assert_eq!(pretty, "<a>\n  <b>\n    <c>x</c>\n  </b>\n  <d/>\n</a>\n");
+        // Pretty output re-parses to a doc with identical element structure.
+        let doc2 = parse(&pretty).unwrap();
+        let names = |d: &std::sync::Arc<crate::Document>| {
+            d.root()
+                .descendants()
+                .iter()
+                .filter_map(|n| n.name().map(|q| q.local.clone()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(names(&doc), names(&doc2));
+    }
+
+    #[test]
+    fn mixed_content_not_reformatted() {
+        let doc = parse("<p>hello <b>world</b>!</p>").unwrap();
+        let pretty = serialize_pretty(&doc);
+        assert_eq!(pretty, "<p>hello <b>world</b>!</p>\n");
+    }
+}

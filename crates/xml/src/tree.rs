@@ -1,0 +1,445 @@
+//! Immutable, arena-based XML document tree.
+//!
+//! Every [`Document`] owns a flat arena of nodes. Node ids are assigned in
+//! document order during construction (element, then its attributes, then
+//! its children), so comparing `(doc_seq, NodeId)` pairs yields the total
+//! document order that XQuery path semantics require.
+//!
+//! Documents are frozen after construction. This mirrors Demaq's
+//! append-only message store — "messages are never modified after they have
+//! been created" — and lets the engine share trees across threads without
+//! synchronization.
+
+use crate::qname::QName;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Index of a node within its document's arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The document node itself is always node 0.
+    pub const DOC: NodeId = NodeId(0);
+}
+
+/// The kind (and kind-specific payload) of a node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NodeKind {
+    /// The document root; children are the top-level nodes.
+    Document,
+    /// An element with a qualified name.
+    Element(QName),
+    /// An attribute with a name and string value.
+    Attribute(QName, String),
+    /// A text node.
+    Text(String),
+    /// A comment.
+    Comment(String),
+    /// A processing instruction `<?target data?>`.
+    Pi { target: String, data: String },
+}
+
+/// Arena slot for a single node.
+#[derive(Debug, Clone)]
+pub struct NodeData {
+    /// Parent node; `None` only for the document node.
+    pub parent: Option<NodeId>,
+    /// Kind and payload.
+    pub kind: NodeKind,
+    /// Child nodes in document order (elements/text/comments/PIs).
+    pub children: Vec<NodeId>,
+    /// Attribute nodes (elements only).
+    pub attrs: Vec<NodeId>,
+}
+
+static DOC_SEQ: AtomicU64 = AtomicU64::new(1);
+
+/// A frozen XML document.
+pub struct Document {
+    /// Globally unique, monotonically increasing id; gives a stable total
+    /// order across documents (XQuery's "implementation-defined" inter-
+    /// document order).
+    pub doc_seq: u64,
+    pub(crate) nodes: Vec<NodeData>,
+}
+
+impl fmt::Debug for Document {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Document(seq={}, nodes={})",
+            self.doc_seq,
+            self.nodes.len()
+        )
+    }
+}
+
+impl Document {
+    pub(crate) fn from_arena(nodes: Vec<NodeData>) -> Arc<Document> {
+        Arc::new(Document {
+            doc_seq: DOC_SEQ.fetch_add(1, Ordering::Relaxed),
+            nodes,
+        })
+    }
+
+    /// Number of nodes including the document node.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the document contains only the document node.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+
+    /// Access raw node data.
+    pub fn node(&self, id: NodeId) -> &NodeData {
+        &self.nodes[id.0 as usize]
+    }
+
+    /// The root node reference of this document.
+    pub fn root(self: &Arc<Self>) -> NodeRef {
+        NodeRef {
+            doc: Arc::clone(self),
+            id: NodeId::DOC,
+        }
+    }
+
+    /// The single top-level element, if there is exactly one.
+    pub fn document_element(self: &Arc<Self>) -> Option<NodeRef> {
+        let mut found = None;
+        for &c in &self.nodes[0].children {
+            if matches!(self.node(c).kind, NodeKind::Element(_)) {
+                if found.is_some() {
+                    return None;
+                }
+                found = Some(NodeRef {
+                    doc: Arc::clone(self),
+                    id: c,
+                });
+            }
+        }
+        found
+    }
+}
+
+/// A reference to a node: a document handle plus a node id.
+///
+/// Cheap to clone (one `Arc` bump). Identity (`is_same_node`) and document
+/// order are total across all documents.
+#[derive(Clone)]
+pub struct NodeRef {
+    pub doc: Arc<Document>,
+    pub id: NodeId,
+}
+
+impl fmt::Debug for NodeRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "NodeRef(doc={}, id={}, kind={:?})",
+            self.doc.doc_seq,
+            self.id.0,
+            self.kind()
+        )
+    }
+}
+
+impl PartialEq for NodeRef {
+    fn eq(&self, other: &Self) -> bool {
+        self.is_same_node(other)
+    }
+}
+impl Eq for NodeRef {}
+
+impl PartialOrd for NodeRef {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for NodeRef {
+    /// Document order: within one document by arena id (pre-order), across
+    /// documents by document sequence number.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.doc.doc_seq, self.id).cmp(&(other.doc.doc_seq, other.id))
+    }
+}
+
+impl std::hash::Hash for NodeRef {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.doc.doc_seq.hash(state);
+        self.id.hash(state);
+    }
+}
+
+impl NodeRef {
+    fn data(&self) -> &NodeData {
+        self.doc.node(self.id)
+    }
+
+    fn wrap(&self, id: NodeId) -> NodeRef {
+        NodeRef {
+            doc: Arc::clone(&self.doc),
+            id,
+        }
+    }
+
+    /// Node identity: same document, same arena slot.
+    pub fn is_same_node(&self, other: &NodeRef) -> bool {
+        self.doc.doc_seq == other.doc.doc_seq && self.id == other.id
+    }
+
+    /// The node kind.
+    pub fn kind(&self) -> &NodeKind {
+        &self.data().kind
+    }
+
+    /// Element or attribute name, if applicable.
+    pub fn name(&self) -> Option<&QName> {
+        match &self.data().kind {
+            NodeKind::Element(q) | NodeKind::Attribute(q, _) => Some(q),
+            _ => None,
+        }
+    }
+
+    /// True for element nodes.
+    pub fn is_element(&self) -> bool {
+        matches!(self.data().kind, NodeKind::Element(_))
+    }
+
+    /// True for text nodes.
+    pub fn is_text(&self) -> bool {
+        matches!(self.data().kind, NodeKind::Text(_))
+    }
+
+    /// True for attribute nodes.
+    pub fn is_attribute(&self) -> bool {
+        matches!(self.data().kind, NodeKind::Attribute(..))
+    }
+
+    /// True for the document node.
+    pub fn is_document(&self) -> bool {
+        matches!(self.data().kind, NodeKind::Document)
+    }
+
+    /// Parent node, if any. Attributes' parent is their element.
+    pub fn parent(&self) -> Option<NodeRef> {
+        self.data().parent.map(|p| self.wrap(p))
+    }
+
+    /// Children in document order (no attributes).
+    pub fn children(&self) -> Vec<NodeRef> {
+        self.data().children.iter().map(|&c| self.wrap(c)).collect()
+    }
+
+    /// Attribute nodes of an element.
+    pub fn attributes(&self) -> Vec<NodeRef> {
+        self.data().attrs.iter().map(|&a| self.wrap(a)).collect()
+    }
+
+    /// Look up an attribute value by name.
+    pub fn attribute(&self, name: &str) -> Option<String> {
+        for &a in &self.data().attrs {
+            if let NodeKind::Attribute(q, v) = &self.doc.node(a).kind {
+                if q.local == name {
+                    return Some(v.clone());
+                }
+            }
+        }
+        None
+    }
+
+    /// All descendant nodes (excluding self, excluding attributes), in
+    /// document order.
+    pub fn descendants(&self) -> Vec<NodeRef> {
+        let mut out = Vec::new();
+        self.collect_descendants(&mut out);
+        out
+    }
+
+    fn collect_descendants(&self, out: &mut Vec<NodeRef>) {
+        for c in self.children() {
+            out.push(c.clone());
+            c.collect_descendants(out);
+        }
+    }
+
+    /// Ancestors from parent to the document node.
+    pub fn ancestors(&self) -> Vec<NodeRef> {
+        let mut out = Vec::new();
+        let mut cur = self.parent();
+        while let Some(n) = cur {
+            cur = n.parent();
+            out.push(n);
+        }
+        out
+    }
+
+    /// Following siblings in document order.
+    pub fn following_siblings(&self) -> Vec<NodeRef> {
+        self.sibling_split(false)
+    }
+
+    /// Preceding siblings in reverse document order.
+    pub fn preceding_siblings(&self) -> Vec<NodeRef> {
+        let mut v = self.sibling_split(true);
+        v.reverse();
+        v
+    }
+
+    fn sibling_split(&self, preceding: bool) -> Vec<NodeRef> {
+        let Some(parent) = self.parent() else {
+            return Vec::new();
+        };
+        let sibs = parent.children();
+        let pos = sibs.iter().position(|s| s.id == self.id);
+        match pos {
+            Some(i) if preceding => sibs[..i].to_vec(),
+            Some(i) => sibs[i + 1..].to_vec(),
+            None => Vec::new(),
+        }
+    }
+
+    /// The XPath string value: concatenation of all descendant text for
+    /// elements/documents; the value itself for attributes/text/comments.
+    pub fn string_value(&self) -> String {
+        match &self.data().kind {
+            NodeKind::Attribute(_, v) | NodeKind::Text(v) | NodeKind::Comment(v) => v.clone(),
+            NodeKind::Pi { data, .. } => data.clone(),
+            NodeKind::Document | NodeKind::Element(_) => {
+                let mut s = String::new();
+                self.collect_text(&mut s);
+                s
+            }
+        }
+    }
+
+    fn collect_text(&self, out: &mut String) {
+        for c in self.children() {
+            match &c.data().kind {
+                NodeKind::Text(t) => out.push_str(t),
+                NodeKind::Element(_) => c.collect_text(out),
+                _ => {}
+            }
+        }
+    }
+
+    /// Serialize this node (and subtree) to markup.
+    pub fn to_xml(&self) -> String {
+        crate::serializer::serialize_node(self)
+    }
+
+    /// Deep structural equality (ignores node identity): kinds, names,
+    /// attribute sets, and child sequences must match. Used by `fn:deep-equal`
+    /// and tests.
+    pub fn deep_equal(&self, other: &NodeRef) -> bool {
+        match (&self.data().kind, &other.data().kind) {
+            (NodeKind::Text(a), NodeKind::Text(b)) => a == b,
+            (NodeKind::Comment(a), NodeKind::Comment(b)) => a == b,
+            (NodeKind::Attribute(an, av), NodeKind::Attribute(bn, bv)) => an == bn && av == bv,
+            (
+                NodeKind::Pi {
+                    target: at,
+                    data: ad,
+                },
+                NodeKind::Pi {
+                    target: bt,
+                    data: bd,
+                },
+            ) => at == bt && ad == bd,
+            (NodeKind::Element(an), NodeKind::Element(bn)) => {
+                if an != bn {
+                    return false;
+                }
+                let (mut aa, mut ba) = (self.attributes(), other.attributes());
+                if aa.len() != ba.len() {
+                    return false;
+                }
+                let key = |n: &NodeRef| n.name().cloned().unwrap_or_default();
+                aa.sort_by_key(&key);
+                ba.sort_by_key(&key);
+                if !aa.iter().zip(&ba).all(|(x, y)| x.deep_equal(y)) {
+                    return false;
+                }
+                self.children_deep_equal(other)
+            }
+            (NodeKind::Document, NodeKind::Document) => self.children_deep_equal(other),
+            _ => false,
+        }
+    }
+
+    fn children_deep_equal(&self, other: &NodeRef) -> bool {
+        let (ac, bc) = (self.children(), other.children());
+        ac.len() == bc.len() && ac.iter().zip(&bc).all(|(x, y)| x.deep_equal(y))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parse;
+
+    #[test]
+    fn document_order_is_preorder() {
+        let doc = parse("<a><b x='1'><c/></b><d/></a>").unwrap();
+        let root = doc.document_element().unwrap();
+        let desc = root.descendants();
+        let names: Vec<_> = desc
+            .iter()
+            .filter_map(|n| n.name().map(|q| q.local.clone()))
+            .collect();
+        assert_eq!(names, ["b", "c", "d"]);
+        // ids strictly increase in document order
+        let mut sorted = desc.clone();
+        sorted.sort();
+        assert_eq!(
+            desc.iter().map(|n| n.id).collect::<Vec<_>>(),
+            sorted.iter().map(|n| n.id).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn attributes_sort_between_element_and_children() {
+        let doc = parse("<a x='1'><b/></a>").unwrap();
+        let a = doc.document_element().unwrap();
+        let attr = &a.attributes()[0];
+        let b = &a.children()[0];
+        assert!(a < *attr);
+        assert!(*attr < *b);
+    }
+
+    #[test]
+    fn string_value_concatenates_descendant_text() {
+        let doc = parse("<a>x<b>y</b>z</a>").unwrap();
+        assert_eq!(doc.root().string_value(), "xyz");
+    }
+
+    #[test]
+    fn ancestors_and_siblings() {
+        let doc = parse("<a><b/><c/><d/></a>").unwrap();
+        let kids = doc.document_element().unwrap().children();
+        let c = &kids[1];
+        assert_eq!(c.ancestors().len(), 2); // a, document
+        assert_eq!(c.following_siblings().len(), 1);
+        assert_eq!(c.preceding_siblings().len(), 1);
+        assert_eq!(c.preceding_siblings()[0].name().unwrap().local, "b");
+    }
+
+    #[test]
+    fn deep_equal_ignores_attr_order() {
+        let d1 = parse("<a x='1' y='2'><b/>t</a>").unwrap();
+        let d2 = parse("<a y='2' x='1'><b/>t</a>").unwrap();
+        let d3 = parse("<a y='2' x='9'><b/>t</a>").unwrap();
+        assert!(d1.root().deep_equal(&d2.root()));
+        assert!(!d1.root().deep_equal(&d3.root()));
+    }
+
+    #[test]
+    fn identity_differs_across_documents() {
+        let d1 = parse("<a/>").unwrap();
+        let d2 = parse("<a/>").unwrap();
+        assert!(!d1.root().is_same_node(&d2.root()));
+        assert!(d1.root().deep_equal(&d2.root()));
+    }
+}

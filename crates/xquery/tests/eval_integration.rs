@@ -1,0 +1,704 @@
+//! End-to-end tests: parse + evaluate full XQuery expressions, including the
+//! idioms the Demaq paper's QML listings rely on.
+
+use demaq_xml::{parse, NodeRef, QName};
+use demaq_xquery::{
+    eval_query, parse_expr, DynamicContext, Evaluator, HostFunctions, Sequence, StaticContext,
+    Update,
+};
+use std::sync::Arc;
+
+fn doc(xml: &str) -> NodeRef {
+    parse(xml).unwrap().root()
+}
+
+fn q(query: &str, xml: &str) -> String {
+    eval_query(query, &doc(xml)).unwrap().to_string()
+}
+
+fn q_err(query: &str, xml: &str) -> bool {
+    eval_query(query, &doc(xml)).is_err()
+}
+
+// ---------------------------------------------------------------- paths ----
+
+#[test]
+fn child_paths() {
+    assert_eq!(q("/order/id", "<order><id>7</id><id>8</id></order>"), "7 8");
+    assert_eq!(q("order/id", "<order><id>7</id></order>"), "7");
+    assert_eq!(q("/order/missing", "<order><id>7</id></order>"), "");
+}
+
+#[test]
+fn descendant_paths() {
+    let xml = "<a><b><c>1</c></b><c>2</c></a>";
+    assert_eq!(q("//c", xml), "1 2");
+    assert_eq!(q("/a//c", xml), "1 2");
+    assert_eq!(q("count(//*)", xml), "4");
+}
+
+#[test]
+fn attribute_axis() {
+    let xml = r#"<order id="42" vip="true"><item qty="3"/></order>"#;
+    assert_eq!(q("/order/@id", xml), "42");
+    assert_eq!(q("//@qty", xml), "3");
+    assert_eq!(q("count(/order/@*)", xml), "2");
+    assert_eq!(q("string(/order/attribute::vip)", xml), "true");
+}
+
+#[test]
+fn parent_and_self_axes() {
+    let xml = "<a><b><c/></b></a>";
+    assert_eq!(q("name(//c/..)", xml), "b");
+    assert_eq!(q("name(//c/parent::b)", xml), "b");
+    assert_eq!(q("count(//c/ancestor::*)", xml), "2");
+    assert_eq!(q("name(//b/self::b)", xml), "b");
+    assert_eq!(q("count(//b/self::zzz)", xml), "0");
+}
+
+#[test]
+fn sibling_axes() {
+    let xml = "<r><a/><b/><c/><d/></r>";
+    assert_eq!(q("name(//b/following-sibling::*[1])", xml), "c");
+    assert_eq!(q("count(//d/preceding-sibling::*)", xml), "3");
+}
+
+#[test]
+fn kind_tests() {
+    let xml = "<a>hi<!--note--><b/><?pi data?></a>";
+    assert_eq!(q("string(/a/text())", xml), "hi");
+    assert_eq!(q("string(/a/comment())", xml), "note");
+    assert_eq!(q("count(/a/node())", xml), "4");
+    assert_eq!(q("count(/a/element())", xml), "1");
+    assert_eq!(q("count(/a/processing-instruction())", xml), "1");
+    assert_eq!(q("count(/a/processing-instruction('pi'))", xml), "1");
+    assert_eq!(q("count(/a/processing-instruction('other'))", xml), "0");
+}
+
+#[test]
+fn wildcard_steps() {
+    let xml = "<r><a>1</a><b>2</b></r>";
+    assert_eq!(q("/r/*", xml), "1 2");
+}
+
+#[test]
+fn paths_deduplicate_and_order() {
+    // Both //b and /a/b hit the same node: union should dedup.
+    let xml = "<a><b>x</b></a>";
+    assert_eq!(q("count(//b | /a/b)", xml), "1");
+}
+
+// ---------------------------------------------------------- predicates ----
+
+#[test]
+fn positional_predicates() {
+    let xml = "<r><i>a</i><i>b</i><i>c</i></r>";
+    assert_eq!(q("/r/i[1]", xml), "a");
+    assert_eq!(q("/r/i[3]", xml), "c");
+    assert_eq!(q("/r/i[last()]", xml), "c");
+    assert_eq!(q("/r/i[position() > 1]", xml), "b c");
+    assert_eq!(q("/r/i[4]", xml), "");
+}
+
+#[test]
+fn value_predicates() {
+    let xml =
+        r#"<inv><bill paid="no"><amt>10</amt></bill><bill paid="yes"><amt>99</amt></bill></inv>"#;
+    assert_eq!(q("//bill[@paid = 'yes']/amt", xml), "99");
+    assert_eq!(q("//bill[amt > 50]/@paid", xml), "yes");
+    assert_eq!(q("count(//bill[amt])", xml), "2");
+    assert_eq!(q("count(//bill[zzz])", xml), "0");
+}
+
+#[test]
+fn chained_predicates() {
+    let xml = "<r><i x='1'>a</i><i x='1'>b</i><i x='2'>c</i></r>";
+    assert_eq!(q("/r/i[@x = '1'][2]", xml), "b");
+}
+
+#[test]
+fn predicate_on_filter_expr() {
+    assert_eq!(q("(1 to 10)[. mod 2 = 0][2]", "<x/>"), "4");
+}
+
+// --------------------------------------------------------- comparisons ----
+
+#[test]
+fn general_comparisons_are_existential() {
+    let xml = "<r><v>1</v><v>5</v></r>";
+    assert_eq!(q("//v = 5", xml), "true");
+    assert_eq!(q("//v = 3", xml), "false");
+    assert_eq!(q("//v > 4", xml), "true");
+    assert_eq!(q("//v != 1", xml), "true"); // 5 != 1
+    assert_eq!(q("() = 1", xml), "false");
+}
+
+#[test]
+fn value_comparisons() {
+    assert_eq!(q("5 eq 5", "<x/>"), "true");
+    assert_eq!(q("'a' lt 'b'", "<x/>"), "true");
+    assert_eq!(q("2 ge 3", "<x/>"), "false");
+    // Incompatible types error under value comparison…
+    assert!(q_err("'a' eq 1", "<x/>"));
+    // …but an empty operand yields the empty sequence.
+    assert_eq!(q("count(() eq 1)", "<x/>"), "0");
+}
+
+#[test]
+fn node_comparisons() {
+    let xml = "<r><a/><b/></r>";
+    assert_eq!(q("(//a)[1] is (//a)[1]", xml), "true");
+    assert_eq!(q("(//a)[1] is (//b)[1]", xml), "false");
+    assert_eq!(q("(//a)[1] << (//b)[1]", xml), "true");
+    assert_eq!(q("(//b)[1] >> (//a)[1]", xml), "true");
+}
+
+// ---------------------------------------------------------- arithmetic ----
+
+#[test]
+fn integer_arithmetic() {
+    assert_eq!(q("1 + 2 * 3", "<x/>"), "7");
+    assert_eq!(q("(1 + 2) * 3", "<x/>"), "9");
+    assert_eq!(q("7 mod 3", "<x/>"), "1");
+    assert_eq!(q("7 idiv 2", "<x/>"), "3");
+    assert_eq!(q("-3 + 1", "<x/>"), "-2");
+    assert!(q_err("1 idiv 0", "<x/>"));
+}
+
+#[test]
+fn double_arithmetic_and_untyped_promotion() {
+    assert_eq!(q("1 div 2", "<x/>"), "0.5");
+    assert_eq!(q("//n + 1", "<r><n>41</n></r>"), "42");
+    assert_eq!(q("count(() + 1)", "<x/>"), "0");
+}
+
+#[test]
+fn range_expression() {
+    assert_eq!(q("count(1 to 10)", "<x/>"), "10");
+    assert_eq!(q("count(5 to 4)", "<x/>"), "0");
+    assert_eq!(q("sum(1 to 4)", "<x/>"), "10");
+}
+
+// ---------------------------------------------------------------- flwor ----
+
+#[test]
+fn flwor_for_let_return() {
+    assert_eq!(q("for $i in 1 to 3 return $i * 10", "<x/>"), "10 20 30");
+    assert_eq!(q("let $x := 5 return $x + $x", "<x/>"), "10");
+    assert_eq!(
+        q("for $i in 1 to 2 let $d := $i * 2 return $d", "<x/>"),
+        "2 4"
+    );
+}
+
+#[test]
+fn flwor_where() {
+    assert_eq!(
+        q("for $i in 1 to 6 where $i mod 2 = 0 return $i", "<x/>"),
+        "2 4 6"
+    );
+}
+
+#[test]
+fn flwor_order_by() {
+    let xml =
+        "<r><p><n>beta</n><v>2</v></p><p><n>alpha</n><v>1</v></p><p><n>gamma</n><v>3</v></p></r>";
+    assert_eq!(
+        q("for $p in //p order by $p/n return string($p/v)", xml),
+        "1 2 3"
+    );
+    assert_eq!(
+        q(
+            "for $p in //p order by $p/v descending return string($p/n)",
+            xml
+        ),
+        "gamma beta alpha"
+    );
+}
+
+#[test]
+fn flwor_at_index() {
+    assert_eq!(
+        q(
+            "for $v at $i in ('a','b','c') return concat($i, ':', $v)",
+            "<x/>"
+        ),
+        "1:a 2:b 3:c"
+    );
+}
+
+#[test]
+fn flwor_multiple_for_is_cartesian() {
+    assert_eq!(
+        q("for $a in (1,2), $b in (10,20) return $a + $b", "<x/>"),
+        "11 21 12 22"
+    );
+}
+
+#[test]
+fn nested_flwor_scoping() {
+    assert_eq!(
+        q("let $x := 1 return (let $x := 2 return $x) + $x", "<x/>"),
+        "3"
+    );
+}
+
+// ----------------------------------------------------------- quantified ----
+
+#[test]
+fn quantified_expressions() {
+    assert_eq!(q("some $x in (1,2,3) satisfies $x > 2", "<x/>"), "true");
+    assert_eq!(q("every $x in (1,2,3) satisfies $x > 0", "<x/>"), "true");
+    assert_eq!(q("every $x in (1,2,3) satisfies $x > 1", "<x/>"), "false");
+    assert_eq!(q("some $x in () satisfies $x", "<x/>"), "false");
+    assert_eq!(q("every $x in () satisfies $x", "<x/>"), "true");
+    assert_eq!(
+        q("some $x in (1,2), $y in (2,3) satisfies $x = $y", "<x/>"),
+        "true"
+    );
+}
+
+// ---------------------------------------------------------- conditional ----
+
+#[test]
+fn if_then_else() {
+    assert_eq!(q("if (1 < 2) then 'yes' else 'no'", "<x/>"), "yes");
+    assert_eq!(q("if (()) then 'yes' else 'no'", "<x/>"), "no");
+    // QML: else branch optional (paper Sec 3.3).
+    assert_eq!(q("if (2 < 1) then 'yes'", "<x/>"), "");
+    assert_eq!(q("count(if (0) then 1)", "<x/>"), "0");
+}
+
+// --------------------------------------------------------- constructors ----
+
+#[test]
+fn direct_element_constructor() {
+    let out = eval_query(
+        "<offer><id>{ //requestID }</id></offer>",
+        &doc("<r><requestID>9</requestID></r>"),
+    )
+    .unwrap();
+    let node = out.0[0].as_node().unwrap().clone();
+    assert_eq!(
+        node.to_xml(),
+        "<offer><id><requestID>9</requestID></id></offer>"
+    );
+}
+
+#[test]
+fn constructor_copies_nodes() {
+    // Copied nodes are new nodes (XQuery constructor copy semantics).
+    let d = doc("<r><a>x</a></r>");
+    let out = eval_query("<w>{ //a }</w>", &d).unwrap();
+    let w = out.0[0].as_node().unwrap();
+    let copied = &w.children()[0];
+    let orig = eval_query("//a", &d).unwrap().0[0]
+        .as_node()
+        .unwrap()
+        .clone();
+    assert!(copied.deep_equal(&orig));
+    assert!(!copied.is_same_node(&orig));
+}
+
+#[test]
+fn atomics_in_content_are_space_joined() {
+    let out = eval_query("<v>{ (1, 2, 3) }</v>", &doc("<x/>")).unwrap();
+    assert_eq!(out.0[0].as_node().unwrap().to_xml(), "<v>1 2 3</v>");
+}
+
+#[test]
+fn attribute_value_templates() {
+    let out = eval_query(
+        r#"<item price="{ 2 + 3 }" cur="EUR{ '!' }"/>"#,
+        &doc("<x/>"),
+    )
+    .unwrap();
+    assert_eq!(
+        out.0[0].as_node().unwrap().to_xml(),
+        r#"<item price="5" cur="EUR!"/>"#
+    );
+}
+
+#[test]
+fn nested_constructors_and_text() {
+    let out = eval_query("<a>literal <b>{ 1+1 }</b> tail</a>", &doc("<x/>")).unwrap();
+    assert_eq!(
+        out.0[0].as_node().unwrap().to_xml(),
+        "<a>literal <b>2</b> tail</a>"
+    );
+}
+
+#[test]
+fn boundary_whitespace_is_stripped() {
+    let out = eval_query("<a>\n  <b/>\n</a>", &doc("<x/>")).unwrap();
+    assert_eq!(out.0[0].as_node().unwrap().to_xml(), "<a><b/></a>");
+}
+
+#[test]
+fn curly_escapes() {
+    let out = eval_query("<a>{{literal}}</a>", &doc("<x/>")).unwrap();
+    assert_eq!(out.0[0].as_node().unwrap().to_xml(), "<a>{literal}</a>");
+}
+
+#[test]
+fn computed_constructors() {
+    let out = eval_query(
+        "element order { attribute id { 40 + 2 }, element item { 'acid' } }",
+        &doc("<x/>"),
+    )
+    .unwrap();
+    assert_eq!(
+        out.0[0].as_node().unwrap().to_xml(),
+        r#"<order id="42"><item>acid</item></order>"#
+    );
+}
+
+#[test]
+fn computed_text_and_comment() {
+    let out = eval_query("<a>{ text { 'T' }, comment { 'C' } }</a>", &doc("<x/>")).unwrap();
+    assert_eq!(out.0[0].as_node().unwrap().to_xml(), "<a>T<!--C--></a>");
+}
+
+#[test]
+fn constructor_entities() {
+    let out = eval_query("<a>1 &lt; 2 &amp; so</a>", &doc("<x/>")).unwrap();
+    assert_eq!(out.0[0].as_node().unwrap().string_value(), "1 < 2 & so");
+}
+
+// ------------------------------------------------------------- updating ----
+
+fn eval_updates(query: &str, context: &NodeRef) -> (Sequence, Vec<Update>) {
+    let expr = parse_expr(query).unwrap();
+    let sctx = StaticContext::default();
+    let dctx = DynamicContext::default();
+    let mut ev = Evaluator::new(&sctx, &dctx);
+    let seq = ev.eval_with_context(&expr, context.clone()).unwrap();
+    (seq, ev.updates)
+}
+
+#[test]
+fn do_enqueue_produces_pending_update() {
+    let ctx = doc("<offerRequest><requestID>7</requestID></offerRequest>");
+    let (seq, ups) = eval_updates(
+        "do enqueue <probe>{ //requestID }</probe> into finance",
+        &ctx,
+    );
+    assert!(
+        seq.is_empty(),
+        "updating expressions return the empty sequence"
+    );
+    assert_eq!(ups.len(), 1);
+    match &ups[0] {
+        Update::Enqueue {
+            queue,
+            message,
+            props,
+        } => {
+            assert_eq!(queue.local, "finance");
+            assert!(props.is_empty());
+            assert_eq!(
+                message.root().to_xml(),
+                "<probe><requestID>7</requestID></probe>"
+            );
+        }
+        other => panic!("expected Enqueue, got {other:?}"),
+    }
+}
+
+#[test]
+fn do_enqueue_with_properties() {
+    let ctx = doc("<m/>");
+    let (_, ups) = eval_updates(
+        "do enqueue <a/> into supplier with Sender value 'http://ws.chem.invalid/' with prio value 2",
+        &ctx,
+    );
+    match &ups[0] {
+        Update::Enqueue { props, .. } => {
+            assert_eq!(props.len(), 2);
+            assert_eq!(props[0].0, "Sender");
+            assert_eq!(props[0].1.to_str(), "http://ws.chem.invalid/");
+            assert_eq!(props[1].1.to_str(), "2");
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn conditional_enqueue_only_in_taken_branch() {
+    let ctx = doc("<m><flag>no</flag></m>");
+    let (_, ups) = eval_updates(
+        "if (//flag = 'yes') then do enqueue <y/> into a else do enqueue <n/> into b",
+        &ctx,
+    );
+    assert_eq!(ups.len(), 1);
+    match &ups[0] {
+        Update::Enqueue { queue, .. } => assert_eq!(queue.local, "b"),
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn multiple_enqueues_in_sequence_expr() {
+    // The comma operator combines pending updates — the paper's Example 3.1
+    // forks control flow this way.
+    let ctx =
+        doc("<offerRequest><requestID>1</requestID><customerID>c</customerID></offerRequest>");
+    let (_, ups) = eval_updates(
+        "let $ci := <requestCustomerInfo>{//requestID}{//customerID}</requestCustomerInfo>
+         return (do enqueue $ci into finance,
+                 do enqueue $ci into legal,
+                 do enqueue $ci into supplier)",
+        &ctx,
+    );
+    assert_eq!(ups.len(), 3);
+    let queues: Vec<String> = ups
+        .iter()
+        .map(|u| match u {
+            Update::Enqueue { queue, .. } => queue.local.clone(),
+            _ => unreachable!(),
+        })
+        .collect();
+    assert_eq!(queues, ["finance", "legal", "supplier"]);
+}
+
+#[test]
+fn flwor_enqueue_per_iteration() {
+    let ctx = doc("<r><i>1</i><i>2</i></r>");
+    let (_, ups) = eval_updates("for $i in //i return do enqueue <c>{$i}</c> into out", &ctx);
+    assert_eq!(ups.len(), 2);
+}
+
+#[test]
+fn do_reset_variants() {
+    let ctx = doc("<m/>");
+    let (_, ups) = eval_updates("do reset", &ctx);
+    assert!(matches!(
+        &ups[0],
+        Update::Reset {
+            slicing: None,
+            key: None
+        }
+    ));
+
+    let (_, ups) = eval_updates("do reset orders key '42'", &ctx);
+    match &ups[0] {
+        Update::Reset {
+            slicing: Some(s),
+            key: Some(k),
+        } => {
+            assert_eq!(s.local, "orders");
+            assert_eq!(k.to_str(), "42");
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn is_updating_classification() {
+    assert!(parse_expr("do enqueue <a/> into q").unwrap().is_updating());
+    assert!(parse_expr("if (1) then do reset").unwrap().is_updating());
+    assert!(!parse_expr("1 + 2").unwrap().is_updating());
+    assert!(parse_expr("for $x in //a return do enqueue $x into q")
+        .unwrap()
+        .is_updating());
+}
+
+// -------------------------------------------------------- host functions ----
+
+struct TestHost;
+impl HostFunctions for TestHost {
+    fn call(
+        &self,
+        name: &QName,
+        args: &[Sequence],
+    ) -> Option<Result<Sequence, demaq_xquery::Error>> {
+        match (name.prefix.as_deref(), name.local.as_str()) {
+            (Some("qs"), "answer") => Some(Ok(Sequence::int(42))),
+            (Some("qs"), "echo") => Some(Ok(args[0].clone())),
+            _ => None,
+        }
+    }
+
+    fn collection(&self, name: &str) -> Result<Sequence, demaq_xquery::Error> {
+        let d = parse(&format!("<collection-of>{name}</collection-of>")).unwrap();
+        Ok(Sequence::one(d.root()))
+    }
+
+    fn current_date_time_ms(&self) -> i64 {
+        86_400_000 // 1970-01-02T00:00:00Z
+    }
+}
+
+fn q_host(query: &str, xml: &str) -> String {
+    let expr = parse_expr(query).unwrap();
+    let sctx = StaticContext::default();
+    let dctx = DynamicContext::new(Arc::new(TestHost));
+    let mut ev = Evaluator::new(&sctx, &dctx);
+    ev.eval_with_context(&expr, doc(xml)).unwrap().to_string()
+}
+
+#[test]
+fn extension_functions_via_host() {
+    assert_eq!(q_host("qs:answer() + 1", "<x/>"), "43");
+    assert_eq!(q_host("qs:echo('hello')", "<x/>"), "hello");
+}
+
+#[test]
+fn collection_via_host() {
+    assert_eq!(q_host("string(collection('crm'))", "<x/>"), "crm");
+}
+
+#[test]
+fn current_date_time_via_host() {
+    assert_eq!(
+        q_host("string(current-dateTime())", "<x/>"),
+        "1970-01-02T00:00:00Z"
+    );
+}
+
+#[test]
+fn unknown_extension_function_errors() {
+    let expr = parse_expr("qs:nonexistent()").unwrap();
+    let sctx = StaticContext::default();
+    let dctx = DynamicContext::new(Arc::new(TestHost));
+    let mut ev = Evaluator::new(&sctx, &dctx);
+    assert!(ev.eval_with_context(&expr, doc("<x/>")).is_err());
+}
+
+// ------------------------------------------------------ variables & misc ----
+
+#[test]
+fn external_variables() {
+    let expr = parse_expr("$n * 2").unwrap();
+    let sctx = StaticContext::default();
+    let mut dctx = DynamicContext::default();
+    dctx.bind("n", Sequence::int(21));
+    let mut ev = Evaluator::new(&sctx, &dctx);
+    assert_eq!(
+        ev.eval_with_context(&expr, doc("<x/>"))
+            .unwrap()
+            .to_string(),
+        "42"
+    );
+}
+
+#[test]
+fn undefined_variable_errors() {
+    assert!(q_err("$missing", "<x/>"));
+}
+
+#[test]
+fn cast_expressions() {
+    assert_eq!(q("'42' cast as xs:integer", "<x/>"), "42");
+    assert_eq!(q("1 instance of xs:integer", "<x/>"), "true");
+    assert_eq!(q("'x' instance of xs:integer", "<x/>"), "false");
+    assert!(q_err("'nope' cast as xs:integer", "<x/>"));
+}
+
+#[test]
+fn set_operations() {
+    let xml = "<r><a/><b/><c/></r>";
+    assert_eq!(q("count(//a | //b)", xml), "2");
+    assert_eq!(q("count((//a, //b) intersect //a)", xml), "1");
+    assert_eq!(q("count(/r/* except //b)", xml), "2");
+}
+
+#[test]
+fn comments_in_queries() {
+    assert_eq!(q("1 + (: this is ignored (: nested :) :) 2", "<x/>"), "3");
+}
+
+#[test]
+fn date_time_comparison_and_arithmetic() {
+    assert_eq!(
+        q(
+            "xs:dateTime('2026-01-02T00:00:00Z') gt xs:dateTime('2026-01-01T00:00:00Z')",
+            "<x/>"
+        ),
+        "true"
+    );
+    assert_eq!(
+        q(
+            "string(xs:dateTime('2026-01-01T00:00:00Z') + xs:dayTimeDuration('P1D'))",
+            "<x/>"
+        ),
+        "2026-01-02T00:00:00Z"
+    );
+    assert_eq!(
+        q(
+            "string(xs:dateTime('2026-01-02T00:00:00Z') - xs:dateTime('2026-01-01T12:00:00Z'))",
+            "<x/>"
+        ),
+        "PT12H"
+    );
+}
+
+// --------------------------------------------------- paper-shaped queries ----
+
+#[test]
+fn example_3_1_shape() {
+    // The credit-check message construction from Fig. 5.
+    let ctx = doc(
+        "<offerRequest><requestID>r1</requestID><customerID>c9</customerID>\
+         <items><item>solvent</item></items></offerRequest>",
+    );
+    let (_, ups) = eval_updates(
+        "if (//offerRequest) then
+           let $customerInfo :=
+             <requestCustomerInfo>
+               {//requestID} {//customerID}
+             </requestCustomerInfo>
+           return (do enqueue $customerInfo into finance,
+                   do enqueue $customerInfo into legal)",
+        &ctx,
+    );
+    assert_eq!(ups.len(), 2);
+    match &ups[0] {
+        Update::Enqueue { message, .. } => {
+            assert_eq!(
+                message.root().to_xml(),
+                "<requestCustomerInfo><requestID>r1</requestID><customerID>c9</customerID></requestCustomerInfo>"
+            );
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn example_3_2_shape() {
+    // Fig. 6 pattern: correlate current message against another queue's
+    // messages (the queue is modelled here by an external variable).
+    let invoices =
+        parse("<invoices><invoice><customerID>c9</customerID><unpaid/></invoice></invoices>")
+            .unwrap();
+    // Inside the predicate the context item switches to the inspected queue
+    // content, so the triggering message must be reached through a binding —
+    // exactly why the paper's Fig. 6 uses qs:message() there.
+    let expr = parse_expr(
+        "if ($invoices[//customerID = $msg/requestCustomerInfo/customerID]) then <refuse/> else <accept/>",
+    )
+    .unwrap();
+    let sctx = StaticContext::default();
+    let mut dctx = DynamicContext::default();
+    dctx.bind("invoices", Sequence::one(invoices.root()));
+    let ctx = doc("<requestCustomerInfo><customerID>c9</customerID></requestCustomerInfo>");
+    dctx.bind("msg", Sequence::one(ctx.clone()));
+    let mut ev = Evaluator::new(&sctx, &dctx);
+    let out = ev.eval_with_context(&expr, ctx).unwrap();
+    assert_eq!(out.0[0].as_node().unwrap().to_xml(), "<refuse/>");
+}
+
+#[test]
+fn deeply_nested_expression_is_rejected_not_stack_overflow() {
+    let mut query = String::new();
+    for _ in 0..2000 {
+        query.push('(');
+    }
+    query.push('1');
+    for _ in 0..2000 {
+        query.push(')');
+    }
+    // Either a parse error or a depth error is fine; a crash is not.
+    let d = doc("<x/>");
+    let _ = eval_query(&query, &d);
+}

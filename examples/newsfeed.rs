@@ -1,0 +1,143 @@
+//! Event notification with RSS/Atom-style feeds — one of the "Active Web"
+//! protocol families the paper's introduction motivates ("event
+//! notification using RSS/Atom feeds").
+//!
+//! A Demaq node aggregates entries from several feeds:
+//! * entries arrive on an incoming gateway,
+//! * a slicing groups entries per feed (dedup by entry id within a feed's
+//!   slice lifetime),
+//! * subscribers matching a category get immediate notifications through
+//!   an outgoing gateway,
+//! * a periodic digest (echo-queue timer) summarizes each feed and resets
+//!   its slice, so old entries get garbage-collected.
+//!
+//! ```text
+//! cargo run --example newsfeed
+//! ```
+
+use demaq::Server;
+use demaq_net::{Clock, Envelope, Network};
+use demaq_store::store::SyncPolicy;
+use std::sync::{Arc, Mutex};
+
+const PROGRAM: &str = r#"
+    create queue entries kind incomingGateway mode persistent endpoint "urn:aggregator"
+    create queue digests kind basic mode persistent
+    create queue subscribers kind outgoingGateway mode persistent endpoint "urn:subscriber-hub"
+    create queue echoQueue kind echo mode persistent
+    create queue feedErrors kind basic mode persistent
+    set errorqueue feedErrors
+
+    create property feed as xs:string fixed queue entries value //entry/@feed
+    create property entryID as xs:string fixed queue entries value //entry/@id
+    create slicing byFeed on feed
+
+    (: Immediate notification for breaking news. Upstream feeds redeliver
+       entries, so dedup against the marker queue: the first processed copy
+       records its entry id, later copies see the marker and stay quiet. :)
+    create queue notified kind basic mode persistent
+    create rule notifyBreaking for byFeed
+      if (qs:message()/entry[@category = "breaking"]
+          and not(qs:queue("notified")[/seen = qs:message()/entry/@id])) then
+        (do enqueue <notification>
+           <feed>{qs:slicekey()}</feed>
+           {qs:message()/entry/title}
+         </notification> into subscribers,
+         do enqueue <seen>{string(qs:message()/entry/@id)}</seen> into notified)
+
+    (: Kick off the digest timer once per window: arm it only when no
+       digestDue for this feed is already parked on the echo queue. :)
+    create rule armDigestTimer for byFeed
+      if (not(qs:queue("echoQueue")[/digestDue/feed = qs:slicekey()])) then
+        do enqueue <digestDue><feed>{qs:slicekey()}</feed></digestDue> into echoQueue
+          with delay value "PT1H"
+          with target value "digests"
+
+    (: When the timer fires, summarize the window and reset the slice so the
+       next window starts fresh and old entries become collectable. :)
+    create rule buildDigest for digests
+      if (//digestDue) then
+        let $feed := string(//digestDue/feed)
+        let $window := qs:queue("entries")[/entry/@feed = $feed]
+        return (
+          do enqueue <digest>
+            <feed>{$feed}</feed>
+            <count>{count(distinct-values($window/entry/@id))}</count>
+            {for $t in distinct-values($window/entry/title) order by $t
+             return <title>{$t}</title>}
+          </digest> into subscribers,
+          do reset byFeed key $feed)
+"#;
+
+fn entry(feed: &str, id: u32, category: &str, title: &str) -> String {
+    format!("<entry feed='{feed}' id='{feed}-{id}' category='{category}'><title>{title}</title></entry>")
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let clock = Clock::virtual_at(0);
+    let net = Arc::new(Network::new(clock.clone(), 11));
+    let hub_log = Arc::new(Mutex::new(Vec::<String>::new()));
+    let hl = Arc::clone(&hub_log);
+    net.register(
+        "urn:subscriber-hub",
+        Arc::new(move |env: Envelope| hl.lock().unwrap().push(env.body)),
+    );
+
+    let server = Server::builder()
+        .program(PROGRAM)
+        .in_memory()
+        .sync_policy(SyncPolicy::Batch)
+        .network(Arc::clone(&net))
+        .server_addr("urn:aggregator")
+        .build()?;
+
+    // Feed traffic: two feeds, one breaking story (delivered twice by the
+    // upstream — the duplicate is suppressed), assorted normal entries.
+    let traffic = [
+        entry("reuters", 1, "breaking", "Market halts"),
+        entry("reuters", 1, "breaking", "Market halts"), // upstream duplicate
+        entry("reuters", 2, "business", "Earnings roundup"),
+        entry("heise", 1, "tech", "New kernel released"),
+        entry("heise", 2, "breaking", "Zero-day disclosed"),
+        entry("reuters", 3, "business", "Commodities close"),
+    ];
+    for e in &traffic {
+        net.send(Envelope::new("urn:aggregator", "urn:feed-src", e.clone()))?;
+    }
+    server.run_until_idle()?; // also fast-forwards past the 1h digest timers
+
+    let hub = hub_log.lock().unwrap().clone();
+    println!("subscriber hub received {} messages:", hub.len());
+    for m in &hub {
+        println!("  {m}");
+    }
+
+    let notifications: Vec<&String> = hub
+        .iter()
+        .filter(|m| m.starts_with("<notification>"))
+        .collect();
+    let digests: Vec<&String> = hub.iter().filter(|m| m.starts_with("<digest>")).collect();
+    assert_eq!(
+        notifications.len(),
+        2,
+        "one breaking notification per story (dup suppressed)"
+    );
+    assert_eq!(digests.len(), 2, "one digest per feed window");
+    let reuters_digest = digests.iter().find(|d| d.contains("reuters")).unwrap();
+    assert!(
+        reuters_digest.contains("<count>3</count>"),
+        "{reuters_digest}"
+    );
+
+    // After the digests, slices were reset: all processed entries purge.
+    let purged = server.maintenance()?;
+    println!("\nretention GC purged {purged} messages after the digest reset");
+    assert!(server.queue_bodies("entries")?.is_empty());
+
+    let stats = server.stats();
+    println!(
+        "stats: processed={} rules evaluated={} timers fired={}",
+        stats.processed, stats.rules_evaluated, stats.timers_fired
+    );
+    Ok(())
+}

@@ -1,0 +1,316 @@
+//! The paper's running example end-to-end: the distributed procurement
+//! scenario from the chemical industry (Fig. 3 workflow, Fig. 4 message
+//! flow), including
+//!
+//! * receive offer request → three parallel checks (credit rating, export
+//!   restrictions, plant capacity via the supplier's Web Service),
+//! * join of the parallel control flows through a slicing (Example 3.3),
+//! * offer / refusal to the customer,
+//! * order confirmation, invoice, grace period via an echo queue, and a
+//!   payment reminder (Example 3.4),
+//! * error handling with a dead customer link compensated by postal mail
+//!   (Example 3.5),
+//! * slice resets + retention GC cleaning up completed requests (Fig. 8).
+//!
+//! The supplier Web Service and the customer endpoint are simulated nodes
+//! on the in-process network.
+//!
+//! ```text
+//! cargo run --example procurement
+//! ```
+
+use demaq::Server;
+use demaq_net::{Clock, Envelope, Network};
+use demaq_store::store::SyncPolicy;
+use std::sync::Arc;
+use std::sync::Mutex;
+
+const SUPPLIER_WSDL: &str = r#"
+<definitions service="supplier">
+  <port name="CapacityRequestPort">
+    <operation name="checkCapacity" input="plantCapacityInfo" output="capacityResult"/>
+  </port>
+</definitions>"#;
+
+const PROGRAM: &str = r#"
+    (: ---- queue infrastructure (QDL, paper Sec. 2) -------------------- :)
+    create queue crm kind basic mode persistent
+    create queue finance kind basic mode persistent
+    create queue legal kind basic mode persistent
+    create queue invoices kind basic mode persistent
+    create queue crmErrors kind basic mode persistent
+
+    create queue supplier kind outgoingGateway mode persistent
+        interface supplier.wsdl port CapacityRequestPort
+        using WS-ReliableMessaging policy wsrmpol.xml
+        endpoint "urn:supplier-ws"
+    create queue supplierReplies kind incomingGateway mode persistent
+        endpoint "urn:procurement-node"
+    create queue customer kind outgoingGateway mode persistent
+        endpoint "urn:customer"
+    create queue postalService kind outgoingGateway mode persistent
+        endpoint "urn:postal"
+    create queue echoQueue kind echo mode persistent
+
+    (: ---- properties & slicings (Sec. 2.2 / 2.3) ----------------------- :)
+    create property requestID as xs:string fixed
+        queue crm, customer, supplierReplies, finance, legal value //requestID
+    create slicing requestMsgs on requestID
+
+    (: ---- Example 3.1: fork the three checks --------------------------- :)
+    create rule newOfferRequest for crm
+      if (//offerRequest) then
+        let $customerInfo :=
+          <requestCustomerInfo>{//requestID} {//customerID}</requestCustomerInfo>
+        let $exportRestrictionInfo :=
+          <requestRestrictionInfo>{//requestID} {//items}</requestRestrictionInfo>
+        let $plantCapacityInfo :=
+          <plantCapacityInfo>{//requestID} {//items}</plantCapacityInfo>
+        return (do enqueue $customerInfo into finance,
+                do enqueue $exportRestrictionInfo into legal,
+                do enqueue $plantCapacityInfo into supplier
+                  with Sender value "urn:procurement-node")
+
+    (: ---- Example 3.2: credit rating against the invoices queue -------- :)
+    create rule checkCreditRating for finance
+      if (//requestCustomerInfo) then
+        let $result :=
+          <customerInfoResult> {//requestID} {//customerID}
+            {let $invoices := qs:queue("invoices")
+             return
+               if ($invoices[//customerID = qs:message()//customerID])
+               then <refuse/> (: unpaid bills! :)
+               else <accept/>}
+          </customerInfoResult>
+        return do enqueue $result into crm
+
+    (: ---- export restriction screening --------------------------------- :)
+    create rule checkExportRestrictions for legal
+      if (//requestRestrictionInfo) then
+        let $restricted := //item[text() = "yellowcake"]
+        let $result :=
+          <restrictionsResult> {//requestID}
+            {for $r in $restricted return <restrictedItem>{$r/text()}</restrictedItem>}
+          </restrictionsResult>
+        return do enqueue $result into crm
+
+    (: ---- supplier replies come back through the incoming gateway ------ :)
+    create rule relaySupplierReply for supplierReplies
+      if (//capacityResult) then
+        do enqueue <capacityResult>{//requestID}
+          {if (//accept) then <accept/> else <reject/>}</capacityResult> into crm
+
+    (: ---- Example 3.3: join the parallel checks ------------------------- :)
+    create rule joinOrder for requestMsgs
+      if (qs:slice()[/customerInfoResult] and
+          qs:slice()[/restrictionsResult] and
+          qs:slice()[/capacityResult] and
+          not(qs:slice()[/offer or /refusal])) then
+        if (qs:slice()[/customerInfoResult/accept] and
+            not(qs:slice()[/restrictionsResult//restrictedItem])
+            and qs:slice()[/capacityResult//accept]) then
+          let $pricelist := collection("crm")[/pricelist]
+          return do enqueue <offer>{//requestID}{$pricelist//price}</offer> into customer
+        else (: problems :)
+          do enqueue <refusal>{//requestID}</refusal> into customer
+
+    (: ---- Fig. 8: release completed requests ----------------------------- :)
+    create rule cleanupRequest for requestMsgs
+      if (qs:slice()/offer or qs:slice()/refusal) then
+        do reset
+
+    (: ---- Example 3.4: invoice grace period & reminder ------------------- :)
+    create property messageRequestID as xs:string fixed
+        queue invoices value //requestID
+    create slicing invoiceRetention on messageRequestID
+    create rule sendInvoice for invoices
+      if (//invoice) then
+        do enqueue <timeoutNotification>{//requestID}</timeoutNotification> into echoQueue
+          with delay value "P7D"
+          with target value "finance"
+    create rule checkPayment for finance
+      if (//timeoutNotification) then
+        let $mRID := string(qs:message()//requestID)
+        let $payments := qs:queue("finance")[/paymentConfirmation]
+        return
+          if (not($payments[//requestID = $mRID])) then
+            do enqueue <reminder><requestID>{$mRID}</requestID></reminder> into customer
+          else ()
+
+    (: ---- Example 3.5: compensate dead customer links -------------------- :)
+    create rule deadLink for crmErrors
+      if (/error/disconnectedTransport) then
+        do enqueue <sendMessage><address>postal-address-on-file</address>
+          {/error/initialMessage/*}</sendMessage> into postalService
+
+    (: errors of the whole crm pipeline land in crmErrors :)
+    set errorqueue crmErrors
+"#;
+
+/// The supplier's Web Service: accepts plantCapacityInfo, replies with a
+/// capacityResult (capacity is available unless the request mentions
+/// "unobtainium").
+fn spawn_supplier_service(net: &Arc<Network>) {
+    let net2 = Arc::clone(net);
+    // The gateway uses WS-ReliableMessaging, so the service side must speak
+    // the ack protocol: wrap the handler in `reliable_receiver`.
+    let handler: demaq_net::DeliveryHandler = Arc::new(move |env: Envelope| {
+        let doc = demaq_xml::parse(&env.body).expect("well-formed request");
+        let rid = demaq_xquery::eval_query("string(//requestID)", &doc.root())
+            .map(|s| s.to_string())
+            .unwrap_or_default();
+        let impossible = env.body.contains("unobtainium");
+        let verdict = if impossible { "<reject/>" } else { "<accept/>" };
+        let reply_to = env
+            .header("Sender")
+            .unwrap_or("urn:procurement-node")
+            .to_string();
+        let body =
+            format!("<capacityResult><requestID>{rid}</requestID>{verdict}</capacityResult>");
+        let _ = net2.send(Envelope::new(reply_to, "urn:supplier-ws", body));
+    });
+    net.register(
+        "urn:supplier-ws",
+        demaq_net::reliable::reliable_receiver(Arc::clone(net), handler),
+    );
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let clock = Clock::virtual_at(1_750_000_000_000); // mid-2025ish epoch ms
+    let net = Arc::new(Network::new(clock.clone(), 4242));
+    spawn_supplier_service(&net);
+
+    // The customer endpoint logs what it receives.
+    let customer_log = Arc::new(Mutex::new(Vec::<String>::new()));
+    let cl = Arc::clone(&customer_log);
+    net.register(
+        "urn:customer",
+        Arc::new(move |env| cl.lock().unwrap().push(env.body)),
+    );
+    let postal_log = Arc::new(Mutex::new(Vec::<String>::new()));
+    let pl = Arc::clone(&postal_log);
+    net.register(
+        "urn:postal",
+        Arc::new(move |env| pl.lock().unwrap().push(env.body)),
+    );
+
+    let pricelist = demaq_xml::parse("<pricelist><price currency='EUR'>950</price></pricelist>")?;
+    let server = Server::builder()
+        .program(PROGRAM)
+        .wsdl_file("supplier.wsdl", SUPPLIER_WSDL)
+        .in_memory()
+        .sync_policy(SyncPolicy::Batch)
+        .network(Arc::clone(&net))
+        .collection("crm", vec![pricelist])
+        .server_addr("urn:procurement-node")
+        .build()?;
+
+    // Customer c9 has an unpaid bill on file.
+    server.enqueue_external(
+        "invoices",
+        "<oldInvoice><customerID>c9</customerID></oldInvoice>",
+    )?;
+    server.run_until_idle()?;
+
+    println!("== Scenario 1: clean request -> offer =============================");
+    server.enqueue_external(
+        "crm",
+        "<offerRequest><requestID>R-100</requestID><customerID>c1</customerID>\
+         <items><item>solvent</item><item>catalyst</item></items></offerRequest>",
+    )?;
+    server.run_until_idle()?;
+    println!(
+        "customer received: {:?}",
+        customer_log.lock().unwrap().last()
+    );
+    assert!(customer_log
+        .lock()
+        .unwrap()
+        .last()
+        .unwrap()
+        .starts_with("<offer>"));
+
+    println!("\n== Scenario 2: bad credit -> refusal ==============================");
+    server.enqueue_external(
+        "crm",
+        "<offerRequest><requestID>R-101</requestID><customerID>c9</customerID>\
+         <items><item>solvent</item></items></offerRequest>",
+    )?;
+    server.run_until_idle()?;
+    println!(
+        "customer received: {:?}",
+        customer_log.lock().unwrap().last()
+    );
+    assert!(customer_log
+        .lock()
+        .unwrap()
+        .last()
+        .unwrap()
+        .starts_with("<refusal>"));
+
+    println!("\n== Scenario 3: restricted item -> refusal =========================");
+    server.enqueue_external(
+        "crm",
+        "<offerRequest><requestID>R-102</requestID><customerID>c2</customerID>\
+         <items><item>yellowcake</item></items></offerRequest>",
+    )?;
+    server.run_until_idle()?;
+    assert!(customer_log
+        .lock()
+        .unwrap()
+        .last()
+        .unwrap()
+        .starts_with("<refusal>"));
+    println!(
+        "customer received: {:?}",
+        customer_log.lock().unwrap().last()
+    );
+
+    println!("\n== Scenario 4: invoice, grace period, reminder ====================");
+    server.enqueue_external(
+        "invoices",
+        "<invoice><requestID>R-100</requestID><amount>950</amount></invoice>",
+    )?;
+    server.run_until_idle()?; // fast-forwards the 7-day grace period
+    let reminder = customer_log.lock().unwrap().last().cloned().unwrap();
+    println!("customer received: {reminder:?}");
+    assert!(reminder.contains("<reminder>"));
+
+    println!("\n== Scenario 5: dead link -> postal compensation ===================");
+    net.disconnect("urn:customer");
+    server.enqueue_external(
+        "crm",
+        "<offerRequest><requestID>R-103</requestID><customerID>c3</customerID>\
+         <items><item>solvent</item></items></offerRequest>",
+    )?;
+    server.run_until_idle()?;
+    let mail = postal_log
+        .lock()
+        .unwrap()
+        .last()
+        .cloned()
+        .expect("postal compensation sent");
+    println!("postal service received: {mail:?}");
+    assert!(mail.contains("<offer>"));
+    net.reconnect("urn:customer");
+
+    println!("\n== Maintenance: retention GC + checkpoint =========================");
+    let before = server.store().message_count();
+    let purged = server.maintenance()?;
+    println!(
+        "purged {purged} of {before} messages (completed requests were released by cleanupRequest)"
+    );
+
+    let stats = server.stats();
+    println!(
+        "\nstats: processed={} enqueued={} rules={} (skipped {}) errors routed={} timers={} retransmissions={}",
+        stats.processed,
+        stats.enqueued,
+        stats.rules_evaluated,
+        stats.rules_skipped_by_filter,
+        stats.errors_routed,
+        stats.timers_fired,
+        server.network().stats().0,
+    );
+    Ok(())
+}

@@ -1,0 +1,74 @@
+//! Quickstart: the smallest useful Demaq application.
+//!
+//! Declares two queues and one declarative rule, injects a message, runs
+//! the engine to quiescence, and inspects the result.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use demaq::Server;
+use demaq_store::store::SyncPolicy;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A Demaq application is just queues + rules (paper Sec. 1: "the
+    // behavior of any node can be completely specified by enumerating its
+    // queues and associated rules").
+    let program = r#"
+        create queue orders kind basic mode persistent
+        create queue confirmations kind basic mode persistent
+        create queue rejections kind basic mode persistent
+
+        (: Orders above 1000 units are rejected, the rest confirmed. :)
+        create rule triage for orders
+          if (//order) then
+            if (//order/quantity <= 1000) then
+              do enqueue <confirmation>
+                           {//order/id}
+                           <status>accepted</status>
+                         </confirmation> into confirmations
+            else
+              do enqueue <rejection>{//order/id}</rejection> into rejections
+    "#;
+
+    let server = Server::builder()
+        .program(program)
+        .in_memory()
+        .sync_policy(SyncPolicy::Batch)
+        .build()?;
+
+    server.enqueue_external(
+        "orders",
+        "<order><id>A-1</id><quantity>250</quantity></order>",
+    )?;
+    server.enqueue_external(
+        "orders",
+        "<order><id>A-2</id><quantity>8000</quantity></order>",
+    )?;
+    server.enqueue_external(
+        "orders",
+        "<order><id>A-3</id><quantity>1000</quantity></order>",
+    )?;
+
+    let processed = server.run_until_idle()?;
+    println!("processed {processed} messages\n");
+
+    println!("confirmations:");
+    for body in server.queue_bodies("confirmations")? {
+        println!("  {body}");
+    }
+    println!("rejections:");
+    for body in server.queue_bodies("rejections")? {
+        println!("  {body}");
+    }
+
+    let stats = server.stats();
+    println!(
+        "\nstats: processed={} enqueued={} rules evaluated={}",
+        stats.processed, stats.enqueued, stats.rules_evaluated
+    );
+
+    assert_eq!(server.queue_bodies("confirmations")?.len(), 2);
+    assert_eq!(server.queue_bodies("rejections")?.len(), 1);
+    Ok(())
+}

@@ -1,0 +1,143 @@
+//! Securities trading with XML messages — the paper's introduction cites
+//! "industry sectors as diverse as securities trading … have successfully
+//! introduced XML messaging" (FIX protocol).
+//!
+//! A Demaq node implements a tiny order-alert desk:
+//! * price ticks and standing limit orders arrive in queues,
+//! * a slicing per symbol correlates ticks with the symbol's open orders,
+//! * when a tick crosses an order's limit, an execution report goes out and
+//!   the order's slice lifetime ends (so its messages can be collected),
+//! * stale ticks are ignored; an audit trail retains all executions via a
+//!   second slicing (multiple independent retention criteria, Sec. 2.3.3).
+//!
+//! ```text
+//! cargo run --example trading
+//! ```
+
+use demaq::Server;
+use demaq_store::store::SyncPolicy;
+
+const PROGRAM: &str = r#"
+    create queue orders kind basic mode persistent
+    create queue ticks kind basic mode transient   (: market data is lossy by nature :)
+    create queue executions kind basic mode persistent
+    create queue deskErrors kind basic mode persistent
+    set errorqueue deskErrors
+
+    (: Correlate per symbol. :)
+    create property symbol as xs:string fixed
+        queue orders value //@symbol
+        queue ticks value //@symbol
+        queue executions value //@symbol
+    create slicing bySymbol on symbol
+
+    (: Audit: every execution is retained per trading day. :)
+    create property tradingDay as xs:string fixed
+        queue executions value //@day
+    create slicing auditByDay on tradingDay
+
+    (: A tick executes every open buy-limit order whose limit it crosses
+       (price <= limit) and that has not executed yet. :)
+    create rule matchTick for bySymbol
+      if (qs:message()/tick) then
+        let $price := number(qs:message()/tick/@price)
+        let $day := string(qs:message()/tick/@day)
+        for $order in qs:slice()[/order]/order
+        where $price <= number($order/@limit)
+          and not(qs:queue("executions")[/execution/@orderID = $order/@id])
+        return
+          do enqueue <execution day="{$day}"
+                       orderID="{string($order/@id)}"
+                       symbol="{string($order/@symbol)}"
+                       qty="{string($order/@qty)}"
+                       price="{$price}"/> into executions
+
+    (: Once every order of a symbol has executed, end the slice lifetime —
+       the symbol's worked-off orders and stale ticks become collectable. :)
+    create rule retireSymbol for bySymbol
+      if (qs:message()/execution) then
+        if (every $order in qs:slice()[/order]/order satisfies
+              qs:queue("executions")[/execution/@orderID = $order/@id]) then
+          do reset bySymbol key qs:slicekey()
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let server = Server::builder()
+        .program(PROGRAM)
+        .in_memory()
+        .sync_policy(SyncPolicy::Batch)
+        .build()?;
+
+    // Standing buy-limit orders.
+    server.enqueue_external(
+        "orders",
+        r#"<order id="O-1" symbol="ACME" qty="100" limit="50"/>"#,
+    )?;
+    server.enqueue_external(
+        "orders",
+        r#"<order id="O-2" symbol="ACME" qty="20" limit="45"/>"#,
+    )?;
+    server.enqueue_external(
+        "orders",
+        r#"<order id="O-3" symbol="INIT" qty="10" limit="99"/>"#,
+    )?;
+    server.run_until_idle()?;
+
+    // Market data: ACME drifts down through the limits.
+    for (price, day) in [(52.0, "D1"), (49.5, "D1"), (46.0, "D2"), (44.0, "D2")] {
+        server.enqueue_external(
+            "ticks",
+            &format!(r#"<tick symbol="ACME" price="{price}" day="{day}"/>"#),
+        )?;
+        server.run_until_idle()?;
+    }
+
+    let executions = server.queue_bodies("executions")?;
+    println!("executions ({}):", executions.len());
+    for e in &executions {
+        println!("  {e}");
+    }
+    assert_eq!(executions.len(), 2);
+    assert!(
+        executions[0].contains(r#"orderID="O-1""#) && executions[0].contains(r#"price="49.5""#)
+    );
+    assert!(executions[1].contains(r#"orderID="O-2""#) && executions[1].contains(r#"price="44""#));
+
+    // retireSymbol reset the ACME slice once both orders executed; the
+    // INIT order never executed and stays retained.
+    let purged = server.gc()?;
+    println!("\nGC purged {purged} messages (worked-off ACME orders and processed ticks)");
+    let remaining_orders = server.queue_bodies("orders")?;
+    assert_eq!(
+        remaining_orders.len(),
+        1,
+        "only the unexecuted INIT order remains"
+    );
+    assert!(remaining_orders[0].contains("O-3"));
+
+    // The audit slicing retains every execution independently.
+    let audit_d1 = server
+        .store()
+        .slice_members("auditByDay", &demaq_store::PropValue::Str("D1".into()));
+    let audit_d2 = server
+        .store()
+        .slice_members("auditByDay", &demaq_store::PropValue::Str("D2".into()));
+    println!(
+        "audit: D1={} D2={} executions retained",
+        audit_d1.len(),
+        audit_d2.len()
+    );
+    assert_eq!((audit_d1.len(), audit_d2.len()), (1, 1));
+    assert_eq!(
+        server.queue_bodies("executions")?.len(),
+        2,
+        "audit retention held"
+    );
+
+    let stats = server.stats();
+    println!(
+        "stats: processed={} rules evaluated={} errors routed={}",
+        stats.processed, stats.rules_evaluated, stats.errors_routed
+    );
+    Ok(())
+}
