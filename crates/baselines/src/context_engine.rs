@@ -18,10 +18,12 @@
 //! re-parsed on access — the per-message cost the paper attributes to this
 //! design.
 
+use demaq_obs::{Counter, Histogram, Obs};
 use demaq_xml::{parse, serialize, DocBuilder, Document};
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Statistics of a run.
 #[derive(Debug, Default, Clone)]
@@ -30,6 +32,17 @@ pub struct ContextStats {
     pub dehydrations: u64,
     pub rehydrations: u64,
     pub bytes_serialized: u64,
+}
+
+/// Registry handles (`demaq_baseline_ctx_*`) — the same registry a Demaq
+/// server reports into, so bench runs can compare both sides in one
+/// exposition.
+struct CtxMetrics {
+    messages: Counter,
+    dehydrations: Counter,
+    rehydrations: Counter,
+    bytes_serialized: Counter,
+    deliver_ns: Histogram,
 }
 
 struct Hydrated {
@@ -46,6 +59,7 @@ pub struct ContextEngine {
     on_disk: HashMap<String, PathBuf>,
     tick: u64,
     pub stats: ContextStats,
+    metrics: Option<CtxMetrics>,
 }
 
 impl ContextEngine {
@@ -61,15 +75,34 @@ impl ContextEngine {
             on_disk: HashMap::new(),
             tick: 0,
             stats: ContextStats::default(),
+            metrics: None,
         })
+    }
+
+    /// Report into `obs` (`demaq_baseline_ctx_*` series). Replaces any
+    /// previous attachment.
+    pub fn attach_obs(&mut self, obs: &Obs) {
+        self.metrics = Some(CtxMetrics {
+            messages: obs.registry.counter("demaq_baseline_ctx_messages_total"),
+            dehydrations: obs.registry.counter("demaq_baseline_ctx_dehydrations_total"),
+            rehydrations: obs.registry.counter("demaq_baseline_ctx_rehydrations_total"),
+            bytes_serialized: obs
+                .registry
+                .counter("demaq_baseline_ctx_bytes_serialized_total"),
+            deliver_ns: obs.registry.histogram("demaq_baseline_ctx_deliver_ns"),
+        });
     }
 
     /// Deliver one message to its instance: load (possibly rehydrate) the
     /// context, append the message to the context's history, store back.
     /// Returns the number of messages now accumulated in the instance.
     pub fn deliver(&mut self, instance: &str, message_xml: &str) -> std::io::Result<usize> {
+        let started = Instant::now();
         self.tick += 1;
         self.stats.messages += 1;
+        if let Some(m) = &self.metrics {
+            m.messages.inc();
+        }
         let tick = self.tick;
 
         // Load or create the context document.
@@ -83,6 +116,9 @@ impl ContextEngine {
                     Some(path) => {
                         // Rehydrate: read + parse the serialized context.
                         self.stats.rehydrations += 1;
+                        if let Some(m) = &self.metrics {
+                            m.rehydrations.inc();
+                        }
                         let bytes = std::fs::read(path)?;
                         parse(std::str::from_utf8(&bytes).expect("utf8 context")).map_err(|e| {
                             std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
@@ -132,6 +168,9 @@ impl ContextEngine {
                 last_used: tick,
             },
         );
+        if let Some(m) = &self.metrics {
+            m.deliver_ns.record(started.elapsed());
+        }
         Ok(count)
     }
 
@@ -150,6 +189,10 @@ impl ContextEngine {
             std::fs::write(&path, xml.as_bytes())?;
             self.stats.dehydrations += 1;
             self.stats.bytes_serialized += xml.len() as u64;
+            if let Some(m) = &self.metrics {
+                m.dehydrations.inc();
+                m.bytes_serialized.add(xml.len() as u64);
+            }
             self.on_disk.insert(victim, path);
         }
         Ok(())
@@ -168,6 +211,9 @@ impl ContextEngine {
         }
         if let Some(path) = self.on_disk.get(instance) {
             self.stats.rehydrations += 1;
+            if let Some(m) = &self.metrics {
+                m.rehydrations.inc();
+            }
             let bytes = std::fs::read(path)?;
             let doc = parse(std::str::from_utf8(&bytes).expect("utf8"))
                 .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
@@ -213,6 +259,38 @@ mod tests {
         let n = eng.deliver("inst-0", "<m2/>").unwrap();
         assert_eq!(n, 2, "state survived the dehydration roundtrip");
         assert!(eng.stats.rehydrations > 0);
+    }
+
+    #[test]
+    fn obs_mirrors_stats() {
+        let dir = TempDir::new().unwrap();
+        let obs = Obs::new();
+        let mut eng = ContextEngine::new(dir.path(), 2).unwrap();
+        eng.attach_obs(&obs);
+        for i in 0..8 {
+            eng.deliver(&format!("inst-{}", i % 4), "<m/>").unwrap();
+        }
+        let r = &obs.registry;
+        assert_eq!(
+            r.counter("demaq_baseline_ctx_messages_total").get(),
+            eng.stats.messages
+        );
+        assert_eq!(
+            r.counter("demaq_baseline_ctx_dehydrations_total").get(),
+            eng.stats.dehydrations
+        );
+        assert_eq!(
+            r.counter("demaq_baseline_ctx_rehydrations_total").get(),
+            eng.stats.rehydrations
+        );
+        assert_eq!(
+            r.counter("demaq_baseline_ctx_bytes_serialized_total").get(),
+            eng.stats.bytes_serialized
+        );
+        assert_eq!(
+            r.histogram("demaq_baseline_ctx_deliver_ns").count(),
+            eng.stats.messages
+        );
     }
 
     #[test]

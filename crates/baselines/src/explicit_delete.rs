@@ -16,10 +16,19 @@
 //! release) drops data other modules still need — both failure modes are
 //! measurable, which is the point of benchmark E8.
 
+use demaq_obs::{Counter, Gauge, Obs};
 use std::collections::{HashMap, HashSet};
 
 /// A module's name.
 pub type Module = &'static str;
+
+/// Registry handles (`demaq_baseline_explicit_*`).
+struct DelMetrics {
+    inserted: Counter,
+    deleted: Counter,
+    premature: Counter,
+    live: Gauge,
+}
 
 /// Store of messages with per-module manual retention claims.
 #[derive(Default)]
@@ -30,11 +39,27 @@ pub struct ExplicitDeleteStore {
     pub deleted: u64,
     /// Deletions attempted while another module still held a claim.
     pub premature_delete_attempts: u64,
+    metrics: Option<DelMetrics>,
 }
 
 impl ExplicitDeleteStore {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Report into `obs` (`demaq_baseline_explicit_*` series). Replaces
+    /// any previous attachment.
+    pub fn attach_obs(&mut self, obs: &Obs) {
+        self.metrics = Some(DelMetrics {
+            inserted: obs
+                .registry
+                .counter("demaq_baseline_explicit_inserted_total"),
+            deleted: obs.registry.counter("demaq_baseline_explicit_deleted_total"),
+            premature: obs
+                .registry
+                .counter("demaq_baseline_explicit_premature_delete_attempts_total"),
+            live: obs.registry.gauge("demaq_baseline_explicit_live"),
+        });
     }
 
     /// Insert a message claimed by the given modules.
@@ -43,6 +68,10 @@ impl ExplicitDeleteStore {
         self.next += 1;
         self.messages.insert(id, payload);
         self.claims.insert(id, claimed_by.iter().copied().collect());
+        if let Some(m) = &self.metrics {
+            m.inserted.inc();
+            m.live.set(self.messages.len() as i64);
+        }
         id
     }
 
@@ -62,10 +91,17 @@ impl ExplicitDeleteStore {
                 self.claims.remove(&id);
                 self.messages.remove(&id);
                 self.deleted += 1;
+                if let Some(m) = &self.metrics {
+                    m.deleted.inc();
+                    m.live.set(self.messages.len() as i64);
+                }
                 true
             }
             Some(_) => {
                 self.premature_delete_attempts += 1;
+                if let Some(m) = &self.metrics {
+                    m.premature.inc();
+                }
                 false
             }
             None => false,
@@ -100,6 +136,27 @@ mod tests {
         assert!(s.try_delete(id));
         assert_eq!(s.live(), 0);
         assert_eq!(s.premature_delete_attempts, 2);
+    }
+
+    #[test]
+    fn obs_counters_track_lifecycle() {
+        let obs = demaq_obs::Obs::new();
+        let mut s = ExplicitDeleteStore::new();
+        s.attach_obs(&obs);
+        let id = s.insert("<m/>".into(), &["a", "b"]);
+        s.release(id, "a");
+        assert!(!s.try_delete(id));
+        s.release(id, "b");
+        assert!(s.try_delete(id));
+        let r = &obs.registry;
+        assert_eq!(r.counter("demaq_baseline_explicit_inserted_total").get(), 1);
+        assert_eq!(r.counter("demaq_baseline_explicit_deleted_total").get(), 1);
+        assert_eq!(
+            r.counter("demaq_baseline_explicit_premature_delete_attempts_total")
+                .get(),
+            1
+        );
+        assert_eq!(r.gauge("demaq_baseline_explicit_live").get(), 0);
     }
 
     #[test]

@@ -59,6 +59,13 @@ fn bench_e1(c: &mut Criterion) {
         );
     }
     group.finish();
+
+    // One representative run's internal counters/latencies, dumped next
+    // to the criterion timings.
+    let server = correlate_server(LockGranularity::Slice);
+    feed_correlate(&server, MESSAGES, 512);
+    server.run_until_idle().expect("run");
+    demaq_bench::dump_metrics(&server, "e1_state_model");
 }
 
 criterion_group!(benches, bench_e1);

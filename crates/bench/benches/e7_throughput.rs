@@ -52,6 +52,14 @@ fn bench_e7(c: &mut Criterion) {
         }
     }
     group.finish();
+
+    // One representative run's internal counters/latencies, dumped next
+    // to the criterion timings.
+    let server = pipeline_server(RULES, SyncPolicy::Batch, PlanMode::RuleAtATime, true);
+    feed_pipeline(&server, 256, RULES);
+    server.run_until_idle().expect("run");
+    server.store().sync().expect("group-commit boundary");
+    demaq_bench::dump_metrics(&server, "e7_throughput");
 }
 
 criterion_group!(benches, bench_e7);

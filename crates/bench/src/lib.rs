@@ -79,3 +79,18 @@ pub fn feed_pipeline(server: &Server, messages: usize, rules: usize) {
             .expect("enqueue");
     }
 }
+
+/// Dump the server's full Prometheus exposition to
+/// `target/metrics/<experiment>.prom`, next to the criterion results
+/// (`target/criterion-lite.jsonl`), so a bench run leaves an inspectable
+/// snapshot of internal counters/latencies alongside the timing numbers.
+pub fn dump_metrics(server: &Server, experiment: &str) {
+    let dir = std::path::Path::new("target").join("metrics");
+    if std::fs::create_dir_all(&dir).is_err() {
+        return; // benches must never fail on snapshot IO
+    }
+    let _ = std::fs::write(
+        dir.join(format!("{experiment}.prom")),
+        server.metrics_text(),
+    );
+}

@@ -16,6 +16,7 @@ use crate::host::{atomic_to_prop, prop_to_atomic, QsHost, SliceCtx};
 use crate::properties::{compute_properties, system, PropError};
 use crate::scheduler::Scheduler;
 use demaq_net::{Clock, Envelope, Network, TimerWheel};
+use demaq_obs::{Counter, Gauge, Histogram, Obs, TraceEvent};
 use demaq_qdl::{parse_program, AppSpec, QueueKind};
 use demaq_store::store::SyncPolicy;
 use demaq_store::{
@@ -33,6 +34,7 @@ use std::fmt;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Engine error.
 #[derive(Debug)]
@@ -81,7 +83,9 @@ pub enum PlanMode {
     Merged,
 }
 
-/// Counters exposed for tests, examples, and benchmarks.
+/// Counters exposed for tests, examples, and benchmarks — a thin snapshot
+/// view over the [`demaq_obs::Registry`] (see [`Server::metrics`] for the
+/// full per-queue/labeled series and histograms).
 #[derive(Debug, Default, Clone)]
 pub struct ServerStats {
     pub processed: u64,
@@ -92,6 +96,82 @@ pub struct ServerStats {
     pub deadlock_retries: u64,
     pub timers_fired: u64,
     pub gc_purged: u64,
+}
+
+/// Registry handles for the hot engine counters, resolved once at build so
+/// per-message paths are plain atomic adds. Per-queue series
+/// (`demaq_engine_processed_total{queue=..}`) are looked up per event —
+/// one read-locked map probe per processed message.
+struct EngineMetrics {
+    rules_evaluated: Counter,
+    rules_skipped: Counter,
+    deadlock_retries: Counter,
+    requeues: Counter,
+    timers_fired: Counter,
+    errors_routed: Counter,
+    gc_purged: Counter,
+    rule_eval_ns: Histogram,
+    txn_commit_ns: Histogram,
+    scheduler_depth: Gauge,
+    /// Per-queue throughput counters, resolved once at build time (the
+    /// queue set is fixed by the compiled application) so the hot path
+    /// never re-derives a labeled series key.
+    per_queue: HashMap<String, QueueCounters>,
+}
+
+struct QueueCounters {
+    processed: Counter,
+    enqueued: Counter,
+}
+
+impl EngineMetrics {
+    fn new<'q>(obs: &Obs, queues: impl Iterator<Item = &'q str>) -> EngineMetrics {
+        let r = &obs.registry;
+        let per_queue = queues
+            .map(|q| {
+                (
+                    q.to_string(),
+                    QueueCounters {
+                        processed: r.counter_with("demaq_engine_processed_total", &[("queue", q)]),
+                        enqueued: r.counter_with("demaq_engine_enqueued_total", &[("queue", q)]),
+                    },
+                )
+            })
+            .collect();
+        EngineMetrics {
+            rules_evaluated: r.counter("demaq_engine_rules_evaluated_total"),
+            rules_skipped: r.counter("demaq_engine_rules_skipped_total"),
+            deadlock_retries: r.counter("demaq_engine_deadlock_retries_total"),
+            requeues: r.counter("demaq_engine_requeues_total"),
+            timers_fired: r.counter("demaq_engine_timers_fired_total"),
+            errors_routed: r.counter("demaq_engine_errors_routed_total"),
+            gc_purged: r.counter("demaq_engine_gc_purged_total"),
+            rule_eval_ns: r.histogram("demaq_engine_rule_eval_ns"),
+            txn_commit_ns: r.histogram("demaq_engine_txn_commit_ns"),
+            scheduler_depth: r.gauge("demaq_engine_scheduler_depth"),
+            per_queue,
+        }
+    }
+
+    fn inc_processed(&self, obs: &Obs, queue: &str) {
+        match self.per_queue.get(queue) {
+            Some(c) => c.processed.inc(),
+            None => obs
+                .registry
+                .counter_with("demaq_engine_processed_total", &[("queue", queue)])
+                .inc(),
+        }
+    }
+
+    fn inc_enqueued(&self, obs: &Obs, queue: &str) {
+        match self.per_queue.get(queue) {
+            Some(c) => c.enqueued.inc(),
+            None => obs
+                .registry
+                .counter_with("demaq_engine_enqueued_total", &[("queue", queue)])
+                .inc(),
+        }
+    }
 }
 
 /// Payload parked on an echo-queue timer.
@@ -119,6 +199,7 @@ pub struct ServerBuilder {
     collections: HashMap<String, Vec<Arc<Document>>>,
     server_addr: String,
     start_time_ms: i64,
+    obs: Option<Arc<Obs>>,
 }
 
 impl Default for ServerBuilder {
@@ -138,6 +219,7 @@ impl Default for ServerBuilder {
             collections: HashMap::new(),
             server_addr: "demaq://node".into(),
             start_time_ms: 0,
+            obs: None,
         }
     }
 }
@@ -229,6 +311,14 @@ impl ServerBuilder {
         self
     }
 
+    /// Use an existing observability context (sharing one registry across
+    /// several servers, or pre-sizing the trace ring). Defaults to a fresh
+    /// [`Obs::new`].
+    pub fn obs(mut self, obs: Arc<Obs>) -> Self {
+        self.obs = Some(obs);
+        self
+    }
+
     /// Compile the application and open the store.
     pub fn build(self) -> Result<Server> {
         let spec = match (self.spec, self.program) {
@@ -254,9 +344,11 @@ impl ServerBuilder {
                 ))
             }
         };
+        let obs = self.obs.unwrap_or_else(Obs::new);
         let mut opts = StoreOptions::new(dir);
         opts.sync = self.sync;
         opts.lock_granularity = self.lock_granularity;
+        opts.obs = Some(Arc::clone(&obs));
         let store = Arc::new(MessageStore::open(opts)?);
 
         // Declare queues (idempotent against recovered state).
@@ -280,20 +372,26 @@ impl ServerBuilder {
         let net = self
             .network
             .unwrap_or_else(|| Arc::new(Network::new(clock.clone(), self.seed)));
+        net.attach_obs(&obs);
         let app = Arc::new(app);
-        let gateways = GatewayManager::new(&app, Arc::clone(&net), self.server_addr);
+        let gateways =
+            GatewayManager::new(&app, Arc::clone(&net), self.server_addr, Arc::clone(&obs));
+        let timers = TimerWheel::new();
+        timers.attach_fire_counter(obs.registry.counter("demaq_net_timer_fired_total"));
+        let metrics = EngineMetrics::new(&obs, app.queues.keys().map(String::as_str));
 
         let server = Server {
             app,
             store,
             net,
             clock,
-            timers: TimerWheel::new(),
+            timers,
             gateways,
             scheduler: Scheduler::new(),
             collections: Arc::new(self.collections),
             plan_mode: self.plan_mode,
-            stats: Mutex::new(ServerStats::default()),
+            metrics,
+            obs,
             doc_cache: Mutex::new(HashMap::new()),
             active_workers: AtomicUsize::new(0),
         };
@@ -318,7 +416,8 @@ pub struct Server {
     scheduler: Scheduler,
     collections: Arc<HashMap<String, Vec<Arc<Document>>>>,
     plan_mode: PlanMode,
-    stats: Mutex<ServerStats>,
+    obs: Arc<Obs>,
+    metrics: EngineMetrics,
     /// Cache of parsed message documents.
     doc_cache: Mutex<HashMap<MsgId, Arc<Document>>>,
     active_workers: AtomicUsize,
@@ -350,9 +449,35 @@ impl Server {
         &self.clock
     }
 
-    /// Statistics snapshot.
+    /// Statistics snapshot — a thin view over the metric registry
+    /// (per-queue counters summed across their labels).
     pub fn stats(&self) -> ServerStats {
-        self.stats.lock().clone()
+        let r = &self.obs.registry;
+        ServerStats {
+            processed: r.counter_total("demaq_engine_processed_total"),
+            enqueued: r.counter_total("demaq_engine_enqueued_total"),
+            errors_routed: self.metrics.errors_routed.get(),
+            rules_evaluated: self.metrics.rules_evaluated.get(),
+            rules_skipped_by_filter: self.metrics.rules_skipped.get(),
+            deadlock_retries: self.metrics.deadlock_retries.get(),
+            timers_fired: self.metrics.timers_fired.get(),
+            gc_purged: self.metrics.gc_purged.get(),
+        }
+    }
+
+    /// The observability context (registry + tracer) of this server.
+    pub fn metrics(&self) -> Arc<Obs> {
+        Arc::clone(&self.obs)
+    }
+
+    /// All registered metrics in Prometheus text exposition format.
+    pub fn metrics_text(&self) -> String {
+        self.obs.registry.render_text()
+    }
+
+    /// The most recent `n` trace events, oldest first.
+    pub fn trace_tail(&self, n: usize) -> Vec<TraceEvent> {
+        self.obs.tracer.tail(n)
     }
 
     // ---- message ingestion ----------------------------------------------------
@@ -422,9 +547,13 @@ impl Server {
         })();
         match result {
             Ok(id) => {
-                self.stats.lock().enqueued += 1;
+                self.metrics.inc_enqueued(&self.obs, queue);
+                self.obs.tracer.event("msg.enqueue", Some(id.0), queue, "");
                 self.doc_cache_insert(id, doc);
                 self.scheduler.push(id, queue, cq.decl.priority);
+                self.metrics
+                    .scheduler_depth
+                    .set(self.scheduler.len() as i64);
                 self.post_commit_queue_effects(queue, id)?;
                 Ok(id)
             }
@@ -460,6 +589,9 @@ impl Server {
     pub fn step(&self) -> Result<bool> {
         match self.scheduler.pop() {
             Some((msg, queue)) => {
+                self.metrics
+                    .scheduler_depth
+                    .set(self.scheduler.len() as i64);
                 self.process_message(msg, &queue)?;
                 Ok(true)
             }
@@ -535,8 +667,11 @@ impl Server {
         let now = self.clock.now();
         for firing in self.timers.due(now) {
             progressed = true;
-            self.stats.lock().timers_fired += 1;
+            self.metrics.timers_fired.inc();
             let job = firing.payload;
+            self.obs
+                .tracer
+                .event("timer.fire", None, &job.target, "echo timeout");
             self.enqueue_with(&job.target, &job.payload, &[], Some(&job.props), Vec::new())?;
         }
         Ok(progressed)
@@ -591,7 +726,10 @@ impl Server {
                 | Err(EngineError::Store(StoreError::LockTimeout))
                     if attempt < 3 =>
                 {
-                    self.stats.lock().deadlock_retries += 1;
+                    self.metrics.deadlock_retries.inc();
+                    self.obs
+                        .tracer
+                        .event("msg.retry", Some(msg_id.0), queue, "deadlock victim");
                     continue;
                 }
                 Err(e) => return Err(e),
@@ -633,12 +771,19 @@ impl Server {
         }
 
         let txn = self.store.begin();
+        let eval_started = Instant::now();
         let result = self.evaluate_and_execute(txn, &stored, &doc, cq, &slice_rules, &slice_keys);
+        self.metrics.rule_eval_ns.record(eval_started.elapsed());
         match result {
             Ok(new_messages) => {
                 self.store.mark_processed(txn, msg_id)?;
+                let commit_started = Instant::now();
                 self.store.commit(txn)?;
-                self.stats.lock().processed += 1;
+                self.metrics.txn_commit_ns.record(commit_started.elapsed());
+                self.metrics.inc_processed(&self.obs, queue);
+                self.obs
+                    .tracer
+                    .event("msg.processed", Some(msg_id.0), queue, "");
                 // Post-commit: schedule new work, gateway/echo side effects.
                 for (new_id, new_queue) in new_messages {
                     let prio = self
@@ -655,11 +800,13 @@ impl Server {
             Err(ProcessingError::Store(StoreError::Deadlock)) => {
                 self.store.abort(txn);
                 // Put the message back for retry.
+                self.metrics.requeues.inc();
                 self.scheduler.requeue(msg_id, queue, cq.decl.priority);
                 Err(EngineError::Store(StoreError::Deadlock))
             }
             Err(ProcessingError::Store(StoreError::LockTimeout)) => {
                 self.store.abort(txn);
+                self.metrics.requeues.inc();
                 self.scheduler.requeue(msg_id, queue, cq.decl.priority);
                 Err(EngineError::Store(StoreError::LockTimeout))
             }
@@ -719,7 +866,7 @@ impl Server {
         };
         match merged {
             Some(plan) => {
-                self.stats.lock().rules_evaluated += cq.rules.len() as u64;
+                self.metrics.rules_evaluated.add(cq.rules.len() as u64);
                 let ups = self
                     .eval_rule_body(&plan, stored, &msg_root, None)
                     .map_err(|e| ProcessingError::rule("<merged-plan>", e))?;
@@ -729,11 +876,11 @@ impl Server {
                 for rule in &cq.rules {
                     if let Some(trigger) = &rule.trigger_elements {
                         if !trigger.iter().any(|t| element_names.contains(t.as_str())) {
-                            self.stats.lock().rules_skipped_by_filter += 1;
+                            self.metrics.rules_skipped.inc();
                             continue;
                         }
                     }
-                    self.stats.lock().rules_evaluated += 1;
+                    self.metrics.rules_evaluated.inc();
                     let ups = self
                         .eval_rule_body(&rule.body, stored, &msg_root, None)
                         .map_err(|e| ProcessingError::rule(&rule.name, e))?;
@@ -744,7 +891,7 @@ impl Server {
 
         // Slicing rules, each with its slice context.
         for (ctx, rule) in slice_rules {
-            self.stats.lock().rules_evaluated += 1;
+            self.metrics.rules_evaluated.inc();
             let members = self.slice_member_docs(&ctx.slicing, &ctx.key)?;
             let full_ctx = SliceCtx {
                 slicing: ctx.slicing.clone(),
@@ -1012,7 +1159,10 @@ impl Server {
                 },
             })?;
         self.doc_cache_insert(id, message);
-        self.stats.lock().enqueued += 1;
+        self.metrics.inc_enqueued(&self.obs, target);
+        self.obs
+            .tracer
+            .event("msg.enqueue", Some(id.0), target, rule_name.unwrap_or(""));
         Ok((id, target.to_string()))
     }
 
@@ -1137,13 +1287,19 @@ impl Server {
                 .find(|cr| cr.name == r)
         });
         let Some(eq) = self.app.error_queue_for(rule_ref, queue) else {
-            self.stats.lock().errors_routed += 1;
+            self.metrics.errors_routed.inc();
+            self.obs
+                .tracer
+                .event("error.drop", msg_id.map(|m| m.0), queue, detail);
             return Ok(());
         };
         let eq = eq.to_string();
         let doc = error_message(error_kind, detail, rule, queue, msg_id, payload);
         let xml = doc.root().to_xml();
-        self.stats.lock().errors_routed += 1;
+        self.metrics.errors_routed.inc();
+        self.obs
+            .tracer
+            .event("error.route", msg_id.map(|m| m.0), &eq, detail);
         // Error enqueue runs its own transaction; failures here are fatal
         // (the paper's "masking higher level failures" resort would be a
         // persistent error queue, which this is).
@@ -1221,7 +1377,7 @@ impl Server {
     /// [`Server::maintenance`].
     pub fn gc(&self) -> Result<usize> {
         let purged = self.store.gc()?;
-        self.stats.lock().gc_purged += purged as u64;
+        self.metrics.gc_purged.add(purged as u64);
         if purged > 0 {
             // Drop cached documents of purged messages.
             let mut cache = self.doc_cache.lock();

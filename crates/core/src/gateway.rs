@@ -9,6 +9,7 @@
 use crate::app::CompiledApp;
 use demaq_net::reliable::{reliable_receiver, ReliableSender};
 use demaq_net::{Envelope, Network, TransportError};
+use demaq_obs::Obs;
 use demaq_qdl::QueueKind;
 use demaq_store::{PropValue, StoredMessage};
 use demaq_xml::NodeRef;
@@ -31,11 +32,17 @@ pub struct GatewayManager {
     /// Buffered incoming deliveries: (queue, envelope).
     inbox: Arc<Mutex<Vec<(String, Envelope)>>>,
     reliable_senders: Vec<(String, Arc<ReliableSender>)>,
+    obs: Arc<Obs>,
 }
 
 impl GatewayManager {
     /// Wire up every gateway queue of the application.
-    pub fn new(app: &CompiledApp, net: Arc<Network>, server_addr: String) -> GatewayManager {
+    pub fn new(
+        app: &CompiledApp,
+        net: Arc<Network>,
+        server_addr: String,
+        obs: Arc<Obs>,
+    ) -> GatewayManager {
         let inbox: Arc<Mutex<Vec<(String, Envelope)>>> = Arc::new(Mutex::new(Vec::new()));
         let mut outgoing = HashMap::new();
         let mut reliable_senders = Vec::new();
@@ -79,8 +86,17 @@ impl GatewayManager {
                     let addr = q.decl.endpoint.clone().unwrap_or_else(|| name.clone());
                     let inbox2 = Arc::clone(&inbox);
                     let qname = name.clone();
-                    let handler: demaq_net::DeliveryHandler =
-                        Arc::new(move |env: Envelope| inbox2.lock().push((qname.clone(), env)));
+                    let received = obs
+                        .registry
+                        .counter_with("demaq_gateway_received_total", &[("queue", name)]);
+                    let tracer_obs = Arc::clone(&obs);
+                    let handler: demaq_net::DeliveryHandler = Arc::new(move |env: Envelope| {
+                        received.inc();
+                        tracer_obs
+                            .tracer
+                            .event("gateway.recv", None, &qname, &env.from);
+                        inbox2.lock().push((qname.clone(), env));
+                    });
                     // Incoming gateways always understand the reliable
                     // protocol (acks + dedup are harmless for plain sends).
                     net.register(&addr, reliable_receiver(Arc::clone(&net), handler));
@@ -94,6 +110,7 @@ impl GatewayManager {
             outgoing,
             inbox,
             reliable_senders,
+            obs,
         }
     }
 
@@ -117,6 +134,7 @@ impl GatewayManager {
             Some(PropValue::Str(addr)) => addr.clone(),
             _ => out.endpoint.clone(),
         };
+        let to_addr = to.clone();
         let mut env = Envelope::new(to, self.server_addr.clone(), msg.payload.clone());
         if let Some(PropValue::Str(s)) = msg.prop("Sender") {
             env = env.with_header("Sender", s.clone());
@@ -129,10 +147,31 @@ impl GatewayManager {
         if let Some(PropValue::Int(c)) = msg.prop("connection") {
             env = env.with_conn(demaq_net::ConnectionHandle(*c as u64));
         }
-        match &out.reliable {
+        let result = match &out.reliable {
             Some(sender) => sender.send(env),
             None => self.net.send(env),
+        };
+        match &result {
+            Ok(()) => {
+                self.obs
+                    .registry
+                    .counter_with("demaq_gateway_sent_total", &[("queue", queue)])
+                    .inc();
+                self.obs
+                    .tracer
+                    .event("gateway.send", Some(msg.id.0), queue, &to_addr);
+            }
+            Err(e) => {
+                self.obs
+                    .registry
+                    .counter_with("demaq_gateway_send_failures_total", &[("queue", queue)])
+                    .inc();
+                self.obs
+                    .tracer
+                    .event("gateway.send_fail", Some(msg.id.0), queue, &e.to_string());
+            }
         }
+        result
     }
 
     /// Drain buffered incoming deliveries.
@@ -147,6 +186,13 @@ impl GatewayManager {
         for (queue, sender) in &self.reliable_senders {
             sender.tick();
             for (env, err) in sender.take_failed() {
+                self.obs
+                    .registry
+                    .counter_with("demaq_gateway_send_failures_total", &[("queue", queue)])
+                    .inc();
+                self.obs
+                    .tracer
+                    .event("gateway.send_fail", None, queue, &err.to_string());
                 failures.push((queue.clone(), env, err));
             }
         }

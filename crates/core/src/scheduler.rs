@@ -15,8 +15,12 @@ use std::collections::{BinaryHeap, HashSet};
 #[derive(Debug, Clone, PartialEq, Eq)]
 struct WorkItem {
     priority: i32,
-    /// Arrival order: lower MsgId first within a priority class.
-    msg: Reverse<MsgId>,
+    /// Arrival order: lower sequence number first within a priority class.
+    /// Assigned by the scheduler at push time — message ids are *not* a
+    /// reliable arrival proxy (concurrent transactions commit out of id
+    /// order, and requeued retries must be able to rejoin the front).
+    seq: Reverse<i64>,
+    msg: MsgId,
     queue: String,
 }
 
@@ -27,8 +31,13 @@ impl PartialOrd for WorkItem {
 }
 impl Ord for WorkItem {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Max-heap: highest priority first, then earliest message.
-        (self.priority, &self.msg).cmp(&(other.priority, &other.msg))
+        // Max-heap: highest priority first, then earliest arrival; message
+        // id as the final tiebreak for a total order.
+        (self.priority, &self.seq, Reverse(self.msg)).cmp(&(
+            other.priority,
+            &other.seq,
+            Reverse(other.msg),
+        ))
     }
 }
 
@@ -38,11 +47,26 @@ pub struct Scheduler {
     inner: Mutex<SchedState>,
 }
 
-#[derive(Default)]
 struct SchedState {
     heap: BinaryHeap<WorkItem>,
     /// Guards against double-scheduling (e.g. recovery + runtime).
     queued: HashSet<MsgId>,
+    /// Next arrival sequence (increments per push).
+    next_back: i64,
+    /// Next front-of-class sequence (decrements per requeue, so retries
+    /// run before messages that arrived after them).
+    next_front: i64,
+}
+
+impl Default for SchedState {
+    fn default() -> Self {
+        SchedState {
+            heap: BinaryHeap::new(),
+            queued: HashSet::new(),
+            next_back: 0,
+            next_front: -1,
+        }
+    }
 }
 
 impl Scheduler {
@@ -50,13 +74,16 @@ impl Scheduler {
         Scheduler::default()
     }
 
-    /// Add an unprocessed message.
+    /// Add an unprocessed message at the back of its priority class.
     pub fn push(&self, msg: MsgId, queue: &str, priority: i32) {
         let mut st = self.inner.lock();
         if st.queued.insert(msg) {
+            let seq = st.next_back;
+            st.next_back += 1;
             st.heap.push(WorkItem {
                 priority,
-                msg: Reverse(msg),
+                seq: Reverse(seq),
+                msg,
                 queue: queue.to_string(),
             });
         }
@@ -66,14 +93,25 @@ impl Scheduler {
     pub fn pop(&self) -> Option<(MsgId, String)> {
         let mut st = self.inner.lock();
         let item = st.heap.pop()?;
-        st.queued.remove(&item.msg.0);
-        Some((item.msg.0, item.queue))
+        st.queued.remove(&item.msg);
+        Some((item.msg, item.queue))
     }
 
-    /// Put a message back (lock conflict / deadlock retry) — it keeps its
-    /// position by id.
+    /// Put a message back (lock conflict / deadlock retry) — it rejoins
+    /// the *front* of its priority class, keeping its place ahead of work
+    /// that arrived later.
     pub fn requeue(&self, msg: MsgId, queue: &str, priority: i32) {
-        self.push(msg, queue, priority);
+        let mut st = self.inner.lock();
+        if st.queued.insert(msg) {
+            let seq = st.next_front;
+            st.next_front -= 1;
+            st.heap.push(WorkItem {
+                priority,
+                seq: Reverse(seq),
+                msg,
+                queue: queue.to_string(),
+            });
+        }
     }
 
     /// Pending count.
@@ -123,6 +161,52 @@ mod tests {
         // After popping it may be requeued (retry).
         s.requeue(MsgId(1), "q", 0);
         assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn arrival_order_beats_id_order() {
+        // Regression: ids are assigned at store.enqueue, but concurrent
+        // transactions commit (and schedule) out of id order. FIFO within
+        // a priority class must follow *push* order, not id order.
+        let s = Scheduler::new();
+        s.push(MsgId(10), "q", 0);
+        s.push(MsgId(5), "q", 0);
+        s.push(MsgId(7), "q", 0);
+        let order: Vec<u64> = std::iter::from_fn(|| s.pop().map(|(m, _)| m.0)).collect();
+        assert_eq!(order, [10, 5, 7]);
+    }
+
+    #[test]
+    fn requeue_rejoins_front_of_priority_class() {
+        let s = Scheduler::new();
+        s.push(MsgId(1), "q", 0);
+        s.push(MsgId(2), "q", 0);
+        let (victim, _) = s.pop().unwrap();
+        assert_eq!(victim, MsgId(1));
+        s.push(MsgId(3), "q", 0);
+        // The deadlock victim retries before 2 and 3, which arrived later.
+        s.requeue(victim, "q", 0);
+        let order: Vec<u64> = std::iter::from_fn(|| s.pop().map(|(m, _)| m.0)).collect();
+        assert_eq!(order, [1, 2, 3]);
+        // But requeueing never overrides priority.
+        s.push(MsgId(4), "lo", 0);
+        s.requeue(MsgId(5), "lo", 0);
+        s.push(MsgId(6), "hi", 9);
+        let order: Vec<u64> = std::iter::from_fn(|| s.pop().map(|(m, _)| m.0)).collect();
+        assert_eq!(order, [6, 5, 4]);
+    }
+
+    #[test]
+    fn repeated_requeues_preserve_retry_order() {
+        let s = Scheduler::new();
+        // Two victims requeued in sequence: the later requeue runs first
+        // (most recently preempted work resumes first), and both beat a
+        // fresh arrival.
+        s.requeue(MsgId(1), "q", 0);
+        s.requeue(MsgId(2), "q", 0);
+        s.push(MsgId(3), "q", 0);
+        let order: Vec<u64> = std::iter::from_fn(|| s.pop().map(|(m, _)| m.0)).collect();
+        assert_eq!(order, [2, 1, 3]);
     }
 
     #[test]

@@ -14,11 +14,12 @@
 use crate::clock::Clock;
 use crate::envelope::Envelope;
 use crate::error::TransportError;
+use demaq_obs::{Counter, Obs};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{HashMap, HashSet};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Callback invoked when an envelope arrives at an endpoint.
 pub type DeliveryHandler = Arc<dyn Fn(Envelope) + Send + Sync>;
@@ -39,10 +40,18 @@ struct NetState {
     dropped: u64,
 }
 
+/// Registry handles for transport metrics (`demaq_net_*`).
+struct NetMetrics {
+    sent: Counter,
+    delivered: Counter,
+    dropped: Counter,
+}
+
 /// The simulated network.
 pub struct Network {
     clock: Clock,
     state: Mutex<NetState>,
+    metrics: OnceLock<NetMetrics>,
 }
 
 impl Network {
@@ -61,7 +70,20 @@ impl Network {
                 delivered: 0,
                 dropped: 0,
             }),
+            metrics: OnceLock::new(),
         }
+    }
+
+    /// Register transport counters (`demaq_net_sent_total`,
+    /// `demaq_net_delivered_total`, `demaq_net_dropped_total`) in `obs`.
+    /// First attachment wins — on a shared multi-node network the first
+    /// server's registry collects transport-wide counts.
+    pub fn attach_obs(&self, obs: &Obs) {
+        let _ = self.metrics.set(NetMetrics {
+            sent: obs.registry.counter("demaq_net_sent_total"),
+            delivered: obs.registry.counter("demaq_net_delivered_total"),
+            dropped: obs.registry.counter("demaq_net_dropped_total"),
+        });
     }
 
     /// Register (or replace) the handler for an address.
@@ -104,10 +126,16 @@ impl Network {
         if st.disconnected.contains(&env.to) {
             return Err(TransportError::Disconnected(env.to));
         }
+        if let Some(m) = self.metrics.get() {
+            m.sent.inc();
+        }
         if st.drop_rate > 0.0 {
             let p: f64 = st.rng.gen();
             if p < st.drop_rate {
                 st.dropped += 1;
+                if let Some(m) = self.metrics.get() {
+                    m.dropped.inc();
+                }
                 return Ok(()); // lost in transit: sender believes it went out
             }
         }
@@ -143,9 +171,15 @@ impl Network {
                     kept.push(e);
                 } else {
                     st.dropped += 1;
+                    if let Some(m) = self.metrics.get() {
+                        m.dropped.inc();
+                    }
                 }
             }
             st.delivered += kept.len() as u64;
+            if let Some(m) = self.metrics.get() {
+                m.delivered.add(kept.len() as u64);
+            }
             (kept, handlers)
         };
         // Invoke handlers outside the lock: they may send again.

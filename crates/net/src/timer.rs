@@ -2,9 +2,11 @@
 //! Sec. 2.1.3): "echo queues … enqueue any message sent to them into some
 //! target queue after a timeout has expired."
 
+use demaq_obs::Counter;
 use parking_lot::Mutex;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::OnceLock;
 
 /// A scheduled firing.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -29,6 +31,7 @@ impl<T: Eq> Ord for Firing<T> {
 /// same instant).
 pub struct TimerWheel<T: Eq> {
     inner: Mutex<WheelState<T>>,
+    fired: OnceLock<Counter>,
 }
 
 struct WheelState<T: Eq> {
@@ -43,6 +46,7 @@ impl<T: Eq> Default for TimerWheel<T> {
                 heap: BinaryHeap::new(),
                 seq: 0,
             }),
+            fired: OnceLock::new(),
         }
     }
 }
@@ -50,6 +54,12 @@ impl<T: Eq> Default for TimerWheel<T> {
 impl<T: Eq> TimerWheel<T> {
     pub fn new() -> TimerWheel<T> {
         TimerWheel::default()
+    }
+
+    /// Count firings into `counter` (e.g. `demaq_net_timer_fired_total`).
+    /// First attachment wins.
+    pub fn attach_fire_counter(&self, counter: Counter) {
+        let _ = self.fired.set(counter);
     }
 
     /// Schedule `payload` to fire at absolute time `at`.
@@ -69,6 +79,11 @@ impl<T: Eq> TimerWheel<T> {
                 break;
             }
             out.push(st.heap.pop().expect("peeked").0);
+        }
+        if !out.is_empty() {
+            if let Some(c) = self.fired.get() {
+                c.add(out.len() as u64);
+            }
         }
         out
     }

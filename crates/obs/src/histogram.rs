@@ -1,0 +1,209 @@
+//! Fixed-bucket log2 latency histograms.
+//!
+//! Bucket `0` counts zero values; bucket `i` (1..=64) counts values in
+//! `[2^(i-1), 2^i)`. Recording is two relaxed atomic adds; quantile
+//! estimation scans the 65 buckets and interpolates at the geometric
+//! midpoint of the winning bucket.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+pub(crate) const BUCKETS: usize = 65;
+
+pub(crate) struct HistCell {
+    pub(crate) buckets: [AtomicU64; BUCKETS],
+    pub(crate) sum: AtomicU64,
+    pub(crate) count: AtomicU64,
+}
+
+impl Default for HistCell {
+    fn default() -> Self {
+        HistCell {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Handle to a histogram registered in a [`crate::Registry`] (or
+/// standalone via [`Histogram::new`]). Cheap to clone; clones share cells.
+#[derive(Clone)]
+pub struct Histogram {
+    pub(crate) cell: Arc<HistCell>,
+}
+
+pub(crate) fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        (64 - v.leading_zeros()) as usize
+    }
+}
+
+/// Upper bound (exclusive) of bucket `i`, saturating at `u64::MAX`.
+pub(crate) fn bucket_upper(i: usize) -> u64 {
+    if i == 0 {
+        1
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        1u64 << i
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// A standalone histogram (registry-managed ones come from
+    /// [`crate::Registry::histogram`]).
+    pub fn new() -> Histogram {
+        Histogram {
+            cell: Arc::new(HistCell::default()),
+        }
+    }
+
+    /// Record one observation in nanoseconds.
+    pub fn record_ns(&self, ns: u64) {
+        self.cell.buckets[bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
+        self.cell.sum.fetch_add(ns, Ordering::Relaxed);
+        self.cell.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a [`Duration`].
+    pub fn record(&self, d: Duration) {
+        self.record_ns(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Time `f` and record its wall-clock duration.
+    pub fn time<R>(&self, f: impl FnOnce() -> R) -> R {
+        let start = Instant::now();
+        let out = f();
+        self.record(start.elapsed());
+        out
+    }
+
+    pub fn count(&self) -> u64 {
+        self.cell.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum_ns(&self) -> u64 {
+        self.cell.sum.load(Ordering::Relaxed)
+    }
+
+    pub fn mean_ns(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum_ns() as f64 / n as f64
+        }
+    }
+
+    /// Estimated quantile (`0.0..=1.0`) in nanoseconds: the geometric
+    /// midpoint of the first bucket whose cumulative count reaches
+    /// `ceil(q * count)`. Returns 0 for an empty histogram.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut cum = 0u64;
+        for i in 0..BUCKETS {
+            cum += self.cell.buckets[i].load(Ordering::Relaxed);
+            if cum >= target {
+                if i == 0 {
+                    return 0;
+                }
+                let lo = 1u64 << (i - 1);
+                // Geometric midpoint lo*sqrt(2), cheap integer form.
+                return lo + lo / 2;
+            }
+        }
+        bucket_upper(BUCKETS - 1)
+    }
+
+    pub fn p50(&self) -> u64 {
+        self.quantile_ns(0.50)
+    }
+
+    pub fn p90(&self) -> u64 {
+        self.quantile_ns(0.90)
+    }
+
+    pub fn p99(&self) -> u64 {
+        self.quantile_ns(0.99)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        // Each power of two starts a new bucket; its predecessor ends one.
+        for shift in 1..63 {
+            let v = 1u64 << shift;
+            assert_eq!(bucket_index(v), bucket_index(v - 1) + 1, "at 2^{shift}");
+            assert_eq!(bucket_index(v), bucket_index(v + 1), "inside 2^{shift}");
+        }
+    }
+
+    #[test]
+    fn quantiles_of_uniform_spread() {
+        let h = Histogram::new();
+        // 100 values: 1..=100 — p50 lands in the bucket of ~50 (32..64),
+        // p99 in the bucket of ~99 (64..128).
+        for v in 1..=100u64 {
+            h.record_ns(v);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.sum_ns(), 5050);
+        let p50 = h.p50();
+        assert!((32..=64).contains(&p50), "p50 estimate {p50}");
+        let p99 = h.p99();
+        assert!((64..=128).contains(&p99), "p99 estimate {p99}");
+        assert!(h.p90() >= h.p50());
+    }
+
+    #[test]
+    fn empty_and_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.mean_ns(), 0.0);
+        h.record_ns(0);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.p99(), 0);
+    }
+
+    #[test]
+    fn single_huge_value() {
+        let h = Histogram::new();
+        h.record_ns(u64::MAX);
+        assert_eq!(h.count(), 1);
+        assert!(h.p50() > 1u64 << 62);
+    }
+
+    #[test]
+    fn time_records_something() {
+        let h = Histogram::new();
+        let out = h.time(|| 7);
+        assert_eq!(out, 7);
+        assert_eq!(h.count(), 1);
+    }
+}

@@ -1,0 +1,283 @@
+//! Bounded ring-buffer event tracer with span timing.
+//!
+//! Writers claim a slot with one atomic `fetch_add` and only lock that
+//! slot's own mutex (lock-free between writers of different slots); the
+//! ring overwrites the oldest events once full. [`Tracer::tail`]
+//! reassembles the most recent events in order.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One traced engine event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Global sequence number (monotonic; survives ring wraparound).
+    pub seq: u64,
+    /// Event kind, e.g. `"rule.eval"`, `"txn.commit"`, `"gateway.send"`.
+    pub kind: &'static str,
+    /// The message involved, if any.
+    pub msg_id: Option<u64>,
+    /// The queue involved, if any (empty string otherwise).
+    pub queue: String,
+    /// Free-form detail (rule name, error text, …).
+    pub detail: String,
+    /// Span duration in nanoseconds for timed events.
+    pub dur_ns: Option<u64>,
+}
+
+impl TraceEvent {
+    /// One-line rendering for logs and example output.
+    pub fn render(&self) -> String {
+        let mut out = format!("#{:<6} {:<18}", self.seq, self.kind);
+        if !self.queue.is_empty() {
+            out.push_str(&format!(" queue={}", self.queue));
+        }
+        if let Some(m) = self.msg_id {
+            out.push_str(&format!(" msg={m}"));
+        }
+        if let Some(d) = self.dur_ns {
+            out.push_str(&format!(" dur={d}ns"));
+        }
+        if !self.detail.is_empty() {
+            out.push_str(&format!(" {}", self.detail));
+        }
+        out
+    }
+}
+
+/// The ring-buffer tracer.
+pub struct Tracer {
+    slots: Vec<Mutex<Option<TraceEvent>>>,
+    next: AtomicU64,
+    enabled: AtomicBool,
+}
+
+impl Tracer {
+    /// A tracer retaining the last `capacity` events (min 16).
+    pub fn new(capacity: usize) -> Tracer {
+        let capacity = capacity.max(16);
+        Tracer {
+            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+            next: AtomicU64::new(0),
+            enabled: AtomicBool::new(true),
+        }
+    }
+
+    /// Turn tracing off/on (events are dropped while disabled; counters
+    /// and histograms are unaffected).
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Record an instantaneous event.
+    pub fn event(&self, kind: &'static str, msg_id: Option<u64>, queue: &str, detail: &str) {
+        self.record(kind, msg_id, queue, detail, None);
+    }
+
+    /// Start a timed span; the returned guard records the event (with
+    /// duration) when dropped or [`Span::finish`]ed.
+    pub fn span<'t>(
+        &'t self,
+        kind: &'static str,
+        msg_id: Option<u64>,
+        queue: &str,
+        detail: &str,
+    ) -> Span<'t> {
+        Span {
+            tracer: self,
+            kind,
+            msg_id,
+            queue: queue.to_string(),
+            detail: detail.to_string(),
+            start: Instant::now(),
+            done: false,
+        }
+    }
+
+    fn record(
+        &self,
+        kind: &'static str,
+        msg_id: Option<u64>,
+        queue: &str,
+        detail: &str,
+        dur_ns: Option<u64>,
+    ) {
+        if !self.is_enabled() {
+            return;
+        }
+        let seq = self.next.fetch_add(1, Ordering::Relaxed);
+        let slot = (seq % self.slots.len() as u64) as usize;
+        let mut guard = self.slots[slot].lock().unwrap_or_else(|e| e.into_inner());
+        match &mut *guard {
+            // Reuse the overwritten event's string buffers: once the ring
+            // has wrapped, recording allocates only when a queue/detail
+            // outgrows the slot's existing capacity.
+            Some(ev) => {
+                ev.seq = seq;
+                ev.kind = kind;
+                ev.msg_id = msg_id;
+                ev.queue.clear();
+                ev.queue.push_str(queue);
+                ev.detail.clear();
+                ev.detail.push_str(detail);
+                ev.dur_ns = dur_ns;
+            }
+            None => {
+                *guard = Some(TraceEvent {
+                    seq,
+                    kind,
+                    msg_id,
+                    queue: queue.to_string(),
+                    detail: detail.to_string(),
+                    dur_ns,
+                });
+            }
+        }
+    }
+
+    /// Total events ever recorded (including ones the ring has dropped).
+    pub fn recorded(&self) -> u64 {
+        self.next.load(Ordering::Relaxed)
+    }
+
+    /// The ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The most recent `n` events, oldest first.
+    pub fn tail(&self, n: usize) -> Vec<TraceEvent> {
+        let mut events: Vec<TraceEvent> = self
+            .slots
+            .iter()
+            .filter_map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).clone())
+            .collect();
+        events.sort_by_key(|e| e.seq);
+        if events.len() > n {
+            events.drain(..events.len() - n);
+        }
+        events
+    }
+}
+
+/// Timed span guard from [`Tracer::span`].
+pub struct Span<'t> {
+    tracer: &'t Tracer,
+    kind: &'static str,
+    msg_id: Option<u64>,
+    queue: String,
+    detail: String,
+    start: Instant,
+    done: bool,
+}
+
+impl<'t> Span<'t> {
+    /// Replace the detail before the span records (e.g. outcome).
+    pub fn set_detail(&mut self, detail: impl Into<String>) {
+        self.detail = detail.into();
+    }
+
+    /// End the span now and record the event.
+    pub fn finish(mut self) {
+        self.record_now();
+    }
+
+    fn record_now(&mut self) {
+        if self.done {
+            return;
+        }
+        self.done = true;
+        let dur = self.start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        self.tracer
+            .record(self.kind, self.msg_id, &self.queue, &self.detail, Some(dur));
+    }
+}
+
+impl<'t> Drop for Span<'t> {
+    fn drop(&mut self) {
+        self.record_now();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tail_returns_recent_in_order() {
+        let t = Tracer::new(64);
+        for i in 0..10u64 {
+            t.event("step", Some(i), "q", "");
+        }
+        let tail = t.tail(3);
+        let seqs: Vec<u64> = tail.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, [7, 8, 9]);
+        assert_eq!(tail[2].msg_id, Some(9));
+    }
+
+    #[test]
+    fn ring_wraparound_keeps_newest() {
+        let t = Tracer::new(16); // minimum capacity
+        for i in 0..100u64 {
+            t.event("e", Some(i), "", "");
+        }
+        assert_eq!(t.recorded(), 100);
+        let tail = t.tail(1000);
+        assert_eq!(tail.len(), 16, "ring holds capacity events");
+        let seqs: Vec<u64> = tail.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, (84..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn span_records_duration() {
+        let t = Tracer::new(16);
+        {
+            let mut s = t.span("txn.commit", Some(1), "orders", "");
+            s.set_detail("ok");
+        }
+        let tail = t.tail(1);
+        assert_eq!(tail.len(), 1);
+        assert_eq!(tail[0].kind, "txn.commit");
+        assert_eq!(tail[0].detail, "ok");
+        assert!(tail[0].dur_ns.is_some());
+    }
+
+    #[test]
+    fn disabled_drops_events() {
+        let t = Tracer::new(16);
+        t.set_enabled(false);
+        t.event("e", None, "", "");
+        assert_eq!(t.tail(10).len(), 0);
+        t.set_enabled(true);
+        t.event("e", None, "", "");
+        assert_eq!(t.tail(10).len(), 1);
+    }
+
+    #[test]
+    fn concurrent_writers_never_lose_the_ring() {
+        use std::sync::Arc;
+        let t = Arc::new(Tracer::new(128));
+        std::thread::scope(|s| {
+            for w in 0..4u64 {
+                let t = Arc::clone(&t);
+                s.spawn(move || {
+                    for i in 0..500u64 {
+                        t.event("w", Some(w * 1000 + i), "q", "");
+                    }
+                });
+            }
+        });
+        assert_eq!(t.recorded(), 2000);
+        let tail = t.tail(10_000);
+        assert_eq!(tail.len(), 128);
+        // Sequence numbers are unique.
+        let mut seqs: Vec<u64> = tail.iter().map(|e| e.seq).collect();
+        seqs.dedup();
+        assert_eq!(seqs.len(), 128);
+    }
+}

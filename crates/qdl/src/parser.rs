@@ -270,8 +270,7 @@ fn parse_queue(sc: &mut Scanner) -> Result<QueueDecl, QdlError> {
     };
     let mut saw_kind = false;
     let mut saw_mode = false;
-    loop {
-        let Some(w) = sc.peek_word() else { break };
+    while let Some(w) = sc.peek_word() {
         match w.as_str() {
             "kind" => {
                 sc.expect_word("kind")?;

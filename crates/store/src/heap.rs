@@ -209,6 +209,7 @@ impl HeapFile {
     }
 
     /// Returns (next chunk id, (total_len_if_first, payload bytes)).
+    #[allow(clippy::type_complexity)]
     fn read_chunk(
         &self,
         rid: RecordId,

@@ -12,9 +12,11 @@
 
 use crate::error::{Result, StoreError};
 use crate::types::{MsgId, PropValue, TxnId};
+use demaq_obs::{Counter, Histogram, Registry};
 use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, HashSet};
-use std::time::Duration;
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
 
 /// What to lock when processing a message (engine configuration).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -94,11 +96,21 @@ impl LockState {
     }
 }
 
+/// Registry handles for lock contention metrics
+/// (`demaq_store_lock_*`).
+struct LockMetrics {
+    wait_ns: Histogram,
+    conflicts: Counter,
+    deadlocks: Counter,
+    timeouts: Counter,
+}
+
 /// The lock manager.
 pub struct LockManager {
     state: Mutex<LockState>,
     cv: Condvar,
     timeout: Duration,
+    metrics: OnceLock<LockMetrics>,
 }
 
 impl Default for LockManager {
@@ -113,7 +125,20 @@ impl LockManager {
             state: Mutex::new(LockState::default()),
             cv: Condvar::new(),
             timeout,
+            metrics: OnceLock::new(),
         }
+    }
+
+    /// Register lock contention metrics in `registry`
+    /// (`demaq_store_lock_wait_ns`, conflict/deadlock/timeout counters).
+    /// First attachment wins; later calls are ignored.
+    pub fn attach_obs(&self, registry: &Registry) {
+        let _ = self.metrics.set(LockMetrics {
+            wait_ns: registry.histogram("demaq_store_lock_wait_ns"),
+            conflicts: registry.counter("demaq_store_lock_conflicts_total"),
+            deadlocks: registry.counter("demaq_store_lock_deadlocks_total"),
+            timeouts: registry.counter("demaq_store_lock_timeouts_total"),
+        });
     }
 
     /// Acquire `key` in `mode` for `txn`, blocking if necessary.
@@ -123,20 +148,21 @@ impl LockManager {
     /// timeout.
     pub fn acquire(&self, txn: TxnId, key: LockKey, mode: LockMode) -> Result<()> {
         let mut state = self.state.lock();
-        loop {
+        let mut waited_since: Option<Instant> = None;
+        let result = loop {
             let entry = state.locks.entry(key.clone()).or_default();
             // Upgrade: sole holder may strengthen shared -> exclusive.
             if let Some(&held) = entry.holders.get(&txn) {
                 if held == LockMode::Exclusive || mode == LockMode::Shared {
-                    return Ok(());
+                    break Ok(());
                 }
                 if entry.holders.len() == 1 {
                     entry.holders.insert(txn, LockMode::Exclusive);
-                    return Ok(());
+                    break Ok(());
                 }
             } else if entry.compatible(txn, mode) {
                 entry.holders.insert(txn, mode);
-                return Ok(());
+                break Ok(());
             }
             // Conflict: record wait-for edges and check for a cycle.
             let blockers: HashSet<TxnId> = entry
@@ -146,17 +172,36 @@ impl LockManager {
                 .filter(|&h| h != txn)
                 .collect();
             state.blocked_acquisitions += 1;
+            if waited_since.is_none() {
+                waited_since = Some(Instant::now());
+                if let Some(m) = self.metrics.get() {
+                    m.conflicts.inc();
+                }
+            }
             state.waits_for.insert(txn, blockers);
             if state.would_deadlock(txn) {
                 state.waits_for.remove(&txn);
-                return Err(StoreError::Deadlock);
+                break Err(StoreError::Deadlock);
             }
             let timed_out = self.cv.wait_for(&mut state, self.timeout).timed_out();
             state.waits_for.remove(&txn);
             if timed_out {
-                return Err(StoreError::LockTimeout);
+                break Err(StoreError::LockTimeout);
+            }
+        };
+        drop(state);
+        if let Some(m) = self.metrics.get() {
+            if let Some(since) = waited_since {
+                m.wait_ns
+                    .record_ns(since.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+            }
+            match &result {
+                Err(StoreError::Deadlock) => m.deadlocks.inc(),
+                Err(StoreError::LockTimeout) => m.timeouts.inc(),
+                _ => {}
             }
         }
+        result
     }
 
     /// Release every lock held by `txn` (strict 2PL: all at end).

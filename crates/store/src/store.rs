@@ -10,12 +10,13 @@ use crate::slice::SliceIndex;
 use crate::txn::{TxnBuf, TxnOp};
 use crate::types::{MsgId, PropValue, QueueMode, StoredMessage, TxnId};
 use crate::wal::{LogRecord, LogWriter, WalSync};
+use demaq_obs::{Counter, Histogram, Obs};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Commit durability policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,6 +39,9 @@ pub struct StoreOptions {
     pub sync: SyncPolicy,
     pub lock_granularity: LockGranularity,
     pub lock_timeout: Duration,
+    /// Observability context to register store metrics in
+    /// (`demaq_store_*`). `None` keeps a private, unexported registry.
+    pub obs: Option<Arc<Obs>>,
 }
 
 impl StoreOptions {
@@ -48,6 +52,7 @@ impl StoreOptions {
             sync: SyncPolicy::Always,
             lock_granularity: LockGranularity::Slice,
             lock_timeout: Duration::from_secs(5),
+            obs: None,
         }
     }
 }
@@ -97,6 +102,7 @@ pub(crate) struct Logical {
 pub(crate) struct MsgMetaSlot(MsgMeta);
 
 impl Logical {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn insert_message(
         &mut self,
         id: MsgId,
@@ -190,6 +196,32 @@ pub struct MessageStore {
     next_txn: AtomicU64,
     /// Commits since the last WAL sync (group-commit accounting).
     unsynced_commits: AtomicU64,
+    metrics: StoreMetrics,
+}
+
+/// Registry handles for store metrics (`demaq_store_*`), resolved once at
+/// open so the commit path never touches the registry maps.
+struct StoreMetrics {
+    wal_flush_ns: Histogram,
+    commits: Counter,
+    aborts: Counter,
+    checkpoints: Counter,
+    gc_runs: Counter,
+    gc_purged: Counter,
+}
+
+impl StoreMetrics {
+    fn new(obs: &Obs) -> StoreMetrics {
+        let r = &obs.registry;
+        StoreMetrics {
+            wal_flush_ns: r.histogram("demaq_store_wal_flush_ns"),
+            commits: r.counter("demaq_store_commits_total"),
+            aborts: r.counter("demaq_store_aborts_total"),
+            checkpoints: r.counter("demaq_store_checkpoints_total"),
+            gc_runs: r.counter("demaq_store_gc_runs_total"),
+            gc_purged: r.counter("demaq_store_gc_purged_total"),
+        }
+    }
 }
 
 impl MessageStore {
@@ -206,8 +238,11 @@ impl MessageStore {
             SyncPolicy::Batch => WalSync::OnDemand,
         };
         let wal = LogWriter::open(&wal_path, wal_sync)?;
+        let obs = opts.obs.clone().unwrap_or_else(Obs::new);
+        let locks = LockManager::new(opts.lock_timeout);
+        locks.attach_obs(&obs.registry);
         let store = MessageStore {
-            locks: LockManager::new(opts.lock_timeout),
+            locks,
             pool,
             heap,
             wal: Mutex::new(wal),
@@ -217,6 +252,7 @@ impl MessageStore {
             next_msg: AtomicU64::new(rec.next_msg),
             next_txn: AtomicU64::new(rec.next_txn),
             unsynced_commits: AtomicU64::new(0),
+            metrics: StoreMetrics::new(&obs),
             opts,
         };
         // Note: deletions dropped by a crash are *re-derived* by the next
@@ -374,7 +410,9 @@ impl MessageStore {
                     };
                     wal.append(&rec)?;
                 }
+                let flush_started = Instant::now();
                 wal.commit(txn)?;
+                self.metrics.wal_flush_ns.record(flush_started.elapsed());
                 self.unsynced_commits.fetch_add(1, Ordering::Relaxed);
             }
         }
@@ -419,6 +457,7 @@ impl MessageStore {
             }
         }
         self.locks.release_all(txn);
+        self.metrics.commits.inc();
         Ok(())
     }
 
@@ -452,6 +491,7 @@ impl MessageStore {
         self.txns.lock().remove(&txn);
         let _ = self.wal.lock().append(&LogRecord::Abort { txn });
         self.locks.release_all(txn);
+        self.metrics.aborts.inc();
     }
 
     // ---- reads -----------------------------------------------------------------
@@ -558,6 +598,8 @@ impl MessageStore {
             }
             state.slices.forget(*id);
         }
+        self.metrics.gc_runs.inc();
+        self.metrics.gc_purged.add(victims.len() as u64);
         Ok(victims.len())
     }
 
@@ -640,6 +682,7 @@ impl MessageStore {
             let _ = std::fs::remove_file(self.opts.dir.join(format!("wal-{i:06}.log")));
         }
         drop(state);
+        self.metrics.checkpoints.inc();
         Ok(())
     }
 

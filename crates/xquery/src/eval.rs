@@ -692,8 +692,9 @@ impl<'a> Evaluator<'a> {
         self.gen_tuples(clauses, 0, focus, &mut tuples)?;
         debug_assert_eq!(self.vars.len(), base_len);
 
-        // Filter by where, evaluate order keys.
-        let mut survivors: Vec<(Vec<(String, Sequence)>, Vec<Sequence>)> = Vec::new();
+        // Filter by where, evaluate order keys: (binding tuple, order keys).
+        type KeyedTuple = (Vec<(String, Sequence)>, Vec<Sequence>);
+        let mut survivors: Vec<KeyedTuple> = Vec::new();
         for tuple in tuples {
             let n = tuple.len();
             self.vars.extend(tuple.iter().cloned());

@@ -312,5 +312,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.timers_fired,
         server.network().stats().0,
     );
+
+    // demaq-obs summary: latency quantiles + per-queue throughput.
+    let obs = server.metrics();
+    let eval = obs.registry.histogram("demaq_engine_rule_eval_ns");
+    let commit = obs.registry.histogram("demaq_engine_txn_commit_ns");
+    println!("\n-- metrics (demaq-obs) --");
+    println!(
+        "rule eval: n={} p50={}ns p99={}ns | txn commit: n={} p50={}ns p99={}ns",
+        eval.count(),
+        eval.p50(),
+        eval.p99(),
+        commit.count(),
+        commit.p50(),
+        commit.p99()
+    );
+    for line in server
+        .metrics_text()
+        .lines()
+        .filter(|l| l.starts_with("demaq_engine_processed_total{"))
+    {
+        println!("{line}");
+    }
     Ok(())
 }

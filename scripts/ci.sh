@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Repo CI gate: build, test, lint. Runs fully offline — every external
+# dependency is a vendored path crate, so --offline never hits the net.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+echo "== build (release) =="
+cargo build --release --offline --workspace
+
+echo "== test =="
+cargo test -q --offline --workspace
+
+echo "== clippy =="
+# --no-deps keeps the vendored shims out of the lint gate; warnings in
+# first-party crates are errors.
+if cargo clippy --version >/dev/null 2>&1; then
+    cargo clippy --offline --workspace --no-deps -- -D warnings
+else
+    echo "clippy not installed; skipping lint" >&2
+fi
+
+echo "== ci ok =="

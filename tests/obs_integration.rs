@@ -1,0 +1,165 @@
+//! End-to-end observability: after a multi-queue run, the Prometheus
+//! exposition from [`Server::metrics_text`] must agree with the store's
+//! ground truth, and the tracer must have recorded the message lifecycle.
+
+use demaq::Server;
+use demaq_store::store::SyncPolicy;
+use std::collections::BTreeMap;
+
+/// Parse every `name{queue="..."} value` sample of `metric` out of a
+/// Prometheus text exposition.
+fn labeled_samples(text: &str, metric: &str) -> BTreeMap<String, u64> {
+    let mut out = BTreeMap::new();
+    for line in text.lines() {
+        let Some(rest) = line.strip_prefix(metric) else {
+            continue;
+        };
+        let Some(rest) = rest.strip_prefix("{queue=\"") else {
+            continue;
+        };
+        let Some((queue, rest)) = rest.split_once("\"}") else {
+            continue;
+        };
+        let value: u64 = rest.trim().parse().expect("integer sample value");
+        out.insert(queue.to_string(), value);
+    }
+    out
+}
+
+fn build_server() -> Server {
+    Server::builder()
+        .program(
+            r#"
+            create queue orders kind basic mode persistent
+            create queue confirmations kind basic mode persistent
+            create queue rejections kind basic mode persistent
+            create queue audit kind basic mode persistent
+
+            create rule triage for orders
+              if (//order) then
+                if (//order/quantity <= 1000) then
+                  do enqueue <confirmation>{//order/id}</confirmation>
+                     into confirmations
+                else
+                  do enqueue <rejection>{//order/id}</rejection>
+                     into rejections
+
+            create rule audit_confirm for confirmations
+              do enqueue <audited>{//confirmation}</audited> into audit
+            "#,
+        )
+        .in_memory()
+        .sync_policy(SyncPolicy::Batch)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn processed_counters_match_store_ground_truth() {
+    let server = build_server();
+    for (id, qty) in [(1, 100), (2, 5000), (3, 900), (4, 1000), (5, 2000)] {
+        server
+            .enqueue_external(
+                "orders",
+                &format!("<order><id>{id}</id><quantity>{qty}</quantity></order>"),
+            )
+            .unwrap();
+    }
+    let processed = server.run_until_idle().unwrap();
+    assert!(processed > 0);
+
+    let text = server.metrics_text();
+    let processed_by_queue = labeled_samples(&text, "demaq_engine_processed_total");
+    let enqueued_by_queue = labeled_samples(&text, "demaq_engine_enqueued_total");
+
+    // Ground truth: count processed messages per queue straight from the
+    // store. Every queue that holds messages must have matching counters.
+    for queue in ["orders", "confirmations", "rejections", "audit"] {
+        let msgs = server.queue_messages(queue).unwrap();
+        let done = msgs.iter().filter(|m| m.processed).count() as u64;
+        assert_eq!(
+            processed_by_queue.get(queue).copied().unwrap_or(0),
+            done,
+            "processed counter for `{queue}` disagrees with the store"
+        );
+        assert_eq!(
+            enqueued_by_queue.get(queue).copied().unwrap_or(0),
+            msgs.len() as u64,
+            "enqueued counter for `{queue}` disagrees with the store"
+        );
+    }
+
+    // The per-queue counters sum to the aggregate ServerStats view.
+    let stats = server.stats();
+    assert_eq!(processed_by_queue.values().sum::<u64>(), stats.processed);
+    assert_eq!(processed, stats.processed);
+    assert_eq!(enqueued_by_queue.values().sum::<u64>(), stats.enqueued);
+}
+
+#[test]
+fn exposition_contains_latency_histograms() {
+    let server = build_server();
+    server
+        .enqueue_external(
+            "orders",
+            "<order><id>1</id><quantity>10</quantity></order>",
+        )
+        .unwrap();
+    server.run_until_idle().unwrap();
+
+    let text = server.metrics_text();
+    // Histogram families render TYPE metadata plus cumulative buckets,
+    // a +Inf bucket, and _sum/_count samples.
+    for metric in ["demaq_engine_rule_eval_ns", "demaq_engine_txn_commit_ns"] {
+        assert!(
+            text.contains(&format!("# TYPE {metric} histogram")),
+            "missing TYPE line for {metric}"
+        );
+        assert!(text.contains(&format!("{metric}_bucket{{le=\"+Inf\"}}")));
+        assert!(text.contains(&format!("{metric}_sum")));
+        assert!(text.contains(&format!("{metric}_count")));
+    }
+    // Store-side instrumentation reports through the same registry.
+    assert!(text.contains("# TYPE demaq_store_wal_flush_ns histogram"));
+    assert!(text.contains("demaq_store_commits_total"));
+
+    // The engine recorded at least one rule evaluation in the histogram.
+    let count_line = text
+        .lines()
+        .find(|l| l.starts_with("demaq_engine_rule_eval_ns_count"))
+        .expect("rule_eval count sample");
+    let evals: u64 = count_line
+        .rsplit(' ')
+        .next()
+        .unwrap()
+        .parse()
+        .expect("count value");
+    assert!(evals >= 1, "rule evaluation histogram is empty");
+}
+
+#[test]
+fn tracer_records_message_lifecycle() {
+    let server = build_server();
+    server
+        .enqueue_external(
+            "orders",
+            "<order><id>7</id><quantity>70</quantity></order>",
+        )
+        .unwrap();
+    server.run_until_idle().unwrap();
+
+    let tail = server.trace_tail(64);
+    assert!(!tail.is_empty(), "tracer recorded nothing");
+    let kinds: Vec<&str> = tail.iter().map(|e| e.kind).collect();
+    assert!(kinds.contains(&"msg.enqueue"), "kinds: {kinds:?}");
+    assert!(kinds.contains(&"msg.processed"), "kinds: {kinds:?}");
+    // Events come back oldest-first with monotonically increasing
+    // sequence numbers.
+    for pair in tail.windows(2) {
+        assert!(pair[0].seq < pair[1].seq);
+    }
+    // Every event renders to a single human-readable line.
+    for ev in &tail {
+        assert!(!ev.render().contains('\n'));
+    }
+}

@@ -1,0 +1,260 @@
+#![allow(clippy::all)] // vendored shim: not a first-party lint target
+//! Offline mini-criterion.
+//!
+//! Implements the subset of the criterion 0.5 API the bench suite uses:
+//! `criterion_group!` / `criterion_main!`, `Criterion::benchmark_group`,
+//! `BenchmarkGroup::{sample_size, throughput, measurement_time,
+//! bench_with_input, bench_function, finish}`, `Bencher::{iter,
+//! iter_custom}`, `BenchmarkId`, `Throughput`, and `black_box`.
+//!
+//! Instead of criterion's statistical machinery it takes `sample_size`
+//! timed samples of one iteration each (after one warmup), reports
+//! median/min/max per benchmark on stdout, and appends a JSON line per
+//! benchmark to `target/criterion-lite.jsonl` so snapshots can be diffed.
+
+use std::fmt::Display;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            name: name.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            name: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn label(&self) -> String {
+        match &self.parameter {
+            Some(p) if self.name.is_empty() => p.clone(),
+            Some(p) => format!("{}/{}", self.name, p),
+            None => self.name.clone(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> BenchmarkId {
+        BenchmarkId {
+            name: name.to_string(),
+            parameter: None,
+        }
+    }
+}
+
+pub struct Bencher {
+    sample: Duration,
+}
+
+impl Bencher {
+    /// Time one execution of `f` (called once per sample).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        black_box(f());
+        self.sample = start.elapsed();
+    }
+
+    /// The routine reports its own measured duration for `iters`
+    /// iterations; we normalize to per-iteration time.
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
+        let iters = 8;
+        let total = f(iters);
+        self.sample = total / iters as u32;
+    }
+}
+
+pub struct Criterion {
+    _private: (),
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { _private: () }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let mut g = self.benchmark_group(name.to_string());
+        g.bench_with_id(BenchmarkId::from("self"), f);
+        g.finish();
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = id.label();
+        self.run(&label, |b| f(b, input));
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.bench_with_id(id.into(), f);
+        self
+    }
+
+    fn bench_with_id<F: FnMut(&mut Bencher)>(&mut self, id: BenchmarkId, mut f: F) {
+        let label = id.label();
+        self.run(&label, |b| f(b));
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, label: &str, mut f: F) {
+        // Keep offline runs bounded: cap samples, always one warmup.
+        let samples = self.sample_size.min(20);
+        let mut b = Bencher {
+            sample: Duration::ZERO,
+        };
+        f(&mut b); // warmup
+        let mut times: Vec<Duration> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            f(&mut b);
+            times.push(b.sample);
+        }
+        times.sort();
+        let median = times[times.len() / 2];
+        let min = times[0];
+        let max = times[times.len() - 1];
+        let full = format!("{}/{}", self.name, label);
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if median > Duration::ZERO => {
+                format!(" ({:.0} elem/s)", n as f64 / median.as_secs_f64())
+            }
+            Some(Throughput::Bytes(n)) if median > Duration::ZERO => {
+                format!(" ({:.0} B/s)", n as f64 / median.as_secs_f64())
+            }
+            _ => String::new(),
+        };
+        println!(
+            "bench {full}: median {median:?} min {min:?} max {max:?} over {samples} samples{rate}"
+        );
+        let _ = append_jsonl(&full, median, min, max);
+    }
+
+    pub fn finish(self) {}
+}
+
+fn append_jsonl(name: &str, median: Duration, min: Duration, max: Duration) -> std::io::Result<()> {
+    let dir = std::path::Path::new("target");
+    std::fs::create_dir_all(dir)?;
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(dir.join("criterion-lite.jsonl"))?;
+    writeln!(
+        f,
+        "{{\"bench\":\"{}\",\"median_ns\":{},\"min_ns\":{},\"max_ns\":{}}}",
+        name.replace('"', "'"),
+        median.as_nanos(),
+        min.as_nanos(),
+        max.as_nanos()
+    )
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3).throughput(Throughput::Elements(10));
+        let mut ran = 0;
+        group.bench_with_input(BenchmarkId::new("id", 1), &5u64, |b, &n| {
+            b.iter(|| {
+                ran += 1;
+                (0..n).sum::<u64>()
+            });
+        });
+        group.finish();
+        assert!(ran >= 4, "warmup + samples: {ran}");
+    }
+
+    #[test]
+    fn iter_custom_normalizes() {
+        let mut b = Bencher {
+            sample: Duration::ZERO,
+        };
+        b.iter_custom(|iters| Duration::from_nanos(100 * iters));
+        assert_eq!(b.sample, Duration::from_nanos(100));
+    }
+}

@@ -1,0 +1,218 @@
+#![allow(clippy::all)] // vendored shim: not a first-party lint target
+//! Offline shim for the `parking_lot` API surface this workspace uses.
+//!
+//! Wraps `std::sync` primitives: no lock poisoning (a poisoned lock is
+//! recovered transparently, matching parking_lot semantics), `lock()` /
+//! `read()` / `write()` return guards directly, and `Condvar::wait_for`
+//! takes the guard by `&mut` and returns a [`WaitTimeoutResult`].
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync;
+use std::time::Duration;
+
+pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
+
+pub struct MutexGuard<'a, T: ?Sized>(Option<sync::MutexGuard<'a, T>>);
+
+impl<T> Mutex<T> {
+    pub const fn new(value: T) -> Mutex<T> {
+        Mutex(sync::Mutex::new(value))
+    }
+
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard(Some(
+            self.0.lock().unwrap_or_else(|e| e.into_inner()),
+        ))
+    }
+
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(g) => Some(MutexGuard(Some(g))),
+            Err(sync::TryLockError::Poisoned(e)) => Some(MutexGuard(Some(e.into_inner()))),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.0.get_mut() {
+            Ok(v) => v,
+            Err(e) => e.into_inner(),
+        }
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Mutex").finish_non_exhaustive()
+    }
+}
+
+impl<'a, T: ?Sized> Deref for MutexGuard<'a, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.0.as_ref().expect("guard taken")
+    }
+}
+
+impl<'a, T: ?Sized> DerefMut for MutexGuard<'a, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.0.as_mut().expect("guard taken")
+    }
+}
+
+pub struct RwLock<T: ?Sized>(sync::RwLock<T>);
+
+pub struct RwLockReadGuard<'a, T: ?Sized>(sync::RwLockReadGuard<'a, T>);
+pub struct RwLockWriteGuard<'a, T: ?Sized>(sync::RwLockWriteGuard<'a, T>);
+
+impl<T> RwLock<T> {
+    pub const fn new(value: T) -> RwLock<T> {
+        RwLock(sync::RwLock::new(value))
+    }
+
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        RwLockReadGuard(self.0.read().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        RwLockWriteGuard(self.0.write().unwrap_or_else(|e| e.into_inner()))
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        RwLock::new(T::default())
+    }
+}
+
+impl<'a, T: ?Sized> Deref for RwLockReadGuard<'a, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<'a, T: ?Sized> Deref for RwLockWriteGuard<'a, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<'a, T: ?Sized> DerefMut for RwLockWriteGuard<'a, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}
+
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+#[derive(Default)]
+pub struct Condvar(sync::Condvar);
+
+impl Condvar {
+    pub fn new() -> Condvar {
+        Condvar(sync::Condvar::new())
+    }
+
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let inner = guard.0.take().expect("guard taken");
+        let inner = self.0.wait(inner).unwrap_or_else(|e| e.into_inner());
+        guard.0 = Some(inner);
+    }
+
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        let inner = guard.0.take().expect("guard taken");
+        let (inner, res) = match self.0.wait_timeout(inner, timeout) {
+            Ok(pair) => pair,
+            Err(e) => e.into_inner(),
+        };
+        guard.0 = Some(inner);
+        WaitTimeoutResult(res.timed_out())
+    }
+
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_basics() {
+        let m = Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn rwlock_basics() {
+        let l = RwLock::new(vec![1]);
+        assert_eq!(l.read().len(), 1);
+        l.write().push(2);
+        assert_eq!(*l.read(), vec![1, 2]);
+    }
+
+    #[test]
+    fn condvar_wait_for_times_out() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let res = cv.wait_for(&mut g, Duration::from_millis(10));
+        assert!(res.timed_out());
+    }
+
+    #[test]
+    fn condvar_notify_wakes() {
+        let m = Arc::new(Mutex::new(false));
+        let cv = Arc::new(Condvar::new());
+        let (m2, cv2) = (Arc::clone(&m), Arc::clone(&cv));
+        let h = std::thread::spawn(move || {
+            *m2.lock() = true;
+            cv2.notify_all();
+        });
+        let mut g = m.lock();
+        while !*g {
+            let r = cv.wait_for(&mut g, Duration::from_secs(5));
+            assert!(!r.timed_out());
+        }
+        h.join().unwrap();
+    }
+}

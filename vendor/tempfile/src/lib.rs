@@ -1,0 +1,75 @@
+#![allow(clippy::all)] // vendored shim: not a first-party lint target
+//! Offline shim for the `tempfile::TempDir` API this workspace uses.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::{env, fs, io};
+
+static NEXT: AtomicU64 = AtomicU64::new(0);
+
+/// A directory under the system temp dir, removed on drop.
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    pub fn new() -> io::Result<TempDir> {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.subsec_nanos())
+            .unwrap_or(0);
+        let path = env::temp_dir().join(format!(
+            "demaq-tmp-{}-{}-{}",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed),
+            nanos,
+        ));
+        fs::create_dir_all(&path)?;
+        Ok(TempDir { path })
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Consume without deleting, returning the path.
+    pub fn into_path(self) -> PathBuf {
+        let path = self.path.clone();
+        std::mem::forget(self);
+        path
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.path);
+    }
+}
+
+/// Create a fresh temp dir (function-style API).
+pub fn tempdir() -> io::Result<TempDir> {
+    TempDir::new()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn creates_and_removes() {
+        let dir = TempDir::new().unwrap();
+        let p = dir.path().to_path_buf();
+        assert!(p.is_dir());
+        fs::write(p.join("f"), b"x").unwrap();
+        drop(dir);
+        assert!(!p.exists());
+    }
+
+    #[test]
+    fn dirs_are_unique() {
+        let a = TempDir::new().unwrap();
+        let b = TempDir::new().unwrap();
+        assert_ne!(a.path(), b.path());
+    }
+}
