@@ -85,12 +85,19 @@ pub fn feed_pipeline(server: &Server, messages: usize, rules: usize) {
 /// (`target/criterion-lite.jsonl`), so a bench run leaves an inspectable
 /// snapshot of internal counters/latencies alongside the timing numbers.
 pub fn dump_metrics(server: &Server, experiment: &str) {
+    dump_text(&server.metrics_text(), experiment);
+}
+
+/// Like [`dump_metrics`], for benches that drive the store directly
+/// (without a [`Server`]) and hold their own registry.
+pub fn dump_registry(registry: &demaq_obs::Registry, experiment: &str) {
+    dump_text(&registry.render_text(), experiment);
+}
+
+fn dump_text(text: &str, experiment: &str) {
     let dir = std::path::Path::new("target").join("metrics");
     if std::fs::create_dir_all(&dir).is_err() {
         return; // benches must never fail on snapshot IO
     }
-    let _ = std::fs::write(
-        dir.join(format!("{experiment}.prom")),
-        server.metrics_text(),
-    );
+    let _ = std::fs::write(dir.join(format!("{experiment}.prom")), text);
 }

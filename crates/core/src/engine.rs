@@ -190,6 +190,7 @@ pub struct ServerBuilder {
     dir: Option<PathBuf>,
     in_memory: bool,
     sync: SyncPolicy,
+    group_commit: Option<(usize, std::time::Duration)>,
     lock_granularity: LockGranularity,
     plan_mode: PlanMode,
     seed: u64,
@@ -210,6 +211,7 @@ impl Default for ServerBuilder {
             dir: None,
             in_memory: false,
             sync: SyncPolicy::Always,
+            group_commit: None,
             lock_granularity: LockGranularity::Slice,
             plan_mode: PlanMode::RuleAtATime,
             seed: 7,
@@ -252,6 +254,15 @@ impl ServerBuilder {
     /// Commit durability policy.
     pub fn sync_policy(mut self, sync: SyncPolicy) -> Self {
         self.sync = sync;
+        self
+    }
+
+    /// Group-commit tuning: how many commits one WAL fsync may cover and
+    /// how long a sync leader waits for committers to join its batch.
+    /// `max_batch <= 1` reverts to one fsync per commit (benchmark E9's
+    /// baseline). Defaults to the store's group-commit defaults.
+    pub fn group_commit(mut self, max_batch: usize, max_wait: std::time::Duration) -> Self {
+        self.group_commit = Some((max_batch, max_wait));
         self
     }
 
@@ -347,6 +358,10 @@ impl ServerBuilder {
         let obs = self.obs.unwrap_or_else(Obs::new);
         let mut opts = StoreOptions::new(dir);
         opts.sync = self.sync;
+        if let Some((max_batch, max_wait)) = self.group_commit {
+            opts.group_commit_max_batch = max_batch;
+            opts.group_commit_max_wait = max_wait;
+        }
         opts.lock_granularity = self.lock_granularity;
         opts.obs = Some(Arc::clone(&obs));
         let store = Arc::new(MessageStore::open(opts)?);

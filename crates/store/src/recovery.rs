@@ -19,6 +19,7 @@ use crate::heap::{HeapFile, RecordId};
 use crate::pager::{BufferPool, PageId};
 use crate::store::Logical;
 use crate::wal::{read_log, LogRecord};
+use demaq_obs::Obs;
 use std::collections::HashSet;
 use std::path::Path;
 
@@ -50,8 +51,11 @@ fn wal_segments(dir: &Path) -> Result<Vec<u64>> {
     Ok(out)
 }
 
-/// Run recovery against the files in `dir`.
-pub fn recover(dir: &Path, _pool: &BufferPool, heap: &HeapFile) -> Result<Recovered> {
+/// Run recovery against the files in `dir`. Torn WAL tails are surfaced
+/// through `obs` (a `wal.torn_tail` trace event and the
+/// `demaq_store_wal_torn_bytes_total` counter) rather than dropped
+/// silently.
+pub fn recover(dir: &Path, _pool: &BufferPool, heap: &HeapFile, obs: &Obs) -> Result<Recovered> {
     let snap = Snapshot::read_from(&dir.join("ckpt.snap"))?.unwrap_or_default();
     heap.restore(snap.heap_free.clone(), snap.heap_live);
 
@@ -98,7 +102,23 @@ pub fn recover(dir: &Path, _pool: &BufferPool, heap: &HeapFile) -> Result<Recove
             continue;
         }
         wal_index = wal_index.max(seg);
-        let records = read_log(&dir.join(format!("wal-{seg:06}.log")))?;
+        let seg_name = format!("wal-{seg:06}.log");
+        let scan = read_log(&dir.join(&seg_name))?;
+        if scan.discarded > 0 {
+            obs.registry
+                .counter("demaq_store_wal_torn_bytes_total")
+                .add(scan.discarded);
+            obs.tracer.event(
+                "wal.torn_tail",
+                None,
+                "",
+                &format!(
+                    "{seg_name}: discarded {} trailing byte(s) after valid prefix of {}",
+                    scan.discarded, scan.valid_len
+                ),
+            );
+        }
+        let records = scan.records;
         // Pass 1: which transactions committed?
         let committed: HashSet<_> = records
             .iter()

@@ -9,7 +9,7 @@ use crate::recovery;
 use crate::slice::SliceIndex;
 use crate::txn::{TxnBuf, TxnOp};
 use crate::types::{MsgId, PropValue, QueueMode, StoredMessage, TxnId};
-use crate::wal::{LogRecord, LogWriter, WalSync};
+use crate::wal::{GroupCommitCfg, LogRecord, LogWriter};
 use demaq_obs::{Counter, Histogram, Obs};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
@@ -21,11 +21,14 @@ use std::time::{Duration, Instant};
 /// Commit durability policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SyncPolicy {
-    /// fsync the WAL on every commit — full durability, matches the paper's
-    /// persistent business-process queues.
+    /// Every commit blocks until an fsync covers its WAL records — full
+    /// durability (acked ⇒ durable), matches the paper's persistent
+    /// business-process queues. Concurrent committers share fsyncs through
+    /// the group-commit coordinator (see `wal::LogWriter::sync_to`).
     Always,
-    /// Buffer commits; fsync at checkpoints or explicit `sync()` — the
-    /// group-commit configuration used by the throughput benchmarks.
+    /// Buffer commits; fsync at checkpoints or explicit `sync()`. A crash
+    /// may lose the unsynced window — [`MessageStore::unsynced_commits`]
+    /// reports its size.
     Batch,
 }
 
@@ -39,6 +42,13 @@ pub struct StoreOptions {
     pub sync: SyncPolicy,
     pub lock_granularity: LockGranularity,
     pub lock_timeout: Duration,
+    /// Group commit: cap on how many commits one WAL fsync may cover.
+    /// `<= 1` reverts to one fsync per commit, serialized under the append
+    /// mutex (the E9 baseline).
+    pub group_commit_max_batch: usize,
+    /// Group commit: how long a sync leader waits for more committers to
+    /// join its batch before fsyncing.
+    pub group_commit_max_wait: Duration,
     /// Observability context to register store metrics in
     /// (`demaq_store_*`). `None` keeps a private, unexported registry.
     pub obs: Option<Arc<Obs>>,
@@ -46,13 +56,23 @@ pub struct StoreOptions {
 
 impl StoreOptions {
     pub fn new(dir: impl Into<PathBuf>) -> StoreOptions {
+        let gc = GroupCommitCfg::default();
         StoreOptions {
             dir: dir.into(),
             pool_pages: 1024,
             sync: SyncPolicy::Always,
             lock_granularity: LockGranularity::Slice,
             lock_timeout: Duration::from_secs(5),
+            group_commit_max_batch: gc.max_batch,
+            group_commit_max_wait: gc.max_wait,
             obs: None,
+        }
+    }
+
+    fn group_commit_cfg(&self) -> GroupCommitCfg {
+        GroupCommitCfg {
+            max_batch: self.group_commit_max_batch,
+            max_wait: self.group_commit_max_wait,
         }
     }
 }
@@ -186,16 +206,27 @@ pub struct MessageStore {
     opts: StoreOptions,
     pub(crate) pool: Arc<BufferPool>,
     pub(crate) heap: HeapFile,
-    wal: Mutex<LogWriter>,
+    /// The live WAL segment. `Arc` so committers can hold the writer they
+    /// appended to across a checkpoint rotation (their durability wait
+    /// stays valid against the old segment).
+    wal: Mutex<Arc<LogWriter>>,
     wal_index: AtomicU64,
+    /// Sequences Phase 1 (WAL append) and Phase 2 (logical apply) of
+    /// `commit` as one atomic step, so WAL replay order always equals
+    /// runtime apply order. Checkpoints take it too — a commit can never
+    /// be caught between its WAL records and its in-memory effects while a
+    /// snapshot is cut. Lock order: `commit_order` → `state` → `wal`.
+    commit_order: Mutex<()>,
     /// Lock manager — the engine acquires queue/slice/message locks here.
     pub locks: LockManager,
     state: RwLock<Logical>,
     txns: Mutex<HashMap<TxnId, TxnBuf>>,
     next_msg: AtomicU64,
     next_txn: AtomicU64,
-    /// Commits since the last WAL sync (group-commit accounting).
+    /// Commits *not yet covered by an fsync* (only grows under
+    /// [`SyncPolicy::Batch`]; `sync()`/`checkpoint()` reset it).
     unsynced_commits: AtomicU64,
+    obs: Arc<Obs>,
     metrics: StoreMetrics,
 }
 
@@ -231,14 +262,11 @@ impl MessageStore {
         let disk = Arc::new(DiskManager::open(&opts.dir.join("heap.db"))?);
         let pool = Arc::new(BufferPool::new(disk, opts.pool_pages));
         let heap = HeapFile::new(Arc::clone(&pool));
-        let rec = recovery::recover(&opts.dir, &pool, &heap)?;
-        let wal_path = opts.dir.join(format!("wal-{:06}.log", rec.wal_index));
-        let wal_sync = match opts.sync {
-            SyncPolicy::Always => WalSync::Always,
-            SyncPolicy::Batch => WalSync::OnDemand,
-        };
-        let wal = LogWriter::open(&wal_path, wal_sync)?;
         let obs = opts.obs.clone().unwrap_or_else(Obs::new);
+        let rec = recovery::recover(&opts.dir, &pool, &heap, &obs)?;
+        let wal_path = opts.dir.join(format!("wal-{:06}.log", rec.wal_index));
+        let wal = Arc::new(LogWriter::open(&wal_path, opts.group_commit_cfg())?);
+        wal.attach_obs(&obs.registry);
         let locks = LockManager::new(opts.lock_timeout);
         locks.attach_obs(&obs.registry);
         let store = MessageStore {
@@ -247,12 +275,14 @@ impl MessageStore {
             heap,
             wal: Mutex::new(wal),
             wal_index: AtomicU64::new(rec.wal_index),
+            commit_order: Mutex::new(()),
             state: RwLock::new(rec.logical),
             txns: Mutex::new(HashMap::new()),
             next_msg: AtomicU64::new(rec.next_msg),
             next_txn: AtomicU64::new(rec.next_txn),
             unsynced_commits: AtomicU64::new(0),
             metrics: StoreMetrics::new(&obs),
+            obs,
             opts,
         };
         // Note: deletions dropped by a crash are *re-derived* by the next
@@ -364,20 +394,33 @@ impl MessageStore {
         })
     }
 
-    /// Commit: WAL-log the persistent effects, apply all effects, release
-    /// locks.
+    /// Commit: WAL-log the persistent effects, apply all effects, wait for
+    /// durability per [`SyncPolicy`], release locks.
+    ///
+    /// Phases 1 (WAL append) and 2 (logical apply) run under the
+    /// `commit_order` mutex, so the order of commit records in the WAL is
+    /// exactly the order effects become visible — replay order equals
+    /// runtime order. The durability wait (Phase 3) happens *outside* that
+    /// mutex: concurrent committers batch into a shared fsync via the
+    /// group-commit coordinator. Releasing the order mutex before the
+    /// sync is safe in a redo-only log — any transaction that reads our
+    /// effects commits *after* us in the WAL, so its durability implies
+    /// ours ("acked ⇒ durable" holds per transaction).
     pub fn commit(&self, txn: TxnId) -> Result<()> {
         let buf = self.txns.lock().remove(&txn).ok_or(StoreError::TxnClosed)?;
-        // Phase 1: write-ahead logging (persistent effects only).
+        let mut sync_target: Option<(Arc<LogWriter>, u64)> = None;
         {
+            let _order = self.commit_order.lock();
+            // Phase 1: write-ahead logging (persistent effects only).
             let state = self.state.read();
             let persistent_ops: Vec<&TxnOp> = buf
                 .ops
                 .iter()
                 .filter(|op| self.op_is_persistent(&state, &buf, op))
                 .collect();
+            drop(state);
             if !persistent_ops.is_empty() {
-                let wal = self.wal.lock();
+                let wal = Arc::clone(&self.wal.lock());
                 wal.append(&LogRecord::Begin { txn })?;
                 for op in persistent_ops {
                     let rec = match op {
@@ -410,14 +453,10 @@ impl MessageStore {
                     };
                     wal.append(&rec)?;
                 }
-                let flush_started = Instant::now();
-                wal.commit(txn)?;
-                self.metrics.wal_flush_ns.record(flush_started.elapsed());
-                self.unsynced_commits.fetch_add(1, Ordering::Relaxed);
+                let (_lsn, target) = wal.append_commit(txn)?;
+                sync_target = Some((wal, target));
             }
-        }
-        // Phase 2: apply to the logical state.
-        {
+            // Phase 2: apply to the logical state.
             let mut state = self.state.write();
             for op in &buf.ops {
                 match op {
@@ -456,7 +495,26 @@ impl MessageStore {
                 }
             }
         }
+        // Early lock release (before the durability wait): safe because the
+        // log is redo-only — see the method docs.
         self.locks.release_all(txn);
+        // Phase 3: durability.
+        if let Some((wal, target)) = sync_target {
+            match self.opts.sync {
+                SyncPolicy::Always => {
+                    let flush_started = Instant::now();
+                    if self.opts.group_commit_max_batch <= 1 {
+                        wal.sync_each()?;
+                    } else {
+                        wal.sync_to(target)?;
+                    }
+                    self.metrics.wal_flush_ns.record(flush_started.elapsed());
+                }
+                SyncPolicy::Batch => {
+                    self.unsynced_commits.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
         self.metrics.commits.inc();
         Ok(())
     }
@@ -603,17 +661,35 @@ impl MessageStore {
         Ok(victims.len())
     }
 
-    /// Force the WAL to disk (group-commit boundary under
-    /// [`SyncPolicy::Batch`]).
+    /// Force the WAL to disk (the batch boundary under
+    /// [`SyncPolicy::Batch`]). Resets the unsynced-commit count only once
+    /// the sync has actually succeeded.
     pub fn sync(&self) -> Result<()> {
+        let wal = Arc::clone(&self.wal.lock());
+        wal.sync_now()?;
         self.unsynced_commits.store(0, Ordering::Relaxed);
-        self.wal.lock().sync_now()
+        Ok(())
+    }
+
+    /// Commits whose WAL records are not yet known fsynced — the window a
+    /// crash could lose under [`SyncPolicy::Batch`]. Always zero under
+    /// [`SyncPolicy::Always`].
+    pub fn unsynced_commits(&self) -> u64 {
+        self.unsynced_commits.load(Ordering::Relaxed)
     }
 
     /// Take a checkpoint: flush the heap, cut a snapshot, rotate the WAL.
     pub fn checkpoint(&self) -> Result<()> {
+        // Take the commit-order mutex first: without it a committer could
+        // sit between Phase 1 (records in the old WAL segment) and Phase 2
+        // (effects not yet in `state`) while we snapshot — the snapshot
+        // would miss the txn and we'd delete the segment holding its only
+        // trace. Lock order matches `commit`.
+        let _order = self.commit_order.lock();
         let state = self.state.write(); // stop-the-world (simple & correct)
-        self.wal.lock().sync_now()?;
+        let old_wal = Arc::clone(&self.wal.lock());
+        old_wal.sync_now()?;
+        self.unsynced_commits.store(0, Ordering::Relaxed);
         self.pool.flush_all()?;
         let new_index = self.wal_index.load(Ordering::SeqCst) + 1;
 
@@ -666,14 +742,15 @@ impl MessageStore {
 
         // Switch to the new WAL segment *before* publishing the snapshot:
         // if we crash in between, the old snapshot still covers both files.
+        // Committers still waiting on the old segment's coordinator hold
+        // their own `Arc` to it (and `sync_now` above already covered their
+        // records), so the swap can't strand them.
         let new_wal_path = self.opts.dir.join(format!("wal-{new_index:06}.log"));
-        let wal_sync = match self.opts.sync {
-            SyncPolicy::Always => WalSync::Always,
-            SyncPolicy::Batch => WalSync::OnDemand,
-        };
         {
+            let new_wal = Arc::new(LogWriter::open(&new_wal_path, self.opts.group_commit_cfg())?);
+            new_wal.attach_obs(&self.obs.registry);
             let mut wal = self.wal.lock();
-            *wal = LogWriter::open(&new_wal_path, wal_sync)?;
+            *wal = new_wal;
             self.wal_index.store(new_index, Ordering::SeqCst);
         }
         snap.write_to(&self.opts.dir.join("ckpt.snap"))?;
@@ -705,5 +782,140 @@ impl MessageStore {
     /// Directory this store lives in.
     pub fn dir(&self) -> &PathBuf {
         &self.opts.dir
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wal::read_log;
+    use tempfile::TempDir;
+
+    /// The tentpole guarantee: the order of slice-membership effects at
+    /// runtime (internal insertion order) is exactly the order of
+    /// `SliceAdd` records in the WAL, even under concurrent committers —
+    /// Phase 1 (append) and Phase 2 (apply) are sequenced atomically by
+    /// the commit-order mutex, so replay order equals runtime order.
+    #[test]
+    fn runtime_slice_order_matches_wal_order() {
+        let dir = TempDir::new().unwrap();
+        let mut opts = StoreOptions::new(dir.path());
+        opts.sync = SyncPolicy::Batch;
+        let store = Arc::new(MessageStore::open(opts).unwrap());
+        store
+            .create_queue("q", QueueMode::Persistent, 0)
+            .unwrap();
+        let key = PropValue::Str("k".into());
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let store = Arc::clone(&store);
+                let key = key.clone();
+                s.spawn(move || {
+                    for i in 0..40u64 {
+                        let txn = store.begin();
+                        let msg = store
+                            .enqueue(txn, "q", format!("m-{t}-{i}"), Vec::new(), 0)
+                            .unwrap();
+                        store.slice_add(txn, "s", key.clone(), msg).unwrap();
+                        store.commit(txn).unwrap();
+                    }
+                });
+            }
+        });
+        store.sync().unwrap();
+
+        // Internal insertion order (runtime apply order).
+        let runtime_order: Vec<MsgId> = {
+            let state = store.state.read();
+            let (_, sstate) = state
+                .slices
+                .iter()
+                .find(|((slicing, k), _)| slicing == "s" && *k == key)
+                .expect("slice exists");
+            sstate.members.iter().map(|(m, _)| *m).collect()
+        };
+
+        // WAL SliceAdd order of committed transactions.
+        let wal_path = dir.path().join("wal-000000.log");
+        let scan = read_log(&wal_path).unwrap();
+        let committed: std::collections::HashSet<TxnId> = scan
+            .records
+            .iter()
+            .filter_map(|(_, r)| match r {
+                LogRecord::Commit { txn } => Some(*txn),
+                _ => None,
+            })
+            .collect();
+        let wal_order: Vec<MsgId> = scan
+            .records
+            .iter()
+            .filter_map(|(_, r)| match r {
+                LogRecord::SliceAdd { txn, msg, .. } if committed.contains(txn) => Some(*msg),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(wal_order.len(), 320);
+        assert_eq!(
+            runtime_order, wal_order,
+            "runtime slice insertion order diverged from WAL order"
+        );
+    }
+
+    /// `unsynced_commits` counts only commits whose WAL records are not
+    /// yet fsynced: zero under `Always`, per-commit under `Batch`, reset
+    /// by `sync()` and `checkpoint()`.
+    #[test]
+    fn unsynced_commits_accounting() {
+        let commit_one = |store: &MessageStore| {
+            let txn = store.begin();
+            store
+                .enqueue(txn, "q", "x".into(), Vec::new(), 0)
+                .unwrap();
+            store.commit(txn).unwrap();
+        };
+
+        let dir = TempDir::new().unwrap();
+        let mut opts = StoreOptions::new(dir.path().join("always"));
+        opts.sync = SyncPolicy::Always;
+        let store = MessageStore::open(opts).unwrap();
+        store.create_queue("q", QueueMode::Persistent, 0).unwrap();
+        commit_one(&store);
+        commit_one(&store);
+        assert_eq!(store.unsynced_commits(), 0, "Always syncs every commit");
+
+        let mut opts = StoreOptions::new(dir.path().join("batch"));
+        opts.sync = SyncPolicy::Batch;
+        let store = MessageStore::open(opts).unwrap();
+        store.create_queue("q", QueueMode::Persistent, 0).unwrap();
+        commit_one(&store);
+        commit_one(&store);
+        commit_one(&store);
+        assert_eq!(store.unsynced_commits(), 3);
+        store.sync().unwrap();
+        assert_eq!(store.unsynced_commits(), 0, "sync() resets the window");
+        commit_one(&store);
+        assert_eq!(store.unsynced_commits(), 1);
+        store.checkpoint().unwrap();
+        assert_eq!(store.unsynced_commits(), 0, "checkpoint() resets the window");
+    }
+
+    /// The fsync-per-commit baseline path (`group_commit_max_batch <= 1`)
+    /// stays fully durable and recoverable.
+    #[test]
+    fn max_batch_one_baseline_commits_and_recovers() {
+        let dir = TempDir::new().unwrap();
+        let mut opts = StoreOptions::new(dir.path());
+        opts.sync = SyncPolicy::Always;
+        opts.group_commit_max_batch = 1;
+        let store = MessageStore::open(opts.clone()).unwrap();
+        store.create_queue("q", QueueMode::Persistent, 0).unwrap();
+        let txn = store.begin();
+        let msg = store
+            .enqueue(txn, "q", "base".into(), Vec::new(), 0)
+            .unwrap();
+        store.commit(txn).unwrap();
+        drop(store);
+        let store = MessageStore::open(opts).unwrap();
+        assert_eq!(store.message(msg).unwrap().payload, "base");
     }
 }

@@ -1,4 +1,4 @@
-//! Write-ahead log with logical redo records.
+//! Write-ahead log with logical redo records and group commit.
 //!
 //! Demaq's append-only queues allow purely *logical* logging: every state
 //! change is one of a handful of idempotent-by-replay operations, and
@@ -9,15 +9,48 @@
 //! from slice membership ("frees the system from the need to fully log
 //! message deletions").
 //!
-//! Record framing: `[len u32][crc32 u32][payload]`; a torn tail is detected
-//! by length/CRC mismatch and truncated (standard WAL practice).
+//! Record framing: `[len u32][crc32 u32][payload]`.
+//!
+//! # Tail semantics (the recovery boundary)
+//!
+//! [`read_log`] distinguishes two kinds of damage:
+//!
+//! * **Torn tail** — a truncated frame or a CRC mismatch. This is the
+//!   expected signature of a crash mid-`write`: the scan stops cleanly at
+//!   the last valid record and reports the discarded byte count
+//!   ([`LogScan::discarded`]). Everything before the tear is trusted.
+//! * **Hard corruption** — a frame whose CRC verifies but whose payload
+//!   does not decode. A CRC-valid-but-undecodable record cannot be
+//!   produced by a torn write (the CRC covers the whole payload), so it
+//!   means the file was damaged *in the middle* or written by a
+//!   different/buggy encoder — recovery must not guess past it and
+//!   [`read_log`] returns [`StoreError::Corrupt`].
+//!
+//! [`LogWriter::open`] truncates the file to the valid prefix before
+//! appending. Without that truncation, post-crash appends would land
+//! *after* the torn garbage and every later committed record would be
+//! unreachable to the next recovery scan (which stops at the tear).
+//!
+//! # Group commit
+//!
+//! Committers append their records under the append mutex, then make them
+//! durable through a leader/follower protocol ([`LogWriter::sync_to`]):
+//! the first committer to arrive becomes the sync leader, optionally waits
+//! a short batching window ([`GroupCommitCfg::max_wait`]) for more commits
+//! to pile in, flushes, and issues a single `sync_data` covering every
+//! follower's LSN — *outside* the append mutex, so appends continue while
+//! the device syncs. Followers block on a condvar until some leader's sync
+//! covers their commit LSN.
 
 use crate::error::{Result, StoreError};
 use crate::types::{Lsn, MsgId, PropValue, TxnId};
-use parking_lot::Mutex;
+use demaq_obs::{Counter, Histogram, Registry};
+use parking_lot::{Condvar, Mutex};
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
 
 /// One logical WAL record.
 #[derive(Debug, Clone, PartialEq)]
@@ -270,47 +303,128 @@ pub fn crc32(bytes: &[u8]) -> u32 {
     !crc
 }
 
-/// Durability policy for commits.
+/// Group-commit tuning knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum WalSync {
-    /// fsync on every commit.
-    Always,
-    /// fsync when asked explicitly / at checkpoints only (group commit is
-    /// driven by the store, which batches several commits per sync).
-    OnDemand,
+pub struct GroupCommitCfg {
+    /// Stop the batching window early once this many commits are pending
+    /// for the next sync. `<= 1` disables grouping entirely: every commit
+    /// performs its own fsync while holding the append mutex (the
+    /// fsync-per-commit baseline measured by bench E9).
+    pub max_batch: usize,
+    /// Cap on how long a sync leader waits for more committers to join its
+    /// batch. The wait is *adaptive*: the leader only waits while fewer
+    /// commits are pending than the previous batch delivered (recent
+    /// concurrency predicts current concurrency), so a lone committer
+    /// never waits at all, while N concurrent committers quickly converge
+    /// on batches of N. Zero disables the window entirely — batching then
+    /// only happens among commits that pile up during an in-flight fsync.
+    pub max_wait: Duration,
+}
+
+impl Default for GroupCommitCfg {
+    fn default() -> GroupCommitCfg {
+        GroupCommitCfg {
+            max_batch: 64,
+            max_wait: Duration::from_micros(200),
+        }
+    }
+}
+
+/// Registry handles for WAL metrics, attached once by the store.
+struct WalObs {
+    /// `demaq_store_group_commit_batch_size` — commits made durable per
+    /// WAL sync (a value histogram, not nanoseconds).
+    batch_size: Histogram,
+    /// `demaq_store_wal_syncs_total` — fsyncs issued.
+    syncs: Counter,
+    /// `demaq_store_group_commit_waits_total` — commits that blocked on
+    /// another committer's in-flight sync instead of issuing their own.
+    sync_waits: Counter,
 }
 
 /// The write side of the log.
 pub struct LogWriter {
     inner: Mutex<WriterInner>,
-    sync: WalSync,
+    /// Cloned handle used for `sync_data` outside the append mutex.
+    sync_handle: File,
+    cfg: GroupCommitCfg,
+    sync_state: Mutex<SyncState>,
+    sync_cv: Condvar,
+    obs: OnceLock<WalObs>,
 }
 
 struct WriterInner {
     file: BufWriter<File>,
     /// Next byte offset (== LSN of the next record).
     offset: u64,
-    /// Bytes written since the last sync (stats for the recovery bench).
+    /// Bytes written since open (stats for the recovery bench).
     bytes_logged: u64,
+    /// Crash-injection failpoint (`DEMAQ_WAL_CRASH_AFTER_BYTES`): byte
+    /// budget left before the writer tears a record mid-write and aborts
+    /// the process. Test-harness only; `None` in normal operation.
+    crash_budget: Option<u64>,
+}
+
+struct SyncState {
+    /// Bytes `[0, durable)` of the file are known fsynced.
+    durable: u64,
+    /// A leader is currently flushing/syncing.
+    leader_active: bool,
+    /// Commit records appended since the last sync consumed the batch.
+    pending_commits: u64,
+    /// Size of the last consumed batch — the adaptive window's estimate of
+    /// current commit concurrency.
+    prev_batch: u64,
 }
 
 impl LogWriter {
-    /// Open (append mode) or create the log at `path`.
-    pub fn open(path: &Path, sync: WalSync) -> Result<LogWriter> {
+    /// Open (or create) the log at `path`, truncating any torn tail so new
+    /// appends are contiguous with the last valid record.
+    pub fn open(path: &Path, cfg: GroupCommitCfg) -> Result<LogWriter> {
+        // Scan before opening for append: find the valid prefix.
+        let scan = read_log(path)?;
         let file = OpenOptions::new()
             .read(true)
             .append(true)
             .create(true)
             .open(path)?;
-        let offset = file.metadata()?.len();
+        if file.metadata()?.len() > scan.valid_len {
+            // A torn tail from a previous crash: cut it off, or appends
+            // would land beyond garbage the next recovery scan stops at.
+            file.set_len(scan.valid_len)?;
+            file.sync_data()?;
+        }
+        let sync_handle = file.try_clone()?;
+        let crash_budget = std::env::var("DEMAQ_WAL_CRASH_AFTER_BYTES")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok());
         Ok(LogWriter {
             inner: Mutex::new(WriterInner {
                 file: BufWriter::new(file),
-                offset,
+                offset: scan.valid_len,
                 bytes_logged: 0,
+                crash_budget,
             }),
-            sync,
+            sync_handle,
+            cfg,
+            sync_state: Mutex::new(SyncState {
+                durable: 0,
+                leader_active: false,
+                pending_commits: 0,
+                prev_batch: 1,
+            }),
+            sync_cv: Condvar::new(),
+            obs: OnceLock::new(),
         })
+    }
+
+    /// Resolve metric handles in `registry` (idempotent; first call wins).
+    pub fn attach_obs(&self, registry: &Registry) {
+        let _ = self.obs.set(WalObs {
+            batch_size: registry.histogram("demaq_store_group_commit_batch_size"),
+            syncs: registry.counter("demaq_store_wal_syncs_total"),
+            sync_waits: registry.counter("demaq_store_group_commit_waits_total"),
+        });
     }
 
     /// Append a record; returns its LSN. Does not sync.
@@ -321,6 +435,17 @@ impl LogWriter {
         framed.extend_from_slice(&crc32(&payload).to_le_bytes());
         framed.extend_from_slice(&payload);
         let mut inner = self.inner.lock();
+        if let Some(budget) = inner.crash_budget {
+            if (framed.len() as u64) > budget {
+                // Failpoint: tear this record mid-write and die, exactly
+                // like a crash between two disk writes.
+                let cut = budget as usize;
+                let _ = inner.file.write_all(&framed[..cut]);
+                let _ = inner.file.flush();
+                std::process::abort();
+            }
+            inner.crash_budget = Some(budget - framed.len() as u64);
+        }
         let lsn = Lsn(inner.offset);
         inner.file.write_all(&framed)?;
         inner.offset += framed.len() as u64;
@@ -328,24 +453,124 @@ impl LogWriter {
         Ok(lsn)
     }
 
-    /// Append a commit record and make it durable per the sync policy.
-    pub fn commit(&self, txn: TxnId) -> Result<Lsn> {
+    /// Append a commit record and register it with the group-commit
+    /// coordinator. Returns `(commit LSN, durable target)` — the commit is
+    /// durable once a sync covers the target (see [`LogWriter::sync_to`]).
+    pub fn append_commit(&self, txn: TxnId) -> Result<(Lsn, u64)> {
         let lsn = self.append(&LogRecord::Commit { txn })?;
-        match self.sync {
-            WalSync::Always => self.sync_now()?,
-            WalSync::OnDemand => {
-                self.inner.lock().file.flush()?;
-            }
-        }
-        Ok(lsn)
+        let target = self.inner.lock().offset;
+        let mut st = self.sync_state.lock();
+        st.pending_commits += 1;
+        drop(st);
+        // Wake a leader sitting in its batching window.
+        self.sync_cv.notify_all();
+        Ok((lsn, target))
     }
 
-    /// Flush buffers and fsync.
-    pub fn sync_now(&self) -> Result<()> {
+    /// Block until bytes `[0, target)` are fsynced — the leader/follower
+    /// group-commit protocol. The first arriving committer becomes leader,
+    /// waits up to [`GroupCommitCfg::max_wait`] for the batch to fill,
+    /// then flushes (briefly under the append mutex) and fsyncs *outside*
+    /// all locks; everyone whose target the sync covered is released.
+    pub fn sync_to(&self, target: u64) -> Result<()> {
+        let mut st = self.sync_state.lock();
+        loop {
+            if st.durable >= target {
+                return Ok(());
+            }
+            if st.leader_active {
+                if let Some(obs) = self.obs.get() {
+                    obs.sync_waits.inc();
+                }
+                self.sync_cv.wait(&mut st);
+                continue;
+            }
+            st.leader_active = true;
+            if self.cfg.max_wait > Duration::ZERO {
+                // Adaptive window: gather as many commits as the previous
+                // batch had (capped by max_batch / max_wait). prev_batch=1
+                // (no recent concurrency) skips the wait entirely.
+                let target = st.prev_batch.clamp(1, self.cfg.max_batch as u64);
+                if st.pending_commits < target {
+                    let deadline = Instant::now() + self.cfg.max_wait;
+                    while st.pending_commits < target {
+                        let now = Instant::now();
+                        if now >= deadline {
+                            break;
+                        }
+                        if self.sync_cv.wait_for(&mut st, deadline - now).timed_out() {
+                            break;
+                        }
+                    }
+                }
+            }
+            let batch = st.pending_commits;
+            st.pending_commits = 0;
+            st.prev_batch = batch.max(1);
+            drop(st);
+
+            let result = (|| -> Result<u64> {
+                let covered = {
+                    let mut inner = self.inner.lock();
+                    inner.file.flush()?;
+                    inner.offset
+                };
+                // The expensive part happens with no lock held: appends
+                // and other committers keep running.
+                self.sync_handle.sync_data()?;
+                Ok(covered)
+            })();
+
+            st = self.sync_state.lock();
+            st.leader_active = false;
+            match result {
+                Ok(covered) => {
+                    st.durable = st.durable.max(covered);
+                    if let Some(obs) = self.obs.get() {
+                        obs.syncs.inc();
+                        if batch > 0 {
+                            obs.batch_size.record_ns(batch);
+                        }
+                    }
+                    self.sync_cv.notify_all();
+                    // Loop: `covered >= target` always holds here (we
+                    // appended before calling), so this returns.
+                }
+                Err(e) => {
+                    // Let a follower take over leadership and retry.
+                    self.sync_cv.notify_all();
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// Flush and fsync while holding the append mutex — the serialized
+    /// fsync-per-commit baseline ([`GroupCommitCfg::max_batch`] `<= 1`).
+    pub fn sync_each(&self) -> Result<()> {
         let mut inner = self.inner.lock();
         inner.file.flush()?;
         inner.file.get_ref().sync_data()?;
+        let covered = inner.offset;
+        drop(inner);
+        let mut st = self.sync_state.lock();
+        st.durable = st.durable.max(covered);
+        let batch = std::mem::take(&mut st.pending_commits);
+        drop(st);
+        if let Some(obs) = self.obs.get() {
+            obs.syncs.inc();
+            obs.batch_size.record_ns(batch.max(1));
+        }
+        self.sync_cv.notify_all();
         Ok(())
+    }
+
+    /// Make everything appended so far durable (checkpoints, explicit
+    /// `sync()` under the batch policy). Cooperates with in-flight group
+    /// syncs.
+    pub fn sync_now(&self) -> Result<()> {
+        let end = self.inner.lock().offset;
+        self.sync_to(end)
     }
 
     /// Total bytes appended since open (benchmark metric E4).
@@ -359,11 +584,30 @@ impl LogWriter {
     }
 }
 
-/// Read every valid record from a log file; stops cleanly at a torn tail.
-pub fn read_log(path: &Path) -> Result<Vec<(Lsn, LogRecord)>> {
+/// Result of scanning a log file: the valid records plus where the valid
+/// prefix ends (for tail truncation and discard reporting).
+#[derive(Debug, Default)]
+pub struct LogScan {
+    pub records: Vec<(Lsn, LogRecord)>,
+    /// Byte length of the valid prefix — the offset right after the last
+    /// valid record. [`LogWriter::open`] truncates the file here.
+    pub valid_len: u64,
+    /// Trailing bytes discarded as a torn tail (file length minus
+    /// `valid_len`); zero for a clean file.
+    pub discarded: u64,
+}
+
+/// Read every valid record from a log file.
+///
+/// A truncated frame or CRC mismatch is a *torn tail*: the scan stops
+/// cleanly and reports the discarded suffix length. A frame whose CRC
+/// verifies but whose payload does not decode is *hard corruption* (a torn
+/// write cannot produce it) and yields [`StoreError::Corrupt`] — see the
+/// module docs for why the two are treated differently.
+pub fn read_log(path: &Path) -> Result<LogScan> {
     let mut file = match File::open(path) {
         Ok(f) => f,
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(LogScan::default()),
         Err(e) => return Err(e.into()),
     };
     let mut buf = Vec::new();
@@ -374,23 +618,27 @@ pub fn read_log(path: &Path) -> Result<Vec<(Lsn, LogRecord)>> {
         let len = u32::from_le_bytes(buf[at..at + 4].try_into().unwrap()) as usize;
         let crc = u32::from_le_bytes(buf[at + 4..at + 8].try_into().unwrap());
         if at + 8 + len > buf.len() {
-            break; // torn tail
+            break; // torn tail: truncated frame
         }
         let payload = &buf[at + 8..at + 8 + len];
         if crc32(payload) != crc {
-            break; // torn/corrupt tail
+            break; // torn tail: CRC mismatch
         }
         match LogRecord::decode(payload) {
             Some(rec) => out.push((Lsn(at as u64), rec)),
             None => {
                 return Err(StoreError::Corrupt(format!(
-                    "undecodable log record at offset {at}"
+                    "undecodable log record at offset {at} (CRC valid — not a torn write)"
                 )))
             }
         }
         at += 8 + len;
     }
-    Ok(out)
+    Ok(LogScan {
+        records: out,
+        valid_len: at as u64,
+        discarded: (buf.len() - at) as u64,
+    })
 }
 
 /// Truncate the log file (after a checkpoint has captured its effects).
@@ -413,6 +661,10 @@ pub fn log_size(path: &PathBuf) -> u64 {
 mod tests {
     use super::*;
     use tempfile::TempDir;
+
+    fn writer(path: &Path) -> LogWriter {
+        LogWriter::open(path, GroupCommitCfg::default()).unwrap()
+    }
 
     fn sample_records() -> Vec<LogRecord> {
         vec![
@@ -464,53 +716,131 @@ mod tests {
     fn write_then_read_log() {
         let dir = TempDir::new().unwrap();
         let path = dir.path().join("wal.log");
-        let w = LogWriter::open(&path, WalSync::Always).unwrap();
+        let w = writer(&path);
         for rec in sample_records() {
             w.append(&rec).unwrap();
         }
         w.sync_now().unwrap();
-        let read: Vec<LogRecord> = read_log(&path)
-            .unwrap()
-            .into_iter()
-            .map(|(_, r)| r)
-            .collect();
+        let scan = read_log(&path).unwrap();
+        let read: Vec<LogRecord> = scan.records.into_iter().map(|(_, r)| r).collect();
         assert_eq!(read, sample_records());
+        assert_eq!(scan.discarded, 0);
     }
 
     #[test]
-    fn torn_tail_is_ignored() {
+    fn torn_tail_is_ignored_and_reported() {
         let dir = TempDir::new().unwrap();
         let path = dir.path().join("wal.log");
-        let w = LogWriter::open(&path, WalSync::Always).unwrap();
+        let w = writer(&path);
         for rec in sample_records() {
             w.append(&rec).unwrap();
         }
         w.sync_now().unwrap();
+        let clean_len = w.end_lsn().0;
         drop(w);
         // Append garbage simulating a torn write.
         let mut f = OpenOptions::new().append(true).open(&path).unwrap();
         f.write_all(&[200, 1, 0, 0, 77, 77]).unwrap();
-        let read = read_log(&path).unwrap();
-        assert_eq!(read.len(), sample_records().len());
+        let scan = read_log(&path).unwrap();
+        assert_eq!(scan.records.len(), sample_records().len());
+        assert_eq!(scan.valid_len, clean_len);
+        assert_eq!(scan.discarded, 6);
+    }
+
+    /// The torn-tail regression: records appended *after* reopening over a
+    /// torn tail must be readable. The old `LogWriter::open` started at
+    /// `metadata().len()`, placing them beyond the garbage where the scan
+    /// never reaches.
+    #[test]
+    fn reopen_over_torn_tail_keeps_later_appends_readable() {
+        let dir = TempDir::new().unwrap();
+        let path = dir.path().join("wal.log");
+        {
+            let w = writer(&path);
+            w.append(&LogRecord::Begin { txn: TxnId(1) }).unwrap();
+            w.append(&LogRecord::Commit { txn: TxnId(1) }).unwrap();
+            w.sync_now().unwrap();
+        }
+        // Crash mid-record: half a frame of garbage at the tail.
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(&[90, 0, 0, 0, 1, 2, 3]).unwrap();
+        }
+        // Reopen appends a fresh committed record…
+        {
+            let w = writer(&path);
+            w.append(&LogRecord::Begin { txn: TxnId(2) }).unwrap();
+            w.append(&LogRecord::Commit { txn: TxnId(2) }).unwrap();
+            w.sync_now().unwrap();
+        }
+        // …and recovery must see it.
+        let recs: Vec<LogRecord> = read_log(&path)
+            .unwrap()
+            .records
+            .into_iter()
+            .map(|(_, r)| r)
+            .collect();
+        assert_eq!(
+            recs,
+            vec![
+                LogRecord::Begin { txn: TxnId(1) },
+                LogRecord::Commit { txn: TxnId(1) },
+                LogRecord::Begin { txn: TxnId(2) },
+                LogRecord::Commit { txn: TxnId(2) },
+            ],
+            "the post-reopen commit is lost behind the torn tail"
+        );
     }
 
     #[test]
     fn corrupted_crc_stops_scan() {
         let dir = TempDir::new().unwrap();
         let path = dir.path().join("wal.log");
-        let w = LogWriter::open(&path, WalSync::Always).unwrap();
+        let w = writer(&path);
         for rec in sample_records() {
             w.append(&rec).unwrap();
         }
         w.sync_now().unwrap();
         drop(w);
-        // Flip a byte in the middle: scan stops at the damaged record.
+        // Flip a byte in the middle: scan stops at the damaged record and
+        // reports everything after it as discarded.
         let mut bytes = std::fs::read(&path).unwrap();
         let mid = bytes.len() / 2;
         bytes[mid] ^= 0xFF;
         std::fs::write(&path, &bytes).unwrap();
-        let read = read_log(&path).unwrap();
-        assert!(read.len() < sample_records().len());
+        let scan = read_log(&path).unwrap();
+        assert!(scan.records.len() < sample_records().len());
+        assert_eq!(
+            scan.valid_len + scan.discarded,
+            bytes.len() as u64,
+            "discarded must account for the whole damaged suffix"
+        );
+        assert!(scan.discarded > 0);
+    }
+
+    /// The recovery boundary: CRC-valid but undecodable is *hard
+    /// corruption* (a torn write can't produce it), not a clean tail.
+    #[test]
+    fn crc_valid_undecodable_record_is_hard_corruption() {
+        let dir = TempDir::new().unwrap();
+        let path = dir.path().join("wal.log");
+        let w = writer(&path);
+        w.append(&LogRecord::Begin { txn: TxnId(1) }).unwrap();
+        w.sync_now().unwrap();
+        drop(w);
+        // Append a frame with a bogus record tag but a *correct* CRC.
+        let payload = [0xEEu8, 1, 2, 3];
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(&(payload.len() as u32).to_le_bytes()).unwrap();
+        f.write_all(&crc32(&payload).to_le_bytes()).unwrap();
+        f.write_all(&payload).unwrap();
+        drop(f);
+        match read_log(&path) {
+            Err(StoreError::Corrupt(msg)) => {
+                assert!(msg.contains("undecodable"), "{msg}");
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
     }
 
     #[test]
@@ -519,15 +849,15 @@ mod tests {
         let path = dir.path().join("wal.log");
         let l1;
         {
-            let w = LogWriter::open(&path, WalSync::Always).unwrap();
+            let w = writer(&path);
             l1 = w.append(&LogRecord::Begin { txn: TxnId(1) }).unwrap();
             w.sync_now().unwrap();
         }
-        let w = LogWriter::open(&path, WalSync::Always).unwrap();
+        let w = writer(&path);
         let l2 = w.append(&LogRecord::Commit { txn: TxnId(1) }).unwrap();
         assert!(l2 > l1);
         w.sync_now().unwrap();
-        assert_eq!(read_log(&path).unwrap().len(), 2);
+        assert_eq!(read_log(&path).unwrap().records.len(), 2);
     }
 
     #[test]
@@ -540,11 +870,55 @@ mod tests {
     fn truncate_resets_log() {
         let dir = TempDir::new().unwrap();
         let path = dir.path().join("wal.log");
-        let w = LogWriter::open(&path, WalSync::Always).unwrap();
+        let w = writer(&path);
         w.append(&LogRecord::Begin { txn: TxnId(1) }).unwrap();
         w.sync_now().unwrap();
         drop(w);
         truncate_log(&path).unwrap();
-        assert!(read_log(&path).unwrap().is_empty());
+        assert!(read_log(&path).unwrap().records.is_empty());
+    }
+
+    #[test]
+    fn concurrent_group_commits_all_become_durable() {
+        let dir = TempDir::new().unwrap();
+        let path = dir.path().join("wal.log");
+        let w = std::sync::Arc::new(writer(&path));
+        let threads: Vec<_> = (0..8u64)
+            .map(|t| {
+                let w = std::sync::Arc::clone(&w);
+                std::thread::spawn(move || {
+                    for i in 0..25u64 {
+                        let txn = TxnId(t * 1000 + i);
+                        w.append(&LogRecord::Begin { txn }).unwrap();
+                        let (_, target) = w.append_commit(txn).unwrap();
+                        w.sync_to(target).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        drop(w);
+        let commits = read_log(&path)
+            .unwrap()
+            .records
+            .iter()
+            .filter(|(_, r)| matches!(r, LogRecord::Commit { .. }))
+            .count();
+        assert_eq!(commits, 200);
+    }
+
+    #[test]
+    fn sync_to_past_lsn_returns_without_new_sync() {
+        let dir = TempDir::new().unwrap();
+        let path = dir.path().join("wal.log");
+        let w = writer(&path);
+        w.append(&LogRecord::Begin { txn: TxnId(1) }).unwrap();
+        let (_, target) = w.append_commit(TxnId(1)).unwrap();
+        w.sync_to(target).unwrap();
+        // Already durable: must not block or error.
+        w.sync_to(target).unwrap();
+        w.sync_to(0).unwrap();
     }
 }

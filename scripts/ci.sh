@@ -12,6 +12,17 @@ cargo build --release --offline --workspace
 echo "== test =="
 cargo test -q --offline --workspace
 
+echo "== crash-recovery suite (100 randomized kill points) =="
+DEMAQ_CRASH_ITERS=100 cargo test --offline -p demaq-store --test crash_recovery -- --nocapture
+
+echo "== bench smoke: E9 group commit =="
+# Shrunk sizes; dumps the batch-size histogram + sync counters. Cargo runs
+# benches with the package dir as CWD, so mirror the exposition file into
+# the workspace-level target/metrics/.
+DEMAQ_E9_SMOKE=1 cargo bench --offline -p demaq-bench --bench e9_group_commit
+mkdir -p target/metrics
+cp -f crates/bench/target/metrics/e9_group_commit.prom target/metrics/ 2>/dev/null || true
+
 echo "== clippy =="
 # --no-deps keeps the vendored shims out of the lint gate; warnings in
 # first-party crates are errors.
