@@ -1,0 +1,172 @@
+//! E10 — Sharded document cache + materialized slice sequences (ISSUE 3).
+//!
+//! The rule-evaluation hot path used to re-parse message payloads on
+//! every access: a slicing rule over a slice of N members parsed all N
+//! documents on *each* member arrival, so processing N arrivals cost
+//! O(N²) parses. The sharded byte-budgeted document cache plus the
+//! version-validated slice-sequence cache turn that into O(N): each
+//! document is parsed once on first touch, and an arrival extends the
+//! cached member sequence incrementally instead of rebuilding it.
+//!
+//! Measured:
+//! * `slice_join` — N arrivals into one slice, each followed by
+//!   `run_until_idle` so the slicing rule re-evaluates against the
+//!   growing slice. `cached` (defaults: 16 shards / 64 MiB budget /
+//!   sequence cache on) vs `uncached` (`doc_cache_budget(0)`,
+//!   `slice_seq_cache(false)` — the pre-cache engine shape).
+//! * `parallel_4` — correlate workload drained by
+//!   `process_all_parallel(4)`, cached vs uncached, to show the cache
+//!   does not regress (and the condvar-parked workers do not spin).
+//!
+//! Expected shape: `demaq_core_doc_parses_total` grows linearly with N
+//! when cached and quadratically when uncached; wall clock ≥ 2x better
+//! cached at N = 1024. The metrics dumps land in `target/metrics/`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use demaq::Server;
+use demaq_store::store::SyncPolicy;
+
+/// One slice that every message joins; the rule forces a full slice
+/// materialization per processing without ever firing its action.
+const JOIN_PROGRAM: &str = r#"
+    create queue parts kind basic mode persistent
+    create queue alerts kind basic mode persistent
+    create property rid as xs:string fixed queue parts value //@rid
+    create slicing byRid on rid
+    create rule join for byRid
+      if (count(qs:slice()) >= 1000000) then
+        do enqueue <overflow>{qs:slicekey()}</overflow> into alerts
+"#;
+
+fn smoke() -> bool {
+    std::env::var("DEMAQ_E10_SMOKE").is_ok()
+}
+
+fn build_server(cached: bool) -> Server {
+    let mut b = Server::builder()
+        .program(JOIN_PROGRAM)
+        .in_memory()
+        .sync_policy(SyncPolicy::Batch);
+    if !cached {
+        b = b.doc_cache_budget(0).slice_seq_cache(false);
+    }
+    b.build().expect("valid program")
+}
+
+/// N arrivals into the single slice, processing after each so the
+/// slicing rule always sees the slice mid-growth (the O(N²) shape).
+fn run_join(server: &Server, n: usize) {
+    for i in 0..n {
+        server
+            .enqueue_external("parts", &format!("<p rid='hot'><n>{i}</n></p>"))
+            .expect("enqueue");
+        server.run_until_idle().expect("idle");
+    }
+}
+
+/// Read one unlabeled counter/gauge value from a Prometheus exposition.
+fn metric_value(text: &str, name: &str) -> u64 {
+    text.lines()
+        .find(|l| l.starts_with(name) && l.as_bytes().get(name.len()) == Some(&b' '))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse::<f64>().ok())
+        .map(|v| v as u64)
+        .unwrap_or(0)
+}
+
+fn bench_e10(c: &mut Criterion) {
+    let sizes: &[usize] = if smoke() { &[32] } else { &[256, 1024] };
+    let mut group = c.benchmark_group("e10_doc_cache");
+    group.sample_size(10);
+
+    for &n in sizes {
+        group.throughput(Throughput::Elements(n as u64));
+        for cached in [true, false] {
+            let label = if cached {
+                "slice_join_cached"
+            } else {
+                "slice_join_uncached"
+            };
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, &n| {
+                b.iter(|| {
+                    let server = build_server(cached);
+                    run_join(&server, n);
+                    server.stats().processed
+                });
+            });
+        }
+    }
+
+    // Parallel drain: feed first, then 4 workers race the scheduler. The
+    // cache must help (shared across workers) — and at minimum not hurt.
+    let (messages, instances) = if smoke() { (64, 8) } else { (1024, 8) };
+    group.throughput(Throughput::Elements(messages as u64));
+    for cached in [true, false] {
+        let label = if cached {
+            "parallel_4_cached"
+        } else {
+            "parallel_4_uncached"
+        };
+        group.bench_with_input(
+            BenchmarkId::new(label, messages),
+            &messages,
+            |b, &messages| {
+                b.iter(|| {
+                    let server = build_server(cached);
+                    for i in 0..messages {
+                        let inst = i % instances;
+                        server
+                            .enqueue_external("parts", &format!("<p rid='i{inst}'><n>{i}</n></p>"))
+                            .expect("enqueue");
+                    }
+                    server.process_all_parallel(4).expect("parallel");
+                    server.stats().processed
+                });
+            },
+        );
+    }
+    group.finish();
+
+    // Representative runs with metric snapshots: the cached run must show
+    // real hit traffic and linear parse growth; the uncached run pins the
+    // quadratic baseline shape next to it in target/metrics/.
+    let n = if smoke() { 48 } else { 512 };
+
+    let server = build_server(true);
+    run_join(&server, n);
+    let text = server.metrics_text();
+    let parses = metric_value(&text, "demaq_core_doc_parses_total");
+    let doc_hits = metric_value(&text, "demaq_core_doc_cache_hits_total");
+    let seq_hits = metric_value(&text, "demaq_core_slice_seq_hits_total")
+        + metric_value(&text, "demaq_core_slice_seq_appends_total");
+    let rebuilds = metric_value(&text, "demaq_core_slice_seq_rebuilds_total");
+    assert!(doc_hits > 0, "doc cache saw no hits:\n{text}");
+    assert!(seq_hits > 0, "slice-seq cache saw no hits/appends:\n{text}");
+    assert!(
+        parses <= (2 * n) as u64,
+        "cached parse count must stay linear in N={n}, got {parses}"
+    );
+    assert!(
+        rebuilds <= (n / 2) as u64,
+        "cached sequence rebuilds must stay rare for an append-only slice, got {rebuilds}"
+    );
+    demaq_bench::dump_metrics(&server, "e10_doc_cache");
+
+    let server = build_server(false);
+    run_join(&server, n);
+    let text = server.metrics_text();
+    let parses_uncached = metric_value(&text, "demaq_core_doc_parses_total");
+    assert!(
+        parses_uncached > parses,
+        "uncached baseline must re-parse more ({parses_uncached} vs {parses})"
+    );
+    demaq_bench::dump_metrics(&server, "e10_doc_cache_uncached");
+
+    println!(
+        "e10: N={n} parses cached={parses} uncached={parses_uncached} \
+         doc_hits={doc_hits} seq_hits+appends={seq_hits} rebuilds={rebuilds}"
+    );
+}
+
+criterion_group!(benches, bench_e10);
+criterion_main!(benches);

@@ -1,0 +1,627 @@
+//! The engine's caching layer: redundant-work elimination on the
+//! rule-evaluation hot path (paper Sec. 4's "avoiding redundant work").
+//!
+//! Two caches, both process-local and strictly derived from committed
+//! store state:
+//!
+//! * [`DocCache`] — a **sharded, byte-budgeted LRU** over parsed message
+//!   documents. Shards are selected by a multiplicative hash of the
+//!   [`MsgId`], so concurrent workers in
+//!   [`crate::engine::Server::process_all_parallel`] rarely contend on the
+//!   same mutex (the previous design was one global `Mutex<HashMap>` with
+//!   clear-*everything* eviction at a fixed entry count). Each cached
+//!   entry also interns the document's element-name set
+//!   ([`CachedDoc::element_names`]), so rule-trigger pre-filtering never
+//!   re-walks the tree.
+//!
+//! * [`SliceSeqCache`] — materialized member [`Sequence`]s per
+//!   `(slicing, key)`, validated by the store-side **slice version
+//!   counter** (bumped inside commit on member add, reset, and GC purge —
+//!   see `demaq_store::slice::SliceIndex`). An unchanged slice is
+//!   materialized once per version instead of once per rule firing; when
+//!   only new members arrived, the cached sequence is extended
+//!   incrementally (the common N-arrivals-into-one-slice join goes from
+//!   O(N²) to O(N) parse work).
+//!
+//! Snapshot safety: neither cache is consulted on trust — every lookup is
+//! keyed by state the committing transaction itself updates (the unique,
+//! never-reused `MsgId`; the monotonic slice version). Invalidation is
+//! therefore a side effect of commit (and of GC/reset), never of
+//! evaluation-time heuristics. A cached member sequence whose slice
+//! changed — by a later add, a `do reset` epoch bump, or a GC purge — can
+//! never be returned, because all three paths advance the version clock.
+
+use demaq_obs::{Counter, Gauge, Obs};
+use demaq_store::{MsgId, PropValue};
+use demaq_xml::Document;
+use demaq_xquery::Sequence;
+use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// A parsed message document plus derived artifacts interned at (or after)
+/// parse time, shared by every rule evaluation that touches the message.
+pub struct CachedDoc {
+    pub doc: Arc<Document>,
+    names: OnceLock<HashSet<String>>,
+}
+
+impl CachedDoc {
+    pub fn new(doc: Arc<Document>) -> CachedDoc {
+        CachedDoc {
+            doc,
+            names: OnceLock::new(),
+        }
+    }
+
+    /// Names of all elements in the document (rule-trigger pre-filtering).
+    /// Computed once per cached document, not once per processing pass.
+    pub fn element_names(&self) -> &HashSet<String> {
+        self.names.get_or_init(|| {
+            let mut out = HashSet::new();
+            for n in self.doc.root().descendants() {
+                if let Some(q) = n.name() {
+                    out.insert(q.local.clone());
+                }
+            }
+            out
+        })
+    }
+}
+
+/// Sentinel for "no slot" in the intrusive LRU list.
+const NIL: usize = usize::MAX;
+
+/// Fixed per-entry overhead charged against the byte budget (slot, map
+/// entry, `Arc` headers).
+const DOC_OVERHEAD_BYTES: usize = 160;
+/// DOM expansion factor: a parsed tree costs roughly this multiple of its
+/// serialized payload (node records, name/text allocations).
+const DOM_EXPANSION: usize = 4;
+
+struct Slot {
+    id: MsgId,
+    /// `None` only while the slot sits on the free list.
+    entry: Option<Arc<CachedDoc>>,
+    bytes: usize,
+    prev: usize,
+    next: usize,
+}
+
+/// One shard: a hash map into an intrusive doubly-linked LRU list held in
+/// a slab, so get/insert/evict are all O(1).
+struct DocShard {
+    map: HashMap<MsgId, usize>,
+    slots: Vec<Slot>,
+    free: Vec<usize>,
+    /// Most recently used.
+    head: usize,
+    /// Least recently used (eviction end).
+    tail: usize,
+    bytes: usize,
+}
+
+impl DocShard {
+    fn new() -> DocShard {
+        DocShard {
+            map: HashMap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            bytes: 0,
+        }
+    }
+
+    fn unlink(&mut self, i: usize) {
+        let (p, n) = (self.slots[i].prev, self.slots[i].next);
+        if p != NIL {
+            self.slots[p].next = n;
+        } else {
+            self.head = n;
+        }
+        if n != NIL {
+            self.slots[n].prev = p;
+        } else {
+            self.tail = p;
+        }
+        self.slots[i].prev = NIL;
+        self.slots[i].next = NIL;
+    }
+
+    fn push_front(&mut self, i: usize) {
+        self.slots[i].prev = NIL;
+        self.slots[i].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = i;
+        }
+        self.head = i;
+        if self.tail == NIL {
+            self.tail = i;
+        }
+    }
+
+    fn touch(&mut self, i: usize) {
+        if self.head != i {
+            self.unlink(i);
+            self.push_front(i);
+        }
+    }
+
+    /// Remove the LRU entry; returns its byte cost.
+    fn evict_tail(&mut self) -> usize {
+        let i = self.tail;
+        self.unlink(i);
+        let id = self.slots[i].id;
+        self.map.remove(&id);
+        let cost = self.slots[i].bytes;
+        self.bytes -= cost;
+        self.slots[i].entry = None;
+        self.free.push(i);
+        cost
+    }
+
+    fn remove(&mut self, id: MsgId) -> usize {
+        match self.map.remove(&id) {
+            Some(i) => {
+                self.unlink(i);
+                let cost = self.slots[i].bytes;
+                self.bytes -= cost;
+                self.slots[i].entry = None;
+                self.free.push(i);
+                cost
+            }
+            None => 0,
+        }
+    }
+}
+
+/// Sharded byte-budgeted LRU over parsed documents, keyed by [`MsgId`].
+///
+/// A byte budget of 0 disables the cache (every `get` misses, `insert`
+/// still hands back a usable [`CachedDoc`] for the caller's own use) —
+/// the benchmark baseline configuration.
+pub struct DocCache {
+    shards: Box<[Mutex<DocShard>]>,
+    shard_mask: u64,
+    shard_budget: usize,
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
+    parses: Counter,
+    bytes: Gauge,
+}
+
+impl DocCache {
+    pub fn new(shards: usize, byte_budget: usize, obs: &Obs) -> DocCache {
+        let n = shards.max(1).next_power_of_two();
+        let r = &obs.registry;
+        DocCache {
+            shards: (0..n).map(|_| Mutex::new(DocShard::new())).collect(),
+            shard_mask: (n - 1) as u64,
+            shard_budget: byte_budget / n,
+            hits: r.counter("demaq_core_doc_cache_hits_total"),
+            misses: r.counter("demaq_core_doc_cache_misses_total"),
+            evictions: r.counter("demaq_core_doc_cache_evictions_total"),
+            parses: r.counter("demaq_core_doc_parses_total"),
+            bytes: r.gauge("demaq_core_doc_cache_bytes"),
+        }
+    }
+
+    pub fn enabled(&self) -> bool {
+        self.shard_budget > 0
+    }
+
+    fn shard(&self, id: MsgId) -> &Mutex<DocShard> {
+        // Fibonacci hashing spreads the sequential MsgId space evenly.
+        let h = id.0.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+        &self.shards[(h & self.shard_mask) as usize]
+    }
+
+    /// Count one actual XML parse performed to fill this cache (the metric
+    /// the E10 shape claim is asserted on).
+    pub fn note_parse(&self) {
+        self.parses.inc();
+    }
+
+    pub fn get(&self, id: MsgId) -> Option<Arc<CachedDoc>> {
+        if !self.enabled() {
+            self.misses.inc();
+            return None;
+        }
+        let mut s = self.shard(id).lock();
+        match s.map.get(&id).copied() {
+            Some(i) => {
+                s.touch(i);
+                self.hits.inc();
+                s.slots[i].entry.as_ref().map(Arc::clone)
+            }
+            None => {
+                self.misses.inc();
+                None
+            }
+        }
+    }
+
+    /// Insert (or refresh) a parsed document. `payload_len` is the
+    /// serialized size used to estimate the tree's memory cost.
+    pub fn insert(&self, id: MsgId, doc: Arc<Document>, payload_len: usize) -> Arc<CachedDoc> {
+        let entry = Arc::new(CachedDoc::new(doc));
+        if !self.enabled() {
+            return entry;
+        }
+        let cost = DOC_OVERHEAD_BYTES + DOM_EXPANSION * payload_len;
+        let mut s = self.shard(id).lock();
+        if let Some(&i) = s.map.get(&id) {
+            let old = std::mem::replace(&mut s.slots[i].bytes, cost);
+            s.slots[i].entry = Some(Arc::clone(&entry));
+            s.bytes = s.bytes - old + cost;
+            self.bytes.add(cost as i64 - old as i64);
+            s.touch(i);
+        } else {
+            let slot = Slot {
+                id,
+                entry: Some(Arc::clone(&entry)),
+                bytes: cost,
+                prev: NIL,
+                next: NIL,
+            };
+            let i = match s.free.pop() {
+                Some(i) => {
+                    s.slots[i] = slot;
+                    i
+                }
+                None => {
+                    s.slots.push(slot);
+                    s.slots.len() - 1
+                }
+            };
+            s.map.insert(id, i);
+            s.push_front(i);
+            s.bytes += cost;
+            self.bytes.add(cost as i64);
+        }
+        // LRU eviction down to the shard budget (an oversized entry evicts
+        // itself: it is uncacheable, the caller keeps its own Arc).
+        while s.bytes > self.shard_budget && s.tail != NIL {
+            let freed = s.evict_tail();
+            self.bytes.add(-(freed as i64));
+            self.evictions.inc();
+        }
+        entry
+    }
+
+    /// Drop entries for purged messages (GC hook).
+    pub fn remove_many(&self, ids: &[MsgId]) {
+        for &id in ids {
+            let freed = self.shard(id).lock().remove(id);
+            if freed > 0 {
+                self.bytes.add(-(freed as i64));
+            }
+        }
+    }
+
+    /// Current entry count across all shards (tests/diagnostics).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().map.len()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current estimated bytes across all shards (tests/diagnostics).
+    pub fn bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().bytes).sum()
+    }
+}
+
+/// Result of a slice-sequence cache probe.
+pub enum SeqLookup {
+    /// Cached and current (version match): use as-is, zero parse work.
+    Hit(Sequence),
+    /// Cached for a strict prefix of the current members: parse only
+    /// `current_ids[from..]` and append.
+    Extend { seq: Sequence, from: usize },
+    /// Not cached, or the membership diverged (reset / purge / out-of-order
+    /// commit): materialize from scratch.
+    Miss,
+}
+
+/// One shard of the slice-sequence cache.
+type SeqShard = HashMap<(String, PropValue), SeqEntry>;
+
+struct SeqEntry {
+    version: u64,
+    ids: Vec<MsgId>,
+    seq: Sequence,
+    last_used: u64,
+}
+
+/// Materialized member sequences per `(slicing, key)`, validated by the
+/// store's slice version counter.
+pub struct SliceSeqCache {
+    shards: Box<[Mutex<SeqShard>]>,
+    shard_mask: u64,
+    cap_per_shard: usize,
+    tick: AtomicU64,
+    enabled: bool,
+    hits: Counter,
+    rebuilds: Counter,
+    appends: Counter,
+}
+
+impl SliceSeqCache {
+    pub fn new(shards: usize, cap: usize, enabled: bool, obs: &Obs) -> SliceSeqCache {
+        let n = shards.max(1).next_power_of_two();
+        let r = &obs.registry;
+        SliceSeqCache {
+            shards: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
+            shard_mask: (n - 1) as u64,
+            cap_per_shard: (cap / n).max(1),
+            tick: AtomicU64::new(0),
+            enabled,
+            hits: r.counter("demaq_core_slice_seq_hits_total"),
+            rebuilds: r.counter("demaq_core_slice_seq_rebuilds_total"),
+            appends: r.counter("demaq_core_slice_seq_appends_total"),
+        }
+    }
+
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    fn shard(&self, slicing: &str, key: &PropValue) -> &Mutex<SeqShard> {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        slicing.hash(&mut h);
+        key.hash(&mut h);
+        &self.shards[(h.finish() & self.shard_mask) as usize]
+    }
+
+    /// Probe the cache against the store's current `(members, version)`
+    /// reading (taken atomically under one store read lock by the caller).
+    pub fn lookup(
+        &self,
+        slicing: &str,
+        key: &PropValue,
+        version: u64,
+        current_ids: &[MsgId],
+    ) -> SeqLookup {
+        if !self.enabled {
+            return SeqLookup::Miss;
+        }
+        let mut shard = self.shard(slicing, key).lock();
+        let Some(e) = shard.get_mut(&(slicing.to_string(), key.clone())) else {
+            return SeqLookup::Miss;
+        };
+        e.last_used = self.tick.fetch_add(1, Ordering::Relaxed);
+        if e.version == version {
+            self.hits.inc();
+            return SeqLookup::Hit(e.seq.clone());
+        }
+        // Version moved: reusable only if the old membership is a strict
+        // prefix of the new one (append-only growth since we cached).
+        if !e.ids.is_empty()
+            && e.ids.len() <= current_ids.len()
+            && e.ids[..] == current_ids[..e.ids.len()]
+        {
+            return SeqLookup::Extend {
+                seq: e.seq.clone(),
+                from: e.ids.len(),
+            };
+        }
+        SeqLookup::Miss
+    }
+
+    /// Store a freshly materialized (or extended) sequence. `extended`
+    /// distinguishes the incremental-append path from a full rebuild in
+    /// the metrics.
+    pub fn store(
+        &self,
+        slicing: &str,
+        key: &PropValue,
+        version: u64,
+        ids: Vec<MsgId>,
+        seq: Sequence,
+        extended: bool,
+    ) {
+        if !self.enabled {
+            // Still count the work shape for the disabled baseline.
+            self.rebuilds.inc();
+            return;
+        }
+        if extended {
+            self.appends.inc();
+        } else {
+            self.rebuilds.inc();
+        }
+        let mut shard = self.shard(slicing, key).lock();
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed);
+        shard.insert(
+            (slicing.to_string(), key.clone()),
+            SeqEntry {
+                version,
+                ids,
+                seq,
+                last_used: tick,
+            },
+        );
+        if shard.len() > self.cap_per_shard {
+            // Evict the least-recently-used entry (rare; cap is per shard).
+            if let Some(victim) = shard
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                shard.remove(&victim);
+            }
+        }
+    }
+
+    /// Drop every cached sequence containing any of the purged messages
+    /// (GC hook). The version bump in the store already makes these
+    /// entries unreturnable; this releases the pinned documents.
+    pub fn invalidate_msgs(&self, purged: &[MsgId]) {
+        if !self.enabled || purged.is_empty() {
+            return;
+        }
+        let set: HashSet<MsgId> = purged.iter().copied().collect();
+        for shard in self.shards.iter() {
+            shard
+                .lock()
+                .retain(|_, e| !e.ids.iter().any(|m| set.contains(m)));
+        }
+    }
+
+    /// Cached slice count (tests/diagnostics).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use demaq_xml::parse as parse_xml;
+    use demaq_xquery::Item;
+
+    fn obs() -> Arc<Obs> {
+        Obs::new()
+    }
+
+    fn doc(xml: &str) -> Arc<Document> {
+        parse_xml(xml).unwrap()
+    }
+
+    #[test]
+    fn doc_cache_hit_miss_and_touch() {
+        let o = obs();
+        let c = DocCache::new(4, 1 << 20, &o);
+        assert!(c.get(MsgId(1)).is_none());
+        c.insert(MsgId(1), doc("<a/>"), 4);
+        let e = c.get(MsgId(1)).expect("hit");
+        assert_eq!(e.doc.root().to_xml(), "<a/>");
+        assert_eq!(o.registry.counter_total("demaq_core_doc_cache_hits_total"), 1);
+        assert_eq!(
+            o.registry.counter_total("demaq_core_doc_cache_misses_total"),
+            1
+        );
+    }
+
+    #[test]
+    fn doc_cache_byte_budget_evicts_lru() {
+        let o = obs();
+        // One shard so the LRU order is fully observable; a budget that
+        // holds two entries (cost 164 each) but not three.
+        let c = DocCache::new(1, DOC_OVERHEAD_BYTES * 2 + 100, &o);
+        c.insert(MsgId(1), doc("<a/>"), 1);
+        c.insert(MsgId(2), doc("<b/>"), 1);
+        // Touch 1 so 2 is now least recently used.
+        assert!(c.get(MsgId(1)).is_some());
+        c.insert(MsgId(3), doc("<c/>"), 1);
+        assert!(c.get(MsgId(2)).is_none(), "LRU entry evicted");
+        assert!(c.get(MsgId(1)).is_some());
+        assert!(c.get(MsgId(3)).is_some());
+        assert!(o.registry.counter_total("demaq_core_doc_cache_evictions_total") >= 1);
+        assert!(c.bytes() <= DOC_OVERHEAD_BYTES * 2 + 100);
+    }
+
+    #[test]
+    fn doc_cache_zero_budget_disables() {
+        let o = obs();
+        let c = DocCache::new(4, 0, &o);
+        let e = c.insert(MsgId(1), doc("<a/>"), 4);
+        assert_eq!(e.doc.root().to_xml(), "<a/>");
+        assert!(c.get(MsgId(1)).is_none());
+        assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn doc_cache_remove_many() {
+        let o = obs();
+        let c = DocCache::new(4, 1 << 20, &o);
+        for i in 0..10 {
+            c.insert(MsgId(i), doc("<a/>"), 4);
+        }
+        c.remove_many(&[MsgId(2), MsgId(5), MsgId(99)]);
+        assert_eq!(c.len(), 8);
+        assert!(c.get(MsgId(2)).is_none());
+        assert!(c.get(MsgId(3)).is_some());
+    }
+
+    #[test]
+    fn element_names_interned_once() {
+        let e = CachedDoc::new(doc("<a><b/><c><b/></c></a>"));
+        let names = e.element_names();
+        assert!(names.contains("a") && names.contains("b") && names.contains("c"));
+        assert_eq!(names.len(), 3);
+        // Second call returns the same interned set.
+        assert!(std::ptr::eq(names, e.element_names()));
+    }
+
+    fn seq_of(ids: &[u64]) -> Sequence {
+        Sequence(
+            ids.iter()
+                .map(|i| Item::Node(doc(&format!("<m id='{i}'/>")).root()))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn slice_seq_version_hit_extend_miss() {
+        let o = obs();
+        let c = SliceSeqCache::new(4, 1024, true, &o);
+        let key = PropValue::Str("k".into());
+        let ids = vec![MsgId(1), MsgId(2)];
+        assert!(matches!(c.lookup("s", &key, 7, &ids), SeqLookup::Miss));
+        c.store("s", &key, 7, ids.clone(), seq_of(&[1, 2]), false);
+        // Same version: hit.
+        match c.lookup("s", &key, 7, &ids) {
+            SeqLookup::Hit(s) => assert_eq!(s.len(), 2),
+            _ => panic!("expected hit"),
+        }
+        // Version moved, membership grew by append: extend from the prefix.
+        let grown = vec![MsgId(1), MsgId(2), MsgId(3)];
+        match c.lookup("s", &key, 9, &grown) {
+            SeqLookup::Extend { seq, from } => {
+                assert_eq!(seq.len(), 2);
+                assert_eq!(from, 2);
+            }
+            _ => panic!("expected extend"),
+        }
+        // Version moved, membership diverged (reset): miss.
+        let diverged = vec![MsgId(4)];
+        assert!(matches!(c.lookup("s", &key, 11, &diverged), SeqLookup::Miss));
+        assert_eq!(o.registry.counter_total("demaq_core_slice_seq_hits_total"), 1);
+    }
+
+    #[test]
+    fn slice_seq_invalidate_msgs_drops_pinning_entries() {
+        let o = obs();
+        let c = SliceSeqCache::new(2, 64, true, &o);
+        let k1 = PropValue::Str("a".into());
+        let k2 = PropValue::Str("b".into());
+        c.store("s", &k1, 1, vec![MsgId(1)], seq_of(&[1]), false);
+        c.store("s", &k2, 1, vec![MsgId(2)], seq_of(&[2]), false);
+        c.invalidate_msgs(&[MsgId(1)]);
+        assert!(matches!(c.lookup("s", &k1, 1, &[MsgId(1)]), SeqLookup::Miss));
+        assert!(matches!(c.lookup("s", &k2, 1, &[MsgId(2)]), SeqLookup::Hit(_)));
+    }
+
+    #[test]
+    fn slice_seq_cap_evicts_lru() {
+        let o = obs();
+        let c = SliceSeqCache::new(1, 2, true, &o);
+        for i in 0..5 {
+            let k = PropValue::Int(i);
+            c.store("s", &k, 1, vec![MsgId(i as u64)], seq_of(&[i as u64]), false);
+        }
+        assert!(c.len() <= 2);
+    }
+}

@@ -9,6 +9,7 @@
 //! locking (Sec. 4.3).
 
 use crate::app::CompiledApp;
+use crate::cache::{CachedDoc, DocCache, SeqLookup, SliceSeqCache};
 use crate::compiler::{merge_rules, CompiledRule};
 use crate::errors::{error_message, kind};
 use crate::gateway::GatewayManager;
@@ -20,15 +21,14 @@ use demaq_obs::{Counter, Gauge, Histogram, Obs, TraceEvent};
 use demaq_qdl::{parse_program, AppSpec, QueueKind};
 use demaq_store::store::SyncPolicy;
 use demaq_store::{
-    LockGranularity, LockKey, LockMode, MessageStore, MsgId, PropValue, QueueMode, StoreError,
-    StoreOptions, StoredMessage, TxnId,
+    LockGranularity, LockKey, LockMode, MessageMeta, MessageStore, MsgId, PropValue, QueueMode,
+    StoreError, StoreOptions, StoredMessage, TxnId,
 };
 use demaq_xml::{parse as parse_xml, Document, NodeRef};
 use demaq_xquery::{
     Atomic, DynamicContext, Error as XqError, Evaluator, Expr, Item, Sequence, StaticContext,
     Update,
 };
-use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::path::PathBuf;
@@ -201,6 +201,9 @@ pub struct ServerBuilder {
     server_addr: String,
     start_time_ms: i64,
     obs: Option<Arc<Obs>>,
+    doc_cache_shards: usize,
+    doc_cache_budget: usize,
+    slice_seq_cache: bool,
 }
 
 impl Default for ServerBuilder {
@@ -222,6 +225,9 @@ impl Default for ServerBuilder {
             server_addr: "demaq://node".into(),
             start_time_ms: 0,
             obs: None,
+            doc_cache_shards: 16,
+            doc_cache_budget: 64 << 20,
+            slice_seq_cache: true,
         }
     }
 }
@@ -330,6 +336,28 @@ impl ServerBuilder {
         self
     }
 
+    /// Byte budget of the sharded parsed-document cache. 0 disables it
+    /// (every access re-parses — the benchmark E10 baseline). Defaults to
+    /// 64 MiB.
+    pub fn doc_cache_budget(mut self, bytes: usize) -> Self {
+        self.doc_cache_budget = bytes;
+        self
+    }
+
+    /// Shard count of the document cache (rounded up to a power of two).
+    /// Defaults to 16.
+    pub fn doc_cache_shards(mut self, shards: usize) -> Self {
+        self.doc_cache_shards = shards;
+        self
+    }
+
+    /// Enable or disable the materialized slice-sequence cache. Defaults
+    /// to enabled.
+    pub fn slice_seq_cache(mut self, enabled: bool) -> Self {
+        self.slice_seq_cache = enabled;
+        self
+    }
+
     /// Compile the application and open the store.
     pub fn build(self) -> Result<Server> {
         let spec = match (self.spec, self.program) {
@@ -406,8 +434,13 @@ impl ServerBuilder {
             collections: Arc::new(self.collections),
             plan_mode: self.plan_mode,
             metrics,
+            doc_cache: Arc::new(DocCache::new(
+                self.doc_cache_shards,
+                self.doc_cache_budget,
+                &obs,
+            )),
+            slice_seq: SliceSeqCache::new(16, 4096, self.slice_seq_cache, &obs),
             obs,
-            doc_cache: Mutex::new(HashMap::new()),
             active_workers: AtomicUsize::new(0),
         };
         // Recovery: re-schedule surviving unprocessed messages.
@@ -433,8 +466,12 @@ pub struct Server {
     plan_mode: PlanMode,
     obs: Arc<Obs>,
     metrics: EngineMetrics,
-    /// Cache of parsed message documents.
-    doc_cache: Mutex<HashMap<MsgId, Arc<Document>>>,
+    /// Sharded LRU over parsed message documents, shared with the
+    /// `qs:queue()` reader closures (see [`crate::cache`]).
+    doc_cache: Arc<DocCache>,
+    /// Materialized slice member sequences, validated against the store's
+    /// slice version counters.
+    slice_seq: SliceSeqCache,
     active_workers: AtomicUsize,
 }
 
@@ -564,7 +601,7 @@ impl Server {
             Ok(id) => {
                 self.metrics.inc_enqueued(&self.obs, queue);
                 self.obs.tracer.event("msg.enqueue", Some(id.0), queue, "");
-                self.doc_cache_insert(id, doc);
+                self.doc_cache.insert(id, doc, xml.len());
                 self.scheduler.push(id, queue, cq.decl.priority);
                 self.metrics
                     .scheduler_depth
@@ -754,8 +791,10 @@ impl Server {
     }
 
     fn try_process(&self, msg_id: MsgId, queue: &str) -> Result<()> {
-        let stored = self.store.message(msg_id)?;
-        let doc = self.parse_cached(&stored)?;
+        // Metadata and document travel separately: a doc-cache hit means
+        // the payload is never fetched (or cloned) from the store at all.
+        let meta = self.store.message_meta(msg_id)?;
+        let cached = self.doc_for(msg_id)?;
         let cq = self
             .app
             .queues
@@ -766,7 +805,7 @@ impl Server {
         // message carries.
         let mut slice_rules: Vec<(SliceCtx, &CompiledRule)> = Vec::new();
         let mut slice_keys: Vec<(String, PropValue)> = Vec::new();
-        for (pname, value) in &stored.props {
+        for (pname, value) in &meta.props {
             if let Some(slicings) = self.app.slicings_by_property.get(pname) {
                 for sname in slicings {
                     slice_keys.push((sname.clone(), value.clone()));
@@ -787,7 +826,7 @@ impl Server {
 
         let txn = self.store.begin();
         let eval_started = Instant::now();
-        let result = self.evaluate_and_execute(txn, &stored, &doc, cq, &slice_rules, &slice_keys);
+        let result = self.evaluate_and_execute(txn, &meta, &cached, cq, &slice_rules, &slice_keys);
         self.metrics.rule_eval_ns.record(eval_started.elapsed());
         match result {
             Ok(new_messages) => {
@@ -799,16 +838,19 @@ impl Server {
                 self.obs
                     .tracer
                     .event("msg.processed", Some(msg_id.0), queue, "");
-                // Post-commit: schedule new work, gateway/echo side effects.
-                for (new_id, new_queue) in new_messages {
+                // Post-commit: cache the new documents (deferring this past
+                // commit keeps aborted messages out of the cache), schedule
+                // new work, gateway/echo side effects.
+                for nm in new_messages {
+                    self.doc_cache.insert(nm.id, nm.doc, nm.payload_len);
                     let prio = self
                         .app
                         .queues
-                        .get(&new_queue)
+                        .get(&nm.queue)
                         .map(|q| q.decl.priority)
                         .unwrap_or(0);
-                    self.scheduler.push(new_id, &new_queue, prio);
-                    self.post_commit_queue_effects(&new_queue, new_id)?;
+                    self.scheduler.push(nm.id, &nm.queue, prio);
+                    self.post_commit_queue_effects(&nm.queue, nm.id)?;
                 }
                 Ok(())
             }
@@ -837,18 +879,26 @@ impl Server {
                 // Application-level failure: abort, then route an error
                 // message and mark the original processed (Sec. 3.6).
                 self.store.abort(txn);
-                let eq_rule = cq.rules.iter().find(|r| r.name == rule);
-                let eq = self.app.error_queue_for(eq_rule, queue).map(str::to_string);
+                // Resolve the failing rule against the rules that actually
+                // ran — this queue's, then the fired slicing rules. A global
+                // name scan would pick nondeterministically among duplicate
+                // rule names on other queues and divert the error.
+                let rule_ref = cq
+                    .rules
+                    .iter()
+                    .find(|r| r.name == rule)
+                    .or_else(|| slice_rules.iter().map(|(_, r)| *r).find(|r| r.name == rule));
                 self.mark_processed_standalone(msg_id)?;
-                self.route_error(
+                let payload = self.store.payload(msg_id).ok();
+                self.route_error_resolved(
                     &error_kind,
                     &detail,
                     Some(&rule),
+                    rule_ref,
                     queue,
                     Some(msg_id),
-                    Some(&stored.payload),
+                    payload.as_deref(),
                 )?;
-                let _ = eq;
                 Ok(())
             }
         }
@@ -859,18 +909,18 @@ impl Server {
     fn evaluate_and_execute(
         &self,
         txn: TxnId,
-        stored: &StoredMessage,
-        doc: &Arc<Document>,
+        meta: &MessageMeta,
+        cached: &CachedDoc,
         cq: &crate::app::CompiledQueue,
         slice_rules: &[(SliceCtx, &CompiledRule)],
         slice_keys: &[(String, PropValue)],
-    ) -> std::result::Result<Vec<(MsgId, String)>, ProcessingError> {
+    ) -> std::result::Result<Vec<NewMessage>, ProcessingError> {
         // ---- locking (paper Sec. 4.3) -------------------------------------
-        self.acquire_locks(txn, stored, cq, slice_rules, slice_keys)?;
+        self.acquire_locks(txn, meta, cq, slice_rules, slice_keys)?;
 
         // ---- rule evaluation (snapshot) ------------------------------------
-        let msg_root = doc.root();
-        let element_names = element_name_set(&msg_root);
+        let msg_root = cached.doc.root();
+        let element_names = cached.element_names();
         let mut updates: Vec<(Option<String>, Update)> = Vec::new(); // (rule name, update)
 
         // Queue rules: merged plan or rule-at-a-time.
@@ -883,7 +933,7 @@ impl Server {
             Some(plan) => {
                 self.metrics.rules_evaluated.add(cq.rules.len() as u64);
                 let ups = self
-                    .eval_rule_body(&plan, stored, &msg_root, None)
+                    .eval_rule_body(&plan, meta, &msg_root, None)
                     .map_err(|e| ProcessingError::rule("<merged-plan>", e))?;
                 updates.extend(ups.into_iter().map(|u| (None, u)));
             }
@@ -897,7 +947,7 @@ impl Server {
                     }
                     self.metrics.rules_evaluated.inc();
                     let ups = self
-                        .eval_rule_body(&rule.body, stored, &msg_root, None)
+                        .eval_rule_body(&rule.body, meta, &msg_root, None)
                         .map_err(|e| ProcessingError::rule(&rule.name, e))?;
                     updates.extend(ups.into_iter().map(|u| (Some(rule.name.clone()), u)));
                 }
@@ -914,7 +964,7 @@ impl Server {
                 members,
             };
             let ups = self
-                .eval_rule_body(&rule.body, stored, &msg_root, Some(full_ctx))
+                .eval_rule_body(&rule.body, meta, &msg_root, Some(full_ctx))
                 .map_err(|e| ProcessingError::rule(&rule.name, e))?;
             // Bare `do reset` in a slicing rule targets this slice.
             for u in ups {
@@ -942,10 +992,10 @@ impl Server {
                     props,
                 } => {
                     let target_name = target.local.clone();
-                    let (id, q) = self
+                    let nm = self
                         .execute_enqueue(
                             txn,
-                            stored,
+                            meta,
                             rule_name.as_deref(),
                             &target_name,
                             message,
@@ -959,7 +1009,7 @@ impl Server {
                                 detail,
                             },
                         })?;
-                    new_messages.push((id, q));
+                    new_messages.push(nm);
                 }
                 Update::Reset { slicing, key } => {
                     let Some(slicing) = slicing else {
@@ -1000,7 +1050,7 @@ impl Server {
     fn acquire_locks(
         &self,
         txn: TxnId,
-        stored: &StoredMessage,
+        meta: &MessageMeta,
         cq: &crate::app::CompiledQueue,
         slice_rules: &[(SliceCtx, &CompiledRule)],
         slice_keys: &[(String, PropValue)],
@@ -1009,7 +1059,7 @@ impl Server {
         let all_rules = cq.rules.iter().chain(slice_rules.iter().map(|(_, r)| *r));
         match self.store.lock_granularity() {
             LockGranularity::Queue => {
-                plan.push((LockKey::Queue(stored.queue.clone()), LockMode::Exclusive));
+                plan.push((LockKey::Queue(meta.queue.clone()), LockMode::Exclusive));
                 for rule in all_rules {
                     for w in &rule.writes_queues {
                         plan.push((LockKey::Queue(w.clone()), LockMode::Exclusive));
@@ -1020,7 +1070,7 @@ impl Server {
                 }
             }
             LockGranularity::Slice => {
-                plan.push((LockKey::Message(stored.id), LockMode::Exclusive));
+                plan.push((LockKey::Message(meta.id), LockMode::Exclusive));
                 for (s, k) in slice_keys {
                     plan.push((LockKey::Slice(s.clone(), k.clone()), LockMode::Exclusive));
                 }
@@ -1053,23 +1103,25 @@ impl Server {
     fn eval_rule_body(
         &self,
         body: &Expr,
-        stored: &StoredMessage,
+        meta: &MessageMeta,
         msg_root: &NodeRef,
         slice: Option<SliceCtx>,
     ) -> std::result::Result<Vec<Update>, XqError> {
-        // The reader clones the store handle (closures in the host must be
-        // 'static); documents are re-parsed per access, which matches the
-        // snapshot semantics (committed state at evaluation time).
+        // The reader clones the store and cache handles (closures in the
+        // host must be 'static); committed state at evaluation time is read
+        // through the shared document cache, so repeated `qs:queue()` calls
+        // over a stable queue parse each message at most once.
         let queue_reader: crate::host::QueueReader = {
             let handle = DocCacheHandle {
                 store: Arc::clone(&self.store),
+                cache: Arc::clone(&self.doc_cache),
             };
             Arc::new(move |qname: &str| handle.queue_docs(qname))
         };
         let host = QsHost {
             message: msg_root.clone(),
-            properties: stored.props.clone(),
-            queue_name: stored.queue.clone(),
+            properties: meta.props.clone(),
+            queue_name: meta.queue.clone(),
             queue_reader,
             slice,
             collections: Arc::clone(&self.collections),
@@ -1082,38 +1134,50 @@ impl Server {
         Ok(std::mem::take(&mut ev.updates))
     }
 
-    /// Parsed document roots of a slice's current members.
+    /// Parsed document roots of a slice's current members, through the
+    /// materialized-sequence cache. The `(members, version)` pair is read
+    /// atomically from the store under one lock; a version match reuses the
+    /// cached sequence outright, and append-only growth parses only the new
+    /// suffix — the N-arrivals join goes from O(N²) to O(N) parse work.
     fn slice_member_docs(
         &self,
         slicing: &str,
         key: &PropValue,
     ) -> std::result::Result<Sequence, ProcessingError> {
-        let ids = self.store.slice_members(slicing, key);
-        let mut out = Vec::with_capacity(ids.len());
-        for id in ids {
-            let stored = self.store.message(id).map_err(ProcessingError::Store)?;
-            let doc = self
-                .parse_cached(&stored)
-                .map_err(|e| ProcessingError::Rule {
+        let (ids, version) = self.store.slice_members_versioned(slicing, key);
+        let (mut items, from, extended) = match self.slice_seq.lookup(slicing, key, version, &ids)
+        {
+            SeqLookup::Hit(seq) => return Ok(seq),
+            SeqLookup::Extend { seq, from } => (seq.0, from, true),
+            SeqLookup::Miss => (Vec::with_capacity(ids.len()), 0, false),
+        };
+        for id in &ids[from..] {
+            let cached = self.doc_for(*id).map_err(|e| match e {
+                EngineError::Store(s) => ProcessingError::Store(s),
+                other => ProcessingError::Rule {
                     rule: "<slice-access>".into(),
                     error_kind: kind::APPLICATION.into(),
-                    detail: e.to_string(),
-                })?;
-            out.push(Item::Node(doc.root()));
+                    detail: other.to_string(),
+                },
+            })?;
+            items.push(Item::Node(cached.doc.root()));
         }
-        Ok(Sequence(out))
+        let seq = Sequence(items);
+        self.slice_seq
+            .store(slicing, key, version, ids, seq.clone(), extended);
+        Ok(seq)
     }
 
     /// Execute a single `do enqueue` action inside `txn`.
     fn execute_enqueue(
         &self,
         txn: TxnId,
-        trigger: &StoredMessage,
+        trigger: &MessageMeta,
         rule_name: Option<&str>,
         target: &str,
         message: Arc<Document>,
         explicit_props: Vec<(String, Atomic)>,
-    ) -> std::result::Result<(MsgId, String), ExecError> {
+    ) -> std::result::Result<NewMessage, ExecError> {
         let cq = self.app.queues.get(target).ok_or_else(|| ExecError::App {
             kind: kind::APPLICATION.into(),
             detail: format!("enqueue into undeclared queue `{target}`"),
@@ -1161,6 +1225,7 @@ impl Server {
             detail: e.0,
         })?;
         let payload = message.root().to_xml();
+        let payload_len = payload.len();
         let id = self
             .store
             .enqueue(txn, target, payload, props.clone(), now)
@@ -1173,12 +1238,19 @@ impl Server {
                     detail: other.to_string(),
                 },
             })?;
-        self.doc_cache_insert(id, message);
         self.metrics.inc_enqueued(&self.obs, target);
         self.obs
             .tracer
             .event("msg.enqueue", Some(id.0), target, rule_name.unwrap_or(""));
-        Ok((id, target.to_string()))
+        // The parsed document rides along so try_process can cache it once
+        // the transaction commits — caching here would leak documents of
+        // aborted transactions into the cache.
+        Ok(NewMessage {
+            id,
+            queue: target.to_string(),
+            doc: message,
+            payload_len,
+        })
     }
 
     /// Post-commit side effects of a message landing in `queue`: outgoing
@@ -1190,8 +1262,8 @@ impl Server {
         match cq.decl.kind {
             QueueKind::OutgoingGateway => {
                 let stored = self.store.message(msg_id)?;
-                let doc = self.parse_cached(&stored)?;
-                if let Err(e) = self.gateways.send(queue, &stored, &doc.root()) {
+                let doc = self.doc_for(msg_id)?;
+                if let Err(e) = self.gateways.send(queue, &stored, &doc.doc.root()) {
                     let creating_rule = match stored.prop(system::CREATING_RULE) {
                         Some(PropValue::Str(r)) => Some(r.clone()),
                         _ => None,
@@ -1293,6 +1365,8 @@ impl Server {
         msg_id: Option<MsgId>,
         payload: Option<&str>,
     ) -> Result<()> {
+        // Fallback resolution by global name scan, for paths where only the
+        // creating rule's *name* survives (transport failures, timers).
         let rule_ref = rule.and_then(|r| {
             self.app
                 .queues
@@ -1301,6 +1375,25 @@ impl Server {
                 .chain(self.app.slicings.values().flat_map(|s| s.rules.iter()))
                 .find(|cr| cr.name == r)
         });
+        self.route_error_resolved(error_kind, detail, rule, rule_ref, queue, msg_id, payload)
+    }
+
+    /// Like [`Server::route_error`] but with the failing rule already
+    /// resolved by the caller — `try_process` resolves against the rules
+    /// that actually ran for the message, so a duplicate rule name on
+    /// another queue cannot divert the error from its declared
+    /// `errorqueue` (rule > queue > system precedence, Sec. 3.6).
+    #[allow(clippy::too_many_arguments)]
+    fn route_error_resolved(
+        &self,
+        error_kind: &str,
+        detail: &str,
+        rule: Option<&str>,
+        rule_ref: Option<&CompiledRule>,
+        queue: &str,
+        msg_id: Option<MsgId>,
+        payload: Option<&str>,
+    ) -> Result<()> {
         let Some(eq) = self.app.error_queue_for(rule_ref, queue) else {
             self.metrics.errors_routed.inc();
             self.obs
@@ -1351,18 +1444,28 @@ impl Server {
                         Some((msg, queue)) => {
                             self.active_workers.fetch_add(1, Ordering::SeqCst);
                             let r = self.process_message(msg, &queue);
-                            self.active_workers.fetch_sub(1, Ordering::SeqCst);
+                            let remaining =
+                                self.active_workers.fetch_sub(1, Ordering::SeqCst) - 1;
                             if r.is_ok() {
                                 processed.fetch_add(1, Ordering::Relaxed);
+                            }
+                            if remaining == 0 && self.scheduler.is_empty() {
+                                // Likely drained: wake parked peers so they
+                                // observe termination promptly.
+                                self.scheduler.wake_all();
                             }
                         }
                         None => {
                             // Exit only when no one is mid-flight (they may
                             // still enqueue more work).
                             if self.active_workers.load(Ordering::SeqCst) == 0 {
+                                self.scheduler.wake_all();
                                 break;
                             }
-                            std::thread::yield_now();
+                            // Park until a push/requeue signals new work;
+                            // the timeout is a backstop so the termination
+                            // condition above is always re-checked.
+                            self.scheduler.park(std::time::Duration::from_millis(2));
                         }
                     }
                 });
@@ -1391,20 +1494,16 @@ impl Server {
     /// Run the retention GC (paper Sec. 2.3.3) — also invoked by
     /// [`Server::maintenance`].
     pub fn gc(&self) -> Result<usize> {
-        let purged = self.store.gc()?;
-        self.metrics.gc_purged.add(purged as u64);
-        if purged > 0 {
-            // Drop cached documents of purged messages.
-            let mut cache = self.doc_cache.lock();
-            let live: HashSet<MsgId> = self
-                .store
-                .unprocessed()
-                .iter()
-                .map(|(m, _, _)| *m)
-                .collect();
-            cache.retain(|id, _| live.contains(id) || self.store.message(*id).is_ok());
+        let purged = self.store.gc_collect()?;
+        self.metrics.gc_purged.add(purged.len() as u64);
+        if !purged.is_empty() {
+            // Drop the purged documents and any cached member sequences
+            // pinning them (the slice version bump already makes those
+            // entries unreturnable; this releases the memory).
+            self.doc_cache.remove_many(&purged);
+            self.slice_seq.invalidate_msgs(&purged);
         }
-        Ok(purged)
+        Ok(purged.len())
     }
 
     /// Background maintenance: GC + checkpoint ("physical cleanup is
@@ -1421,41 +1520,63 @@ impl Server {
         self.clock.advance(ms);
     }
 
-    fn parse_cached(&self, stored: &StoredMessage) -> Result<Arc<Document>> {
-        if let Some(doc) = self.doc_cache.lock().get(&stored.id) {
-            return Ok(Arc::clone(doc));
+    /// Parsed document of a message, through the sharded cache. A hit
+    /// never touches the store; a miss reads only the payload (no props
+    /// clone) and fills the cache.
+    fn doc_for(&self, id: MsgId) -> Result<Arc<CachedDoc>> {
+        if let Some(hit) = self.doc_cache.get(id) {
+            return Ok(hit);
         }
-        let doc = parse_xml(&stored.payload).map_err(|e| EngineError::Xml(e.to_string()))?;
-        self.doc_cache_insert(stored.id, Arc::clone(&doc));
-        Ok(doc)
-    }
-
-    fn doc_cache_insert(&self, id: MsgId, doc: Arc<Document>) {
-        let mut cache = self.doc_cache.lock();
-        if cache.len() > 8192 {
-            cache.clear();
-        }
-        cache.insert(id, doc);
+        let payload = self.store.payload(id)?;
+        let doc = parse_xml(&payload).map_err(|e| EngineError::Xml(e.to_string()))?;
+        self.doc_cache.note_parse();
+        Ok(self.doc_cache.insert(id, doc, payload.len()))
     }
 }
 
+/// A message created by `do enqueue` inside a processing transaction. Its
+/// parsed document is carried to the post-commit hook, which inserts it
+/// into the document cache only once the transaction is durable.
+struct NewMessage {
+    id: MsgId,
+    queue: String,
+    doc: Arc<Document>,
+    payload_len: usize,
+}
+
 /// Queue-reader helper: owns what the closure needs without borrowing the
-/// server.
+/// server. Payloads resolve through the shared document cache, so
+/// `qs:queue()` over a stable queue parses each message at most once
+/// instead of once per rule firing.
 struct DocCacheHandle {
     store: Arc<MessageStore>,
+    cache: Arc<DocCache>,
 }
 
 impl DocCacheHandle {
     fn queue_docs(&self, qname: &str) -> std::result::Result<Sequence, XqError> {
-        let msgs = self
+        let ids = self
             .store
-            .queue_messages(qname)
+            .queue_message_ids(qname)
             .map_err(|e| XqError::dynamic(format!("qs:queue(\"{qname}\"): {e}")))?;
-        let mut out = Vec::with_capacity(msgs.len());
-        for m in msgs {
-            let doc = parse_xml(&m.payload)
-                .map_err(|e| XqError::dynamic(format!("stored message {}: {e}", m.id)))?;
-            out.push(Item::Node(doc.root()));
+        let mut out = Vec::with_capacity(ids.len());
+        for id in ids {
+            if let Some(hit) = self.cache.get(id) {
+                out.push(Item::Node(hit.doc.root()));
+                continue;
+            }
+            let payload = match self.store.payload(id) {
+                Ok(p) => p,
+                // GC'd between the id scan and this read: the message drops
+                // out, equivalent to having taken the snapshot later.
+                Err(StoreError::NotFound(_)) => continue,
+                Err(e) => return Err(XqError::dynamic(format!("stored message {id}: {e}"))),
+            };
+            let doc = parse_xml(&payload)
+                .map_err(|e| XqError::dynamic(format!("stored message {id}: {e}")))?;
+            self.cache.note_parse();
+            let entry = self.cache.insert(id, doc, payload.len());
+            out.push(Item::Node(entry.doc.root()));
         }
         Ok(Sequence(out))
     }
@@ -1467,17 +1588,6 @@ fn lock_key_order(k: &LockKey) -> (u8, String) {
         LockKey::Slice(s, v) => (1, format!("{s}\u{0}{v}")),
         LockKey::Message(m) => (2, format!("{:020}", m.0)),
     }
-}
-
-/// Names of all elements in a document (trigger pre-filtering).
-fn element_name_set(root: &NodeRef) -> HashSet<String> {
-    let mut out = HashSet::new();
-    for n in root.descendants() {
-        if let Some(q) = n.name() {
-            out.insert(q.local.clone());
-        }
-    }
-    out
 }
 
 /// Internal error classification during processing.

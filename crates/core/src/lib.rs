@@ -36,6 +36,7 @@
 //! XML messages (Sec. 3.6).
 
 pub mod app;
+pub mod cache;
 pub mod compiler;
 pub mod engine;
 pub mod errors;

@@ -7,9 +7,10 @@
 //! queue with a lower priority, even if it has been created more recently."
 
 use demaq_store::MsgId;
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet};
+use std::time::Duration;
 
 /// One schedulable unit.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -45,6 +46,9 @@ impl Ord for WorkItem {
 #[derive(Default)]
 pub struct Scheduler {
     inner: Mutex<SchedState>,
+    /// Signaled on push/requeue so idle workers can park instead of
+    /// busy-spinning (see [`Scheduler::park`]).
+    work_available: Condvar,
 }
 
 struct SchedState {
@@ -86,6 +90,7 @@ impl Scheduler {
                 msg,
                 queue: queue.to_string(),
             });
+            self.work_available.notify_one();
         }
     }
 
@@ -111,7 +116,27 @@ impl Scheduler {
                 msg,
                 queue: queue.to_string(),
             });
+            self.work_available.notify_one();
         }
+    }
+
+    /// Park the calling worker until a push/requeue signals new work or
+    /// `timeout` elapses — the idle path of parallel processing, replacing
+    /// a `yield_now` busy-spin. Returns immediately if work is already
+    /// pending. The timeout is the caller's backstop for re-checking its
+    /// own termination condition (all workers idle, nothing queued).
+    pub fn park(&self, timeout: Duration) {
+        let mut st = self.inner.lock();
+        if !st.heap.is_empty() {
+            return;
+        }
+        self.work_available.wait_for(&mut st, timeout);
+    }
+
+    /// Wake every parked worker (used when processing may have drained, so
+    /// parked workers observe termination without waiting out the timeout).
+    pub fn wake_all(&self) {
+        self.work_available.notify_all();
     }
 
     /// Pending count.
@@ -207,6 +232,41 @@ mod tests {
         s.push(MsgId(3), "q", 0);
         let order: Vec<u64> = std::iter::from_fn(|| s.pop().map(|(m, _)| m.0)).collect();
         assert_eq!(order, [2, 1, 3]);
+    }
+
+    #[test]
+    fn park_wakes_on_push() {
+        use std::sync::Arc;
+        use std::time::Instant;
+        let s = Arc::new(Scheduler::new());
+        let s2 = Arc::clone(&s);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            s2.push(MsgId(1), "q", 0);
+        });
+        let started = Instant::now();
+        // Generous timeout: the push must wake us long before it.
+        s.park(Duration::from_secs(10));
+        assert!(started.elapsed() < Duration::from_secs(5));
+        t.join().unwrap();
+        assert_eq!(s.pop().unwrap().0, MsgId(1));
+    }
+
+    #[test]
+    fn park_returns_immediately_when_work_pending() {
+        let s = Scheduler::new();
+        s.push(MsgId(1), "q", 0);
+        let started = std::time::Instant::now();
+        s.park(Duration::from_secs(10));
+        assert!(started.elapsed() < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn park_times_out_without_work() {
+        let s = Scheduler::new();
+        let started = std::time::Instant::now();
+        s.park(Duration::from_millis(10));
+        assert!(started.elapsed() >= Duration::from_millis(5));
     }
 
     #[test]

@@ -211,8 +211,15 @@ impl Snapshot {
                     let e = get_u64(body, &mut at)?;
                     members.push((m, e));
                 }
-                snap.slices
-                    .push((slicing, key, SliceState { epoch, members }));
+                snap.slices.push((
+                    slicing,
+                    key,
+                    SliceState {
+                        epoch,
+                        members,
+                        version: 0,
+                    },
+                ));
             }
             (at == body.len()).then_some(())
         })()
@@ -281,6 +288,7 @@ mod tests {
                 SliceState {
                     epoch: 2,
                     members: vec![(MsgId(7), 2), (MsgId(5), 1)],
+                    version: 0,
                 },
             )],
         }

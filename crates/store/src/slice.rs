@@ -23,6 +23,13 @@ pub struct SliceState {
     /// Members with the epoch they were added under (ascending MsgId =
     /// arrival order).
     pub members: Vec<(MsgId, u64)>,
+    /// Version counter for cache validation: set to a fresh value from the
+    /// index-wide monotonic clock on every mutation (member add, reset,
+    /// GC purge). Process-local — deliberately *not* checkpointed: caches
+    /// keyed by it are process-local too and start empty after recovery.
+    /// Values are drawn from one strictly increasing clock, so a version
+    /// can never recur for a slice (not even across remove/recreate).
+    pub version: u64,
 }
 
 impl SliceState {
@@ -44,6 +51,9 @@ pub struct SliceIndex {
     slices: BTreeMap<(String, PropValue), SliceState>,
     /// Reverse index for retention checks: message -> memberships.
     by_msg: HashMap<MsgId, Vec<(String, PropValue)>>,
+    /// Monotonic clock feeding [`SliceState::version`]; never reused
+    /// within a process lifetime.
+    version_clock: u64,
 }
 
 impl SliceIndex {
@@ -53,6 +63,8 @@ impl SliceIndex {
 
     /// Add `msg` to the slice `(slicing, key)` under its current epoch.
     pub fn add(&mut self, slicing: &str, key: &PropValue, msg: MsgId) {
+        self.version_clock += 1;
+        let version = self.version_clock;
         let state = self
             .slices
             .entry((slicing.to_string(), key.clone()))
@@ -62,6 +74,7 @@ impl SliceIndex {
             return; // idempotent (log replay)
         }
         state.members.push((msg, epoch));
+        state.version = version;
         self.by_msg
             .entry(msg)
             .or_default()
@@ -70,24 +83,42 @@ impl SliceIndex {
 
     /// Begin a new lifetime for the slice. Returns the new epoch.
     pub fn reset(&mut self, slicing: &str, key: &PropValue) -> u64 {
+        self.version_clock += 1;
+        let version = self.version_clock;
         let state = self
             .slices
             .entry((slicing.to_string(), key.clone()))
             .or_default();
         state.epoch += 1;
+        state.version = version;
         state.epoch
     }
 
     /// Messages visible in the slice's current lifetime, in arrival order.
     pub fn members(&self, slicing: &str, key: &PropValue) -> Vec<MsgId> {
+        self.members_versioned(slicing, key).0
+    }
+
+    /// Current members plus the slice's version counter, read together —
+    /// the consistent `(membership, version)` pair cache entries are keyed
+    /// by. A missing slice reports version 0, which the clock never emits.
+    pub fn members_versioned(&self, slicing: &str, key: &PropValue) -> (Vec<MsgId>, u64) {
         match self.slices.get(&(slicing.to_string(), key.clone())) {
             Some(s) => {
                 let mut v: Vec<MsgId> = s.current_members().collect();
                 v.sort();
-                v
+                (v, s.version)
             }
-            None => Vec::new(),
+            None => (Vec::new(), 0),
         }
+    }
+
+    /// The slice's current version counter (0 when the slice is unknown).
+    pub fn version(&self, slicing: &str, key: &PropValue) -> u64 {
+        self.slices
+            .get(&(slicing.to_string(), key.clone()))
+            .map(|s| s.version)
+            .unwrap_or(0)
     }
 
     /// All keys of one slicing that currently have visible members.
@@ -128,7 +159,13 @@ impl SliceIndex {
         if let Some(memberships) = self.by_msg.remove(&msg) {
             for (s, k) in memberships {
                 if let Some(state) = self.slices.get_mut(&(s, k)) {
+                    let before = state.members.len();
                     state.members.retain(|(m, _)| *m != msg);
+                    if state.members.len() != before {
+                        // GC purge invalidates cached member sequences.
+                        self.version_clock += 1;
+                        state.version = self.version_clock;
+                    }
                 }
             }
         }
@@ -258,5 +295,70 @@ mod tests {
         idx.add("s", &k("a"), MsgId(1));
         idx.add("s", &k("a"), MsgId(1));
         assert_eq!(idx.members("s", &k("a")).len(), 1);
+    }
+
+    #[test]
+    fn version_bumps_on_add_reset_forget() {
+        let mut idx = SliceIndex::new();
+        assert_eq!(idx.version("s", &k("a")), 0, "unknown slice is version 0");
+        idx.add("s", &k("a"), MsgId(1));
+        let v1 = idx.version("s", &k("a"));
+        assert_ne!(v1, 0, "clock never emits 0");
+        idx.add("s", &k("a"), MsgId(2));
+        let v2 = idx.version("s", &k("a"));
+        assert!(v2 > v1, "member add bumps");
+        idx.reset("s", &k("a"));
+        let v3 = idx.version("s", &k("a"));
+        assert!(v3 > v2, "reset bumps");
+        idx.add("s", &k("a"), MsgId(3));
+        let v4 = idx.version("s", &k("a"));
+        idx.forget(MsgId(3));
+        assert!(idx.version("s", &k("a")) > v4, "GC purge bumps");
+    }
+
+    #[test]
+    fn idempotent_re_add_keeps_version() {
+        let mut idx = SliceIndex::new();
+        idx.add("s", &k("a"), MsgId(1));
+        let v = idx.version("s", &k("a"));
+        idx.add("s", &k("a"), MsgId(1)); // replay duplicate
+        assert_eq!(idx.version("s", &k("a")), v, "no-op add keeps version");
+    }
+
+    #[test]
+    fn forget_of_nonmember_keeps_version() {
+        let mut idx = SliceIndex::new();
+        idx.add("s", &k("a"), MsgId(1));
+        let v = idx.version("s", &k("a"));
+        idx.forget(MsgId(99));
+        assert_eq!(idx.version("s", &k("a")), v);
+    }
+
+    #[test]
+    fn version_never_recurs_across_recreate() {
+        let mut idx = SliceIndex::new();
+        idx.add("s", &k("a"), MsgId(1));
+        let v1 = idx.version("s", &k("a"));
+        // Purge the only member: the epoch-0 empty slice entry is dropped.
+        idx.forget(MsgId(1));
+        assert_eq!(idx.version("s", &k("a")), 0, "slice entry gone");
+        // Recreate the same (slicing, key): version must be fresh, not v1.
+        idx.add("s", &k("a"), MsgId(2));
+        assert!(idx.version("s", &k("a")) > v1);
+    }
+
+    #[test]
+    fn members_versioned_is_consistent_pair() {
+        let mut idx = SliceIndex::new();
+        idx.add("s", &k("a"), MsgId(5));
+        idx.add("s", &k("a"), MsgId(2));
+        let (members, v) = idx.members_versioned("s", &k("a"));
+        assert_eq!(members, vec![MsgId(2), MsgId(5)]);
+        assert_eq!(v, idx.version("s", &k("a")));
+        assert_eq!(
+            idx.members_versioned("s", &k("zz")),
+            (Vec::new(), 0),
+            "unknown slice"
+        );
     }
 }

@@ -580,6 +580,50 @@ impl MessageStore {
         self.load(&state, id)
     }
 
+    /// Read one message's metadata without materializing the payload —
+    /// the hot-path accessor for document-cache hits (no heap read, no
+    /// payload clone).
+    pub fn message_meta(&self, id: MsgId) -> Result<crate::types::MessageMeta> {
+        let state = self.state.read();
+        let meta = state
+            .messages
+            .get(&id)
+            .ok_or_else(|| StoreError::NotFound(format!("message {id}")))?;
+        Ok(crate::types::MessageMeta {
+            id,
+            queue: meta.0.queue.clone(),
+            props: meta.0.props.clone(),
+            processed: meta.0.processed,
+            enqueued_at: meta.0.enqueued_at,
+        })
+    }
+
+    /// Read one message's payload only (document-cache miss path).
+    pub fn payload(&self, id: MsgId) -> Result<String> {
+        let state = self.state.read();
+        let meta = state
+            .messages
+            .get(&id)
+            .ok_or_else(|| StoreError::NotFound(format!("message {id}")))?;
+        match &meta.0.payload {
+            Payload::Mem(s) => Ok(s.clone()),
+            Payload::Heap(rid) => String::from_utf8(self.heap.read(*rid)?)
+                .map_err(|_| StoreError::Corrupt(format!("message {id} payload is not UTF-8"))),
+        }
+    }
+
+    /// Ids of all retained messages of a queue in arrival order — lets
+    /// callers resolve payloads through a cache instead of cloning all of
+    /// them eagerly.
+    pub fn queue_message_ids(&self, queue: &str) -> Result<Vec<MsgId>> {
+        let state = self.state.read();
+        let q = state
+            .queues
+            .get(queue)
+            .ok_or_else(|| StoreError::NotFound(format!("queue `{queue}`")))?;
+        Ok(q.messages.clone())
+    }
+
     /// All retained messages of a queue in arrival order.
     pub fn queue_messages(&self, queue: &str) -> Result<Vec<StoredMessage>> {
         let state = self.state.read();
@@ -616,6 +660,19 @@ impl MessageStore {
         self.state.read().slices.members(slicing, key)
     }
 
+    /// Visible members of one slice together with its version counter,
+    /// read atomically under one state lock — the consistent pair the
+    /// engine's slice-sequence cache validates against. The version is
+    /// bumped inside commit (member add, reset) and by GC purges.
+    pub fn slice_members_versioned(&self, slicing: &str, key: &PropValue) -> (Vec<MsgId>, u64) {
+        self.state.read().slices.members_versioned(slicing, key)
+    }
+
+    /// The slice's current version counter (0 for an unknown slice).
+    pub fn slice_version(&self, slicing: &str, key: &PropValue) -> u64 {
+        self.state.read().slices.version(slicing, key)
+    }
+
     /// Keys of a slicing with visible members.
     pub fn slice_keys(&self, slicing: &str) -> Vec<PropValue> {
         self.state.read().slices.keys(slicing)
@@ -637,6 +694,13 @@ impl MessageStore {
     /// (paper Sec. 2.3.3). Deletions are *not* WAL-logged (Sec. 4.1) — after
     /// a crash the same decision is recomputed. Returns purge count.
     pub fn gc(&self) -> Result<usize> {
+        self.gc_collect().map(|v| v.len())
+    }
+
+    /// Like [`gc`](Self::gc) but returns the purged message ids so callers
+    /// can invalidate caches keyed by them (e.g. the engine's document
+    /// cache).
+    pub fn gc_collect(&self) -> Result<Vec<MsgId>> {
         let mut state = self.state.write();
         let victims: Vec<MsgId> = state
             .messages
@@ -658,7 +722,7 @@ impl MessageStore {
         }
         self.metrics.gc_runs.inc();
         self.metrics.gc_purged.add(victims.len() as u64);
-        Ok(victims.len())
+        Ok(victims)
     }
 
     /// Force the WAL to disk (the batch boundary under
@@ -736,6 +800,7 @@ impl MessageStore {
                 crate::slice::SliceState {
                     epoch: sstate.epoch,
                     members,
+                    version: 0,
                 },
             ));
         }

@@ -176,6 +176,29 @@ impl StoredMessage {
     }
 }
 
+/// A message's metadata without its payload — what rule evaluation needs
+/// when the parsed document is already cached. Reading this never touches
+/// the heap file and never clones the payload string.
+#[derive(Debug, Clone)]
+pub struct MessageMeta {
+    pub id: MsgId,
+    /// Name of the containing queue.
+    pub queue: String,
+    /// Property values attached at creation.
+    pub props: Vec<(String, PropValue)>,
+    /// Has the rule engine finished processing this message?
+    pub processed: bool,
+    /// Creation timestamp (engine virtual clock, epoch ms).
+    pub enqueued_at: i64,
+}
+
+impl MessageMeta {
+    /// Look up a property by name.
+    pub fn prop(&self, name: &str) -> Option<&PropValue> {
+        self.props.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -23,6 +23,22 @@ DEMAQ_E9_SMOKE=1 cargo bench --offline -p demaq-bench --bench e9_group_commit
 mkdir -p target/metrics
 cp -f crates/bench/target/metrics/e9_group_commit.prom target/metrics/ 2>/dev/null || true
 
+echo "== bench smoke: E10 document/slice-sequence cache =="
+# Asserts linear parse shape and live hit traffic internally; the gate
+# below re-checks the exposition so a silently-disabled cache fails CI.
+DEMAQ_E10_SMOKE=1 cargo bench --offline -p demaq-bench --bench e10_doc_cache
+cp -f crates/bench/target/metrics/e10_doc_cache.prom \
+      crates/bench/target/metrics/e10_doc_cache_uncached.prom target/metrics/ 2>/dev/null || true
+# The slice-sequence cache serves an append-only slice via the
+# incremental-extend path, so count appends alongside same-version hits.
+awk '$1 == "demaq_core_doc_cache_hits_total" { hits = $2 }
+     $1 == "demaq_core_slice_seq_hits_total" { seq += $2 }
+     $1 == "demaq_core_slice_seq_appends_total" { seq += $2 }
+     END { if (hits + 0 <= 0 || seq + 0 <= 0) {
+               print "e10: cache hit counters are zero (doc=" hits ", seq=" seq ")"; exit 1 }
+           print "e10: doc_cache_hits=" hits " slice_seq_hits+appends=" seq }' \
+    target/metrics/e10_doc_cache.prom
+
 echo "== clippy =="
 # --no-deps keeps the vendored shims out of the lint gate; warnings in
 # first-party crates are errors.
