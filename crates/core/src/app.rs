@@ -10,7 +10,9 @@ use crate::compiler::{self, CompiledRule};
 use demaq_net::WsdlInterface;
 use demaq_qdl::{AppSpec, PropKind, PropertyDecl, QueueDecl, QueueKind, SlicingDecl};
 use demaq_xml::schema::Schema;
+use demaq_xquery::{Expr, Plan};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A queue with its compiled artifacts.
 pub struct CompiledQueue {
@@ -21,6 +23,12 @@ pub struct CompiledQueue {
     pub interface: Option<WsdlInterface>,
     /// Rules attached directly to this queue, in program order.
     pub rules: Vec<CompiledRule>,
+    /// The per-queue canonical plan (all rule bodies concatenated, paper
+    /// Sec. 4.4.1), precomputed at deploy time; `None` when the queue's
+    /// rules cannot be merged (error-queue routing) or there are none.
+    pub merged: Option<Arc<Expr>>,
+    /// `merged` lowered to an execution plan.
+    pub merged_plan: Option<Arc<Plan>>,
 }
 
 /// A slicing with its rules.
@@ -102,6 +110,8 @@ impl CompiledApp {
                     schema,
                     interface,
                     rules: Vec::new(),
+                    merged: None,
+                    merged_plan: None,
                 },
             );
         }
@@ -145,6 +155,15 @@ impl CompiledApp {
                     .expect("validated")
                     .rules
                     .push(compiled);
+            }
+        }
+
+        // Precompute each queue's canonical merged plan once at deploy
+        // time — the engine used to re-merge on every message.
+        for q in queues.values_mut() {
+            if let Some(merged) = compiler::merge_rules(&q.rules) {
+                q.merged_plan = Some(Arc::new(demaq_xquery::lower(&merged)));
+                q.merged = Some(Arc::new(merged));
             }
         }
 

@@ -33,7 +33,7 @@
 
 use demaq_obs::{Counter, Gauge, Obs};
 use demaq_store::{MsgId, PropValue};
-use demaq_xml::Document;
+use demaq_xml::{Document, Sym};
 use demaq_xquery::Sequence;
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
@@ -45,6 +45,7 @@ use std::sync::{Arc, OnceLock};
 pub struct CachedDoc {
     pub doc: Arc<Document>,
     names: OnceLock<HashSet<String>>,
+    syms: OnceLock<HashSet<Sym>>,
 }
 
 impl CachedDoc {
@@ -52,6 +53,7 @@ impl CachedDoc {
         CachedDoc {
             doc,
             names: OnceLock::new(),
+            syms: OnceLock::new(),
         }
     }
 
@@ -66,6 +68,23 @@ impl CachedDoc {
                 }
             }
             out
+        })
+    }
+
+    /// Interned symbols of all element names in the document — the
+    /// sym-based counterpart of [`CachedDoc::element_names`], checked
+    /// against [`crate::compiler::CompiledRule::trigger_syms`] with u32
+    /// set probes instead of string hashing. Reads the symbols the tree
+    /// interned at freeze time; no extra interning happens here.
+    pub fn element_syms(&self) -> &HashSet<Sym> {
+        self.syms.get_or_init(|| {
+            self.doc
+                .root()
+                .descendants()
+                .into_iter()
+                .filter(|n| n.is_element())
+                .filter_map(|n| n.name_sym())
+                .collect()
         })
     }
 }

@@ -26,9 +26,11 @@
 //! rule-at-a-time evaluation).
 
 use demaq_qdl::{AppSpec, PropKind, RuleDecl};
+use demaq_xml::sym::{self, Sym};
 use demaq_xml::QName;
 use demaq_xquery::ast::{Axis, NodeTest};
-use demaq_xquery::{Error as XqError, Expr};
+use demaq_xquery::{lower, Error as XqError, Expr, Plan};
+use std::sync::Arc;
 
 /// A compiled, rewritten rule.
 #[derive(Debug, Clone)]
@@ -40,6 +42,10 @@ pub struct CompiledRule {
     pub error_queue: Option<String>,
     /// Rewritten body.
     pub body: Expr,
+    /// The body lowered to a pre-resolved execution plan (interned name
+    /// tests, slot-indexed variables, folded constants); the engine
+    /// evaluates this unless lowered plans are disabled.
+    pub plan: Arc<Plan>,
     /// Queues read via `qs:queue("…")` (lock read-set).
     pub reads_queues: Vec<String>,
     /// Queues written via `do enqueue … into …` (lock write-set).
@@ -47,6 +53,9 @@ pub struct CompiledRule {
     /// Root-element names the trigger condition requires (`//name` or
     /// `/name` in the `if` condition); `None` = cannot pre-filter.
     pub trigger_elements: Option<Vec<String>>,
+    /// Interned counterparts of `trigger_elements`, compared against the
+    /// document cache's element-symbol sets.
+    pub trigger_syms: Option<Vec<Sym>>,
 }
 
 /// Compile one rule in the context of its application.
@@ -85,6 +94,10 @@ pub fn compile_rule(
     writes.dedup();
 
     let trigger_elements = extract_trigger_elements(&body);
+    let trigger_syms = trigger_elements
+        .as_ref()
+        .map(|names| names.iter().map(|n| sym::intern(n)).collect());
+    let plan = Arc::new(lower(&body));
 
     Ok(CompiledRule {
         name: rule.name.clone(),
@@ -92,9 +105,11 @@ pub fn compile_rule(
         on_slicing,
         error_queue: rule.error_queue.clone(),
         body,
+        plan,
         reads_queues: reads,
         writes_queues: writes,
         trigger_elements,
+        trigger_syms,
     })
 }
 

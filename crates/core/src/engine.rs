@@ -10,7 +10,7 @@
 
 use crate::app::CompiledApp;
 use crate::cache::{CachedDoc, DocCache, SeqLookup, SliceSeqCache};
-use crate::compiler::{merge_rules, CompiledRule};
+use crate::compiler::CompiledRule;
 use crate::errors::{error_message, kind};
 use crate::gateway::GatewayManager;
 use crate::host::{atomic_to_prop, prop_to_atomic, QsHost, SliceCtx};
@@ -26,8 +26,8 @@ use demaq_store::{
 };
 use demaq_xml::{parse as parse_xml, Document, NodeRef};
 use demaq_xquery::{
-    Atomic, DynamicContext, Error as XqError, Evaluator, Expr, Item, Sequence, StaticContext,
-    Update,
+    Atomic, DynamicContext, Error as XqError, Evaluator, Expr, Item, Plan, PlanEvaluator,
+    Sequence, StaticContext, Update,
 };
 use std::collections::{HashMap, HashSet};
 use std::fmt;
@@ -96,6 +96,13 @@ pub struct ServerStats {
     pub deadlock_retries: u64,
     pub timers_fired: u64,
     pub gc_purged: u64,
+    /// Rule bodies lowered to pre-resolved plans (process-wide).
+    pub plans_lowered: u64,
+    /// Existence tests that stopped at the first matching node
+    /// (process-wide).
+    pub ebv_short_circuits: u64,
+    /// Distinct names in the global symbol table (process-wide).
+    pub interned_symbols: u64,
 }
 
 /// Registry handles for the hot engine counters, resolved once at build so
@@ -204,6 +211,7 @@ pub struct ServerBuilder {
     doc_cache_shards: usize,
     doc_cache_budget: usize,
     slice_seq_cache: bool,
+    lowered_plans: bool,
 }
 
 impl Default for ServerBuilder {
@@ -228,6 +236,7 @@ impl Default for ServerBuilder {
             doc_cache_shards: 16,
             doc_cache_budget: 64 << 20,
             slice_seq_cache: true,
+            lowered_plans: true,
         }
     }
 }
@@ -358,6 +367,15 @@ impl ServerBuilder {
         self
     }
 
+    /// Evaluate rule bodies through the lowered execution plans (interned
+    /// name tests, slot-resolved variables, folded constants, streaming
+    /// existence tests) instead of the reference AST interpreter. Defaults
+    /// to enabled; disable for the benchmark E11 baseline.
+    pub fn lowered_plans(mut self, enabled: bool) -> Self {
+        self.lowered_plans = enabled;
+        self
+    }
+
     /// Compile the application and open the store.
     pub fn build(self) -> Result<Server> {
         let spec = match (self.spec, self.program) {
@@ -433,6 +451,7 @@ impl ServerBuilder {
             scheduler: Scheduler::new(),
             collections: Arc::new(self.collections),
             plan_mode: self.plan_mode,
+            lowered_plans: self.lowered_plans,
             metrics,
             doc_cache: Arc::new(DocCache::new(
                 self.doc_cache_shards,
@@ -464,6 +483,8 @@ pub struct Server {
     scheduler: Scheduler,
     collections: Arc<HashMap<String, Vec<Arc<Document>>>>,
     plan_mode: PlanMode,
+    /// Evaluate rule bodies through lowered plans (see [`demaq_xquery::plan`]).
+    lowered_plans: bool,
     obs: Arc<Obs>,
     metrics: EngineMetrics,
     /// Sharded LRU over parsed message documents, shared with the
@@ -504,6 +525,7 @@ impl Server {
     /// Statistics snapshot — a thin view over the metric registry
     /// (per-queue counters summed across their labels).
     pub fn stats(&self) -> ServerStats {
+        self.sync_xquery_metrics();
         let r = &self.obs.registry;
         ServerStats {
             processed: r.counter_total("demaq_engine_processed_total"),
@@ -514,6 +536,9 @@ impl Server {
             deadlock_retries: self.metrics.deadlock_retries.get(),
             timers_fired: self.metrics.timers_fired.get(),
             gc_purged: self.metrics.gc_purged.get(),
+            plans_lowered: demaq_xquery::plan::plans_lowered_total(),
+            ebv_short_circuits: demaq_xquery::plan::ebv_short_circuits_total(),
+            interned_symbols: demaq_xml::sym::interned_count(),
         }
     }
 
@@ -524,7 +549,34 @@ impl Server {
 
     /// All registered metrics in Prometheus text exposition format.
     pub fn metrics_text(&self) -> String {
+        self.sync_xquery_metrics();
         self.obs.registry.render_text()
+    }
+
+    /// Mirror the process-global lowered-plan counters into this server's
+    /// registry so they appear in the text exposition. Counters only move
+    /// forward, so the delta-add converges even when several servers share
+    /// one registry.
+    fn sync_xquery_metrics(&self) {
+        let r = &self.obs.registry;
+        for (name, global) in [
+            (
+                "demaq_xquery_plans_lowered_total",
+                demaq_xquery::plan::plans_lowered_total(),
+            ),
+            (
+                "demaq_xquery_ebv_short_circuits_total",
+                demaq_xquery::plan::ebv_short_circuits_total(),
+            ),
+        ] {
+            let c = r.counter(name);
+            let seen = c.get();
+            if global > seen {
+                c.add(global - seen);
+            }
+        }
+        r.gauge("demaq_xquery_interned_symbols")
+            .set(demaq_xml::sym::interned_count() as i64);
     }
 
     /// The most recent `n` trace events, oldest first.
@@ -920,35 +972,48 @@ impl Server {
 
         // ---- rule evaluation (snapshot) ------------------------------------
         let msg_root = cached.doc.root();
-        let element_names = cached.element_names();
         let mut updates: Vec<(Option<String>, Update)> = Vec::new(); // (rule name, update)
 
-        // Queue rules: merged plan or rule-at-a-time.
-        let merged = if self.plan_mode == PlanMode::Merged {
-            merge_rules(&cq.rules)
-        } else {
-            None
-        };
-        match merged {
-            Some(plan) => {
+        // Queue rules: the precomputed per-queue canonical plan (paper
+        // Sec. 4.4.1, lowered at deploy time) or rule-at-a-time.
+        match (self.plan_mode, &cq.merged) {
+            (PlanMode::Merged, Some(merged)) => {
                 self.metrics.rules_evaluated.add(cq.rules.len() as u64);
-                let ups = self
-                    .eval_rule_body(&plan, meta, &msg_root, None)
-                    .map_err(|e| ProcessingError::rule("<merged-plan>", e))?;
+                let ups = if self.lowered_plans {
+                    let plan = cq.merged_plan.as_ref().expect("lowered with merged");
+                    self.eval_rule_plan(plan, meta, &msg_root, None)
+                } else {
+                    self.eval_rule_body(merged, meta, &msg_root, None)
+                }
+                .map_err(|e| ProcessingError::rule("<merged-plan>", e))?;
                 updates.extend(ups.into_iter().map(|u| (None, u)));
             }
-            None => {
+            _ => {
                 for rule in &cq.rules {
-                    if let Some(trigger) = &rule.trigger_elements {
-                        if !trigger.iter().any(|t| element_names.contains(t.as_str())) {
-                            self.metrics.rules_skipped.inc();
-                            continue;
-                        }
+                    // Trigger pre-filter: with lowered plans the test is a
+                    // symbol-set probe (integer hashing, no strings).
+                    let triggered = if self.lowered_plans {
+                        rule.trigger_syms.as_ref().is_none_or(|syms| {
+                            let doc_syms = cached.element_syms();
+                            syms.iter().any(|s| doc_syms.contains(s))
+                        })
+                    } else {
+                        rule.trigger_elements.as_ref().is_none_or(|trigger| {
+                            let names = cached.element_names();
+                            trigger.iter().any(|t| names.contains(t.as_str()))
+                        })
+                    };
+                    if !triggered {
+                        self.metrics.rules_skipped.inc();
+                        continue;
                     }
                     self.metrics.rules_evaluated.inc();
-                    let ups = self
-                        .eval_rule_body(&rule.body, meta, &msg_root, None)
-                        .map_err(|e| ProcessingError::rule(&rule.name, e))?;
+                    let ups = if self.lowered_plans {
+                        self.eval_rule_plan(&rule.plan, meta, &msg_root, None)
+                    } else {
+                        self.eval_rule_body(&rule.body, meta, &msg_root, None)
+                    }
+                    .map_err(|e| ProcessingError::rule(&rule.name, e))?;
                     updates.extend(ups.into_iter().map(|u| (Some(rule.name.clone()), u)));
                 }
             }
@@ -963,9 +1028,12 @@ impl Server {
                 key: ctx.key.clone(),
                 members,
             };
-            let ups = self
-                .eval_rule_body(&rule.body, meta, &msg_root, Some(full_ctx))
-                .map_err(|e| ProcessingError::rule(&rule.name, e))?;
+            let ups = if self.lowered_plans {
+                self.eval_rule_plan(&rule.plan, meta, &msg_root, Some(full_ctx))
+            } else {
+                self.eval_rule_body(&rule.body, meta, &msg_root, Some(full_ctx))
+            }
+            .map_err(|e| ProcessingError::rule(&rule.name, e))?;
             // Bare `do reset` in a slicing rule targets this slice.
             for u in ups {
                 let u = match u {
@@ -1099,14 +1167,13 @@ impl Server {
         Ok(())
     }
 
-    /// Evaluate one rule body, returning its pending updates.
-    fn eval_rule_body(
+    /// Dynamic context for one rule evaluation over `msg_root`.
+    fn rule_dctx(
         &self,
-        body: &Expr,
         meta: &MessageMeta,
         msg_root: &NodeRef,
         slice: Option<SliceCtx>,
-    ) -> std::result::Result<Vec<Update>, XqError> {
+    ) -> DynamicContext {
         // The reader clones the store and cache handles (closures in the
         // host must be 'static); committed state at evaluation time is read
         // through the shared document cache, so repeated `qs:queue()` calls
@@ -1127,10 +1194,36 @@ impl Server {
             collections: Arc::clone(&self.collections),
             now_ms: self.clock.now(),
         };
+        DynamicContext::new(Arc::new(host))
+    }
+
+    /// Evaluate one rule body (reference AST interpreter), returning its
+    /// pending updates.
+    fn eval_rule_body(
+        &self,
+        body: &Expr,
+        meta: &MessageMeta,
+        msg_root: &NodeRef,
+        slice: Option<SliceCtx>,
+    ) -> std::result::Result<Vec<Update>, XqError> {
+        let dctx = self.rule_dctx(meta, msg_root, slice);
         let sctx = StaticContext::default();
-        let dctx = DynamicContext::new(Arc::new(host));
         let mut ev = Evaluator::new(&sctx, &dctx);
         ev.eval_with_context(body, msg_root.clone())?;
+        Ok(std::mem::take(&mut ev.updates))
+    }
+
+    /// Evaluate one lowered rule plan, returning its pending updates.
+    fn eval_rule_plan(
+        &self,
+        plan: &Plan,
+        meta: &MessageMeta,
+        msg_root: &NodeRef,
+        slice: Option<SliceCtx>,
+    ) -> std::result::Result<Vec<Update>, XqError> {
+        let dctx = self.rule_dctx(meta, msg_root, slice);
+        let mut ev = PlanEvaluator::new(&dctx);
+        ev.eval_with_context(plan, msg_root.clone())?;
         Ok(std::mem::take(&mut ev.updates))
     }
 

@@ -82,8 +82,13 @@ fn crash_child_body() {
                         .unwrap();
                     store.slice_add(txn, SLICING, slice_key(), msg).unwrap();
                     store.commit(txn).unwrap();
+                    // One write syscall per line: `writeln!` issues one
+                    // write per format fragment, and a SIGKILL between
+                    // them leaves a torn line the parent would misread
+                    // as a corrupted ack.
+                    let line = format!("{} {payload}\n", msg.0);
                     let mut f = acks.lock().unwrap();
-                    writeln!(f, "{} {payload}", msg.0).unwrap();
+                    f.write_all(line.as_bytes()).unwrap();
                     f.flush().unwrap();
                 }
             });
@@ -146,9 +151,15 @@ fn run_round(dir: &Path, kill_after: Duration, crash_after_bytes: Option<u64>) -
     }
     let _ = child.wait();
 
-    // What did the child acknowledge before dying?
-    let acked: Vec<(MsgId, String)> = std::fs::read_to_string(dir.join(ACK_FILE))
-        .unwrap_or_default()
+    // What did the child acknowledge before dying? A kill can still in
+    // principle tear the final line mid-write; an unterminated tail is
+    // an un-acked commit, not a corrupted one, so drop it.
+    let ack_text = std::fs::read_to_string(dir.join(ACK_FILE)).unwrap_or_default();
+    let complete = match ack_text.rfind('\n') {
+        Some(end) => &ack_text[..end],
+        None => "",
+    };
+    let acked: Vec<(MsgId, String)> = complete
         .lines()
         .filter_map(|l| {
             let (id, payload) = l.split_once(' ')?;

@@ -18,12 +18,14 @@ pub mod parser;
 pub mod qname;
 pub mod schema;
 pub mod serializer;
+pub mod sym;
 pub mod tree;
 
 pub use builder::DocBuilder;
 pub use parser::{parse, parse_fragment, ParseError};
 pub use qname::QName;
 pub use serializer::{serialize, serialize_pretty};
+pub use sym::Sym;
 pub use tree::{Document, NodeId, NodeKind, NodeRef};
 
 /// Result alias for XML parsing.

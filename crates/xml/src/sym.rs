@@ -1,0 +1,90 @@
+//! Global name interning.
+//!
+//! Element, attribute, and variable names repeat endlessly across messages
+//! and queries, yet the evaluator used to compare them as strings on every
+//! name test. The interner maps each distinct name to a dense [`Sym`] id
+//! once, so the hot path compares two `u32`s instead (the classic trick of
+//! mature XQuery processors — BaseX and Saxon both intern QNames into a
+//! global name pool).
+//!
+//! The table is process-global and append-only: symbols are never freed.
+//! That is safe because the name universe of a deployed Demaq application
+//! is finite (schema element names, rule-body name tests, variable names);
+//! message *content* is never interned, only names. Reads take a shared
+//! lock and one hash probe; the write path runs once per distinct name for
+//! the process lifetime.
+
+use std::collections::HashMap;
+use std::sync::{OnceLock, RwLock};
+
+/// An interned name: integer equality ⇔ string equality of the name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Sym(pub u32);
+
+struct Interner {
+    map: HashMap<Box<str>, u32>,
+    names: Vec<Box<str>>,
+}
+
+static TABLE: OnceLock<RwLock<Interner>> = OnceLock::new();
+
+fn table() -> &'static RwLock<Interner> {
+    TABLE.get_or_init(|| {
+        RwLock::new(Interner {
+            map: HashMap::new(),
+            names: Vec::new(),
+        })
+    })
+}
+
+/// Intern a name, returning its stable symbol.
+pub fn intern(name: &str) -> Sym {
+    if let Some(&id) = table().read().expect("interner lock").map.get(name) {
+        return Sym(id);
+    }
+    let mut t = table().write().expect("interner lock");
+    if let Some(&id) = t.map.get(name) {
+        return Sym(id); // raced with another writer
+    }
+    let id = u32::try_from(t.names.len()).expect("interner capacity");
+    let boxed: Box<str> = name.into();
+    t.names.push(boxed.clone());
+    t.map.insert(boxed, id);
+    Sym(id)
+}
+
+/// The string a symbol was interned from.
+pub fn resolve(sym: Sym) -> String {
+    table().read().expect("interner lock").names[sym.0 as usize].to_string()
+}
+
+/// Number of distinct names interned so far (exposed as the
+/// `demaq_xquery_interned_symbols` gauge).
+pub fn interned_count() -> u64 {
+    table().read().expect("interner lock").names.len() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent_and_resolvable() {
+        let a = intern("offerRequest");
+        let b = intern("offerRequest");
+        assert_eq!(a, b);
+        assert_eq!(resolve(a), "offerRequest");
+        let c = intern("customerID");
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn count_is_monotone() {
+        let before = interned_count();
+        intern("sym-count-test-unique-name");
+        assert!(interned_count() > before);
+        let again = interned_count();
+        intern("sym-count-test-unique-name");
+        assert_eq!(interned_count(), again);
+    }
+}

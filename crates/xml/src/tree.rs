@@ -11,6 +11,7 @@
 //! synchronization.
 
 use crate::qname::QName;
+use crate::sym::{self, Sym};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -56,6 +57,10 @@ pub struct NodeData {
 
 static DOC_SEQ: AtomicU64 = AtomicU64::new(1);
 
+/// Sentinel in [`Document::name_syms`] for unnamed nodes (text, comments,
+/// PIs, the document node).
+const NO_SYM: Sym = Sym(u32::MAX);
+
 /// A frozen XML document.
 pub struct Document {
     /// Globally unique, monotonically increasing id; gives a stable total
@@ -63,6 +68,10 @@ pub struct Document {
     /// document order).
     pub doc_seq: u64,
     pub(crate) nodes: Vec<NodeData>,
+    /// Interned local name per arena slot ([`NO_SYM`] for unnamed nodes).
+    /// Computed once at freeze time so name tests over this document are
+    /// integer comparisons.
+    name_syms: Vec<Sym>,
 }
 
 impl fmt::Debug for Document {
@@ -78,9 +87,17 @@ impl fmt::Debug for Document {
 
 impl Document {
     pub(crate) fn from_arena(nodes: Vec<NodeData>) -> Arc<Document> {
+        let name_syms = nodes
+            .iter()
+            .map(|n| match &n.kind {
+                NodeKind::Element(q) | NodeKind::Attribute(q, _) => sym::intern(&q.local),
+                _ => NO_SYM,
+            })
+            .collect();
         Arc::new(Document {
             doc_seq: DOC_SEQ.fetch_add(1, Ordering::Relaxed),
             nodes,
+            name_syms,
         })
     }
 
@@ -202,6 +219,14 @@ impl NodeRef {
             NodeKind::Element(q) | NodeKind::Attribute(q, _) => Some(q),
             _ => None,
         }
+    }
+
+    /// Interned local name of an element/attribute node (see [`crate::sym`]).
+    /// `None` for unnamed node kinds. One array read — the evaluator's name
+    /// tests compare this against a pre-interned test symbol.
+    pub fn name_sym(&self) -> Option<Sym> {
+        let s = self.doc.name_syms[self.id.0 as usize];
+        (s != NO_SYM).then_some(s)
     }
 
     /// True for element nodes.

@@ -231,7 +231,7 @@ impl<'a> Evaluator<'a> {
                 let qn = QName::parse_lexical(&n.string_value()?)
                     .ok_or_else(|| Error::dynamic("invalid computed element name"))?;
                 let seq = self.eval(content, focus)?;
-                let node = self.assemble_element(qn, &[], seq)?;
+                let node = assemble_element(qn, &[], seq)?;
                 Ok(Sequence::one(node))
             }
             Expr::ComputedAttribute { name, content } => {
@@ -400,7 +400,7 @@ impl<'a> Evaluator<'a> {
             argv.push(self.eval(a, focus)?);
         }
         match name.prefix.as_deref() {
-            None => functions::call_builtin(self, &name.local, argv, focus),
+            None => functions::call_builtin(self.dctx, &name.local, argv, focus),
             Some("xs") => functions::call_constructor(&name.local, argv),
             Some(_) => match self.dctx.host.call(name, &argv) {
                 Some(r) => r,
@@ -667,11 +667,25 @@ impl<'a> Evaluator<'a> {
         };
         let ln = as_nodes(&l)?;
         let rn = as_nodes(&r)?;
-        let contains = |set: &[NodeRef], n: &NodeRef| set.iter().any(|x| x.is_same_node(n));
+        // Membership by hashed node identity (doc_seq, id) — the naive
+        // per-node scan made intersect/except O(n·m).
+        let identity = |n: &NodeRef| (n.doc.doc_seq, n.id);
         let combined: Vec<NodeRef> = match op {
             SetOp::Union => ln.iter().chain(rn.iter()).cloned().collect(),
-            SetOp::Intersect => ln.iter().filter(|n| contains(&rn, n)).cloned().collect(),
-            SetOp::Except => ln.iter().filter(|n| !contains(&rn, n)).cloned().collect(),
+            SetOp::Intersect => {
+                let rset: std::collections::HashSet<_> = rn.iter().map(identity).collect();
+                ln.iter()
+                    .filter(|n| rset.contains(&identity(n)))
+                    .cloned()
+                    .collect()
+            }
+            SetOp::Except => {
+                let rset: std::collections::HashSet<_> = rn.iter().map(identity).collect();
+                ln.iter()
+                    .filter(|n| !rset.contains(&identity(n)))
+                    .cloned()
+                    .collect()
+            }
         };
         Sequence(combined.into_iter().map(Item::Node).collect()).document_order_dedup()
     }
@@ -686,70 +700,65 @@ impl<'a> Evaluator<'a> {
         ret: &Expr,
         focus: Option<&Focus>,
     ) -> Result<Sequence> {
-        // Generate binding tuples depth-first.
-        let mut tuples: Vec<Vec<(String, Sequence)>> = Vec::new();
         let base_len = self.vars.len();
-        self.gen_tuples(clauses, 0, focus, &mut tuples)?;
-        debug_assert_eq!(self.vars.len(), base_len);
+        if order.is_empty() {
+            // No ordering: stream. `where` and `return` run at the leaf of
+            // tuple generation, while the bindings are already on the stack
+            // — no tuple is ever materialized.
+            let mut out = Sequence::empty();
+            self.stream_tuples(clauses, 0, focus, &mut |ev| {
+                let passed = match where_ {
+                    Some(w) => ev.eval(w, focus)?.effective_boolean()?,
+                    None => true,
+                };
+                if passed {
+                    out = std::mem::take(&mut out).concat(ev.eval(ret, focus)?);
+                }
+                Ok(())
+            })?;
+            debug_assert_eq!(self.vars.len(), base_len);
+            return Ok(out);
+        }
 
-        // Filter by where, evaluate order keys: (binding tuple, order keys).
-        type KeyedTuple = (Vec<(String, Sequence)>, Vec<Sequence>);
-        let mut survivors: Vec<KeyedTuple> = Vec::new();
-        for tuple in tuples {
-            let n = tuple.len();
-            self.vars.extend(tuple.iter().cloned());
+        // order by: `where` and the order keys also run at the leaf; only
+        // surviving tuples snapshot their binding *values* (the names are
+        // fixed by the clauses). The return clause then runs per tuple in
+        // sorted order, so result and pending-update order match the
+        // ordering semantics.
+        let names = binding_names(clauses);
+        let mut survivors: Vec<(Vec<Sequence>, Vec<Sequence>)> = Vec::new(); // (values, keys)
+        self.stream_tuples(clauses, 0, focus, &mut |ev| {
             let passed = match where_ {
-                Some(w) => self.eval(w, focus)?.effective_boolean()?,
+                Some(w) => ev.eval(w, focus)?.effective_boolean()?,
                 None => true,
             };
-            let mut keys = Vec::new();
             if passed {
+                let mut keys = Vec::with_capacity(order.len());
                 for spec in order {
-                    keys.push(self.eval(&spec.key, focus)?);
+                    keys.push(ev.eval(&spec.key, focus)?);
                 }
+                let values = ev.vars[ev.vars.len() - names.len()..]
+                    .iter()
+                    .map(|(_, v)| v.clone())
+                    .collect();
+                survivors.push((values, keys));
             }
-            self.vars.truncate(self.vars.len() - n);
-            if passed {
-                survivors.push((tuple, keys));
-            }
-        }
+            Ok(())
+        })?;
+        debug_assert_eq!(self.vars.len(), base_len);
 
-        if !order.is_empty() {
-            survivors.sort_by(|(_, ka), (_, kb)| {
-                for (i, spec) in order.iter().enumerate() {
-                    let a = ka[i].0.first().map(Item::atomize);
-                    let b = kb[i].0.first().map(Item::atomize);
-                    let ord = match (&a, &b) {
-                        (None, None) => Ordering::Equal,
-                        (None, Some(_)) => {
-                            if spec.empty_greatest {
-                                Ordering::Greater
-                            } else {
-                                Ordering::Less
-                            }
-                        }
-                        (Some(_), None) => {
-                            if spec.empty_greatest {
-                                Ordering::Less
-                            } else {
-                                Ordering::Greater
-                            }
-                        }
-                        (Some(x), Some(y)) => x.value_cmp(y).unwrap_or(Ordering::Equal),
-                    };
-                    let ord = if spec.descending { ord.reverse() } else { ord };
-                    if ord != Ordering::Equal {
-                        return ord;
-                    }
-                }
-                Ordering::Equal
-            });
-        }
+        let flags: Vec<(bool, bool)> = order
+            .iter()
+            .map(|s| (s.descending, s.empty_greatest))
+            .collect();
+        survivors.sort_by(|(_, ka), (_, kb)| order_cmp(&flags, ka, kb));
 
         let mut out = Sequence::empty();
-        for (tuple, _) in survivors {
-            let n = tuple.len();
-            self.vars.extend(tuple);
+        for (values, _) in survivors {
+            let n = values.len();
+            for (name, v) in names.iter().zip(values) {
+                self.vars.push((name.clone(), v));
+            }
             let r = self.eval(ret, focus);
             self.vars.truncate(self.vars.len() - n);
             out = out.concat(r?);
@@ -757,25 +766,25 @@ impl<'a> Evaluator<'a> {
         Ok(out)
     }
 
-    fn gen_tuples(
+    /// Depth-first tuple generation; `leaf` runs once per binding tuple
+    /// with the bindings pushed on the variable stack.
+    fn stream_tuples(
         &mut self,
         clauses: &[FlworClause],
         idx: usize,
         focus: Option<&Focus>,
-        out: &mut Vec<Vec<(String, Sequence)>>,
+        leaf: &mut dyn FnMut(&mut Self) -> Result<()>,
     ) -> Result<()> {
         if idx == clauses.len() {
-            // Snapshot the bindings introduced by the clauses.
-            let tail = self.vars[self.vars.len() - idx_bindings(clauses)..].to_vec();
-            out.push(tail);
-            return Ok(());
+            return leaf(self);
         }
         match &clauses[idx] {
             FlworClause::Let { var, value } => {
                 let v = self.eval(value, focus)?;
                 self.vars.push((var.clone(), v));
-                self.gen_tuples(clauses, idx + 1, focus, out)?;
+                let r = self.stream_tuples(clauses, idx + 1, focus, leaf);
                 self.vars.pop();
+                r
             }
             FlworClause::For { var, at, source } => {
                 let src = self.eval(source, focus)?;
@@ -787,15 +796,16 @@ impl<'a> Evaluator<'a> {
                     } else {
                         false
                     };
-                    self.gen_tuples(clauses, idx + 1, focus, out)?;
+                    let r = self.stream_tuples(clauses, idx + 1, focus, leaf);
                     if pushed_at {
                         self.vars.pop();
                     }
                     self.vars.pop();
+                    r?;
                 }
+                Ok(())
             }
         }
-        Ok(())
     }
 
     fn eval_quantified(
@@ -872,59 +882,7 @@ impl<'a> Evaluator<'a> {
                 }
             }
         }
-        self.assemble_element(name, &eattrs, seq)
-    }
-
-    /// Assemble an element node from a name, literal attributes, and a
-    /// content sequence following the XQuery constructor content rules:
-    /// adjacent atomics are joined with spaces into text nodes; attribute
-    /// items must precede other content and attach to the element; nodes
-    /// are deep-copied.
-    fn assemble_element(
-        &mut self,
-        name: QName,
-        attrs: &[(QName, String)],
-        content: Sequence,
-    ) -> Result<NodeRef> {
-        let mut b = DocBuilder::new();
-        b.start(name);
-        for (an, av) in attrs {
-            b.attr(an.clone(), av.clone());
-        }
-        let mut has_child = false;
-        let mut pending_atomics: Vec<String> = Vec::new();
-        let flush = |b: &mut DocBuilder, pending: &mut Vec<String>, has_child: &mut bool| {
-            if !pending.is_empty() {
-                b.text(pending.join(" "));
-                pending.clear();
-                *has_child = true;
-            }
-        };
-        for item in content.0 {
-            match item {
-                Item::Atomic(a) => pending_atomics.push(a.to_str()),
-                Item::Node(n) => {
-                    flush(&mut b, &mut pending_atomics, &mut has_child);
-                    if n.is_attribute() {
-                        if has_child {
-                            return Err(Error::type_error(
-                                "attribute constructed after element content",
-                            ));
-                        }
-                        if let NodeKind::Attribute(an, av) = n.kind() {
-                            b.attr(an.clone(), av.clone());
-                        }
-                    } else {
-                        b.copy_node(&n);
-                        has_child = true;
-                    }
-                }
-            }
-        }
-        flush(&mut b, &mut pending_atomics, &mut has_child);
-        b.end();
-        let doc = b.finish();
-        Ok(doc.document_element().expect("constructed element"))
+        assemble_element(name, &eattrs, seq)
     }
 
     // ---- updating helpers ---------------------------------------------------------
@@ -948,18 +906,108 @@ impl<'a> Evaluator<'a> {
     }
 }
 
-fn idx_bindings(clauses: &[FlworClause]) -> usize {
-    clauses
-        .iter()
-        .map(|c| match c {
-            FlworClause::For { at: Some(_), .. } => 2,
-            _ => 1,
-        })
-        .sum()
+/// Assemble an element node from a name, literal attributes, and a
+/// content sequence following the XQuery constructor content rules:
+/// adjacent atomics are joined with spaces into text nodes; attribute
+/// items must precede other content and attach to the element; nodes
+/// are deep-copied.
+pub(crate) fn assemble_element(
+    name: QName,
+    attrs: &[(QName, String)],
+    content: Sequence,
+) -> Result<NodeRef> {
+    let mut b = DocBuilder::new();
+    b.start(name);
+    for (an, av) in attrs {
+        b.attr(an.clone(), av.clone());
+    }
+    let mut has_child = false;
+    let mut pending_atomics: Vec<String> = Vec::new();
+    let flush = |b: &mut DocBuilder, pending: &mut Vec<String>, has_child: &mut bool| {
+        if !pending.is_empty() {
+            b.text(pending.join(" "));
+            pending.clear();
+            *has_child = true;
+        }
+    };
+    for item in content.0 {
+        match item {
+            Item::Atomic(a) => pending_atomics.push(a.to_str()),
+            Item::Node(n) => {
+                flush(&mut b, &mut pending_atomics, &mut has_child);
+                if n.is_attribute() {
+                    if has_child {
+                        return Err(Error::type_error(
+                            "attribute constructed after element content",
+                        ));
+                    }
+                    if let NodeKind::Attribute(an, av) = n.kind() {
+                        b.attr(an.clone(), av.clone());
+                    }
+                } else {
+                    b.copy_node(&n);
+                    has_child = true;
+                }
+            }
+        }
+    }
+    flush(&mut b, &mut pending_atomics, &mut has_child);
+    b.end();
+    let doc = b.finish();
+    Ok(doc.document_element().expect("constructed element"))
+}
+
+/// Names introduced by the FLWOR clauses, in stack push order.
+fn binding_names(clauses: &[FlworClause]) -> Vec<String> {
+    let mut names = Vec::new();
+    for c in clauses {
+        match c {
+            FlworClause::Let { var, .. } => names.push(var.clone()),
+            FlworClause::For { var, at, .. } => {
+                names.push(var.clone());
+                if let Some(atv) = at {
+                    names.push(atv.clone());
+                }
+            }
+        }
+    }
+    names
+}
+
+/// Compare two evaluated order-key vectors; `flags[i]` is the i-th key's
+/// `(descending, empty_greatest)` pair.
+pub(crate) fn order_cmp(flags: &[(bool, bool)], ka: &[Sequence], kb: &[Sequence]) -> Ordering {
+    for (i, &(descending, empty_greatest)) in flags.iter().enumerate() {
+        let a = ka[i].0.first().map(Item::atomize);
+        let b = kb[i].0.first().map(Item::atomize);
+        let ord = match (&a, &b) {
+            (None, None) => Ordering::Equal,
+            (None, Some(_)) => {
+                if empty_greatest {
+                    Ordering::Greater
+                } else {
+                    Ordering::Less
+                }
+            }
+            (Some(_), None) => {
+                if empty_greatest {
+                    Ordering::Less
+                } else {
+                    Ordering::Greater
+                }
+            }
+            (Some(x), Some(y)) => x.value_cmp(y).unwrap_or(Ordering::Equal),
+        };
+        let ord = if descending { ord.reverse() } else { ord };
+        if ord != Ordering::Equal {
+            return ord;
+        }
+    }
+    Ordering::Equal
 }
 
 /// Build a standalone text node (holder document).
-fn text_node(t: &str) -> NodeRef {
+pub(crate) fn text_node(t: &str) -> NodeRef {
     let mut b = DocBuilder::new();
     b.text(if t.is_empty() { " " } else { t });
     let doc = b.finish();
@@ -971,7 +1019,7 @@ fn text_node(t: &str) -> NodeRef {
 }
 
 /// Join the atomized items with single spaces (attribute/text content rule).
-fn atomics_joined(seq: &Sequence) -> String {
+pub(crate) fn atomics_joined(seq: &Sequence) -> String {
     seq.0
         .iter()
         .map(|i| i.string_value())
@@ -1007,7 +1055,7 @@ pub fn sequence_to_document(seq: &Sequence) -> Result<Arc<Document>> {
     Ok(b.finish())
 }
 
-fn append_content(b: &mut DocBuilder, seq: &Sequence, has_child: &mut bool) -> Result<()> {
+pub(crate) fn append_content(b: &mut DocBuilder, seq: &Sequence, has_child: &mut bool) -> Result<()> {
     for item in &seq.0 {
         match item {
             Item::Atomic(a) => {
@@ -1024,8 +1072,17 @@ fn append_content(b: &mut DocBuilder, seq: &Sequence, has_child: &mut bool) -> R
 }
 
 /// Axis traversal with node test filtering.
-fn axis_nodes(axis: Axis, node: &NodeRef, test: &NodeTest) -> Sequence {
-    let candidates: Vec<NodeRef> = match axis {
+pub(crate) fn axis_nodes(axis: Axis, node: &NodeRef, test: &NodeTest) -> Sequence {
+    let filtered = axis_candidates(axis, node)
+        .into_iter()
+        .filter(|n| node_test_matches(axis, n, test));
+    Sequence(filtered.map(Item::Node).collect())
+}
+
+/// Enumerate the axis candidates (before node-test filtering), in the
+/// axis's natural delivery order.
+pub(crate) fn axis_candidates(axis: Axis, node: &NodeRef) -> Vec<NodeRef> {
+    match axis {
         Axis::Child => node.children(),
         Axis::Descendant => node.descendants(),
         Axis::DescendantOrSelf => {
@@ -1044,14 +1101,10 @@ fn axis_nodes(axis: Axis, node: &NodeRef, test: &NodeTest) -> Sequence {
         }
         Axis::FollowingSibling => node.following_siblings(),
         Axis::PrecedingSibling => node.preceding_siblings(),
-    };
-    let filtered = candidates
-        .into_iter()
-        .filter(|n| node_test_matches(axis, n, test));
-    Sequence(filtered.map(Item::Node).collect())
+    }
 }
 
-fn node_test_matches(axis: Axis, node: &NodeRef, test: &NodeTest) -> bool {
+pub(crate) fn node_test_matches(axis: Axis, node: &NodeRef, test: &NodeTest) -> bool {
     // Namespace declarations are stored as attributes for serialization
     // fidelity but are not addressable via the attribute axis.
     if axis == Axis::Attribute {
@@ -1098,7 +1151,7 @@ fn node_test_matches(axis: Axis, node: &NodeRef, test: &NodeTest) -> bool {
     }
 }
 
-fn cast_atomic(a: &Atomic, ty: &str) -> Result<Atomic> {
+pub(crate) fn cast_atomic(a: &Atomic, ty: &str) -> Result<Atomic> {
     match ty {
         "xs:string" | "string" => Ok(Atomic::Str(a.to_str())),
         "xs:boolean" | "boolean" => Ok(Atomic::Bool(a.cast_boolean()?)),

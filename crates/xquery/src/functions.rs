@@ -5,14 +5,17 @@
 //! `fn:tokenize` take literal (non-regex) patterns; `fn:matches` is
 //! substring containment. The paper's listings use none of these.
 
+use crate::context::DynamicContext;
 use crate::error::{Error, Result};
-use crate::eval::{cast_to_type, Evaluator, Focus};
+use crate::eval::{cast_to_type, Focus};
 use crate::value::{Atomic, Item, Sequence};
 use std::cmp::Ordering;
 
-/// Dispatch an unprefixed (default `fn:` namespace) function call.
+/// Dispatch an unprefixed (default `fn:` namespace) function call. Takes
+/// the dynamic context (not an evaluator) so both the reference AST
+/// interpreter and the lowered-plan evaluator share one dispatch table.
 pub fn call_builtin(
-    ev: &mut Evaluator,
+    dctx: &DynamicContext,
     name: &str,
     args: Vec<Sequence>,
     focus: Option<&Focus>,
@@ -383,14 +386,14 @@ pub fn call_builtin(
         // ---- environment ------------------------------------------------------------
         "collection" if arity == 1 => {
             let n = args[0].string_value()?;
-            ev.dctx.host.collection(&n)
+            dctx.host.collection(&n)
         }
         "doc" if arity == 1 => {
             let u = args[0].string_value()?;
-            ev.dctx.host.doc(&u)
+            dctx.host.doc(&u)
         }
         "current-dateTime" if arity == 0 => Ok(Sequence::one(Atomic::DateTime(
-            ev.dctx.host.current_date_time_ms(),
+            dctx.host.current_date_time_ms(),
         ))),
 
         other => Err(Error::unknown_function(format!(

@@ -1,0 +1,1718 @@
+//! Lowered execution plans.
+//!
+//! [`lower`] compiles an [`Expr`] tree (the output of the Demaq rule
+//! compiler's `compile`/`merge` stages, paper Sec. 4.4.1) into a [`Plan`]:
+//! the same operator tree, but with every name resolved ahead of time so
+//! the per-message hot path does no string work:
+//!
+//! * element/attribute name tests carry interned [`Sym`] ids — a name test
+//!   is one `u32` comparison against [`NodeRef::name_sym`] instead of a
+//!   string compare (see [`demaq_xml::sym`]),
+//! * variable references become frame-slot indices ([`Plan::Slot`],
+//!   de Bruijn style): the evaluator's environment is a plain
+//!   `Vec<Sequence>` indexed by position, not a name-searched assoc list,
+//! * constant subexpressions are folded at lower time ([`Plan::Const`]) —
+//!   only where folding provably cannot hide a runtime error,
+//! * paths in effective-boolean-value position (trigger conditions,
+//!   `where` clauses, quantifier bodies) become [`Plan::Exists`], which
+//!   stops at the first matching node instead of materializing and
+//!   sorting the full node sequence.
+//!
+//! [`PlanEvaluator`] executes plans with semantics identical to
+//! [`Evaluator`](crate::eval::Evaluator) — the differential test suite
+//! holds both interpreters to the same results, including error cases.
+
+use crate::ast::*;
+use crate::context::DynamicContext;
+use crate::error::{Error, Result};
+use crate::eval::{
+    assemble_element, atomics_joined, axis_candidates, cast_atomic, order_cmp,
+    sequence_to_document, text_node, Focus,
+};
+use crate::functions;
+use crate::update::Update;
+use crate::value::{Atomic, Item, Sequence};
+use demaq_xml::sym::{self, Sym};
+use demaq_xml::{DocBuilder, NodeKind, NodeRef, QName};
+use std::cmp::Ordering;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+
+static PLANS_LOWERED: AtomicU64 = AtomicU64::new(0);
+static EBV_SHORT_CIRCUITS: AtomicU64 = AtomicU64::new(0);
+
+/// Number of expression trees lowered to plans since process start
+/// (`demaq_xquery_plans_lowered_total`).
+pub fn plans_lowered_total() -> u64 {
+    PLANS_LOWERED.load(AtomicOrdering::Relaxed)
+}
+
+/// Number of existence evaluations that stopped at the first matching node
+/// (`demaq_xquery_ebv_short_circuits_total`).
+pub fn ebv_short_circuits_total() -> u64 {
+    EBV_SHORT_CIRCUITS.load(AtomicOrdering::Relaxed)
+}
+
+/// A pre-resolved node test: name comparisons are `Sym` equality, with the
+/// namespace compared only when the test carries one (mirroring
+/// [`QName::matches`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum PTest {
+    Name { sym: Sym, ns: Option<String> },
+    AnyName,
+    AnyKind,
+    Text,
+    Comment,
+    Element(Option<(Sym, Option<String>)>),
+    Attribute(Option<(Sym, Option<String>)>),
+    Pi(Option<String>),
+    Document,
+}
+
+fn lower_test(test: &NodeTest) -> PTest {
+    let named = |q: &QName| (sym::intern(&q.local), q.ns.clone());
+    match test {
+        NodeTest::Name(q) => {
+            let (sym, ns) = named(q);
+            PTest::Name { sym, ns }
+        }
+        NodeTest::AnyName => PTest::AnyName,
+        NodeTest::AnyKind => PTest::AnyKind,
+        NodeTest::Text => PTest::Text,
+        NodeTest::Comment => PTest::Comment,
+        NodeTest::Element(q) => PTest::Element(q.as_ref().map(&named)),
+        NodeTest::Attribute(q) => PTest::Attribute(q.as_ref().map(&named)),
+        NodeTest::Pi(t) => PTest::Pi(t.clone()),
+        NodeTest::Document => PTest::Document,
+    }
+}
+
+/// Sym-fast name match: local names compare as integers; namespaces are
+/// only consulted when both the test and the node carry one.
+fn name_matches(node: &NodeRef, sym: Sym, ns: &Option<String>) -> bool {
+    if node.name_sym() != Some(sym) {
+        return false;
+    }
+    match (ns, node.name().and_then(|q| q.ns.as_ref())) {
+        (Some(t), Some(n)) => t == n,
+        _ => true,
+    }
+}
+
+fn ptest_matches(axis: Axis, node: &NodeRef, test: &PTest) -> bool {
+    // Namespace declarations are stored as attributes for serialization
+    // fidelity but are not addressable via the attribute axis.
+    if axis == Axis::Attribute {
+        if let Some(q) = node.name() {
+            if q.local == "xmlns" || q.local.starts_with("xmlns:") {
+                return false;
+            }
+        }
+    }
+    match test {
+        PTest::AnyKind => true,
+        PTest::Text => node.is_text(),
+        PTest::Comment => matches!(node.kind(), NodeKind::Comment(_)),
+        PTest::Document => node.is_document(),
+        PTest::AnyName => {
+            if axis == Axis::Attribute {
+                node.is_attribute()
+            } else {
+                node.is_element()
+            }
+        }
+        PTest::Name { sym, ns } => {
+            let principal_ok = if axis == Axis::Attribute {
+                node.is_attribute()
+            } else {
+                node.is_element()
+            };
+            principal_ok && name_matches(node, *sym, ns)
+        }
+        PTest::Element(q) => {
+            node.is_element() && q.as_ref().is_none_or(|(s, ns)| name_matches(node, *s, ns))
+        }
+        PTest::Attribute(q) => {
+            node.is_attribute() && q.as_ref().is_none_or(|(s, ns)| name_matches(node, *s, ns))
+        }
+        PTest::Pi(target) => match node.kind() {
+            NodeKind::Pi { target: t, .. } => target.as_ref().is_none_or(|x| x == t),
+            _ => false,
+        },
+    }
+}
+
+/// A lowered FLWOR clause; binding names are gone — each clause pushes its
+/// slot(s) at a statically known frame position.
+#[derive(Debug, Clone)]
+pub enum PClause {
+    /// Pushes one slot.
+    Let { value: Plan },
+    /// Pushes one slot, plus a positional slot when `at` is set.
+    For { at: bool, source: Plan },
+}
+
+#[derive(Debug, Clone)]
+pub struct POrderSpec {
+    pub key: Plan,
+    pub descending: bool,
+    pub empty_greatest: bool,
+}
+
+#[derive(Debug, Clone)]
+pub enum PContent {
+    Text(String),
+    Expr(Plan),
+}
+
+#[derive(Debug, Clone)]
+pub enum PAttrPart {
+    Text(String),
+    Expr(Plan),
+}
+
+/// The lowered operator tree. Mirrors [`Expr`] except that literals fold
+/// into [`Plan::Const`], variables resolve to [`Plan::Slot`] /
+/// [`Plan::FreeVar`], node tests are [`PTest`]s, and existence-only paths
+/// become [`Plan::Exists`].
+#[derive(Debug, Clone)]
+pub enum Plan {
+    Const(Sequence),
+    /// Lexical variable resolved to an absolute frame index.
+    Slot(usize),
+    /// Variable not bound lexically; resolved from the dynamic context at
+    /// run time (externally supplied variables).
+    FreeVar(String),
+    ContextItem,
+    Sequence(Vec<Plan>),
+    FunctionCall {
+        name: QName,
+        args: Vec<Plan>,
+    },
+    Path {
+        root: bool,
+        steps: Vec<Plan>,
+    },
+    Step {
+        axis: Axis,
+        test: PTest,
+        predicates: Vec<Plan>,
+    },
+    Filter {
+        base: Box<Plan>,
+        predicates: Vec<Plan>,
+    },
+    RelativePath {
+        base: Box<Plan>,
+        step: Box<Plan>,
+        descend: bool,
+    },
+    Or(Box<Plan>, Box<Plan>),
+    And(Box<Plan>, Box<Plan>),
+    Comparison {
+        op: CompOp,
+        left: Box<Plan>,
+        right: Box<Plan>,
+    },
+    Arith {
+        op: ArithOp,
+        left: Box<Plan>,
+        right: Box<Plan>,
+    },
+    Set {
+        op: SetOp,
+        left: Box<Plan>,
+        right: Box<Plan>,
+    },
+    Range(Box<Plan>, Box<Plan>),
+    Neg(Box<Plan>),
+    If {
+        cond: Box<Plan>,
+        then: Box<Plan>,
+        els: Option<Box<Plan>>,
+    },
+    Flwor {
+        clauses: Vec<PClause>,
+        where_: Option<Box<Plan>>,
+        order: Vec<POrderSpec>,
+        ret: Box<Plan>,
+    },
+    Quantified {
+        every: bool,
+        /// Binding sources in clause order; each pushes one slot.
+        bindings: Vec<Plan>,
+        satisfies: Box<Plan>,
+    },
+    DirectElement {
+        name: QName,
+        attrs: Vec<(QName, Vec<PAttrPart>)>,
+        content: Vec<PContent>,
+    },
+    ComputedElement {
+        name: Box<Plan>,
+        content: Box<Plan>,
+    },
+    ComputedAttribute {
+        name: Box<Plan>,
+        content: Box<Plan>,
+    },
+    ComputedText(Box<Plan>),
+    ComputedComment(Box<Plan>),
+    ComputedDocument(Box<Plan>),
+    Enqueue {
+        message: Box<Plan>,
+        queue: QName,
+        props: Vec<(String, Plan)>,
+    },
+    Reset {
+        slicing: Option<QName>,
+        key: Option<Box<Plan>>,
+    },
+    Insert {
+        source: Box<Plan>,
+        pos: InsertPos,
+        target: Box<Plan>,
+    },
+    Delete {
+        target: Box<Plan>,
+    },
+    Replace {
+        target: Box<Plan>,
+        source: Box<Plan>,
+        value_of: bool,
+    },
+    Rename {
+        target: Box<Plan>,
+        name: Box<Plan>,
+    },
+    Cast {
+        expr: Box<Plan>,
+        ty: String,
+    },
+    InstanceOf {
+        expr: Box<Plan>,
+        ty: String,
+    },
+    /// Effective-boolean-value of a pure axis path: yields
+    /// `Sequence::bool` and stops at the first matching node. Only emitted
+    /// for paths whose every step is a predicate-free axis step, where the
+    /// equivalence to full evaluation + EBV is provable (such a path can
+    /// produce no error besides the context-item checks, which `Exists`
+    /// replicates).
+    Exists {
+        root: bool,
+        steps: Vec<(Axis, PTest)>,
+    },
+}
+
+// ---- lowering -----------------------------------------------------------------
+
+/// Lower an expression tree to an execution plan.
+pub fn lower(expr: &Expr) -> Plan {
+    PLANS_LOWERED.fetch_add(1, AtomicOrdering::Relaxed);
+    Lowerer { scope: Vec::new() }.lower(expr)
+}
+
+struct Lowerer {
+    /// Lexical binding names in frame push order; `rposition` = slot index.
+    scope: Vec<String>,
+}
+
+impl Lowerer {
+    fn lower(&mut self, e: &Expr) -> Plan {
+        match e {
+            Expr::StringLit(s) => Plan::Const(Sequence::str(s.clone())),
+            Expr::IntLit(i) => Plan::Const(Sequence::int(*i)),
+            Expr::DoubleLit(d) => Plan::Const(Sequence::one(Atomic::Double(*d))),
+            Expr::Var(name) => match self.scope.iter().rposition(|n| n == name) {
+                Some(slot) => Plan::Slot(slot),
+                None => Plan::FreeVar(name.clone()),
+            },
+            Expr::ContextItem => Plan::ContextItem,
+            Expr::Sequence(es) => {
+                let parts: Vec<Plan> = es.iter().map(|e| self.lower(e)).collect();
+                if let Some(folded) = fold_sequence(&parts) {
+                    return folded;
+                }
+                Plan::Sequence(parts)
+            }
+            Expr::FunctionCall { name, args } => {
+                let args: Vec<Plan> = args.iter().map(|a| self.lower(a)).collect();
+                if args.is_empty() && name.prefix.is_none() {
+                    // fn:true()/fn:false() are constants.
+                    match name.local.as_str() {
+                        "true" => return Plan::Const(Sequence::bool(true)),
+                        "false" => return Plan::Const(Sequence::bool(false)),
+                        _ => {}
+                    }
+                }
+                Plan::FunctionCall {
+                    name: name.clone(),
+                    args,
+                }
+            }
+            Expr::Path { root, steps } => Plan::Path {
+                root: *root,
+                steps: steps.iter().map(|s| self.lower(s)).collect(),
+            },
+            Expr::Step {
+                axis,
+                test,
+                predicates,
+            } => Plan::Step {
+                axis: *axis,
+                test: lower_test(test),
+                predicates: predicates.iter().map(|p| self.lower(p)).collect(),
+            },
+            Expr::Filter { base, predicates } => Plan::Filter {
+                base: Box::new(self.lower(base)),
+                predicates: predicates.iter().map(|p| self.lower(p)).collect(),
+            },
+            Expr::RelativePath {
+                base,
+                step,
+                descend,
+            } => Plan::RelativePath {
+                base: Box::new(self.lower(base)),
+                step: Box::new(self.lower(step)),
+                descend: *descend,
+            },
+            Expr::Or(a, b) => {
+                let l = self.lower_ebv(a);
+                let r = self.lower_ebv(b);
+                // Fold only when the constant's EBV is Ok — a constant whose
+                // EBV errors (e.g. a two-atomic sequence) must still error.
+                if let Some(lb) = const_ebv(&l) {
+                    if lb {
+                        return Plan::Const(Sequence::bool(true));
+                    }
+                    if let Some(rb) = const_ebv(&r) {
+                        return Plan::Const(Sequence::bool(rb));
+                    }
+                }
+                Plan::Or(Box::new(l), Box::new(r))
+            }
+            Expr::And(a, b) => {
+                let l = self.lower_ebv(a);
+                let r = self.lower_ebv(b);
+                if let Some(lb) = const_ebv(&l) {
+                    if !lb {
+                        return Plan::Const(Sequence::bool(false));
+                    }
+                    if let Some(rb) = const_ebv(&r) {
+                        return Plan::Const(Sequence::bool(rb));
+                    }
+                }
+                Plan::And(Box::new(l), Box::new(r))
+            }
+            Expr::Comparison { op, left, right } => Plan::Comparison {
+                op: *op,
+                left: Box::new(self.lower(left)),
+                right: Box::new(self.lower(right)),
+            },
+            Expr::Arith { op, left, right } => Plan::Arith {
+                op: *op,
+                left: Box::new(self.lower(left)),
+                right: Box::new(self.lower(right)),
+            },
+            Expr::Set { op, left, right } => Plan::Set {
+                op: *op,
+                left: Box::new(self.lower(left)),
+                right: Box::new(self.lower(right)),
+            },
+            Expr::Range(a, b) => {
+                let l = self.lower(a);
+                let r = self.lower(b);
+                if let Some(folded) = fold_range(&l, &r) {
+                    return folded;
+                }
+                Plan::Range(Box::new(l), Box::new(r))
+            }
+            Expr::Neg(e) => {
+                let inner = self.lower(e);
+                if let Some(folded) = fold_neg(&inner) {
+                    return folded;
+                }
+                Plan::Neg(Box::new(inner))
+            }
+            Expr::If { cond, then, els } => {
+                let c = self.lower_ebv(cond);
+                if let Some(cb) = const_ebv(&c) {
+                    // Dead-branch elimination: trigger conditions of merged
+                    // rules are often decided at compile time.
+                    return if cb {
+                        self.lower(then)
+                    } else {
+                        match els {
+                            Some(e) => self.lower(e),
+                            None => Plan::Const(Sequence::empty()),
+                        }
+                    };
+                }
+                Plan::If {
+                    cond: Box::new(c),
+                    then: Box::new(self.lower(then)),
+                    els: els.as_ref().map(|e| Box::new(self.lower(e))),
+                }
+            }
+            Expr::Flwor {
+                clauses,
+                where_,
+                order,
+                ret,
+            } => {
+                let scope_base = self.scope.len();
+                let mut pclauses = Vec::with_capacity(clauses.len());
+                for c in clauses {
+                    match c {
+                        FlworClause::Let { var, value } => {
+                            let value = self.lower(value);
+                            self.scope.push(var.clone());
+                            pclauses.push(PClause::Let { value });
+                        }
+                        FlworClause::For { var, at, source } => {
+                            let source = self.lower(source);
+                            self.scope.push(var.clone());
+                            let at = if let Some(atv) = at {
+                                self.scope.push(atv.clone());
+                                true
+                            } else {
+                                false
+                            };
+                            pclauses.push(PClause::For { at, source });
+                        }
+                    }
+                }
+                let where_ = where_.as_ref().map(|w| Box::new(self.lower_ebv(w)));
+                let order = order
+                    .iter()
+                    .map(|o| POrderSpec {
+                        key: self.lower(&o.key),
+                        descending: o.descending,
+                        empty_greatest: o.empty_greatest,
+                    })
+                    .collect();
+                let ret = Box::new(self.lower(ret));
+                self.scope.truncate(scope_base);
+                Plan::Flwor {
+                    clauses: pclauses,
+                    where_,
+                    order,
+                    ret,
+                }
+            }
+            Expr::Quantified {
+                every,
+                bindings,
+                satisfies,
+            } => {
+                let scope_base = self.scope.len();
+                let mut sources = Vec::with_capacity(bindings.len());
+                for (var, src) in bindings {
+                    sources.push(self.lower(src));
+                    self.scope.push(var.clone());
+                }
+                let satisfies = Box::new(self.lower_ebv(satisfies));
+                self.scope.truncate(scope_base);
+                Plan::Quantified {
+                    every: *every,
+                    bindings: sources,
+                    satisfies,
+                }
+            }
+            Expr::DirectElement {
+                name,
+                attrs,
+                content,
+            } => Plan::DirectElement {
+                name: name.clone(),
+                attrs: attrs
+                    .iter()
+                    .map(|(n, parts)| {
+                        (
+                            n.clone(),
+                            parts
+                                .iter()
+                                .map(|p| match p {
+                                    AttrValuePart::Text(t) => PAttrPart::Text(t.clone()),
+                                    AttrValuePart::Enclosed(e) => PAttrPart::Expr(self.lower(e)),
+                                })
+                                .collect(),
+                        )
+                    })
+                    .collect(),
+                content: content
+                    .iter()
+                    .map(|c| match c {
+                        DirContent::Text(t) => PContent::Text(t.clone()),
+                        DirContent::Enclosed(e) | DirContent::Expr(e) => {
+                            PContent::Expr(self.lower(e))
+                        }
+                    })
+                    .collect(),
+            },
+            Expr::ComputedElement { name, content } => Plan::ComputedElement {
+                name: Box::new(self.lower(name)),
+                content: Box::new(self.lower(content)),
+            },
+            Expr::ComputedAttribute { name, content } => Plan::ComputedAttribute {
+                name: Box::new(self.lower(name)),
+                content: Box::new(self.lower(content)),
+            },
+            Expr::ComputedText(e) => Plan::ComputedText(Box::new(self.lower(e))),
+            Expr::ComputedComment(e) => Plan::ComputedComment(Box::new(self.lower(e))),
+            Expr::ComputedDocument(e) => Plan::ComputedDocument(Box::new(self.lower(e))),
+            Expr::Enqueue {
+                message,
+                queue,
+                props,
+            } => Plan::Enqueue {
+                message: Box::new(self.lower(message)),
+                queue: queue.clone(),
+                props: props
+                    .iter()
+                    .map(|(n, e)| (n.clone(), self.lower(e)))
+                    .collect(),
+            },
+            Expr::Reset { slicing, key } => Plan::Reset {
+                slicing: slicing.clone(),
+                key: key.as_ref().map(|k| Box::new(self.lower(k))),
+            },
+            Expr::Insert {
+                source,
+                pos,
+                target,
+            } => Plan::Insert {
+                source: Box::new(self.lower(source)),
+                pos: *pos,
+                target: Box::new(self.lower(target)),
+            },
+            Expr::Delete { target } => Plan::Delete {
+                target: Box::new(self.lower(target)),
+            },
+            Expr::Replace {
+                target,
+                source,
+                value_of,
+            } => Plan::Replace {
+                target: Box::new(self.lower(target)),
+                source: Box::new(self.lower(source)),
+                value_of: *value_of,
+            },
+            Expr::Rename { target, name } => Plan::Rename {
+                target: Box::new(self.lower(target)),
+                name: Box::new(self.lower(name)),
+            },
+            Expr::Cast { expr, ty } => Plan::Cast {
+                expr: Box::new(self.lower(expr)),
+                ty: ty.clone(),
+            },
+            Expr::InstanceOf { expr, ty } => Plan::InstanceOf {
+                expr: Box::new(self.lower(expr)),
+                ty: ty.clone(),
+            },
+        }
+    }
+
+    /// Lower an expression whose value is consumed as an effective boolean
+    /// (trigger condition, `and`/`or` operand, `where`, `satisfies`).
+    /// Predicate positions must NOT use this — a single numeric predicate
+    /// is a positional test, not an EBV.
+    fn lower_ebv(&mut self, e: &Expr) -> Plan {
+        if let Expr::Path { root, steps } = e {
+            if let Some(chain) = existence_chain(steps) {
+                return Plan::Exists {
+                    root: *root,
+                    steps: chain,
+                };
+            }
+        }
+        self.lower(e)
+    }
+}
+
+/// A path is existence-streamable iff every step is a predicate-free axis
+/// step: such a path yields only nodes (EBV = non-empty) and, beyond the
+/// context-item checks, cannot raise an error — so stopping at the first
+/// match is observably identical to full evaluation.
+fn existence_chain(steps: &[Expr]) -> Option<Vec<(Axis, PTest)>> {
+    if steps.is_empty() {
+        return None;
+    }
+    steps
+        .iter()
+        .map(|s| match s {
+            Expr::Step {
+                axis,
+                test,
+                predicates,
+            } if predicates.is_empty() => Some((*axis, lower_test(test))),
+            _ => None,
+        })
+        .collect()
+}
+
+/// EBV of a constant plan, only when evaluating it cannot error.
+fn const_ebv(p: &Plan) -> Option<bool> {
+    match p {
+        Plan::Const(seq) => seq.effective_boolean().ok(),
+        _ => None,
+    }
+}
+
+fn fold_sequence(parts: &[Plan]) -> Option<Plan> {
+    let mut out = Sequence::empty();
+    for p in parts {
+        match p {
+            Plan::Const(seq) => out = out.concat(seq.clone()),
+            _ => return None,
+        }
+    }
+    Some(Plan::Const(out))
+}
+
+/// Fold `a to b` when both operands are constant single integers and the
+/// range is small; an over-large constant range stays lazy rather than
+/// bloating the plan.
+fn fold_range(l: &Plan, r: &Plan) -> Option<Plan> {
+    const MAX_FOLDED_RANGE: i64 = 1024;
+    let (Plan::Const(ls), Plan::Const(rs)) = (l, r) else {
+        return None;
+    };
+    if ls.is_empty() || rs.is_empty() {
+        return Some(Plan::Const(Sequence::empty()));
+    }
+    let from = ls.exactly_one().ok()?.atomize().cast_integer().ok()?;
+    let to = rs.exactly_one().ok()?.atomize().cast_integer().ok()?;
+    if to.saturating_sub(from) > MAX_FOLDED_RANGE {
+        return None;
+    }
+    Some(Plan::Const(
+        (from..=to).map(|i| Item::Atomic(Atomic::Int(i))).collect(),
+    ))
+}
+
+fn fold_neg(inner: &Plan) -> Option<Plan> {
+    let Plan::Const(seq) = inner else {
+        return None;
+    };
+    if seq.is_empty() {
+        return Some(Plan::Const(Sequence::empty()));
+    }
+    match seq.exactly_one().ok()?.atomize() {
+        Atomic::Int(i) => Some(Plan::Const(Sequence::int(-i))),
+        a => Some(Plan::Const(Sequence::one(Atomic::Double(-a.to_double())))),
+    }
+}
+
+// ---- plan evaluation -----------------------------------------------------------
+
+const MAX_DEPTH: u32 = 512;
+
+/// Evaluator for lowered plans. Shares all value/constructor semantics
+/// with [`Evaluator`](crate::eval::Evaluator); the environment is a slot
+/// frame instead of a name-searched binding list.
+pub struct PlanEvaluator<'a> {
+    dctx: &'a DynamicContext,
+    /// Slot frame: `Plan::Slot(i)` reads `frame[i]`.
+    frame: Vec<Sequence>,
+    /// Pending update list produced by updating expressions.
+    pub updates: Vec<Update>,
+    depth: u32,
+}
+
+impl<'a> PlanEvaluator<'a> {
+    pub fn new(dctx: &'a DynamicContext) -> Self {
+        PlanEvaluator {
+            dctx,
+            frame: Vec::new(),
+            updates: Vec::new(),
+            depth: 0,
+        }
+    }
+
+    /// Evaluate with `context` as the initial context item.
+    pub fn eval_with_context(&mut self, plan: &Plan, context: NodeRef) -> Result<Sequence> {
+        self.eval(plan, Some(&Focus::solo(context)))
+    }
+
+    /// Evaluate with no context item (absent focus).
+    pub fn eval_no_context(&mut self, plan: &Plan) -> Result<Sequence> {
+        self.eval(plan, None)
+    }
+
+    fn context_item(focus: Option<&Focus>) -> Result<Item> {
+        focus
+            .map(|f| f.item.clone())
+            .ok_or_else(|| Error::dynamic("context item is undefined here"))
+    }
+
+    pub fn eval(&mut self, plan: &Plan, focus: Option<&Focus>) -> Result<Sequence> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            self.depth -= 1;
+            return Err(Error::dynamic("expression nesting too deep"));
+        }
+        let r = self.eval_inner(plan, focus);
+        self.depth -= 1;
+        r
+    }
+
+    fn eval_inner(&mut self, plan: &Plan, focus: Option<&Focus>) -> Result<Sequence> {
+        match plan {
+            Plan::Const(seq) => Ok(seq.clone()),
+            Plan::Slot(i) => Ok(self.frame[*i].clone()),
+            Plan::FreeVar(name) => self
+                .dctx
+                .variables
+                .get(name)
+                .cloned()
+                .ok_or_else(|| Error::undefined_name(format!("undefined variable ${name}"))),
+            Plan::ContextItem => Ok(Sequence::one(Self::context_item(focus)?)),
+            Plan::Sequence(ps) => {
+                let mut out = Sequence::empty();
+                for p in ps {
+                    out = out.concat(self.eval(p, focus)?);
+                }
+                Ok(out)
+            }
+            Plan::FunctionCall { name, args } => {
+                let mut argv = Vec::with_capacity(args.len());
+                for a in args {
+                    argv.push(self.eval(a, focus)?);
+                }
+                match name.prefix.as_deref() {
+                    None => functions::call_builtin(self.dctx, &name.local, argv, focus),
+                    Some("xs") => functions::call_constructor(&name.local, argv),
+                    Some(_) => match self.dctx.host.call(name, &argv) {
+                        Some(r) => r,
+                        None => Err(Error::unknown_function(format!(
+                            "unknown function {}()",
+                            name.lexical()
+                        ))),
+                    },
+                }
+            }
+            Plan::Path { root, steps } => {
+                let start: Sequence = if *root {
+                    match Self::context_item(focus)? {
+                        Item::Node(n) => Sequence::one(n.doc.root()),
+                        Item::Atomic(_) => {
+                            return Err(Error::type_error("`/` requires a node context item"))
+                        }
+                    }
+                } else {
+                    match focus {
+                        Some(f) => Sequence::one(f.item.clone()),
+                        None => {
+                            return Err(Error::dynamic("relative path with absent context item"))
+                        }
+                    }
+                };
+                self.eval_steps(start, steps)
+            }
+            Plan::Step {
+                axis,
+                test,
+                predicates,
+            } => {
+                let node = match Self::context_item(focus)? {
+                    Item::Node(n) => n,
+                    Item::Atomic(_) => {
+                        return Err(Error::type_error("axis step on an atomic context item"))
+                    }
+                };
+                let axis_result = Sequence(
+                    axis_candidates(*axis, &node)
+                        .into_iter()
+                        .filter(|n| ptest_matches(*axis, n, test))
+                        .map(Item::Node)
+                        .collect(),
+                );
+                self.apply_predicates(axis_result, predicates)
+            }
+            Plan::Filter { base, predicates } => {
+                let seq = self.eval(base, focus)?;
+                self.apply_predicates(seq, predicates)
+            }
+            Plan::RelativePath {
+                base,
+                step,
+                descend,
+            } => {
+                let seq = self.eval(base, focus)?;
+                if *descend {
+                    let dos = Plan::Step {
+                        axis: Axis::DescendantOrSelf,
+                        test: PTest::AnyKind,
+                        predicates: vec![],
+                    };
+                    let mid = self.eval_steps(seq, std::slice::from_ref(&dos))?;
+                    self.eval_steps(mid, std::slice::from_ref(step))
+                } else {
+                    self.eval_steps(seq, std::slice::from_ref(step))
+                }
+            }
+            Plan::Or(a, b) => {
+                if self.eval(a, focus)?.effective_boolean()? {
+                    return Ok(Sequence::bool(true));
+                }
+                Ok(Sequence::bool(self.eval(b, focus)?.effective_boolean()?))
+            }
+            Plan::And(a, b) => {
+                if !self.eval(a, focus)?.effective_boolean()? {
+                    return Ok(Sequence::bool(false));
+                }
+                Ok(Sequence::bool(self.eval(b, focus)?.effective_boolean()?))
+            }
+            Plan::Comparison { op, left, right } => self.eval_comparison(*op, left, right, focus),
+            Plan::Arith { op, left, right } => self.eval_arith(*op, left, right, focus),
+            Plan::Set { op, left, right } => self.eval_set(*op, left, right, focus),
+            Plan::Range(a, b) => {
+                let la = self.eval(a, focus)?;
+                let lb = self.eval(b, focus)?;
+                if la.is_empty() || lb.is_empty() {
+                    return Ok(Sequence::empty());
+                }
+                let from = la.exactly_one()?.atomize().cast_integer()?;
+                let to = lb.exactly_one()?.atomize().cast_integer()?;
+                Ok((from..=to).map(|i| Item::Atomic(Atomic::Int(i))).collect())
+            }
+            Plan::Neg(p) => {
+                let v = self.eval(p, focus)?;
+                if v.is_empty() {
+                    return Ok(Sequence::empty());
+                }
+                match v.exactly_one()?.atomize() {
+                    Atomic::Int(i) => Ok(Sequence::int(-i)),
+                    a => Ok(Sequence::one(Atomic::Double(-a.to_double()))),
+                }
+            }
+            Plan::If { cond, then, els } => {
+                if self.eval(cond, focus)?.effective_boolean()? {
+                    self.eval(then, focus)
+                } else {
+                    match els {
+                        Some(e) => self.eval(e, focus),
+                        None => Ok(Sequence::empty()),
+                    }
+                }
+            }
+            Plan::Flwor {
+                clauses,
+                where_,
+                order,
+                ret,
+            } => self.eval_flwor(clauses, where_.as_deref(), order, ret, focus),
+            Plan::Quantified {
+                every,
+                bindings,
+                satisfies,
+            } => {
+                let result = self.quantify(*every, bindings, 0, satisfies, focus)?;
+                Ok(Sequence::bool(result))
+            }
+            Plan::DirectElement {
+                name,
+                attrs,
+                content,
+            } => {
+                let mut eattrs: Vec<(QName, String)> = Vec::new();
+                for (an, parts) in attrs {
+                    let mut value = String::new();
+                    for p in parts {
+                        match p {
+                            PAttrPart::Text(t) => value.push_str(t),
+                            PAttrPart::Expr(e) => {
+                                let v = self.eval(e, focus)?;
+                                value.push_str(&atomics_joined(&v));
+                            }
+                        }
+                    }
+                    eattrs.push((an.clone(), value));
+                }
+                let mut seq = Sequence::empty();
+                for c in content {
+                    match c {
+                        PContent::Text(t) => seq.0.push(Item::Node(text_node(t))),
+                        PContent::Expr(e) => {
+                            let v = self.eval(e, focus)?;
+                            seq = seq.concat(v);
+                        }
+                    }
+                }
+                let node = assemble_element(name.clone(), &eattrs, seq)?;
+                Ok(Sequence::one(node))
+            }
+            Plan::ComputedElement { name, content } => {
+                let n = self.eval(name, focus)?;
+                let qn = QName::parse_lexical(&n.string_value()?)
+                    .ok_or_else(|| Error::dynamic("invalid computed element name"))?;
+                let seq = self.eval(content, focus)?;
+                let node = assemble_element(qn, &[], seq)?;
+                Ok(Sequence::one(node))
+            }
+            Plan::ComputedAttribute { name, content } => {
+                let n = self.eval(name, focus)?;
+                let qn = QName::parse_lexical(&n.string_value()?)
+                    .ok_or_else(|| Error::dynamic("invalid computed attribute name"))?;
+                let v = self.eval(content, focus)?;
+                let value = atomics_joined(&v);
+                let mut b = DocBuilder::new();
+                b.start("attr-holder").attr(qn, value).end();
+                let doc = b.finish();
+                let attr = doc.document_element().expect("holder").attributes()[0].clone();
+                Ok(Sequence::one(attr))
+            }
+            Plan::ComputedText(e) => {
+                let v = self.eval(e, focus)?;
+                if v.is_empty() {
+                    return Ok(Sequence::empty());
+                }
+                let mut b = DocBuilder::new();
+                b.text(atomics_joined(&v));
+                let doc = b.finish();
+                let t = doc.root().children().first().cloned();
+                Ok(match t {
+                    Some(n) => Sequence::one(n),
+                    None => Sequence::empty(),
+                })
+            }
+            Plan::ComputedComment(e) => {
+                let v = self.eval(e, focus)?;
+                let mut b = DocBuilder::new();
+                b.comment(atomics_joined(&v));
+                let doc = b.finish();
+                Ok(Sequence::one(doc.root().children()[0].clone()))
+            }
+            Plan::ComputedDocument(e) => {
+                let seq = self.eval(e, focus)?;
+                let mut b = DocBuilder::new();
+                crate::eval::append_content(&mut b, &seq, &mut false)?;
+                let doc = b.finish();
+                Ok(Sequence::one(doc.root()))
+            }
+            Plan::Enqueue {
+                message,
+                queue,
+                props,
+            } => {
+                let seq = self.eval(message, focus)?;
+                let doc = sequence_to_document(&seq)?;
+                let mut eprops = Vec::new();
+                for (pname, pexpr) in props {
+                    let v = self.eval(pexpr, focus)?;
+                    let atom = match v.0.as_slice() {
+                        [] => Atomic::Str(String::new()),
+                        [item] => item.atomize(),
+                        _ => {
+                            return Err(Error::type_error(format!(
+                                "property `{pname}` value must be a single item"
+                            )))
+                        }
+                    };
+                    eprops.push((pname.clone(), atom));
+                }
+                self.updates.push(Update::Enqueue {
+                    queue: queue.clone(),
+                    message: doc,
+                    props: eprops,
+                });
+                Ok(Sequence::empty())
+            }
+            Plan::Reset { slicing, key } => {
+                let key_atom = match key {
+                    Some(k) => {
+                        let v = self.eval(k, focus)?;
+                        Some(v.exactly_one()?.atomize())
+                    }
+                    None => None,
+                };
+                self.updates.push(Update::Reset {
+                    slicing: slicing.clone(),
+                    key: key_atom,
+                });
+                Ok(Sequence::empty())
+            }
+            Plan::Insert {
+                source,
+                pos,
+                target,
+            } => {
+                let content = self.eval_nodes(source, focus)?;
+                let t = self.eval_single_node(target, focus)?;
+                self.updates.push(Update::Insert {
+                    target: t,
+                    pos: *pos,
+                    content,
+                });
+                Ok(Sequence::empty())
+            }
+            Plan::Delete { target } => {
+                for t in self.eval_nodes(target, focus)? {
+                    self.updates.push(Update::Delete { target: t });
+                }
+                Ok(Sequence::empty())
+            }
+            Plan::Replace {
+                target,
+                source,
+                value_of,
+            } => {
+                let t = self.eval_single_node(target, focus)?;
+                if *value_of {
+                    let v = self.eval(source, focus)?;
+                    self.updates.push(Update::ReplaceValue {
+                        target: t,
+                        value: atomics_joined(&v),
+                    });
+                } else {
+                    let content = self.eval_nodes(source, focus)?;
+                    self.updates.push(Update::Replace { target: t, content });
+                }
+                Ok(Sequence::empty())
+            }
+            Plan::Rename { target, name } => {
+                let t = self.eval_single_node(target, focus)?;
+                let n = self.eval(name, focus)?;
+                let qn = QName::parse_lexical(&n.string_value()?)
+                    .ok_or_else(|| Error::dynamic("invalid rename target name"))?;
+                self.updates.push(Update::Rename {
+                    target: t,
+                    name: qn,
+                });
+                Ok(Sequence::empty())
+            }
+            Plan::Cast { expr, ty } => {
+                let v = self.eval(expr, focus)?;
+                if v.is_empty() {
+                    return Ok(Sequence::empty());
+                }
+                let a = v.exactly_one()?.atomize();
+                Ok(Sequence::one(cast_atomic(&a, ty)?))
+            }
+            Plan::InstanceOf { expr, ty } => {
+                let v = self.eval(expr, focus)?;
+                let matches = match v.0.as_slice() {
+                    [Item::Atomic(a)] => a.type_name() == ty,
+                    [Item::Node(_)] => ty == "node()" || ty == "item()",
+                    _ => false,
+                };
+                Ok(Sequence::bool(matches))
+            }
+            Plan::Exists { root, steps } => {
+                let start: NodeRef = if *root {
+                    match Self::context_item(focus)? {
+                        Item::Node(n) => n.doc.root(),
+                        Item::Atomic(_) => {
+                            return Err(Error::type_error("`/` requires a node context item"))
+                        }
+                    }
+                } else {
+                    match focus {
+                        Some(f) => match &f.item {
+                            Item::Node(n) => n.clone(),
+                            Item::Atomic(_) => {
+                                return Err(Error::type_error(
+                                    "axis step on an atomic context item",
+                                ))
+                            }
+                        },
+                        None => {
+                            return Err(Error::dynamic("relative path with absent context item"))
+                        }
+                    }
+                };
+                let found = step_exists(&start, steps);
+                if found {
+                    EBV_SHORT_CIRCUITS.fetch_add(1, AtomicOrdering::Relaxed);
+                }
+                Ok(Sequence::bool(found))
+            }
+        }
+    }
+
+    // ---- paths ---------------------------------------------------------------
+
+    fn eval_steps(&mut self, mut current: Sequence, steps: &[Plan]) -> Result<Sequence> {
+        for (idx, step) in steps.iter().enumerate() {
+            let is_last = idx + 1 == steps.len();
+            let size = current.len();
+            let mut result = Sequence::empty();
+            for (i, item) in current.0.iter().enumerate() {
+                let f = Focus {
+                    item: item.clone(),
+                    pos: i + 1,
+                    size,
+                };
+                let part = self.eval(step, Some(&f))?;
+                result = result.concat(part);
+            }
+            let all_nodes = result.0.iter().all(|i| matches!(i, Item::Node(_)));
+            if all_nodes {
+                result = result.document_order_dedup()?;
+            } else if !is_last {
+                return Err(Error::type_error(
+                    "intermediate path step produced atomic values",
+                ));
+            } else if result.0.iter().any(|i| matches!(i, Item::Node(_))) {
+                return Err(Error::type_error("path step mixes nodes and atomic values"));
+            }
+            current = result;
+        }
+        Ok(current)
+    }
+
+    fn apply_predicates(&mut self, mut seq: Sequence, predicates: &[Plan]) -> Result<Sequence> {
+        for pred in predicates {
+            let size = seq.len();
+            let mut kept = Vec::new();
+            for (i, item) in seq.0.iter().enumerate() {
+                let f = Focus {
+                    item: item.clone(),
+                    pos: i + 1,
+                    size,
+                };
+                let v = self.eval(pred, Some(&f))?;
+                // Numeric predicate = positional test.
+                let keep = match v.0.as_slice() {
+                    [Item::Atomic(a)] if a.is_numeric() => a.to_double() == (i + 1) as f64,
+                    _ => v.effective_boolean()?,
+                };
+                if keep {
+                    kept.push(item.clone());
+                }
+            }
+            seq = Sequence(kept);
+        }
+        Ok(seq)
+    }
+
+    // ---- comparisons, arithmetic, sets ----------------------------------------
+
+    fn eval_comparison(
+        &mut self,
+        op: CompOp,
+        left: &Plan,
+        right: &Plan,
+        focus: Option<&Focus>,
+    ) -> Result<Sequence> {
+        let l = self.eval(left, focus)?;
+        let r = self.eval(right, focus)?;
+        use CompOp::*;
+        match op {
+            GenEq | GenNe | GenLt | GenLe | GenGt | GenGe => {
+                let la = l.atomized();
+                let ra = r.atomized();
+                for a in &la {
+                    for b in &ra {
+                        if let Some(ord) = a.value_cmp(b) {
+                            let hit = match op {
+                                GenEq => ord == Ordering::Equal,
+                                GenNe => ord != Ordering::Equal,
+                                GenLt => ord == Ordering::Less,
+                                GenLe => ord != Ordering::Greater,
+                                GenGt => ord == Ordering::Greater,
+                                GenGe => ord != Ordering::Less,
+                                _ => unreachable!(),
+                            };
+                            if hit {
+                                return Ok(Sequence::bool(true));
+                            }
+                        } else if matches!(op, GenNe) {
+                            // Incomparable values are "not equal".
+                            return Ok(Sequence::bool(true));
+                        }
+                    }
+                }
+                Ok(Sequence::bool(false))
+            }
+            ValEq | ValNe | ValLt | ValLe | ValGt | ValGe => {
+                if l.is_empty() || r.is_empty() {
+                    return Ok(Sequence::empty());
+                }
+                let a = l.exactly_one()?.atomize();
+                let b = r.exactly_one()?.atomize();
+                let ord = a.value_cmp(&b).ok_or_else(|| {
+                    Error::type_error(format!(
+                        "cannot compare {} with {}",
+                        a.type_name(),
+                        b.type_name()
+                    ))
+                })?;
+                let hit = match op {
+                    ValEq => ord == Ordering::Equal,
+                    ValNe => ord != Ordering::Equal,
+                    ValLt => ord == Ordering::Less,
+                    ValLe => ord != Ordering::Greater,
+                    ValGt => ord == Ordering::Greater,
+                    ValGe => ord != Ordering::Less,
+                    _ => unreachable!(),
+                };
+                Ok(Sequence::bool(hit))
+            }
+            Is | Precedes | Follows => {
+                if l.is_empty() || r.is_empty() {
+                    return Ok(Sequence::empty());
+                }
+                let a = l
+                    .exactly_one()?
+                    .as_node()
+                    .ok_or_else(|| Error::type_error("node comparison on atomic value"))?
+                    .clone();
+                let b = r
+                    .exactly_one()?
+                    .as_node()
+                    .ok_or_else(|| Error::type_error("node comparison on atomic value"))?
+                    .clone();
+                let hit = match op {
+                    Is => a.is_same_node(&b),
+                    Precedes => a < b,
+                    Follows => a > b,
+                    _ => unreachable!(),
+                };
+                Ok(Sequence::bool(hit))
+            }
+        }
+    }
+
+    fn eval_arith(
+        &mut self,
+        op: ArithOp,
+        left: &Plan,
+        right: &Plan,
+        focus: Option<&Focus>,
+    ) -> Result<Sequence> {
+        let l = self.eval(left, focus)?;
+        let r = self.eval(right, focus)?;
+        if l.is_empty() || r.is_empty() {
+            return Ok(Sequence::empty());
+        }
+        let a = l.exactly_one()?.atomize();
+        let b = r.exactly_one()?.atomize();
+        // Date/time arithmetic first.
+        match (&a, op, &b) {
+            (Atomic::DateTime(t), ArithOp::Add, Atomic::Duration(d))
+            | (Atomic::Duration(d), ArithOp::Add, Atomic::DateTime(t)) => {
+                return Ok(Sequence::one(Atomic::DateTime(t + d)));
+            }
+            (Atomic::DateTime(t), ArithOp::Sub, Atomic::Duration(d)) => {
+                return Ok(Sequence::one(Atomic::DateTime(t - d)));
+            }
+            (Atomic::DateTime(t1), ArithOp::Sub, Atomic::DateTime(t2)) => {
+                return Ok(Sequence::one(Atomic::Duration(t1 - t2)));
+            }
+            (Atomic::Duration(d1), ArithOp::Add, Atomic::Duration(d2)) => {
+                return Ok(Sequence::one(Atomic::Duration(d1 + d2)));
+            }
+            (Atomic::Duration(d1), ArithOp::Sub, Atomic::Duration(d2)) => {
+                return Ok(Sequence::one(Atomic::Duration(d1 - d2)));
+            }
+            (Atomic::Duration(d), ArithOp::Mul, n) | (n, ArithOp::Mul, Atomic::Duration(d))
+                if n.is_numeric() =>
+            {
+                return Ok(Sequence::one(Atomic::Duration(
+                    (*d as f64 * n.to_double()) as i64,
+                )));
+            }
+            _ => {}
+        }
+        let both_int = matches!(a, Atomic::Int(_)) && matches!(b, Atomic::Int(_));
+        let (x, y) = (a.to_double(), b.to_double());
+        let result = match op {
+            ArithOp::Add => x + y,
+            ArithOp::Sub => x - y,
+            ArithOp::Mul => x * y,
+            ArithOp::Div => {
+                if y == 0.0 && both_int {
+                    return Err(Error::division_by_zero());
+                }
+                x / y
+            }
+            ArithOp::IDiv => {
+                if y == 0.0 {
+                    return Err(Error::division_by_zero());
+                }
+                return Ok(Sequence::int((x / y).trunc() as i64));
+            }
+            ArithOp::Mod => {
+                if y == 0.0 {
+                    return Err(Error::division_by_zero());
+                }
+                x % y
+            }
+        };
+        if both_int && !matches!(op, ArithOp::Div) {
+            Ok(Sequence::int(result as i64))
+        } else {
+            Ok(Sequence::one(Atomic::Double(result)))
+        }
+    }
+
+    fn eval_set(
+        &mut self,
+        op: SetOp,
+        left: &Plan,
+        right: &Plan,
+        focus: Option<&Focus>,
+    ) -> Result<Sequence> {
+        let l = self.eval(left, focus)?;
+        let r = self.eval(right, focus)?;
+        let as_nodes = |s: &Sequence| -> Result<Vec<NodeRef>> {
+            s.0.iter()
+                .map(|i| {
+                    i.as_node()
+                        .cloned()
+                        .ok_or_else(|| Error::type_error("set operand must be nodes"))
+                })
+                .collect()
+        };
+        let ln = as_nodes(&l)?;
+        let rn = as_nodes(&r)?;
+        let identity = |n: &NodeRef| (n.doc.doc_seq, n.id);
+        let combined: Vec<NodeRef> = match op {
+            SetOp::Union => ln.iter().chain(rn.iter()).cloned().collect(),
+            SetOp::Intersect => {
+                let rset: std::collections::HashSet<_> = rn.iter().map(identity).collect();
+                ln.iter()
+                    .filter(|n| rset.contains(&identity(n)))
+                    .cloned()
+                    .collect()
+            }
+            SetOp::Except => {
+                let rset: std::collections::HashSet<_> = rn.iter().map(identity).collect();
+                ln.iter()
+                    .filter(|n| !rset.contains(&identity(n)))
+                    .cloned()
+                    .collect()
+            }
+        };
+        Sequence(combined.into_iter().map(Item::Node).collect()).document_order_dedup()
+    }
+
+    // ---- FLWOR / quantifiers ---------------------------------------------------
+
+    fn eval_flwor(
+        &mut self,
+        clauses: &[PClause],
+        where_: Option<&Plan>,
+        order: &[POrderSpec],
+        ret: &Plan,
+        focus: Option<&Focus>,
+    ) -> Result<Sequence> {
+        let base_len = self.frame.len();
+        if order.is_empty() {
+            let mut out = Sequence::empty();
+            self.stream_tuples(clauses, 0, focus, &mut |ev| {
+                let passed = match where_ {
+                    Some(w) => ev.eval(w, focus)?.effective_boolean()?,
+                    None => true,
+                };
+                if passed {
+                    out = std::mem::take(&mut out).concat(ev.eval(ret, focus)?);
+                }
+                Ok(())
+            })?;
+            debug_assert_eq!(self.frame.len(), base_len);
+            return Ok(out);
+        }
+
+        let n_slots = clause_slots(clauses);
+        let mut survivors: Vec<(Vec<Sequence>, Vec<Sequence>)> = Vec::new();
+        self.stream_tuples(clauses, 0, focus, &mut |ev| {
+            let passed = match where_ {
+                Some(w) => ev.eval(w, focus)?.effective_boolean()?,
+                None => true,
+            };
+            if passed {
+                let mut keys = Vec::with_capacity(order.len());
+                for spec in order {
+                    keys.push(ev.eval(&spec.key, focus)?);
+                }
+                let values = ev.frame[ev.frame.len() - n_slots..].to_vec();
+                survivors.push((values, keys));
+            }
+            Ok(())
+        })?;
+        debug_assert_eq!(self.frame.len(), base_len);
+
+        let flags: Vec<(bool, bool)> = order
+            .iter()
+            .map(|o| (o.descending, o.empty_greatest))
+            .collect();
+        survivors.sort_by(|(_, ka), (_, kb)| order_cmp(&flags, ka, kb));
+
+        let mut out = Sequence::empty();
+        for (values, _) in survivors {
+            let n = values.len();
+            self.frame.extend(values);
+            let r = self.eval(ret, focus);
+            self.frame.truncate(self.frame.len() - n);
+            out = out.concat(r?);
+        }
+        Ok(out)
+    }
+
+    fn stream_tuples(
+        &mut self,
+        clauses: &[PClause],
+        idx: usize,
+        focus: Option<&Focus>,
+        leaf: &mut dyn FnMut(&mut Self) -> Result<()>,
+    ) -> Result<()> {
+        if idx == clauses.len() {
+            return leaf(self);
+        }
+        match &clauses[idx] {
+            PClause::Let { value } => {
+                let v = self.eval(value, focus)?;
+                self.frame.push(v);
+                let r = self.stream_tuples(clauses, idx + 1, focus, leaf);
+                self.frame.pop();
+                r
+            }
+            PClause::For { at, source } => {
+                let src = self.eval(source, focus)?;
+                for (i, item) in src.0.iter().enumerate() {
+                    self.frame.push(Sequence::one(item.clone()));
+                    if *at {
+                        self.frame.push(Sequence::int(i as i64 + 1));
+                    }
+                    let r = self.stream_tuples(clauses, idx + 1, focus, leaf);
+                    if *at {
+                        self.frame.pop();
+                    }
+                    self.frame.pop();
+                    r?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn quantify(
+        &mut self,
+        every: bool,
+        bindings: &[Plan],
+        idx: usize,
+        satisfies: &Plan,
+        focus: Option<&Focus>,
+    ) -> Result<bool> {
+        if idx == bindings.len() {
+            return self.eval(satisfies, focus)?.effective_boolean();
+        }
+        let src = self.eval(&bindings[idx], focus)?;
+        for item in src.0 {
+            self.frame.push(Sequence::one(item));
+            let hit = self.quantify(every, bindings, idx + 1, satisfies, focus);
+            self.frame.pop();
+            let hit = hit?;
+            if every && !hit {
+                return Ok(false);
+            }
+            if !every && hit {
+                return Ok(true);
+            }
+        }
+        Ok(every)
+    }
+
+    // ---- updating helpers ------------------------------------------------------
+
+    fn eval_nodes(&mut self, p: &Plan, focus: Option<&Focus>) -> Result<Vec<NodeRef>> {
+        let v = self.eval(p, focus)?;
+        v.0.into_iter()
+            .map(|i| match i {
+                Item::Node(n) => Ok(n),
+                Item::Atomic(a) => Ok(text_node(&a.to_str())),
+            })
+            .collect()
+    }
+
+    fn eval_single_node(&mut self, p: &Plan, focus: Option<&Focus>) -> Result<NodeRef> {
+        let v = self.eval(p, focus)?;
+        match v.exactly_one()? {
+            Item::Node(n) => Ok(n.clone()),
+            Item::Atomic(_) => Err(Error::type_error("update target must be a node")),
+        }
+    }
+}
+
+/// Depth-first existence test over a predicate-free step chain; returns as
+/// soon as one full match is found.
+fn step_exists(node: &NodeRef, steps: &[(Axis, PTest)]) -> bool {
+    let Some(((axis, test), rest)) = steps.split_first() else {
+        return true;
+    };
+    axis_candidates(*axis, node)
+        .into_iter()
+        .any(|cand| ptest_matches(*axis, &cand, test) && step_exists(&cand, rest))
+}
+
+fn clause_slots(clauses: &[PClause]) -> usize {
+    clauses
+        .iter()
+        .map(|c| match c {
+            PClause::For { at: true, .. } => 2,
+            _ => 1,
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::StaticContext;
+    use crate::eval::Evaluator;
+    use crate::parser::parse_expr;
+
+    fn doc() -> std::sync::Arc<demaq_xml::Document> {
+        demaq_xml::parse(
+            "<order status='open'><item n='1'>widget</item><item n='2'>gadget</item>\
+             <total>42</total></order>",
+        )
+        .unwrap()
+    }
+
+    fn both(query: &str) -> (Result<Sequence>, Result<Sequence>) {
+        let sctx = StaticContext::default();
+        let dctx = DynamicContext::new(std::sync::Arc::new(crate::context::NoHost));
+        let expr = parse_expr(query).unwrap();
+        let plan = lower(&expr);
+        let d = doc();
+        let reference = Evaluator::new(&sctx, &dctx).eval_with_context(&expr, d.root());
+        let lowered = PlanEvaluator::new(&dctx).eval_with_context(&plan, d.root());
+        (reference, lowered)
+    }
+
+    fn assert_same(query: &str) {
+        let (reference, lowered) = both(query);
+        match (&reference, &lowered) {
+            (Ok(a), Ok(b)) => {
+                let fmt = |s: &Sequence| {
+                    s.0.iter()
+                        .map(|i| match i {
+                            Item::Atomic(a) => format!("{}:{}", a.type_name(), a.to_str()),
+                            Item::Node(n) => demaq_xml::serializer::serialize_node(n),
+                        })
+                        .collect::<Vec<_>>()
+                };
+                assert_eq!(fmt(a), fmt(b), "mismatch on `{query}`");
+            }
+            (Err(_), Err(_)) => {}
+            _ => panic!("divergence on `{query}`: ref={reference:?} plan={lowered:?}"),
+        }
+    }
+
+    #[test]
+    fn lowered_plan_matches_reference_on_paths_and_flwor() {
+        for q in [
+            "//item",
+            "//item/@n",
+            "/order/item[1]",
+            "/order/item[@n = '2']",
+            "count(//item)",
+            "if (//total) then 'y' else 'n'",
+            "if (//missing) then 'y' else 'n'",
+            "for $i in //item return string($i)",
+            "for $i at $p in //item order by $p descending return $i/@n",
+            "for $i in //item where $i/@n = '1' return $i",
+            "let $t := //total return $t + 0",
+            "some $i in //item satisfies $i = 'widget'",
+            "every $i in //item satisfies $i = 'widget'",
+            "//item union //total",
+            "//item intersect //item[1]",
+            "//item except //item[1]",
+            "1 + 2 * 3",
+            "(1, 2) = (2, 3)",
+            "-(//total)",
+            "'a' , 'b'",
+            "1 to 3",
+            "//total cast as xs:integer",
+            "string-join((for $i in //item return string($i)), ',')",
+        ] {
+            assert_same(q);
+        }
+    }
+
+    #[test]
+    fn lowered_plan_matches_reference_on_errors() {
+        for q in [
+            "1 div 0",
+            "$undefined",
+            "(//item)/(1 div 0)",
+            "('a','b') + 1",
+        ] {
+            assert_same(q);
+        }
+    }
+
+    #[test]
+    fn variables_resolve_to_slots() {
+        let expr = parse_expr("for $x in 1 to 3 let $y := $x return $y").unwrap();
+        let plan = lower(&expr);
+        fn has_free(p: &Plan) -> bool {
+            match p {
+                Plan::FreeVar(_) => true,
+                Plan::Flwor { clauses, ret, .. } => {
+                    clauses.iter().any(|c| match c {
+                        PClause::Let { value } => has_free(value),
+                        PClause::For { source, .. } => has_free(source),
+                    }) || has_free(ret)
+                }
+                _ => false,
+            }
+        }
+        assert!(!has_free(&plan), "lexical vars must lower to slots: {plan:?}");
+    }
+
+    #[test]
+    fn constants_fold() {
+        let expr = parse_expr("if (true()) then 1 + 0 else 2").unwrap();
+        // The cond folds away; the branch remains (arith is not folded —
+        // it stays an Arith node, which is fine).
+        let plan = lower(&expr);
+        assert!(
+            !matches!(plan, Plan::If { .. }),
+            "constant condition must fold: {plan:?}"
+        );
+        let expr = parse_expr("('a', 'b', 'c')").unwrap();
+        assert!(matches!(lower(&expr), Plan::Const(_)));
+    }
+
+    #[test]
+    fn ebv_paths_become_exists_and_short_circuit() {
+        let expr = parse_expr("if (//item) then 1 else 0").unwrap();
+        let plan = lower(&expr);
+        let Plan::If { cond, .. } = &plan else {
+            panic!("expected If: {plan:?}");
+        };
+        assert!(matches!(**cond, Plan::Exists { .. }), "cond: {cond:?}");
+
+        let dctx = DynamicContext::new(std::sync::Arc::new(crate::context::NoHost));
+        let before = ebv_short_circuits_total();
+        let d = doc();
+        let r = PlanEvaluator::new(&dctx)
+            .eval_with_context(&plan, d.root())
+            .unwrap();
+        assert_eq!(r.0.len(), 1);
+        assert!(ebv_short_circuits_total() > before);
+    }
+
+    #[test]
+    fn predicates_do_not_become_exists() {
+        // A numeric predicate is positional; EBV-lowering must not apply.
+        assert_same("/order/item[1]/@n");
+        let expr = parse_expr("//item[//total]").unwrap();
+        let plan = lower(&expr);
+        fn no_exists_in_predicates(p: &Plan) -> bool {
+            match p {
+                Plan::Step { predicates, .. } => {
+                    predicates.iter().all(|q| !matches!(q, Plan::Exists { .. }))
+                }
+                Plan::Path { steps, .. } => steps.iter().all(no_exists_in_predicates),
+                _ => true,
+            }
+        }
+        assert!(no_exists_in_predicates(&plan));
+    }
+}

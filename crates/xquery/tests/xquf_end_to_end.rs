@@ -17,7 +17,7 @@ fn run_updates(query: &str, xml: &str) -> (NodeRef, String) {
     let rebuilt = apply_tree_updates(&ev.updates).unwrap();
     let new_doc = rebuilt
         .get(&doc.doc_seq)
-        .map(|d| Arc::clone(d))
+        .map(Arc::clone)
         .unwrap_or_else(|| doc.clone());
     let xml_out = new_doc.root().to_xml();
     (doc.root(), xml_out)

@@ -39,6 +39,21 @@ awk '$1 == "demaq_core_doc_cache_hits_total" { hits = $2 }
            print "e10: doc_cache_hits=" hits " slice_seq_hits+appends=" seq }' \
     target/metrics/e10_doc_cache.prom
 
+echo "== bench smoke: E11 lowered execution plans =="
+# Asserts lowered >= reference rule-eval throughput internally (the 1.5x
+# floor runs in the full bench; smoke only gates "not slower") and that
+# plans were lowered and existence tests short-circuited.
+DEMAQ_E11_SMOKE=1 cargo bench --offline -p demaq-bench --bench e11_lowered_plans
+cp -f crates/bench/target/metrics/e11_lowered_plans.prom \
+      crates/bench/target/metrics/e11_lowered_plans_reference.prom target/metrics/ 2>/dev/null || true
+awk '$1 == "demaq_xquery_plans_lowered_total" { plans = $2 }
+     $1 == "demaq_xquery_ebv_short_circuits_total" { ebv = $2 }
+     $1 == "demaq_xquery_interned_symbols" { syms = $2 }
+     END { if (plans + 0 <= 0 || ebv + 0 <= 0 || syms + 0 <= 0) {
+               print "e11: lowered-plan counters are zero (plans=" plans ", ebv=" ebv ", syms=" syms ")"; exit 1 }
+           print "e11: plans_lowered=" plans " ebv_short_circuits=" ebv " interned_symbols=" syms }' \
+    target/metrics/e11_lowered_plans.prom
+
 echo "== clippy =="
 # --no-deps keeps the vendored shims out of the lint gate; warnings in
 # first-party crates are errors.
