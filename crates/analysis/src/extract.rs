@@ -1,0 +1,71 @@
+//! Extraction of embedded QDL programs from Rust sources.
+//!
+//! The repo's examples and paper-listing tests embed their application
+//! programs as Rust raw strings (`r#"create queue …"#`). `demaq-lint` and
+//! the analyzer test-suite lint those sources directly: every raw string
+//! literal that contains `create queue` is treated as a candidate
+//! program.
+
+/// All raw-string literals in `source` that look like QDL programs.
+pub fn extract_qdl_programs(source: &str) -> Vec<String> {
+    let bytes = source.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] != b'r' {
+            i += 1;
+            continue;
+        }
+        // The `r` must start the literal, not end an identifier or a word
+        // inside a string (`net.register(`, `… reminder"`).
+        if i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_') {
+            i += 1;
+            continue;
+        }
+        // r#+" opener. At least one # is required: a bare `r"` is
+        // indistinguishable from prose ending in `r` followed by a string
+        // quote, and the repo embeds programs exclusively as `r#"…"#`.
+        let mut j = i + 1;
+        while j < bytes.len() && bytes[j] == b'#' {
+            j += 1;
+        }
+        let hashes = j - (i + 1);
+        if hashes == 0 || j >= bytes.len() || bytes[j] != b'"' {
+            i += 1;
+            continue;
+        }
+        let body_start = j + 1;
+        let closer: String = format!("\"{}", "#".repeat(hashes));
+        match source[body_start..].find(&closer) {
+            Some(rel) => {
+                let body = &source[body_start..body_start + rel];
+                if body.contains("create queue") {
+                    out.push(body.to_string());
+                }
+                i = body_start + rel + closer.len();
+            }
+            None => break,
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_programs_and_skips_payloads() {
+        let src = r####"
+            let program = r#"
+                create queue inbox kind basic mode persistent
+            "#;
+            let payload = r#"<order><id>1</id></order>"#;
+            let nested = r##"create queue q2 kind basic mode transient"##;
+        "####;
+        let found = extract_qdl_programs(src);
+        assert_eq!(found.len(), 2);
+        assert!(found[0].contains("create queue inbox"));
+        assert!(found[1].contains("create queue q2"));
+    }
+}

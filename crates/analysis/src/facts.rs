@@ -1,0 +1,380 @@
+//! Per-rule facts consumed by the analyzer.
+//!
+//! A [`RuleFacts`] is the analyzer's view of one rule: where it is
+//! attached, which queues it reads and writes, every enqueue site with its
+//! guardedness, which properties it reads and sets, and whether the body
+//! constant-folds to a no-op. Facts can be built two ways:
+//!
+//! * [`RuleFacts::from_rule`] — from the raw parsed [`RuleDecl`] (the
+//!   `demaq-lint` CLI path, no compiler required);
+//! * [`RuleFacts::from_parts`] — from a compiled rule's already-extracted
+//!   read/write sets and rewritten body (the deploy-time path in
+//!   `demaq-core`).
+
+use demaq_qdl::{AppSpec, RuleDecl};
+use demaq_xquery::ast::{AttrValuePart, Axis, DirContent, FlworClause, NodeTest};
+use demaq_xquery::{fold_boolean, lower, Expr, Plan};
+
+/// One `do enqueue … into Q` occurrence in a rule body.
+#[derive(Debug, Clone)]
+pub struct EnqueueSite {
+    /// Target queue name.
+    pub queue: String,
+    /// True when the enqueue sits under a condition: an `if` branch, a
+    /// FLWOR `for`/`where`, a quantifier body, or a predicate. Unguarded
+    /// enqueues fire on *every* triggering message.
+    pub conditional: bool,
+    /// `with NAME value …` clauses; the second component is the value when
+    /// it is a string literal (used to follow echo-queue timer targets).
+    pub with_props: Vec<(String, Option<String>)>,
+}
+
+/// The analyzer's view of one rule.
+#[derive(Debug, Clone)]
+pub struct RuleFacts {
+    pub name: String,
+    /// Queue or slicing the rule is attached to.
+    pub target: String,
+    pub on_slicing: bool,
+    pub error_queue: Option<String>,
+    /// Queues read via `qs:queue("…")` / `collection("…")`.
+    pub reads_queues: Vec<String>,
+    /// Queues written via `do enqueue … into …`.
+    pub writes_queues: Vec<String>,
+    /// Every enqueue site with its guardedness.
+    pub enqueues: Vec<EnqueueSite>,
+    /// Literal arguments of `qs:property("…")` reads.
+    pub prop_reads: Vec<String>,
+    /// `do reset NAME …` slicing targets.
+    pub named_resets: Vec<String>,
+    /// Count of bare `do reset` occurrences (implicit slicing context).
+    pub bare_resets: usize,
+    /// Element names the trigger condition requires, when extractable.
+    pub trigger_elements: Option<Vec<String>>,
+    /// The body constant-folds away: either the whole body lowers to a
+    /// constant (a constant carries no updates), or it is `if (C) then …`
+    /// with `C` folding to false.
+    pub never_fires: bool,
+}
+
+impl RuleFacts {
+    /// Build facts from a raw parsed rule (no compiler rewrites applied).
+    pub fn from_rule(rule: &RuleDecl, spec: &AppSpec) -> RuleFacts {
+        let on_slicing = spec.slicing(&rule.target).is_some();
+        let mut f = RuleFacts {
+            name: rule.name.clone(),
+            target: rule.target.clone(),
+            on_slicing,
+            error_queue: rule.error_queue.clone(),
+            reads_queues: Vec::new(),
+            writes_queues: Vec::new(),
+            enqueues: Vec::new(),
+            prop_reads: Vec::new(),
+            named_resets: Vec::new(),
+            bare_resets: 0,
+            trigger_elements: extract_trigger_elements(&rule.body),
+            never_fires: false,
+        };
+        f.scan_body(&rule.body);
+        // A rule on a queue implicitly reads it via argument-less
+        // qs:queue(); record the target so flow facts match the compiled
+        // read set.
+        if !on_slicing && !f.reads_queues.contains(&rule.target) {
+            let reads_own = {
+                let mut saw = false;
+                rule.body.visit(&mut |e| {
+                    if let Expr::FunctionCall { name, args } = e {
+                        if name.prefix.as_deref() == Some("qs")
+                            && name.local == "queue"
+                            && args.is_empty()
+                        {
+                            saw = true;
+                        }
+                    }
+                });
+                saw
+            };
+            if reads_own {
+                f.reads_queues.push(rule.target.clone());
+            }
+        }
+        f.finish();
+        f
+    }
+
+    /// Build facts from a compiled rule's pieces: identity fields plus the
+    /// compiler's read/write sets and trigger filter, with enqueue sites,
+    /// property reads, and resets re-derived from the (rewritten) body.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts(
+        name: &str,
+        target: &str,
+        on_slicing: bool,
+        error_queue: Option<String>,
+        reads_queues: Vec<String>,
+        writes_queues: Vec<String>,
+        trigger_elements: Option<Vec<String>>,
+        body: &Expr,
+    ) -> RuleFacts {
+        let mut f = RuleFacts {
+            name: name.to_string(),
+            target: target.to_string(),
+            on_slicing,
+            error_queue,
+            reads_queues,
+            writes_queues,
+            enqueues: Vec::new(),
+            prop_reads: Vec::new(),
+            named_resets: Vec::new(),
+            bare_resets: 0,
+            trigger_elements,
+            never_fires: false,
+        };
+        f.scan_body(body);
+        f.finish();
+        f
+    }
+
+    fn scan_body(&mut self, body: &Expr) {
+        walk(body, false, self);
+        self.never_fires = body_never_fires(body);
+    }
+
+    fn finish(&mut self) {
+        for s in &self.enqueues {
+            self.writes_queues.push(s.queue.clone());
+        }
+        self.reads_queues.sort();
+        self.reads_queues.dedup();
+        self.writes_queues.sort();
+        self.writes_queues.dedup();
+        self.prop_reads.sort();
+        self.prop_reads.dedup();
+    }
+
+    /// Property names this rule sets via `with` clauses.
+    pub fn with_prop_names(&self) -> impl Iterator<Item = &str> {
+        self.enqueues
+            .iter()
+            .flat_map(|s| s.with_props.iter().map(|(n, _)| n.as_str()))
+    }
+}
+
+fn body_never_fires(body: &Expr) -> bool {
+    if let Expr::If { cond, .. } = body {
+        if fold_boolean(cond) == Some(false) {
+            return true;
+        }
+    }
+    // A body that folds to a constant cannot carry pending updates.
+    matches!(lower(body), Plan::Const(_))
+}
+
+/// Recursive walk tracking whether the current position is guarded by a
+/// condition (if / where / for / quantifier / predicate).
+fn walk(e: &Expr, guarded: bool, f: &mut RuleFacts) {
+    match e {
+        Expr::StringLit(_) | Expr::IntLit(_) | Expr::DoubleLit(_) => {}
+        Expr::Var(_) | Expr::ContextItem => {}
+        Expr::Sequence(es) => es.iter().for_each(|x| walk(x, guarded, f)),
+        Expr::FunctionCall { name, args } => {
+            let qs = name.prefix.as_deref() == Some("qs");
+            let bare = name.prefix.is_none() || name.prefix.as_deref() == Some("fn");
+            if qs && name.local == "property" {
+                if let Some(Expr::StringLit(p)) = args.first() {
+                    f.prop_reads.push(p.clone());
+                }
+            }
+            if (qs && name.local == "queue") || (bare && name.local == "collection") {
+                if let Some(Expr::StringLit(q)) = args.first() {
+                    f.reads_queues.push(q.clone());
+                }
+            }
+            args.iter().for_each(|a| walk(a, guarded, f));
+        }
+        Expr::Path { steps, .. } => steps.iter().for_each(|s| walk(s, guarded, f)),
+        Expr::Step { predicates, .. } => predicates.iter().for_each(|p| walk(p, true, f)),
+        Expr::Filter { base, predicates } => {
+            walk(base, guarded, f);
+            predicates.iter().for_each(|p| walk(p, true, f));
+        }
+        Expr::RelativePath { base, step, .. } => {
+            walk(base, guarded, f);
+            walk(step, guarded, f);
+        }
+        Expr::Or(a, b) | Expr::And(a, b) => {
+            walk(a, guarded, f);
+            walk(b, guarded, f);
+        }
+        Expr::Comparison { left, right, .. }
+        | Expr::Arith { left, right, .. }
+        | Expr::Set { left, right, .. } => {
+            walk(left, guarded, f);
+            walk(right, guarded, f);
+        }
+        Expr::Range(a, b) => {
+            walk(a, guarded, f);
+            walk(b, guarded, f);
+        }
+        Expr::Neg(a) => walk(a, guarded, f),
+        Expr::If { cond, then, els } => {
+            walk(cond, guarded, f);
+            walk(then, true, f);
+            if let Some(e) = els {
+                walk(e, true, f);
+            }
+        }
+        Expr::Flwor {
+            clauses,
+            where_,
+            order,
+            ret,
+        } => {
+            // A `for` over a possibly-empty source guards everything after
+            // it (zero iterations = nothing happens).
+            let mut g = guarded;
+            for c in clauses {
+                match c {
+                    FlworClause::For { source, .. } => {
+                        walk(source, g, f);
+                        g = true;
+                    }
+                    FlworClause::Let { value, .. } => walk(value, g, f),
+                }
+            }
+            if let Some(w) = where_ {
+                walk(w, g, f);
+                g = true;
+            }
+            order.iter().for_each(|o| walk(&o.key, g, f));
+            walk(ret, g, f);
+        }
+        Expr::Quantified {
+            bindings,
+            satisfies,
+            ..
+        } => {
+            bindings.iter().for_each(|(_, src)| walk(src, guarded, f));
+            walk(satisfies, true, f);
+        }
+        Expr::DirectElement { attrs, content, .. } => {
+            for (_, parts) in attrs {
+                for p in parts {
+                    if let AttrValuePart::Enclosed(x) = p {
+                        walk(x, guarded, f);
+                    }
+                }
+            }
+            for c in content {
+                match c {
+                    DirContent::Text(_) => {}
+                    DirContent::Enclosed(x) | DirContent::Expr(x) => walk(x, guarded, f),
+                }
+            }
+        }
+        Expr::ComputedElement { name, content } => {
+            walk(name, guarded, f);
+            walk(content, guarded, f);
+        }
+        Expr::ComputedAttribute { name, content } => {
+            walk(name, guarded, f);
+            walk(content, guarded, f);
+        }
+        Expr::ComputedText(x) | Expr::ComputedComment(x) | Expr::ComputedDocument(x) => {
+            walk(x, guarded, f)
+        }
+        Expr::Enqueue {
+            message,
+            queue,
+            props,
+        } => {
+            f.enqueues.push(EnqueueSite {
+                queue: queue.local.clone(),
+                conditional: guarded,
+                with_props: props
+                    .iter()
+                    .map(|(n, v)| {
+                        let lit = match v {
+                            Expr::StringLit(s) => Some(s.clone()),
+                            _ => None,
+                        };
+                        (n.clone(), lit)
+                    })
+                    .collect(),
+            });
+            walk(message, guarded, f);
+            props.iter().for_each(|(_, v)| walk(v, guarded, f));
+        }
+        Expr::Reset { slicing, key } => {
+            match slicing {
+                Some(s) => f.named_resets.push(s.local.clone()),
+                None => f.bare_resets += 1,
+            }
+            if let Some(k) = key {
+                walk(k, guarded, f);
+            }
+        }
+        Expr::Insert { source, target, .. } => {
+            walk(source, guarded, f);
+            walk(target, guarded, f);
+        }
+        Expr::Delete { target } => walk(target, guarded, f),
+        Expr::Replace { target, source, .. } => {
+            walk(target, guarded, f);
+            walk(source, guarded, f);
+        }
+        Expr::Rename { target, name } => {
+            walk(target, guarded, f);
+            walk(name, guarded, f);
+        }
+        Expr::Cast { expr, .. } | Expr::InstanceOf { expr, .. } => walk(expr, guarded, f),
+    }
+}
+
+/// If the body is `if (cond) then …`, the element names `cond` requires to
+/// exist (mirrors the compiler's trigger extraction; conservative).
+fn extract_trigger_elements(body: &Expr) -> Option<Vec<String>> {
+    let Expr::If { cond, .. } = body else {
+        return None;
+    };
+    let mut names = Vec::new();
+    if collect_required_elements(cond, &mut names) && !names.is_empty() {
+        Some(names)
+    } else {
+        None
+    }
+}
+
+fn collect_required_elements(e: &Expr, out: &mut Vec<String>) -> bool {
+    match e {
+        Expr::Path { root: true, steps } => {
+            for s in steps {
+                if let Expr::Step { axis, test, .. } = s {
+                    if matches!(
+                        axis,
+                        Axis::Child | Axis::Descendant | Axis::DescendantOrSelf
+                    ) {
+                        if let NodeTest::Name(q) = test {
+                            out.push(q.local.clone());
+                            return true;
+                        }
+                    }
+                }
+            }
+            false
+        }
+        Expr::And(a, b) => collect_required_elements(a, out) || collect_required_elements(b, out),
+        Expr::Or(a, b) => {
+            let mut left = Vec::new();
+            let mut right = Vec::new();
+            if collect_required_elements(a, &mut left) && collect_required_elements(b, &mut right) {
+                out.extend(left);
+                out.extend(right);
+                true
+            } else {
+                false
+            }
+        }
+        _ => false,
+    }
+}

@@ -1,0 +1,742 @@
+//! # demaq-analysis
+//!
+//! Whole-application static analysis for Demaq (paper Sec. 4): because the
+//! entire application — queues, properties, slicings, and the complete
+//! rule set — is declarative, it can be analyzed *as a whole* before a
+//! single message arrives. This crate builds the queue/rule message-flow
+//! graph from an [`AppSpec`] plus per-rule [`RuleFacts`] (read/write sets,
+//! enqueue sites, constant-folded conditions via `demaq-xquery`'s plan
+//! lowerer) and emits structured [`Diagnostic`]s with stable lint codes:
+//!
+//! | code | slug | default |
+//! |------|------|---------|
+//! | DQ001 | unknown-enqueue-target | deny |
+//! | DQ002 | enqueue-into-incoming-gateway | deny |
+//! | DQ003 | unreachable-queue | warn |
+//! | DQ004 | dead-rule | warn |
+//! | DQ005 | unguarded-flow-cycle | warn |
+//! | DQ006 | property-read-never-written | warn |
+//! | DQ007 | error-queue-cycle | deny |
+//! | DQ008 | slicing-key-misuse | warn |
+//!
+//! The same flow graph yields a deterministic global lock-acquisition
+//! order ([`Analysis::lock_order`]) that the engine uses for deadlock
+//! *avoidance* on cross-enqueueing rules.
+
+pub mod extract;
+pub mod facts;
+pub mod graph;
+
+pub use extract::extract_qdl_programs;
+pub use facts::{EnqueueSite, RuleFacts};
+pub use graph::{error_route_edges, strongly_connected, ErrorEdge, FlowEdge, FlowGraph};
+
+use demaq_qdl::{AppSpec, PropKind, QueueKind};
+use demaq_xml::schema::Schema;
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+/// Properties the engine itself writes on every message; reading them
+/// never needs an application-level writer.
+const SYSTEM_PROPS: &[&str] = &[
+    "creatingRule",
+    "createdAt",
+    "Sender",
+    "connection",
+    "errorPath",
+];
+
+/// What to do about a diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Suppressed entirely.
+    Allow,
+    /// Reported, deployment proceeds.
+    Warn,
+    /// Reported, deployment (or `demaq-lint`) fails.
+    Deny,
+}
+
+impl Severity {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Severity::Allow => "allow",
+            Severity::Warn => "warn",
+            Severity::Deny => "deny",
+        }
+    }
+}
+
+/// Stable lint codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LintCode {
+    /// DQ001: `do enqueue` into a queue that is not declared.
+    UnknownEnqueueTarget,
+    /// DQ002: `do enqueue` into an incoming gateway.
+    EnqueueIntoIncomingGateway,
+    /// DQ003: a queue nothing produces into, reads, or processes.
+    UnreachableQueue,
+    /// DQ004: a rule that can never fire.
+    DeadRule,
+    /// DQ005: a message-flow cycle with no condition on any edge.
+    UnguardedFlowCycle,
+    /// DQ006: a property read that no binding or enqueue ever writes.
+    PropertyReadNeverWritten,
+    /// DQ007: error routing that loops back into the failing path.
+    ErrorQueueCycle,
+    /// DQ008: slicing key that can never form slices / misused reset.
+    SlicingKeyMisuse,
+}
+
+impl LintCode {
+    pub const ALL: [LintCode; 8] = [
+        LintCode::UnknownEnqueueTarget,
+        LintCode::EnqueueIntoIncomingGateway,
+        LintCode::UnreachableQueue,
+        LintCode::DeadRule,
+        LintCode::UnguardedFlowCycle,
+        LintCode::PropertyReadNeverWritten,
+        LintCode::ErrorQueueCycle,
+        LintCode::SlicingKeyMisuse,
+    ];
+
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            LintCode::UnknownEnqueueTarget => "DQ001",
+            LintCode::EnqueueIntoIncomingGateway => "DQ002",
+            LintCode::UnreachableQueue => "DQ003",
+            LintCode::DeadRule => "DQ004",
+            LintCode::UnguardedFlowCycle => "DQ005",
+            LintCode::PropertyReadNeverWritten => "DQ006",
+            LintCode::ErrorQueueCycle => "DQ007",
+            LintCode::SlicingKeyMisuse => "DQ008",
+        }
+    }
+
+    pub fn slug(&self) -> &'static str {
+        match self {
+            LintCode::UnknownEnqueueTarget => "unknown-enqueue-target",
+            LintCode::EnqueueIntoIncomingGateway => "enqueue-into-incoming-gateway",
+            LintCode::UnreachableQueue => "unreachable-queue",
+            LintCode::DeadRule => "dead-rule",
+            LintCode::UnguardedFlowCycle => "unguarded-flow-cycle",
+            LintCode::PropertyReadNeverWritten => "property-read-never-written",
+            LintCode::ErrorQueueCycle => "error-queue-cycle",
+            LintCode::SlicingKeyMisuse => "slicing-key-misuse",
+        }
+    }
+
+    pub fn default_severity(&self) -> Severity {
+        match self {
+            LintCode::UnknownEnqueueTarget
+            | LintCode::EnqueueIntoIncomingGateway
+            | LintCode::ErrorQueueCycle => Severity::Deny,
+            _ => Severity::Warn,
+        }
+    }
+
+    /// Parse `"DQ001"` or a slug.
+    pub fn parse(s: &str) -> Option<LintCode> {
+        Self::ALL
+            .iter()
+            .copied()
+            .find(|c| c.as_str().eq_ignore_ascii_case(s) || c.slug() == s)
+    }
+}
+
+/// Per-application allow/warn/deny configuration.
+#[derive(Debug, Clone, Default)]
+pub struct LintConfig {
+    overrides: HashMap<LintCode, Severity>,
+}
+
+impl LintConfig {
+    pub fn new() -> LintConfig {
+        LintConfig::default()
+    }
+
+    /// Override one code's severity.
+    pub fn set(&mut self, code: LintCode, severity: Severity) -> &mut Self {
+        self.overrides.insert(code, severity);
+        self
+    }
+
+    /// Effective severity for a code.
+    pub fn severity(&self, code: LintCode) -> Severity {
+        self.overrides
+            .get(&code)
+            .copied()
+            .unwrap_or_else(|| code.default_severity())
+    }
+}
+
+/// One analyzer finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    pub code: LintCode,
+    pub severity: Severity,
+    /// What the finding is about, e.g. `rule fork` or `queue billing`.
+    pub subject: String,
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} [{} {}] {}: {}",
+            self.severity.as_str(),
+            self.code.as_str(),
+            self.code.slug(),
+            self.subject,
+            self.message
+        )
+    }
+}
+
+/// The analyzer's output: diagnostics, the flow graph, and the derived
+/// global lock-acquisition order.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    pub diagnostics: Vec<Diagnostic>,
+    pub graph: FlowGraph,
+    /// Queues in global lock-acquisition order (flow sources first).
+    pub lock_order: Vec<String>,
+}
+
+impl Analysis {
+    /// The highest severity among the diagnostics.
+    pub fn max_severity(&self) -> Option<Severity> {
+        self.diagnostics.iter().map(|d| d.severity).max()
+    }
+
+    pub fn has_deny(&self) -> bool {
+        self.max_severity() == Some(Severity::Deny)
+    }
+
+    /// Render for humans, one diagnostic per line.
+    pub fn render_human(&self) -> String {
+        if self.diagnostics.is_empty() {
+            return "no diagnostics\n".to_string();
+        }
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.to_string());
+            out.push('\n');
+        }
+        let denies = self
+            .diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Deny)
+            .count();
+        out.push_str(&format!(
+            "{} diagnostic(s), {} deny\n",
+            self.diagnostics.len(),
+            denies
+        ));
+        out
+    }
+
+    /// Render as a JSON document (hand-rolled; the build is offline and
+    /// dependency-free).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\"diagnostics\":[");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"code\":{},\"slug\":{},\"severity\":{},\"subject\":{},\"message\":{}}}",
+                json_str(d.code.as_str()),
+                json_str(d.code.slug()),
+                json_str(d.severity.as_str()),
+                json_str(&d.subject),
+                json_str(&d.message)
+            ));
+        }
+        let warns = self
+            .diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warn)
+            .count();
+        let denies = self
+            .diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Deny)
+            .count();
+        out.push_str(&format!(
+            "],\"summary\":{{\"total\":{},\"warn\":{},\"deny\":{}}},\"lock_order\":[",
+            self.diagnostics.len(),
+            warns,
+            denies
+        ));
+        for (i, q) in self.lock_order.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&json_str(q));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// JSON string literal with escaping (shared by the renderers and the
+/// `demaq-lint` CLI; the build is offline and dependency-free).
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Analyze an application from its raw parsed spec (facts derived with
+/// [`RuleFacts::from_rule`]; the `demaq-lint` / test path).
+pub fn analyze_spec(spec: &AppSpec, config: &LintConfig) -> Analysis {
+    let facts: Vec<RuleFacts> = spec
+        .rules
+        .iter()
+        .map(|r| RuleFacts::from_rule(r, spec))
+        .collect();
+    analyze(spec, &facts, config)
+}
+
+/// Analyze an application from a spec plus per-rule facts (the deploy-time
+/// path: facts come from the compiled rules' read/write sets).
+pub fn analyze(spec: &AppSpec, rules: &[RuleFacts], config: &LintConfig) -> Analysis {
+    let graph = FlowGraph::build(spec, rules);
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    let mut emit = |code: LintCode, subject: String, message: String| {
+        let severity = config.severity(code);
+        if severity != Severity::Allow {
+            diags.push(Diagnostic {
+                code,
+                severity,
+                subject,
+                message,
+            });
+        }
+    };
+
+    // Pre-parse declared schemas (parse failures are the compiler's
+    // concern, not the analyzer's).
+    let schemas: HashMap<&str, Schema> = spec
+        .schemas
+        .iter()
+        .filter_map(|(n, src)| Schema::parse(src).ok().map(|s| (n.as_str(), s)))
+        .collect();
+
+    // Properties written somewhere: a binding supplies a value, or an
+    // enqueue sets it via `with`.
+    let mut written_props: HashSet<&str> = SYSTEM_PROPS.iter().copied().collect();
+    for p in &spec.properties {
+        if !p.bindings.is_empty() || p.kind == PropKind::Explicit {
+            // Explicit properties may also be supplied by the sender at
+            // the gateway; treat them as externally writable.
+            written_props.insert(p.name.as_str());
+        }
+    }
+    for r in rules {
+        for n in r.with_prop_names() {
+            written_props.insert(n);
+        }
+    }
+
+    // ---- DQ001 / DQ002: enqueue targets -----------------------------------
+    for r in rules {
+        let mut seen: HashSet<(&str, bool)> = HashSet::new();
+        for s in &r.enqueues {
+            match spec.queue(&s.queue) {
+                None => {
+                    if seen.insert((s.queue.as_str(), false)) {
+                        emit(
+                            LintCode::UnknownEnqueueTarget,
+                            format!("rule {}", r.name),
+                            format!("enqueues into undeclared queue `{}`", s.queue),
+                        );
+                    }
+                }
+                Some(q) if q.kind == QueueKind::IncomingGateway => {
+                    if seen.insert((s.queue.as_str(), true)) {
+                        emit(
+                            LintCode::EnqueueIntoIncomingGateway,
+                            format!("rule {}", r.name),
+                            format!(
+                                "enqueues into incoming gateway `{}`; gateway queues only \
+                                 receive messages from remote endpoints",
+                                s.queue
+                            ),
+                        );
+                    }
+                }
+                Some(q) if q.kind == QueueKind::Echo => {
+                    for (p, lit) in &s.with_props {
+                        if p != "target" {
+                            continue;
+                        }
+                        if let Some(t) = lit.as_deref() {
+                            if spec.queue(t).map(|d| d.kind) == Some(QueueKind::IncomingGateway) {
+                                emit(
+                                    LintCode::EnqueueIntoIncomingGateway,
+                                    format!("rule {}", r.name),
+                                    format!(
+                                        "arms a timer on `{}` whose target `{t}` is an \
+                                         incoming gateway",
+                                        s.queue
+                                    ),
+                                );
+                            }
+                        }
+                    }
+                }
+                Some(_) => {}
+            }
+        }
+    }
+
+    // ---- DQ003: unreachable queues ----------------------------------------
+    let produced: HashSet<usize> = graph.produced_into();
+    let error_edges = error_route_edges(spec, rules);
+    let error_targets: HashSet<&str> = spec
+        .queues
+        .iter()
+        .filter_map(|q| q.error_queue.as_deref())
+        .chain(rules.iter().filter_map(|r| r.error_queue.as_deref()))
+        .chain(spec.system_error_queue.as_deref())
+        .collect();
+    let read_queues: HashSet<&str> = rules
+        .iter()
+        .flat_map(|r| r.reads_queues.iter().map(|q| q.as_str()))
+        .collect();
+    let bound_queues: HashSet<&str> = spec
+        .properties
+        .iter()
+        .flat_map(|p| p.bindings.iter())
+        .flat_map(|b| b.queues.iter().map(|q| q.as_str()))
+        .collect();
+    let ruled_queues: HashSet<&str> = rules
+        .iter()
+        .filter(|r| !r.on_slicing)
+        .map(|r| r.target.as_str())
+        .collect();
+    for q in &spec.queues {
+        if q.kind != QueueKind::Basic {
+            continue; // gateways and echo queues face the outside world
+        }
+        let idx = graph.index(&q.name);
+        let reachable = idx.is_some_and(|i| produced.contains(&i))
+            || error_targets.contains(q.name.as_str())
+            || read_queues.contains(q.name.as_str())
+            || bound_queues.contains(q.name.as_str())
+            || ruled_queues.contains(q.name.as_str());
+        if !reachable {
+            emit(
+                LintCode::UnreachableQueue,
+                format!("queue {}", q.name),
+                "nothing produces into, reads, or processes this queue: no rule enqueues \
+                 here, no error route targets it, no rule or property references it"
+                    .to_string(),
+            );
+        }
+    }
+
+    // ---- DQ004: dead rules ------------------------------------------------
+    for r in rules {
+        if r.never_fires {
+            emit(
+                LintCode::DeadRule,
+                format!("rule {}", r.name),
+                "the body constant-folds to a no-op (its condition can never hold)".to_string(),
+            );
+            continue;
+        }
+        if r.on_slicing {
+            continue;
+        }
+        let (Some(trigger), Some(queue)) = (&r.trigger_elements, spec.queue(&r.target)) else {
+            continue;
+        };
+        let Some(schema) = queue.schema.as_deref().and_then(|s| schemas.get(s)) else {
+            continue;
+        };
+        let vocab: HashSet<&str> = schema
+            .elements
+            .keys()
+            .map(|k| k.as_str())
+            .chain(schema.root.as_deref())
+            .collect();
+        if !trigger.iter().any(|t| vocab.contains(t.as_str())) {
+            emit(
+                LintCode::DeadRule,
+                format!("rule {}", r.name),
+                format!(
+                    "its trigger requires element(s) {} but schema `{}` of queue `{}` \
+                     declares none of them; the rule can never match",
+                    trigger
+                        .iter()
+                        .map(|t| format!("`{t}`"))
+                        .collect::<Vec<_>>()
+                        .join(", "),
+                    queue.schema.as_deref().unwrap_or(""),
+                    r.target
+                ),
+            );
+        }
+    }
+
+    // ---- DQ005: unguarded flow cycles -------------------------------------
+    for scc in graph.unguarded_cycles() {
+        let names: Vec<&str> = scc.iter().map(|&i| graph.queues[i].as_str()).collect();
+        let in_cycle: HashSet<usize> = scc.iter().copied().collect();
+        let mut rules_on_cycle: BTreeSet<&str> = BTreeSet::new();
+        for e in &graph.edges {
+            if !e.conditional && in_cycle.contains(&e.from) && in_cycle.contains(&e.to) {
+                rules_on_cycle.insert(e.rule.as_str());
+            }
+        }
+        emit(
+            LintCode::UnguardedFlowCycle,
+            format!("cycle {}", names.join(" -> ")),
+            format!(
+                "every edge of this message-flow cycle enqueues unconditionally \
+                 (rule(s) {}); once entered it loops forever",
+                rules_on_cycle
+                    .iter()
+                    .map(|r| format!("`{r}`"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+        );
+    }
+
+    // ---- DQ006: property read never written --------------------------------
+    let mut readers: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for r in rules {
+        for p in &r.prop_reads {
+            readers.entry(p.as_str()).or_default().insert(r.name.as_str());
+        }
+    }
+    for (prop, by) in readers {
+        if written_props.contains(prop) {
+            continue;
+        }
+        let who = by
+            .iter()
+            .map(|r| format!("`{r}`"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let detail = if spec.property(prop).is_some() {
+            "no binding supplies a value and no enqueue sets it"
+        } else {
+            "it is not declared and no enqueue sets it"
+        };
+        emit(
+            LintCode::PropertyReadNeverWritten,
+            format!("property {prop}"),
+            format!("read by rule(s) {who} but never written: {detail}"),
+        );
+    }
+
+    // ---- DQ007: error-queue routing cycles ---------------------------------
+    {
+        let mut adj = vec![Vec::new(); graph.queues.len()];
+        for e in &error_edges {
+            if let (Some(a), Some(b)) = (graph.index(&e.from), graph.index(&e.to)) {
+                adj[a].push(b);
+            }
+        }
+        for a in &mut adj {
+            a.sort_unstable();
+            a.dedup();
+        }
+        for scc in strongly_connected(graph.queues.len(), &adj) {
+            let cyclic = scc.len() > 1 || adj[scc[0]].contains(&scc[0]);
+            if !cyclic {
+                continue;
+            }
+            let names: Vec<&str> = scc.iter().map(|&i| graph.queues[i].as_str()).collect();
+            emit(
+                LintCode::ErrorQueueCycle,
+                format!("queue {}", names[0]),
+                format!(
+                    "error routing loops through {}: a failure inside the cycle re-enters \
+                     it and can ping-pong forever (Sec. 3.6 resolution rule > queue > system)",
+                    names
+                        .iter()
+                        .map(|n| format!("`{n}`"))
+                        .collect::<Vec<_>>()
+                        .join(" -> ")
+                ),
+            );
+        }
+    }
+
+    // ---- DQ008: slicing-key misuse -----------------------------------------
+    for s in &spec.slicings {
+        let Some(prop) = spec.property(&s.property) else {
+            continue; // undeclared key: validate's job
+        };
+        if prop.bindings.is_empty()
+            && prop.kind != PropKind::Explicit
+            && !rules
+                .iter()
+                .any(|r| r.with_prop_names().any(|n| n == s.property))
+        {
+            emit(
+                LintCode::SlicingKeyMisuse,
+                format!("slicing {}", s.name),
+                format!(
+                    "key property `{}` is never written on any queue (no binding, never \
+                     set at enqueue): slices can never form",
+                    s.property
+                ),
+            );
+        }
+    }
+    for r in rules {
+        for t in &r.named_resets {
+            if spec.slicing(t).is_none() {
+                emit(
+                    LintCode::SlicingKeyMisuse,
+                    format!("rule {}", r.name),
+                    format!("`do reset {t}` names an undeclared slicing"),
+                );
+            }
+        }
+        if r.bare_resets > 0 && !r.on_slicing {
+            emit(
+                LintCode::SlicingKeyMisuse,
+                format!("rule {}", r.name),
+                format!(
+                    "bare `do reset` in a rule on queue `{}`: reset needs a slicing \
+                     context (name one: `do reset S key …`)",
+                    r.target
+                ),
+            );
+        }
+    }
+
+    diags.sort_by(|a, b| {
+        (a.code, &a.subject, &a.message).cmp(&(b.code, &b.subject, &b.message))
+    });
+    diags.dedup();
+
+    let lock_order = graph.lock_order();
+    Analysis {
+        diagnostics: diags,
+        graph,
+        lock_order,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use demaq_qdl::parse_program;
+
+    fn run(src: &str) -> Analysis {
+        let spec = parse_program(src).expect("parse");
+        analyze_spec(&spec, &LintConfig::new())
+    }
+
+    fn codes(a: &Analysis) -> Vec<&'static str> {
+        a.diagnostics.iter().map(|d| d.code.as_str()).collect()
+    }
+
+    #[test]
+    fn clean_pipeline_has_no_diagnostics() {
+        let a = run(r#"
+            create queue inbox kind basic mode persistent
+            create queue outbox kind basic mode persistent
+            create rule fwd for inbox
+              if (//order) then do enqueue <fwd/> into outbox
+        "#);
+        assert!(a.diagnostics.is_empty(), "got: {:?}", a.diagnostics);
+        assert_eq!(a.lock_order, ["inbox", "outbox"], "sources rank first");
+    }
+
+    #[test]
+    fn unknown_enqueue_target_is_dq001_deny() {
+        let a = run(r#"
+            create queue inbox kind basic mode persistent
+            create rule fwd for inbox
+              if (//order) then do enqueue <fwd/> into nowhere
+        "#);
+        assert_eq!(codes(&a), ["DQ001"]);
+        assert!(a.has_deny());
+    }
+
+    #[test]
+    fn unguarded_self_loop_is_dq005() {
+        let a = run(r#"
+            create queue spin kind basic mode persistent
+            create rule again for spin
+              do enqueue <again/> into spin
+        "#);
+        assert_eq!(codes(&a), ["DQ005"]);
+    }
+
+    #[test]
+    fn guarded_cycle_is_clean() {
+        let a = run(r#"
+            create queue a kind basic mode persistent
+            create queue b kind basic mode persistent
+            create rule ab for a if (//go) then do enqueue <x/> into b
+            create rule ba for b do enqueue <x/> into a
+        "#);
+        assert!(a.diagnostics.is_empty(), "got: {:?}", a.diagnostics);
+    }
+
+    #[test]
+    fn allow_suppresses_and_deny_escalates() {
+        let src = r#"
+            create queue spin kind basic mode persistent
+            create rule again for spin
+              do enqueue <again/> into spin
+        "#;
+        let spec = parse_program(src).unwrap();
+        let mut cfg = LintConfig::new();
+        cfg.set(LintCode::UnguardedFlowCycle, Severity::Allow);
+        assert!(analyze_spec(&spec, &cfg).diagnostics.is_empty());
+        let mut cfg = LintConfig::new();
+        cfg.set(LintCode::UnguardedFlowCycle, Severity::Deny);
+        assert!(analyze_spec(&spec, &cfg).has_deny());
+    }
+
+    #[test]
+    fn lock_order_follows_flow_topology() {
+        let a = run(r#"
+            create queue sink kind basic mode persistent
+            create queue mid kind basic mode persistent
+            create queue src kind basic mode persistent
+            create rule r1 for src if (//x) then do enqueue <y/> into mid
+            create rule r2 for mid if (//y) then do enqueue <z/> into sink
+        "#);
+        assert_eq!(a.lock_order, ["src", "mid", "sink"]);
+    }
+
+    #[test]
+    fn json_rendering_carries_summary_and_lock_order() {
+        let a = run(r#"
+            create queue inbox kind basic mode persistent
+            create rule fwd for inbox
+              if (//order) then do enqueue <fwd/> into nowhere
+        "#);
+        let json = a.render_json();
+        assert!(json.starts_with("{\"diagnostics\":["));
+        assert!(json.contains("\"code\":\"DQ001\""));
+        assert!(json.contains("\"summary\":{\"total\":1,\"warn\":0,\"deny\":1}"));
+        assert!(json.contains("\"lock_order\":[\"inbox\"]"));
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+}

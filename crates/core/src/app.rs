@@ -7,6 +7,7 @@
 //! path.
 
 use crate::compiler::{self, CompiledRule};
+use demaq_analysis::{Analysis, LintConfig, RuleFacts};
 use demaq_net::WsdlInterface;
 use demaq_qdl::{AppSpec, PropKind, PropertyDecl, QueueDecl, QueueKind, SlicingDecl};
 use demaq_xml::schema::Schema;
@@ -46,6 +47,30 @@ pub struct CompiledApp {
     pub properties: HashMap<String, PropertyDecl>,
     /// property name -> slicing names keyed by it
     pub slicings_by_property: HashMap<String, Vec<String>>,
+    /// Whole-application static analysis (flow graph, diagnostics,
+    /// lock-order derivation), computed once at deploy time.
+    pub analysis: Analysis,
+    /// queue name -> global lock-acquisition rank (position in
+    /// [`Analysis::lock_order`]; flow sources rank first). Every
+    /// transaction acquires queue locks in ascending rank, which turns
+    /// deadlock detect-and-retry into deadlock avoidance for
+    /// cross-enqueueing rules.
+    pub lock_ranks: HashMap<String, u32>,
+}
+
+/// The analyzer's view of a compiled rule: identity fields plus the
+/// compiler's read/write sets and trigger filter.
+fn rule_facts(rule: &CompiledRule) -> RuleFacts {
+    RuleFacts::from_parts(
+        &rule.name,
+        &rule.target,
+        rule.on_slicing,
+        rule.error_queue.clone(),
+        rule.reads_queues.clone(),
+        rule.writes_queues.clone(),
+        rule.trigger_elements.clone(),
+        &rule.body,
+    )
 }
 
 /// Error while compiling an application.
@@ -167,12 +192,32 @@ impl CompiledApp {
             }
         }
 
+        // Whole-application analysis over the compiled rules' read/write
+        // sets (paper Sec. 4): diagnostics plus the flow-derived global
+        // lock-acquisition order. The builder decides what to do with the
+        // diagnostics (strict_analysis); ranks feed lock acquisition.
+        let facts: Vec<RuleFacts> = queues
+            .values()
+            .flat_map(|q| q.rules.iter())
+            .chain(slicings.values().flat_map(|s| s.rules.iter()))
+            .map(rule_facts)
+            .collect();
+        let analysis = demaq_analysis::analyze(&spec, &facts, &LintConfig::default());
+        let lock_ranks = analysis
+            .lock_order
+            .iter()
+            .enumerate()
+            .map(|(i, q)| (q.clone(), i as u32))
+            .collect();
+
         Ok(CompiledApp {
             spec,
             queues,
             slicings,
             properties,
             slicings_by_property,
+            analysis,
+            lock_ranks,
         })
     }
 

@@ -44,6 +44,9 @@ pub enum EngineError {
     Xml(String),
     Query(XqError),
     Config(String),
+    /// Deploy-time static analysis found deny-severity diagnostics and
+    /// the builder runs with [`StrictAnalysis::Deny`].
+    Analysis(String),
 }
 
 impl fmt::Display for EngineError {
@@ -54,6 +57,7 @@ impl fmt::Display for EngineError {
             EngineError::Xml(m) => write!(f, "XML error: {m}"),
             EngineError::Query(e) => write!(f, "query error: {e}"),
             EngineError::Config(m) => write!(f, "configuration error: {m}"),
+            EngineError::Analysis(m) => write!(f, "analysis rejected the application: {m}"),
         }
     }
 }
@@ -116,6 +120,7 @@ struct EngineMetrics {
     requeues: Counter,
     timers_fired: Counter,
     errors_routed: Counter,
+    error_route_cycles: Counter,
     gc_purged: Counter,
     rule_eval_ns: Histogram,
     txn_commit_ns: Histogram,
@@ -152,6 +157,7 @@ impl EngineMetrics {
             requeues: r.counter("demaq_engine_requeues_total"),
             timers_fired: r.counter("demaq_engine_timers_fired_total"),
             errors_routed: r.counter("demaq_engine_errors_routed_total"),
+            error_route_cycles: r.counter("demaq_core_error_route_cycles_total"),
             gc_purged: r.counter("demaq_engine_gc_purged_total"),
             rule_eval_ns: r.histogram("demaq_engine_rule_eval_ns"),
             txn_commit_ns: r.histogram("demaq_engine_txn_commit_ns"),
@@ -179,6 +185,22 @@ impl EngineMetrics {
                 .inc(),
         }
     }
+}
+
+/// What to do with deploy-time analysis diagnostics (the whole-application
+/// pass of `demaq-analysis`, paper Sec. 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StrictAnalysis {
+    /// Skip reporting entirely (the analysis still runs: the engine's
+    /// lock-order derivation needs its flow graph).
+    Off,
+    /// Record diagnostics as trace events and
+    /// `demaq_core_analysis_diagnostics_total{severity=…}` counters;
+    /// deployment proceeds. The default.
+    Warn,
+    /// Additionally refuse to deploy when any diagnostic has deny
+    /// severity.
+    Deny,
 }
 
 /// Payload parked on an echo-queue timer.
@@ -212,6 +234,8 @@ pub struct ServerBuilder {
     doc_cache_budget: usize,
     slice_seq_cache: bool,
     lowered_plans: bool,
+    strict_analysis: StrictAnalysis,
+    analysis_lock_order: bool,
 }
 
 impl Default for ServerBuilder {
@@ -237,6 +261,8 @@ impl Default for ServerBuilder {
             doc_cache_budget: 64 << 20,
             slice_seq_cache: true,
             lowered_plans: true,
+            strict_analysis: StrictAnalysis::Warn,
+            analysis_lock_order: true,
         }
     }
 }
@@ -376,6 +402,22 @@ impl ServerBuilder {
         self
     }
 
+    /// What to do with deploy-time analysis diagnostics. Defaults to
+    /// [`StrictAnalysis::Warn`].
+    pub fn strict_analysis(mut self, mode: StrictAnalysis) -> Self {
+        self.strict_analysis = mode;
+        self
+    }
+
+    /// Acquire queue locks in the analysis-derived global flow order
+    /// (deadlock avoidance). Disable to fall back to plain name order
+    /// (the pre-analysis behavior; benchmark comparison knob). Defaults
+    /// to enabled.
+    pub fn analysis_lock_order(mut self, enabled: bool) -> Self {
+        self.analysis_lock_order = enabled;
+        self
+    }
+
     /// Compile the application and open the store.
     pub fn build(self) -> Result<Server> {
         let spec = match (self.spec, self.program) {
@@ -387,6 +429,17 @@ impl ServerBuilder {
         };
         let app = CompiledApp::compile(spec, &self.wsdl_files)
             .map_err(|e| EngineError::Compile(e.to_string()))?;
+
+        if self.strict_analysis == StrictAnalysis::Deny && app.analysis.has_deny() {
+            let msgs: Vec<String> = app
+                .analysis
+                .diagnostics
+                .iter()
+                .filter(|d| d.severity == demaq_analysis::Severity::Deny)
+                .map(|d| d.to_string())
+                .collect();
+            return Err(EngineError::Analysis(msgs.join("; ")));
+        }
 
         let dir = match (self.dir, self.in_memory) {
             (Some(d), _) => d,
@@ -402,6 +455,17 @@ impl ServerBuilder {
             }
         };
         let obs = self.obs.unwrap_or_else(Obs::new);
+        if self.strict_analysis != StrictAnalysis::Off {
+            for d in &app.analysis.diagnostics {
+                obs.registry
+                    .counter_with(
+                        "demaq_core_analysis_diagnostics_total",
+                        &[("severity", d.severity.as_str())],
+                    )
+                    .inc();
+                obs.tracer.event("analysis.diagnostic", None, &d.subject, &d.message);
+            }
+        }
         let mut opts = StoreOptions::new(dir);
         opts.sync = self.sync;
         if let Some((max_batch, max_wait)) = self.group_commit {
@@ -460,6 +524,7 @@ impl ServerBuilder {
             )),
             slice_seq: SliceSeqCache::new(16, 4096, self.slice_seq_cache, &obs),
             obs,
+            analysis_lock_order: self.analysis_lock_order,
             active_workers: AtomicUsize::new(0),
         };
         // Recovery: re-schedule surviving unprocessed messages.
@@ -493,6 +558,9 @@ pub struct Server {
     /// Materialized slice member sequences, validated against the store's
     /// slice version counters.
     slice_seq: SliceSeqCache,
+    /// Order queue locks by the analysis-derived flow rank (deadlock
+    /// avoidance) instead of plain name order.
+    analysis_lock_order: bool,
     active_workers: AtomicUsize,
 }
 
@@ -1149,12 +1217,24 @@ impl Server {
                 }
             }
         }
-        // Deterministic order, exclusive-before-shared on equal keys, dedup.
-        plan.sort_by(|(a, am), (b, bm)| {
-            lock_key_order(a)
-                .cmp(&lock_key_order(b))
-                .then_with(|| (*am == LockMode::Shared).cmp(&(*bm == LockMode::Shared)))
-        });
+        // Deterministic global order, exclusive-before-shared on equal
+        // keys, dedup. With `analysis_lock_order` the queue dimension
+        // follows the analysis-derived flow rank (sources first), so every
+        // transaction acquires queue locks in one global order and
+        // cross-enqueueing rules cannot deadlock; name order is the
+        // comparison baseline. Comparison is allocation-free either way.
+        if self.analysis_lock_order {
+            let ranks = &self.app.lock_ranks;
+            plan.sort_by(|(a, am), (b, bm)| {
+                cmp_lock_keys_ranked(a, b, ranks)
+                    .then_with(|| (*am == LockMode::Shared).cmp(&(*bm == LockMode::Shared)))
+            });
+        } else {
+            plan.sort_by(|(a, am), (b, bm)| {
+                cmp_lock_keys_by_name(a, b)
+                    .then_with(|| (*am == LockMode::Shared).cmp(&(*bm == LockMode::Shared)))
+            });
+        }
         let mut seen: HashSet<LockKey> = HashSet::new();
         for (key, mode) in plan {
             if seen.insert(key.clone()) {
@@ -1487,14 +1567,47 @@ impl Server {
         msg_id: Option<MsgId>,
         payload: Option<&str>,
     ) -> Result<()> {
-        let Some(eq) = self.app.error_queue_for(rule_ref, queue) else {
+        // Queues this error's routing has already visited (threaded
+        // through the `errorPath` system property of error messages).
+        // Routing back into one of them would ping-pong forever — the
+        // runtime backstop for what the analyzer reports as DQ007.
+        let mut path: Vec<String> = msg_id
+            .and_then(|id| self.store.message_meta(id).ok())
+            .and_then(|meta| match meta.prop(system::ERROR_PATH) {
+                Some(PropValue::Str(s)) => {
+                    Some(s.split(',').map(str::to_string).collect())
+                }
+                _ => None,
+            })
+            .unwrap_or_default();
+        if !path.iter().any(|q| q == queue) {
+            path.push(queue.to_string());
+        }
+
+        let resolved = self.app.error_queue_for(rule_ref, queue).map(str::to_string);
+        let eq = match resolved {
+            Some(eq) if path.contains(&eq) => {
+                // Cycle: drop to the system error queue unless that is
+                // itself on the path already.
+                self.metrics.error_route_cycles.inc();
+                self.obs
+                    .tracer
+                    .event("error.route_cycle", msg_id.map(|m| m.0), &eq, detail);
+                self.app
+                    .spec
+                    .system_error_queue
+                    .clone()
+                    .filter(|sys| !path.iter().any(|p| p == sys))
+            }
+            other => other,
+        };
+        let Some(eq) = eq else {
             self.metrics.errors_routed.inc();
             self.obs
                 .tracer
                 .event("error.drop", msg_id.map(|m| m.0), queue, detail);
             return Ok(());
         };
-        let eq = eq.to_string();
         let doc = error_message(error_kind, detail, rule, queue, msg_id, payload);
         let xml = doc.root().to_xml();
         self.metrics.errors_routed.inc();
@@ -1504,7 +1617,13 @@ impl Server {
         // Error enqueue runs its own transaction; failures here are fatal
         // (the paper's "masking higher level failures" resort would be a
         // persistent error queue, which this is).
-        self.enqueue_with(&eq, &xml, &[], None, Vec::new())?;
+        self.enqueue_with(
+            &eq,
+            &xml,
+            &[],
+            None,
+            vec![(system::ERROR_PATH.to_string(), PropValue::Str(path.join(",")))],
+        )?;
         Ok(())
     }
 
@@ -1675,12 +1794,65 @@ impl DocCacheHandle {
     }
 }
 
-fn lock_key_order(k: &LockKey) -> (u8, String) {
+/// Lock-key category: queues first, then slices, then messages (matches
+/// the historical string-tuple order).
+fn lock_key_category(k: &LockKey) -> u8 {
     match k {
-        LockKey::Queue(q) => (0, q.clone()),
-        LockKey::Slice(s, v) => (1, format!("{s}\u{0}{v}")),
-        LockKey::Message(m) => (2, format!("{:020}", m.0)),
+        LockKey::Queue(_) => 0,
+        LockKey::Slice(..) => 1,
+        LockKey::Message(_) => 2,
     }
+}
+
+/// Total order over property values for the slice-lock dimension: by type
+/// tag, then by value (doubles via IEEE total order — only the *totality*
+/// matters for lock ranking, not the numeric semantics).
+fn cmp_prop_values(a: &PropValue, b: &PropValue) -> std::cmp::Ordering {
+    match (a, b) {
+        (PropValue::Str(x), PropValue::Str(y)) => x.cmp(y),
+        (PropValue::Int(x), PropValue::Int(y)) => x.cmp(y),
+        (PropValue::Bool(x), PropValue::Bool(y)) => x.cmp(y),
+        (PropValue::Double(x), PropValue::Double(y)) => x.total_cmp(y),
+        (PropValue::DateTime(x), PropValue::DateTime(y)) => x.cmp(y),
+        (PropValue::Duration(x), PropValue::Duration(y)) => x.cmp(y),
+        _ => a.tag().cmp(&b.tag()),
+    }
+}
+
+fn cmp_lock_keys_with(
+    a: &LockKey,
+    b: &LockKey,
+    queue_cmp: impl Fn(&str, &str) -> std::cmp::Ordering,
+) -> std::cmp::Ordering {
+    lock_key_category(a)
+        .cmp(&lock_key_category(b))
+        .then_with(|| match (a, b) {
+            (LockKey::Queue(x), LockKey::Queue(y)) => queue_cmp(x, y),
+            (LockKey::Slice(xs, xv), LockKey::Slice(ys, yv)) => {
+                xs.cmp(ys).then_with(|| cmp_prop_values(xv, yv))
+            }
+            (LockKey::Message(x), LockKey::Message(y)) => x.0.cmp(&y.0),
+            _ => std::cmp::Ordering::Equal,
+        })
+}
+
+/// Queue locks in the analysis-derived flow rank (ties and unranked
+/// queues by name).
+fn cmp_lock_keys_ranked(
+    a: &LockKey,
+    b: &LockKey,
+    ranks: &HashMap<String, u32>,
+) -> std::cmp::Ordering {
+    cmp_lock_keys_with(a, b, |x, y| {
+        let rx = ranks.get(x).copied().unwrap_or(u32::MAX);
+        let ry = ranks.get(y).copied().unwrap_or(u32::MAX);
+        rx.cmp(&ry).then_with(|| x.cmp(y))
+    })
+}
+
+/// The pre-analysis baseline: queue locks in name order.
+fn cmp_lock_keys_by_name(a: &LockKey, b: &LockKey) -> std::cmp::Ordering {
+    cmp_lock_keys_with(a, b, str::cmp)
 }
 
 /// Internal error classification during processing.

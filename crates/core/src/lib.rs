@@ -46,7 +46,8 @@ pub mod properties;
 pub mod scheduler;
 
 pub use app::CompiledApp;
-pub use engine::{EngineError, Server, ServerBuilder, ServerStats};
+pub use demaq_analysis as analysis;
+pub use engine::{EngineError, Server, ServerBuilder, ServerStats, StrictAnalysis};
 
 /// Result alias for engine operations.
 pub type Result<T> = std::result::Result<T, EngineError>;

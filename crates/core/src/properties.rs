@@ -42,6 +42,10 @@ pub mod system {
     pub const SENDER: &str = "Sender";
     /// Connection handle for synchronous exchanges.
     pub const CONNECTION: &str = "connection";
+    /// Comma-joined queues an error message's routing has already
+    /// visited; the engine uses it to break error-queue cycles at
+    /// runtime (Sec. 3.6 backstop).
+    pub const ERROR_PATH: &str = "errorPath";
 }
 
 /// Compute the full property list for a message entering `queue`.

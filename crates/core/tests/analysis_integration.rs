@@ -1,0 +1,186 @@
+//! Deploy-time strict analysis and its runtime backstops.
+//!
+//! Covers the three integration layers of the analyzer: the
+//! [`StrictAnalysis`] builder knob (Deny refuses a defective app, Warn
+//! reports it through the metric registry, Off stays silent), the
+//! deploy-time validation of enqueue targets plus its runtime backstop,
+//! and the error-routing cycle guard that breaks static DQ007 cycles at
+//! runtime by falling back to the system error queue.
+
+use demaq::engine::{EngineError, StrictAnalysis};
+use demaq::Server;
+use demaq_store::store::SyncPolicy;
+
+/// An app whose error routing is cyclic (DQ007): `work` and `handler`
+/// name each other as error queues and both carry rules, so a failure
+/// can ping-pong between them.
+const CYCLIC_ERROR_APP: &str = r#"
+    set errorqueue syserr
+    create queue work kind basic mode persistent errorqueue handler
+    create queue handler kind basic mode persistent errorqueue work
+    create queue syserr kind basic mode persistent
+    create queue sink kind basic mode persistent
+    create rule w for work
+      if (//m) then do enqueue <out>{1 idiv 0}</out> into sink
+    create rule h for handler
+      if (//initialMessage) then do enqueue <out>{1 idiv 0}</out> into sink
+"#;
+
+fn builder(program: &str) -> demaq::engine::ServerBuilder {
+    Server::builder()
+        .program(program)
+        .in_memory()
+        .sync_policy(SyncPolicy::Batch)
+}
+
+#[test]
+fn strict_deny_refuses_an_app_with_deny_diagnostics() {
+    let Err(err) = builder(CYCLIC_ERROR_APP)
+        .strict_analysis(StrictAnalysis::Deny)
+        .build()
+    else {
+        panic!("DQ007 is deny by default; build must fail")
+    };
+    match err {
+        EngineError::Analysis(msg) => {
+            assert!(msg.contains("DQ007"), "diagnostic code in message: {msg}");
+            assert!(msg.contains("error-queue-cycle"), "{msg}");
+        }
+        other => panic!("expected EngineError::Analysis, got: {other}"),
+    }
+}
+
+#[test]
+fn warn_mode_builds_and_counts_diagnostics() {
+    let s = builder(CYCLIC_ERROR_APP)
+        .strict_analysis(StrictAnalysis::Warn)
+        .build()
+        .expect("warn mode reports but deploys");
+    let text = s.metrics_text();
+    assert!(
+        text.contains("demaq_core_analysis_diagnostics_total{severity=\"deny\"}"),
+        "diagnostic counter in exposition:\n{text}"
+    );
+}
+
+#[test]
+fn off_mode_builds_without_diagnostic_counters() {
+    let s = builder(CYCLIC_ERROR_APP)
+        .strict_analysis(StrictAnalysis::Off)
+        .build()
+        .expect("off mode deploys silently");
+    assert_eq!(
+        s.metrics()
+            .registry
+            .counter_total("demaq_core_analysis_diagnostics_total"),
+        0
+    );
+}
+
+#[test]
+fn strict_deny_admits_a_clean_app() {
+    builder(
+        r#"
+        create queue inbox kind basic mode persistent
+        create queue outbox kind basic mode persistent
+        create rule fwd for inbox
+          if (//order) then do enqueue <fwd/> into outbox
+        "#,
+    )
+    .strict_analysis(StrictAnalysis::Deny)
+    .build()
+    .expect("clean app deploys under Deny");
+}
+
+// ---- enqueue-target checking: deploy-time and runtime layers -----------
+
+#[test]
+fn deploy_rejects_unknown_enqueue_target() {
+    // The QDL validator catches this before the analyzer even runs, in
+    // every strictness mode — DQ001 exists for programs assembled from
+    // facts that bypass validation.
+    let Err(err) = builder(
+        r#"
+        create queue inbox kind basic mode persistent
+        create rule fwd for inbox
+          if (//order) then do enqueue <fwd/> into nowhere
+        "#,
+    )
+    .strict_analysis(StrictAnalysis::Off)
+    .build() else {
+        panic!("validation must reject the unknown target")
+    };
+    assert!(
+        err.to_string().contains("undeclared queue `nowhere`"),
+        "got: {err}"
+    );
+}
+
+#[test]
+fn runtime_backstop_rejects_enqueue_into_unknown_queue() {
+    let s = builder(
+        r#"
+        create queue inbox kind basic mode persistent
+        "#,
+    )
+    .build()
+    .unwrap();
+    let err = s
+        .enqueue_external("nowhere", "<m/>")
+        .expect_err("runtime rejects unknown queues too");
+    assert!(err.to_string().contains("nowhere"), "got: {err}");
+}
+
+// ---- runtime guard for error-routing cycles ----------------------------
+
+#[test]
+fn error_route_cycle_breaks_to_system_error_queue() {
+    // Deploy the statically-cyclic app (Warn mode), then force the cycle
+    // at runtime: `w` fails on the original message, routing an error
+    // into `handler`; `h` fails on that error message, whose resolved
+    // error queue (`work`) is already on its error path. The guard must
+    // break the cycle, count it, and land the message in `syserr`.
+    let s = builder(CYCLIC_ERROR_APP)
+        .strict_analysis(StrictAnalysis::Warn)
+        .build()
+        .unwrap();
+    s.enqueue_external("work", "<m/>").unwrap();
+    s.run_until_idle().unwrap();
+
+    let cycles = s
+        .metrics()
+        .registry
+        .counter_total("demaq_core_error_route_cycles_total");
+    assert!(cycles >= 1, "cycle guard fired: {cycles}");
+    let sys = s.queue_bodies("syserr").unwrap();
+    assert_eq!(sys.len(), 1, "broken cycle lands in the system error queue");
+    assert!(
+        sys[0].contains("<initialMessage>"),
+        "the error chain is preserved: {}",
+        sys[0]
+    );
+    assert!(s.queue_bodies("sink").unwrap().is_empty());
+}
+
+#[test]
+fn acyclic_error_routing_does_not_trip_the_guard() {
+    let s = builder(
+        r#"
+        create queue q kind basic mode persistent errorqueue qErrors
+        create queue qErrors kind basic mode persistent
+        create rule failing for q
+          if (//m) then do enqueue <out>{1 idiv 0}</out> into q
+        "#,
+    )
+    .build()
+    .unwrap();
+    s.enqueue_external("q", "<m/>").unwrap();
+    s.run_until_idle().unwrap();
+    assert_eq!(s.queue_bodies("qErrors").unwrap().len(), 1);
+    assert_eq!(
+        s.metrics()
+            .registry
+            .counter_total("demaq_core_error_route_cycles_total"),
+        0
+    );
+}

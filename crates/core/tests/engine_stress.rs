@@ -38,6 +38,14 @@ fn cross_writing_rules_under_queue_locks_do_not_deadlock_forever() {
     // Cascade completes: every hop produced a ping, every ping a t.
     s.process_all_parallel(4).unwrap();
     assert_eq!(s.queue_bodies("done").unwrap().len(), 40);
+    // With the analysis-derived global lock order, workers acquire `a`
+    // and `b` in the same rank order and deadlocks never form — the
+    // detection/retry path stays as a backstop but must not fire here.
+    assert_eq!(
+        s.stats().deadlock_retries,
+        0,
+        "rank-ordered acquisition avoids deadlock entirely"
+    );
 }
 
 #[test]

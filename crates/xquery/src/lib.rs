@@ -36,7 +36,7 @@ pub use context::{DynamicContext, HostFunctions, NoHost, StaticContext};
 pub use error::{Error, Result};
 pub use eval::Evaluator;
 pub use parser::{parse_expr, parse_expr_prefix};
-pub use plan::{lower, Plan, PlanEvaluator};
+pub use plan::{fold_boolean, lower, Plan, PlanEvaluator};
 pub use update::{apply_tree_updates, Update};
 pub use value::{Atomic, Item, Sequence};
 

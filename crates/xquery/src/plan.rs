@@ -304,6 +304,29 @@ pub enum Plan {
     },
 }
 
+impl Plan {
+    /// The folded constant value, when lowering reduced this plan to a
+    /// constant (static-analysis introspection hook).
+    pub fn as_const(&self) -> Option<&Sequence> {
+        match self {
+            Plan::Const(seq) => Some(seq),
+            _ => None,
+        }
+    }
+}
+
+/// Constant-fold an expression through the lowerer and report its
+/// effective boolean value when it reduces to a constant. `None` means the
+/// value is not statically known (or has no EBV, e.g. a multi-atomic
+/// sequence). Used by the whole-application analyzer to find rule
+/// conditions that can never hold.
+pub fn fold_boolean(expr: &Expr) -> Option<bool> {
+    match lower(expr) {
+        Plan::Const(seq) => seq.effective_boolean().ok(),
+        _ => None,
+    }
+}
+
 // ---- lowering -----------------------------------------------------------------
 
 /// Lower an expression tree to an execution plan.

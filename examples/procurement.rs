@@ -39,6 +39,7 @@ const PROGRAM: &str = r#"
     create queue legal kind basic mode persistent
     create queue invoices kind basic mode persistent
     create queue crmErrors kind basic mode persistent
+    create queue deadLetter kind basic mode persistent
 
     create queue supplier kind outgoingGateway mode persistent
         interface supplier.wsdl port CapacityRequestPort
@@ -139,6 +140,7 @@ const PROGRAM: &str = r#"
 
     (: ---- Example 3.5: compensate dead customer links -------------------- :)
     create rule deadLink for crmErrors
+      errorqueue deadLetter
       if (/error/disconnectedTransport) then
         do enqueue <sendMessage><address>postal-address-on-file</address>
           {/error/initialMessage/*}</sendMessage> into postalService

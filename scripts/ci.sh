@@ -12,6 +12,18 @@ cargo build --release --offline --workspace
 echo "== test =="
 cargo test -q --offline --workspace
 
+echo "== demaq-lint: whole-application analysis =="
+LINT=target/release/demaq-lint
+# Every shipped program must analyze clean (exit 0)…
+"$LINT" --format json examples/*.rs tests/paper_listings.rs tests/slicing_fig2.rs \
+    | tee target/lint.json | tail -c 120; echo
+# …and the seeded-defect fixture must be caught (exit nonzero).
+if "$LINT" --format json scripts/lint/seeded_defect.qdl > /dev/null; then
+    echo "lint gate failed open: seeded defects were not detected" >&2
+    exit 1
+fi
+echo "lint: repo programs clean, seeded defects detected"
+
 echo "== crash-recovery suite (100 randomized kill points) =="
 DEMAQ_CRASH_ITERS=100 cargo test --offline -p demaq-store --test crash_recovery -- --nocapture
 

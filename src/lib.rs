@@ -1,6 +1,7 @@
 //! Umbrella crate re-exporting the Demaq workspace for examples and
 //! integration tests.
 pub use demaq as engine;
+pub use demaq_analysis as analysis;
 pub use demaq_qdl as qdl;
 pub use demaq_xml as xml;
 pub use demaq_xquery as xquery;
