@@ -18,6 +18,7 @@
 //! | DQ006 | property-read-never-written | warn |
 //! | DQ007 | error-queue-cycle | deny |
 //! | DQ008 | slicing-key-misuse | warn |
+//! | DQ009 | dead-end-lineage | warn |
 //!
 //! The same flow graph yields a deterministic global lock-acquisition
 //! order ([`Analysis::lock_order`]) that the engine uses for deadlock
@@ -43,6 +44,8 @@ const SYSTEM_PROPS: &[&str] = &[
     "Sender",
     "connection",
     "errorPath",
+    "parentMsg",
+    "rootMsg",
 ];
 
 /// What to do about a diagnostic.
@@ -85,10 +88,14 @@ pub enum LintCode {
     ErrorQueueCycle,
     /// DQ008: slicing key that can never form slices / misused reset.
     SlicingKeyMisuse,
+    /// DQ009: rule enqueues into a queue whose messages can never reach
+    /// an outgoing gateway or error queue (the causal chain dead-ends
+    /// unobserved).
+    DeadEndLineage,
 }
 
 impl LintCode {
-    pub const ALL: [LintCode; 8] = [
+    pub const ALL: [LintCode; 9] = [
         LintCode::UnknownEnqueueTarget,
         LintCode::EnqueueIntoIncomingGateway,
         LintCode::UnreachableQueue,
@@ -97,6 +104,7 @@ impl LintCode {
         LintCode::PropertyReadNeverWritten,
         LintCode::ErrorQueueCycle,
         LintCode::SlicingKeyMisuse,
+        LintCode::DeadEndLineage,
     ];
 
     pub fn as_str(&self) -> &'static str {
@@ -109,6 +117,7 @@ impl LintCode {
             LintCode::PropertyReadNeverWritten => "DQ006",
             LintCode::ErrorQueueCycle => "DQ007",
             LintCode::SlicingKeyMisuse => "DQ008",
+            LintCode::DeadEndLineage => "DQ009",
         }
     }
 
@@ -122,6 +131,7 @@ impl LintCode {
             LintCode::PropertyReadNeverWritten => "property-read-never-written",
             LintCode::ErrorQueueCycle => "error-queue-cycle",
             LintCode::SlicingKeyMisuse => "slicing-key-misuse",
+            LintCode::DeadEndLineage => "dead-end-lineage",
         }
     }
 
@@ -626,6 +636,111 @@ pub fn analyze(spec: &AppSpec, rules: &[RuleFacts], config: &LintConfig) -> Anal
         }
     }
 
+    // ---- DQ009: dead-end lineage -------------------------------------------
+    // Provenance-aware flow check: in an application that talks to the
+    // outside world (an outgoing gateway) or routes failures (error
+    // queues), every causal chain should be able to terminate somewhere
+    // observable — a gateway, an error queue, or a queue some rule reads
+    // back. A queue that rules enqueue into but from which no flow or
+    // error route reaches such a terminal collects messages whose lineage
+    // dead-ends unobserved. Self-contained pipelines (no gateways, no
+    // error routing) are exempt: their terminal queues *are* the output.
+    {
+        let has_outgoing = spec
+            .queues
+            .iter()
+            .any(|q| q.kind == QueueKind::OutgoingGateway);
+        if has_outgoing || !error_targets.is_empty() {
+            let n = graph.queues.len();
+            // Reverse adjacency over flow edges plus error-routing edges:
+            // lineage continues through both rule enqueues and failures.
+            let mut radj = vec![Vec::new(); n];
+            for e in &graph.edges {
+                radj[e.to].push(e.from);
+            }
+            for e in &error_edges {
+                if let (Some(a), Some(b)) = (graph.index(&e.from), graph.index(&e.to)) {
+                    radj[b].push(a);
+                }
+            }
+            let mut reaches = vec![false; n];
+            let mut stack: Vec<usize> = Vec::new();
+            for (i, name) in graph.queues.iter().enumerate() {
+                let terminal = spec.queue(name).map(|q| q.kind)
+                    == Some(QueueKind::OutgoingGateway)
+                    || error_targets.contains(name.as_str())
+                    || read_queues.contains(name.as_str());
+                if terminal {
+                    reaches[i] = true;
+                    stack.push(i);
+                }
+            }
+            // Echo queues armed with a non-literal `target` hop somewhere
+            // the analysis cannot resolve; give them the benefit of the
+            // doubt rather than report a false dead end.
+            for r in rules {
+                for s in &r.enqueues {
+                    if spec.queue(&s.queue).map(|q| q.kind) != Some(QueueKind::Echo) {
+                        continue;
+                    }
+                    let opaque_target = s.with_props.iter().any(|(p, lit)| {
+                        p == "target" && lit.as_deref().and_then(|t| graph.index(t)).is_none()
+                    });
+                    if opaque_target {
+                        if let Some(i) = graph.index(&s.queue) {
+                            if !reaches[i] {
+                                reaches[i] = true;
+                                stack.push(i);
+                            }
+                        }
+                    }
+                }
+            }
+            while let Some(v) = stack.pop() {
+                for &u in &radj[v] {
+                    if !reaches[u] {
+                        reaches[u] = true;
+                        stack.push(u);
+                    }
+                }
+            }
+            // One diagnostic per dead-end queue, naming its producers.
+            let mut producers: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+            for r in rules {
+                for s in &r.enqueues {
+                    let Some(q) = spec.queue(&s.queue) else {
+                        continue; // DQ001's job
+                    };
+                    if q.kind == QueueKind::IncomingGateway {
+                        continue; // DQ002's job
+                    }
+                    if graph.index(&s.queue).is_some_and(|i| !reaches[i]) {
+                        producers
+                            .entry(s.queue.as_str())
+                            .or_default()
+                            .insert(r.name.as_str());
+                    }
+                }
+            }
+            for (queue, by) in producers {
+                let who = by
+                    .iter()
+                    .map(|r| format!("`{r}`"))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                emit(
+                    LintCode::DeadEndLineage,
+                    format!("queue {queue}"),
+                    format!(
+                        "rule(s) {who} enqueue here, but no flow or error route leads from \
+                         `{queue}` to an outgoing gateway, an error queue, or a queue a rule \
+                         reads: the causal chain dead-ends unobserved"
+                    ),
+                );
+            }
+        }
+    }
+
     diags.sort_by(|a, b| {
         (a.code, &a.subject, &a.message).cmp(&(b.code, &b.subject, &b.message))
     });
@@ -723,6 +838,46 @@ mod tests {
             create rule r2 for mid if (//y) then do enqueue <z/> into sink
         "#);
         assert_eq!(a.lock_order, ["src", "mid", "sink"]);
+    }
+
+    #[test]
+    fn dead_end_lineage_needs_an_observable_world() {
+        // With an outgoing gateway in the app, a rule-fed queue that can
+        // never reach a gateway, error queue, or read queue is DQ009…
+        let a = run(r#"
+            create queue inbox kind basic mode persistent
+            create queue ship kind outgoingGateway mode persistent endpoint "urn:ship"
+            create queue limbo kind basic mode persistent
+            create rule send for inbox
+              if (//order) then do enqueue <req/> into ship
+            create rule stash for inbox
+              if (//order) then do enqueue <copy/> into limbo
+        "#);
+        assert_eq!(codes(&a), ["DQ009"], "{}", a.render_human());
+        assert_eq!(a.diagnostics[0].subject, "queue limbo");
+
+        // …but a queue some rule reads back is a legitimate terminal…
+        let a = run(r#"
+            create queue inbox kind basic mode persistent
+            create queue ship kind outgoingGateway mode persistent endpoint "urn:ship"
+            create queue audit kind basic mode persistent
+            create rule send for inbox
+              if (//order and not(qs:queue("audit")[/copy])) then
+                do enqueue <req/> into ship
+            create rule stash for inbox
+              if (//order) then do enqueue <copy/> into audit
+        "#);
+        assert!(a.diagnostics.is_empty(), "got: {:?}", a.diagnostics);
+
+        // …and a self-contained pipeline (no gateways, no error routing)
+        // is exempt: its terminal queues are the output.
+        let a = run(r#"
+            create queue inbox kind basic mode persistent
+            create queue outbox kind basic mode persistent
+            create rule fwd for inbox
+              if (//order) then do enqueue <fwd/> into outbox
+        "#);
+        assert!(a.diagnostics.is_empty(), "got: {:?}", a.diagnostics);
     }
 
     #[test]

@@ -166,6 +166,21 @@ fn bench_e10(c: &mut Criterion) {
         "e10: N={n} parses cached={parses} uncached={parses_uncached} \
          doc_hits={doc_hits} seq_hits+appends={seq_hits} rebuilds={rebuilds}"
     );
+
+    // Trajectory entry: the cache's parse-avoidance shape, machine-readable.
+    let mut report = demaq_bench::report::BenchReport::new("e10_doc_cache", smoke());
+    report
+        .result("slice_members", n as f64, "count")
+        .result("parses_cached", parses as f64, "count")
+        .result("parses_uncached", parses_uncached as f64, "count")
+        .result(
+            "parse_reduction",
+            parses_uncached as f64 / (parses as f64).max(1.0),
+            "x",
+        )
+        .result("doc_cache_hits", doc_hits as f64, "count")
+        .result("slice_seq_hits_and_appends", seq_hits as f64, "count");
+    report.write();
 }
 
 criterion_group!(benches, bench_e10);

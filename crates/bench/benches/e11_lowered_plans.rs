@@ -240,6 +240,17 @@ fn bench_e11(c: &mut Criterion) {
     }
     demaq_bench::dump_metrics(&server, "e11_lowered_plans");
 
+    // Trajectory entry: the lowered-vs-reference speedup, machine-readable.
+    let mut report = demaq_bench::report::BenchReport::new("e11_lowered_plans", smoke());
+    report
+        .result("rule_eval_speedup", speedup, "x")
+        .result("rule_eval_reference", ref_ns as f64, "ns")
+        .result("rule_eval_lowered", low_ns as f64, "ns")
+        .metric_from(&text, "demaq_xquery_plans_lowered_total")
+        .metric_from(&text, "demaq_xquery_ebv_short_circuits_total")
+        .metric_from(&text, "demaq_xquery_interned_symbols");
+    report.write();
+
     let server =
         pipeline_server_opts(PIPE_RULES, SyncPolicy::Batch, PlanMode::RuleAtATime, false, false);
     feed_pipeline(&server, messages, PIPE_RULES);

@@ -90,12 +90,29 @@ fn bench_e9(c: &mut Criterion) {
     group.finish();
 
     // One representative group-commit run with an attached registry, so
-    // the batch-size histogram and sync counters land in the dump.
+    // the batch-size histogram and sync counters land in the dump — and
+    // its headline numbers in BENCH_E9.json (schema demaq-bench/v1).
     let obs = Obs::new();
     let dir = TempDir::new().expect("tempdir");
     let store = open_store(&dir, 64, Some(Arc::clone(&obs)));
+    let commits = 4 * per_thread.max(32);
+    let started = std::time::Instant::now();
     run_workload(&store, 4, per_thread.max(32));
+    let secs = started.elapsed().as_secs_f64().max(1e-9);
     demaq_bench::dump_registry(&obs.registry, "e9_group_commit");
+
+    let text = obs.registry.render_text();
+    let mut report = demaq_bench::report::BenchReport::new(
+        "e9_group_commit",
+        std::env::var("DEMAQ_E9_SMOKE").is_ok(),
+    );
+    report
+        .result("commit_throughput", commits as f64 / secs, "commits/s")
+        .result("commits", commits as f64, "count")
+        .result("workers", 4.0, "threads")
+        .metric_from(&text, "demaq_store_commits_total")
+        .metric_from(&text, "demaq_store_group_commit_waits_total");
+    report.write();
 }
 
 criterion_group!(benches, bench_e9);

@@ -1,0 +1,97 @@
+//! `bench-check` — validate the machine-readable bench trajectory.
+//!
+//! ```text
+//! bench-check [--require e9,e10,e11,e12] FILE...
+//! ```
+//!
+//! Validates every `BENCH_E*.json` argument against the
+//! `demaq-bench/v1` schema (see `demaq_bench::report`). With
+//! `--require`, additionally fails unless each listed experiment number
+//! is covered by a valid report among the inputs — the CI gate that a
+//! bench which ran also emitted its trajectory entry. A missing or
+//! unreadable file is a failure, not a skip: a bench that ran without
+//! writing its report is exactly the regression this tool exists to
+//! catch. Exit status: 0 all valid (and required experiments covered),
+//! 1 otherwise, 2 on usage errors.
+
+use demaq_bench::report;
+use std::collections::BTreeSet;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut required: BTreeSet<String> = BTreeSet::new();
+    let mut paths: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--require" => {
+                let Some(list) = args.next() else {
+                    eprintln!("bench-check: --require expects a comma-separated list (e9,e12)");
+                    return ExitCode::from(2);
+                };
+                required.extend(list.split(',').map(|s| s.trim().to_string()));
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: bench-check [--require e9,e10,...] FILE...\n\
+                     Validates BENCH_E*.json reports against the demaq-bench/v1 schema."
+                );
+                return ExitCode::SUCCESS;
+            }
+            p if !p.starts_with('-') => paths.push(p.to_string()),
+            other => {
+                eprintln!("bench-check: unknown option {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if paths.is_empty() {
+        eprintln!("bench-check: no input files");
+        return ExitCode::from(2);
+    }
+
+    let mut failed = false;
+    let mut covered: BTreeSet<String> = BTreeSet::new();
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("bench-check: FAIL {path}: cannot read: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        match report::validate(&text) {
+            Ok(summary) => {
+                // The experiment's `e<digits>` prefix is its coverage key.
+                let prefix = summary.experiment.split('_').next().unwrap_or_default();
+                covered.insert(prefix.to_string());
+                println!(
+                    "bench-check: ok {path}: {} ({}, {} result(s))",
+                    summary.experiment, summary.mode, summary.results
+                );
+            }
+            Err(e) => {
+                eprintln!("bench-check: FAIL {path}: {e}");
+                failed = true;
+            }
+        }
+    }
+
+    for want in &required {
+        if !covered.contains(want) {
+            eprintln!(
+                "bench-check: FAIL required experiment `{want}` has no valid report \
+                 (the bench ran without emitting its BENCH_E*.json)"
+            );
+            failed = true;
+        }
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

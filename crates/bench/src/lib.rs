@@ -4,6 +4,8 @@
 //! this module provides the common Demaq server configurations so the
 //! experiments measure the intended dimension and nothing else.
 
+pub mod report;
+
 use demaq::engine::PlanMode;
 use demaq::Server;
 use demaq_store::store::SyncPolicy;

@@ -17,7 +17,10 @@ use crate::host::{atomic_to_prop, prop_to_atomic, QsHost, SliceCtx};
 use crate::properties::{compute_properties, system, PropError};
 use crate::scheduler::Scheduler;
 use demaq_net::{Clock, Envelope, Network, TimerWheel};
-use demaq_obs::{Counter, Gauge, Histogram, Obs, TraceEvent};
+use demaq_obs::{
+    Counter, Gauge, Histogram, Lineage, LineageRecord, Obs, ProvenanceIndex, TraceCtx, TraceEvent,
+    TraceFilter,
+};
 use demaq_qdl::{parse_program, AppSpec, QueueKind};
 use demaq_store::store::SyncPolicy;
 use demaq_store::{
@@ -129,6 +132,8 @@ struct EngineMetrics {
     /// queue set is fixed by the compiled application) so the hot path
     /// never re-derives a labeled series key.
     per_queue: HashMap<String, QueueCounters>,
+    /// Per-rule attribution handles, keyed by rule name.
+    per_rule: HashMap<String, RuleMetrics>,
 }
 
 struct QueueCounters {
@@ -136,8 +141,45 @@ struct QueueCounters {
     enqueued: Counter,
 }
 
+/// Per-rule attribution handles, resolved once at build (the rule set is
+/// fixed by the compiled application): evaluation wall time, firings, and
+/// messages produced. Exposed as
+/// `demaq_engine_rule_time_ns{rule=…}` / `…_rule_fires_total{rule=…}` /
+/// `…_rule_produced_total{rule=…}` and snapshotted by
+/// [`Server::rule_profiles`].
+struct RuleMetrics {
+    time_ns: Histogram,
+    fires: Counter,
+    produced: Counter,
+}
+
+/// Snapshot of one rule's wall-time attribution (from
+/// [`Server::rule_profiles`]). Quantiles come from the log2 histogram
+/// backing `demaq_engine_rule_time_ns{rule=…}`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuleProfile {
+    /// Rule name as declared.
+    pub rule: String,
+    /// Times the rule body was evaluated.
+    pub fires: u64,
+    /// Messages its `do enqueue` actions produced.
+    pub messages_produced: u64,
+    /// Median evaluation time (ns).
+    pub eval_ns_p50: u64,
+    /// 99th-percentile evaluation time (ns).
+    pub eval_ns_p99: u64,
+    /// Mean evaluation time (ns).
+    pub eval_ns_mean: f64,
+    /// Total evaluation time (ns).
+    pub eval_ns_total: u64,
+}
+
 impl EngineMetrics {
-    fn new<'q>(obs: &Obs, queues: impl Iterator<Item = &'q str>) -> EngineMetrics {
+    fn new<'q>(
+        obs: &Obs,
+        queues: impl Iterator<Item = &'q str>,
+        rules: impl Iterator<Item = &'q str>,
+    ) -> EngineMetrics {
         let r = &obs.registry;
         let per_queue = queues
             .map(|q| {
@@ -146,6 +188,19 @@ impl EngineMetrics {
                     QueueCounters {
                         processed: r.counter_with("demaq_engine_processed_total", &[("queue", q)]),
                         enqueued: r.counter_with("demaq_engine_enqueued_total", &[("queue", q)]),
+                    },
+                )
+            })
+            .collect();
+        let per_rule = rules
+            .map(|name| {
+                (
+                    name.to_string(),
+                    RuleMetrics {
+                        time_ns: r.histogram_with("demaq_engine_rule_time_ns", &[("rule", name)]),
+                        fires: r.counter_with("demaq_engine_rule_fires_total", &[("rule", name)]),
+                        produced: r
+                            .counter_with("demaq_engine_rule_produced_total", &[("rule", name)]),
                     },
                 )
             })
@@ -163,6 +218,22 @@ impl EngineMetrics {
             txn_commit_ns: r.histogram("demaq_engine_txn_commit_ns"),
             scheduler_depth: r.gauge("demaq_engine_scheduler_depth"),
             per_queue,
+            per_rule,
+        }
+    }
+
+    /// Attribute one rule evaluation: wall time + firing count.
+    fn record_rule_eval(&self, rule: &str, elapsed: std::time::Duration) {
+        if let Some(rm) = self.per_rule.get(rule) {
+            rm.time_ns.record(elapsed);
+            rm.fires.inc();
+        }
+    }
+
+    /// Attribute one produced message to the rule that enqueued it.
+    fn record_rule_produced(&self, rule: &str) {
+        if let Some(rm) = self.per_rule.get(rule) {
+            rm.produced.inc();
         }
     }
 
@@ -236,6 +307,7 @@ pub struct ServerBuilder {
     lowered_plans: bool,
     strict_analysis: StrictAnalysis,
     analysis_lock_order: bool,
+    provenance_capacity: usize,
 }
 
 impl Default for ServerBuilder {
@@ -263,6 +335,7 @@ impl Default for ServerBuilder {
             lowered_plans: true,
             strict_analysis: StrictAnalysis::Warn,
             analysis_lock_order: true,
+            provenance_capacity: 65_536,
         }
     }
 }
@@ -418,6 +491,14 @@ impl ServerBuilder {
         self
     }
 
+    /// Capacity of the in-memory causal provenance index (records, min
+    /// 64). The index is a cache over the store's durable lineage;
+    /// eviction never loses durable information. Defaults to 65 536.
+    pub fn provenance_capacity(mut self, records: usize) -> Self {
+        self.provenance_capacity = records;
+        self
+    }
+
     /// Compile the application and open the store.
     pub fn build(self) -> Result<Server> {
         let spec = match (self.spec, self.program) {
@@ -503,7 +584,47 @@ impl ServerBuilder {
             GatewayManager::new(&app, Arc::clone(&net), self.server_addr, Arc::clone(&obs));
         let timers = TimerWheel::new();
         timers.attach_fire_counter(obs.registry.counter("demaq_net_timer_fired_total"));
-        let metrics = EngineMetrics::new(&obs, app.queues.keys().map(String::as_str));
+        let metrics = EngineMetrics::new(
+            &obs,
+            app.queues.keys().map(String::as_str),
+            app.queues
+                .values()
+                .flat_map(|q| q.rules.iter())
+                .chain(app.slicings.values().flat_map(|s| s.rules.iter()))
+                .map(|r| r.name.as_str()),
+        );
+
+        // Rebuild the causal index from the store's durable lineage (WAL
+        // `Lineage` records replayed by recovery), then backfill root
+        // records for causal-tree roots that are still retained — roots
+        // have no durable edge of their own.
+        let provenance = ProvenanceIndex::new(self.provenance_capacity);
+        let edges = store.lineage_edges();
+        for e in &edges {
+            provenance.record(LineageRecord {
+                msg: e.msg.0,
+                parent: Some(e.parent.0),
+                root: e.root.0,
+                rule: (!e.rule.is_empty()).then(|| e.rule.clone()),
+                queue: e.queue.clone(),
+                lsn: e.lsn.map(|l| l.0),
+            });
+        }
+        let derived: HashSet<u64> = edges.iter().map(|e| e.msg.0).collect();
+        for e in &edges {
+            if !derived.contains(&e.root.0) {
+                if let Ok(meta) = store.message_meta(e.root) {
+                    provenance.record(LineageRecord {
+                        msg: e.root.0,
+                        parent: None,
+                        root: e.root.0,
+                        rule: None,
+                        queue: meta.queue.clone(),
+                        lsn: None,
+                    });
+                }
+            }
+        }
 
         let server = Server {
             app,
@@ -525,6 +646,7 @@ impl ServerBuilder {
             slice_seq: SliceSeqCache::new(16, 4096, self.slice_seq_cache, &obs),
             obs,
             analysis_lock_order: self.analysis_lock_order,
+            provenance,
             active_workers: AtomicUsize::new(0),
         };
         // Recovery: re-schedule surviving unprocessed messages.
@@ -561,6 +683,9 @@ pub struct Server {
     /// Order queue locks by the analysis-derived flow rank (deadlock
     /// avoidance) instead of plain name order.
     analysis_lock_order: bool,
+    /// Bounded causal index over message lineage — a cache over the
+    /// store's durable `Lineage` records, rebuilt at startup.
+    provenance: ProvenanceIndex,
     active_workers: AtomicUsize,
 }
 
@@ -652,12 +777,54 @@ impl Server {
         self.obs.tracer.tail(n)
     }
 
+    /// The most recent `n` trace events matching `filter` (by queue,
+    /// message id, or causal tree), oldest first.
+    pub fn trace_tail_filtered(&self, n: usize, filter: &TraceFilter) -> Vec<TraceEvent> {
+        self.obs.tracer.tail_filtered(n, filter)
+    }
+
+    /// Full causal chain of one message: its own lineage record, all
+    /// ancestors up to the root, and all descendants breadth-first. Served
+    /// from the bounded in-memory index, which mirrors the store's durable
+    /// lineage — after a crash the chain is rebuilt from the WAL alone.
+    pub fn lineage(&self, msg: MsgId) -> Lineage {
+        self.provenance.lineage(msg.0)
+    }
+
+    /// The causal provenance index (bounded; see
+    /// [`ServerBuilder::provenance_capacity`]).
+    pub fn provenance(&self) -> &ProvenanceIndex {
+        &self.provenance
+    }
+
+    /// Per-rule wall-time attribution: evaluation-time quantiles, firing
+    /// counts, and messages produced, one entry per declared rule, sorted
+    /// by total evaluation time descending.
+    pub fn rule_profiles(&self) -> Vec<RuleProfile> {
+        let mut out: Vec<RuleProfile> = self
+            .metrics
+            .per_rule
+            .iter()
+            .map(|(name, rm)| RuleProfile {
+                rule: name.clone(),
+                fires: rm.fires.get(),
+                messages_produced: rm.produced.get(),
+                eval_ns_p50: rm.time_ns.p50(),
+                eval_ns_p99: rm.time_ns.p99(),
+                eval_ns_mean: rm.time_ns.mean_ns(),
+                eval_ns_total: rm.time_ns.sum_ns(),
+            })
+            .collect();
+        out.sort_by(|a, b| b.eval_ns_total.cmp(&a.eval_ns_total).then(a.rule.cmp(&b.rule)));
+        out
+    }
+
     // ---- message ingestion ----------------------------------------------------
 
     /// Enqueue an external message (as if received out-of-band). Validates
     /// against the queue schema.
     pub fn enqueue_external(&self, queue: &str, xml: &str) -> Result<MsgId> {
-        self.enqueue_with(queue, xml, &[], None, Vec::new())
+        self.enqueue_with(queue, xml, &[], None, Vec::new(), "")
     }
 
     /// Enqueue with explicit property values.
@@ -667,9 +834,13 @@ impl Server {
         xml: &str,
         explicit: &[(String, Atomic)],
     ) -> Result<MsgId> {
-        self.enqueue_with(queue, xml, explicit, None, Vec::new())
+        self.enqueue_with(queue, xml, explicit, None, Vec::new(), "")
     }
 
+    /// Shared non-rule enqueue path (external API, gateway ingest, timer
+    /// echo, error routing). `via` labels the causal hop in the lineage
+    /// record when `system_props` carry a `parentMsg` — e.g. `"<gateway>"`
+    /// for an ingested reply that names its remote-side parent.
     fn enqueue_with(
         &self,
         queue: &str,
@@ -677,6 +848,7 @@ impl Server {
         explicit: &[(String, Atomic)],
         trigger_props: Option<&[(String, PropValue)]>,
         mut system_props: Vec<(String, PropValue)>,
+        via: &str,
     ) -> Result<MsgId> {
         let cq = self
             .app
@@ -708,19 +880,45 @@ impl Server {
         )
         .map_err(|e| EngineError::Compile(e.to_string()))?;
 
+        // Causal provenance threaded through system properties: a gateway
+        // hop or timer echo names its parent (and causal root) here, and
+        // the edge goes through the WAL inside the enqueue transaction.
+        let parent = props.iter().find_map(|(n, v)| match v {
+            PropValue::Int(p) if n == system::PARENT_MSG => Some(*p as u64),
+            _ => None,
+        });
+        let root = props
+            .iter()
+            .find_map(|(n, v)| match v {
+                PropValue::Int(r) if n == system::ROOT_MSG => Some(*r as u64),
+                _ => None,
+            })
+            .or(parent);
+
         let txn = self.store.begin();
         let result = (|| -> Result<MsgId> {
             let id = self
                 .store
                 .enqueue(txn, queue, xml.to_string(), props.clone(), now)?;
             self.add_slice_memberships(txn, id, &props)?;
+            if let (Some(p), Some(r)) = (parent, root) {
+                self.store
+                    .record_lineage(txn, id, MsgId(p), MsgId(r), via, queue)?;
+            }
             self.store.commit(txn)?;
             Ok(id)
         })();
         match result {
             Ok(id) => {
                 self.metrics.inc_enqueued(&self.obs, queue);
-                self.obs.tracer.event("msg.enqueue", Some(id.0), queue, "");
+                self.obs.tracer.event_ctx(
+                    "msg.enqueue",
+                    Some(id.0),
+                    queue,
+                    via,
+                    TraceCtx::new(Some(root.unwrap_or(id.0)), parent),
+                );
+                self.record_provenance(id, queue);
                 self.doc_cache.insert(id, doc, xml.len());
                 self.scheduler.push(id, queue, cq.decl.priority);
                 self.metrics
@@ -752,6 +950,30 @@ impl Server {
             }
         }
         Ok(())
+    }
+
+    /// Mirror a freshly committed message's lineage into the in-memory
+    /// causal index: the store's durable edge when one was recorded, a
+    /// root record otherwise.
+    fn record_provenance(&self, id: MsgId, queue: &str) {
+        match self.store.lineage_of(id) {
+            Some(e) => self.provenance.record(LineageRecord {
+                msg: e.msg.0,
+                parent: Some(e.parent.0),
+                root: e.root.0,
+                rule: (!e.rule.is_empty()).then(|| e.rule.clone()),
+                queue: e.queue,
+                lsn: e.lsn.map(|l| l.0),
+            }),
+            None => self.provenance.record(LineageRecord {
+                msg: id.0,
+                parent: None,
+                root: id.0,
+                rule: None,
+                queue: queue.to_string(),
+                lsn: None,
+            }),
+        }
     }
 
     // ---- processing loop -------------------------------------------------------
@@ -844,7 +1066,16 @@ impl Server {
             self.obs
                 .tracer
                 .event("timer.fire", None, &job.target, "echo timeout");
-            self.enqueue_with(&job.target, &job.payload, &[], Some(&job.props), Vec::new())?;
+            // The echoed message keeps the original's causal chain: the
+            // provenance system properties ride on the parked job's props
+            // and re-enter as engine-owned system properties here.
+            let sys: Vec<(String, PropValue)> = job
+                .props
+                .iter()
+                .filter(|(n, _)| n == system::PARENT_MSG || n == system::ROOT_MSG)
+                .cloned()
+                .collect();
+            self.enqueue_with(&job.target, &job.payload, &[], Some(&job.props), sys, "<echo>")?;
         }
         Ok(progressed)
     }
@@ -863,8 +1094,24 @@ impl Server {
                 PropValue::Int(conn.0 as i64),
             ));
         }
+        // Provenance survives the gateway hop: the sending node stamps the
+        // envelope with its message's parent/root ids, and they re-enter
+        // here as system properties (so the lineage edge is recorded and
+        // WAL-durable on this side too).
+        if let Some(p) = env
+            .header(system::PARENT_MSG)
+            .and_then(|s| s.parse::<i64>().ok())
+        {
+            system_props.push((system::PARENT_MSG.to_string(), PropValue::Int(p)));
+            let root = env
+                .header(system::ROOT_MSG)
+                .and_then(|s| s.parse::<i64>().ok())
+                .unwrap_or(p);
+            system_props.push((system::ROOT_MSG.to_string(), PropValue::Int(root)));
+        }
         match parse_xml(&env.body) {
-            Ok(_) => match self.enqueue_with(queue, &env.body, &[], None, system_props) {
+            Ok(_) => match self.enqueue_with(queue, &env.body, &[], None, system_props, "<gateway>")
+            {
                 Ok(_) => Ok(()),
                 Err(EngineError::Xml(detail)) => {
                     // Schema violations on a gateway: message-related error.
@@ -955,13 +1202,25 @@ impl Server {
                 self.store.commit(txn)?;
                 self.metrics.txn_commit_ns.record(commit_started.elapsed());
                 self.metrics.inc_processed(&self.obs, queue);
+                let ctx = TraceCtx::new(
+                    Some(match meta.prop(system::ROOT_MSG) {
+                        Some(PropValue::Int(r)) => *r as u64,
+                        _ => msg_id.0,
+                    }),
+                    match meta.prop(system::PARENT_MSG) {
+                        Some(PropValue::Int(p)) => Some(*p as u64),
+                        _ => None,
+                    },
+                );
                 self.obs
                     .tracer
-                    .event("msg.processed", Some(msg_id.0), queue, "");
+                    .event_ctx("msg.processed", Some(msg_id.0), queue, "", ctx);
                 // Post-commit: cache the new documents (deferring this past
-                // commit keeps aborted messages out of the cache), schedule
+                // commit keeps aborted messages out of the cache), mirror
+                // their now-durable lineage into the causal index, schedule
                 // new work, gateway/echo side effects.
                 for nm in new_messages {
+                    self.record_provenance(nm.id, &nm.queue);
                     self.doc_cache.insert(nm.id, nm.doc, nm.payload_len);
                     let prio = self
                         .app
@@ -1076,12 +1335,14 @@ impl Server {
                         continue;
                     }
                     self.metrics.rules_evaluated.inc();
-                    let ups = if self.lowered_plans {
+                    let started = Instant::now();
+                    let evaluated = if self.lowered_plans {
                         self.eval_rule_plan(&rule.plan, meta, &msg_root, None)
                     } else {
                         self.eval_rule_body(&rule.body, meta, &msg_root, None)
-                    }
-                    .map_err(|e| ProcessingError::rule(&rule.name, e))?;
+                    };
+                    self.metrics.record_rule_eval(&rule.name, started.elapsed());
+                    let ups = evaluated.map_err(|e| ProcessingError::rule(&rule.name, e))?;
                     updates.extend(ups.into_iter().map(|u| (Some(rule.name.clone()), u)));
                 }
             }
@@ -1096,12 +1357,14 @@ impl Server {
                 key: ctx.key.clone(),
                 members,
             };
-            let ups = if self.lowered_plans {
+            let started = Instant::now();
+            let evaluated = if self.lowered_plans {
                 self.eval_rule_plan(&rule.plan, meta, &msg_root, Some(full_ctx))
             } else {
                 self.eval_rule_body(&rule.body, meta, &msg_root, Some(full_ctx))
-            }
-            .map_err(|e| ProcessingError::rule(&rule.name, e))?;
+            };
+            self.metrics.record_rule_eval(&rule.name, started.elapsed());
+            let ups = evaluated.map_err(|e| ProcessingError::rule(&rule.name, e))?;
             // Bare `do reset` in a slicing rule targets this slice.
             for u in ups {
                 let u = match u {
@@ -1384,6 +1647,19 @@ impl Server {
                 PropValue::Str(r.to_string()),
             ));
         }
+        // Causal provenance: the trigger is the parent; the root is the
+        // trigger's root (or the trigger itself when it started the
+        // cascade). Riding on system properties keeps the chain intact
+        // across gateway hops and timer echoes.
+        let root = match trigger.prop(system::ROOT_MSG) {
+            Some(PropValue::Int(r)) => *r as u64,
+            _ => trigger.id.0,
+        };
+        system_props.push((
+            system::PARENT_MSG.to_string(),
+            PropValue::Int(trigger.id.0 as i64),
+        ));
+        system_props.push((system::ROOT_MSG.to_string(), PropValue::Int(root as i64)));
         let props = compute_properties(
             &self.app,
             target,
@@ -1411,10 +1687,29 @@ impl Server {
                     detail: other.to_string(),
                 },
             })?;
+        // The lineage edge commits (and hits the WAL) with the enqueue
+        // itself, so the causal chain is exactly as durable as the message.
+        self.store
+            .record_lineage(
+                txn,
+                id,
+                trigger.id,
+                MsgId(root),
+                rule_name.unwrap_or(""),
+                target,
+            )
+            .map_err(ExecError::Store)?;
         self.metrics.inc_enqueued(&self.obs, target);
-        self.obs
-            .tracer
-            .event("msg.enqueue", Some(id.0), target, rule_name.unwrap_or(""));
+        if let Some(r) = rule_name {
+            self.metrics.record_rule_produced(r);
+        }
+        self.obs.tracer.event_ctx(
+            "msg.enqueue",
+            Some(id.0),
+            target,
+            rule_name.unwrap_or(""),
+            TraceCtx::new(Some(root), Some(trigger.id.0)),
+        );
         // The parsed document rides along so try_process can cache it once
         // the transaction commits — caching here would leak documents of
         // aborted transactions into the cache.
@@ -1571,8 +1866,9 @@ impl Server {
         // through the `errorPath` system property of error messages).
         // Routing back into one of them would ping-pong forever — the
         // runtime backstop for what the analyzer reports as DQ007.
-        let mut path: Vec<String> = msg_id
-            .and_then(|id| self.store.message_meta(id).ok())
+        let failed_meta = msg_id.and_then(|id| self.store.message_meta(id).ok());
+        let mut path: Vec<String> = failed_meta
+            .as_ref()
             .and_then(|meta| match meta.prop(system::ERROR_PATH) {
                 Some(PropValue::Str(s)) => {
                     Some(s.split(',').map(str::to_string).collect())
@@ -1616,14 +1912,21 @@ impl Server {
             .event("error.route", msg_id.map(|m| m.0), &eq, detail);
         // Error enqueue runs its own transaction; failures here are fatal
         // (the paper's "masking higher level failures" resort would be a
-        // persistent error queue, which this is).
-        self.enqueue_with(
-            &eq,
-            &xml,
-            &[],
-            None,
-            vec![(system::ERROR_PATH.to_string(), PropValue::Str(path.join(",")))],
-        )?;
+        // persistent error queue, which this is). When the failing message
+        // is known, the error message joins its causal tree.
+        let mut sys = vec![(system::ERROR_PATH.to_string(), PropValue::Str(path.join(",")))];
+        if let Some(id) = msg_id {
+            sys.push((system::PARENT_MSG.to_string(), PropValue::Int(id.0 as i64)));
+            let root = failed_meta
+                .as_ref()
+                .and_then(|m| match m.prop(system::ROOT_MSG) {
+                    Some(PropValue::Int(r)) => Some(*r),
+                    _ => None,
+                })
+                .unwrap_or(id.0 as i64);
+            sys.push((system::ROOT_MSG.to_string(), PropValue::Int(root)));
+        }
+        self.enqueue_with(&eq, &xml, &[], None, sys, rule.unwrap_or("<error>"))?;
         Ok(())
     }
 

@@ -47,7 +47,8 @@ pub mod scheduler;
 
 pub use app::CompiledApp;
 pub use demaq_analysis as analysis;
-pub use engine::{EngineError, Server, ServerBuilder, ServerStats, StrictAnalysis};
+pub use demaq_obs::{Lineage, LineageRecord, ProvenanceIndex, TraceFilter};
+pub use engine::{EngineError, RuleProfile, Server, ServerBuilder, ServerStats, StrictAnalysis};
 
 /// Result alias for engine operations.
 pub type Result<T> = std::result::Result<T, EngineError>;

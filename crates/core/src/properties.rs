@@ -46,6 +46,12 @@ pub mod system {
     /// visited; the engine uses it to break error-queue cycles at
     /// runtime (Sec. 3.6 backstop).
     pub const ERROR_PATH: &str = "errorPath";
+    /// Id of the message whose processing caused this enqueue (causal
+    /// provenance; absent on root messages).
+    pub const PARENT_MSG: &str = "parentMsg";
+    /// Id of the root message of this causal tree (provenance; a root
+    /// message carries its own id).
+    pub const ROOT_MSG: &str = "rootMsg";
 }
 
 /// Compute the full property list for a message entering `queue`.
@@ -143,8 +149,13 @@ pub fn compute_properties(
             out.push((name.clone(), atomic_to_prop(a)));
         } else if !declared {
             // Explicit wins over a same-named system default, except the
-            // engine-owned ones.
-            if name != system::CREATING_RULE && name != system::CREATED_AT {
+            // engine-owned ones (forging provenance would corrupt the
+            // causal index).
+            let engine_owned = name == system::CREATING_RULE
+                || name == system::CREATED_AT
+                || name == system::PARENT_MSG
+                || name == system::ROOT_MSG;
+            if !engine_owned {
                 set(&mut out, name, atomic_to_prop(a));
             }
         }

@@ -21,12 +21,14 @@
 //! the lookup entirely.
 
 mod histogram;
+pub mod provenance;
 mod registry;
 mod tracer;
 
 pub use histogram::Histogram;
+pub use provenance::{Lineage, LineageRecord, ProvenanceIndex};
 pub use registry::{Counter, Gauge, Registry};
-pub use tracer::{Span, TraceEvent, Tracer};
+pub use tracer::{Span, TraceCtx, TraceEvent, TraceFilter, Tracer};
 
 use std::sync::Arc;
 
@@ -53,9 +55,12 @@ impl Obs {
 
     /// A fresh context with a custom trace ring size.
     pub fn with_trace_capacity(capacity: usize) -> Arc<Obs> {
-        Arc::new(Obs {
+        let obs = Arc::new(Obs {
             registry: Registry::new(),
             tracer: Tracer::new(capacity),
-        })
+        });
+        obs.tracer
+            .attach_overwrite_counter(obs.registry.counter("demaq_obs_trace_overwrites_total"));
+        obs
     }
 }

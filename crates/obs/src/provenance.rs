@@ -1,0 +1,267 @@
+//! Bounded causal index over message lineage.
+//!
+//! Demaq's state *is* the message history (paper Sec. 2), so "where did
+//! this message come from and what did it cause?" is a first-class query.
+//! The engine records one [`LineageRecord`] per rule-driven enqueue; this
+//! index keeps the records in a bounded, thread-safe structure supporting
+//! ancestor/descendant walks. It is a cache over the store's durable
+//! lineage (WAL `Lineage` records), rebuilt from the store after recovery
+//! — eviction here never loses durable information.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Mutex;
+
+/// One causal edge: `msg` was created by `rule` firing on `parent`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LineageRecord {
+    /// The created message.
+    pub msg: u64,
+    /// The message whose processing caused the enqueue; `None` for roots
+    /// (external ingests and direct API enqueues).
+    pub parent: Option<u64>,
+    /// Root of the causal tree (`msg` itself for roots).
+    pub root: u64,
+    /// Rule whose firing produced the message, when known.
+    pub rule: Option<String>,
+    /// Queue the message was enqueued into.
+    pub queue: String,
+    /// WAL LSN of the durable lineage record, when the target queue is
+    /// persistent.
+    pub lsn: Option<u64>,
+}
+
+/// Full causal chain of one message as returned by
+/// [`ProvenanceIndex::lineage`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lineage {
+    /// The queried message's own record (absent if never indexed).
+    pub target: Option<LineageRecord>,
+    /// Ancestors, nearest first (parent, grandparent, …, root).
+    pub ancestors: Vec<LineageRecord>,
+    /// Descendants in breadth-first order from the target.
+    pub descendants: Vec<LineageRecord>,
+}
+
+#[derive(Default)]
+struct Inner {
+    records: HashMap<u64, LineageRecord>,
+    children: HashMap<u64, Vec<u64>>,
+    /// Insertion order for eviction.
+    order: VecDeque<u64>,
+    evicted: u64,
+}
+
+/// Thread-safe bounded index of lineage records.
+pub struct ProvenanceIndex {
+    inner: Mutex<Inner>,
+    capacity: usize,
+}
+
+impl ProvenanceIndex {
+    /// An index retaining at most `capacity` records (min 64), evicting
+    /// oldest-inserted first.
+    pub fn new(capacity: usize) -> ProvenanceIndex {
+        ProvenanceIndex {
+            inner: Mutex::new(Inner::default()),
+            capacity: capacity.max(64),
+        }
+    }
+
+    /// Insert (or replace) the record for `rec.msg`.
+    pub fn record(&self, rec: LineageRecord) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(old) = inner.records.insert(rec.msg, rec.clone()) {
+            // Replacement: fix the old parent's adjacency if it changed.
+            if old.parent != rec.parent {
+                if let Some(p) = old.parent {
+                    if let Some(kids) = inner.children.get_mut(&p) {
+                        kids.retain(|k| *k != old.msg);
+                    }
+                }
+            } else if let Some(p) = rec.parent {
+                // Same parent: adjacency already present; skip re-adding.
+                debug_assert!(inner
+                    .children
+                    .get(&p)
+                    .is_some_and(|kids| kids.contains(&rec.msg)));
+                return;
+            } else {
+                return;
+            }
+        } else {
+            inner.order.push_back(rec.msg);
+        }
+        if let Some(p) = rec.parent {
+            let kids = inner.children.entry(p).or_default();
+            if !kids.contains(&rec.msg) {
+                kids.push(rec.msg);
+            }
+        }
+        while inner.order.len() > self.capacity {
+            let Some(victim) = inner.order.pop_front() else {
+                break;
+            };
+            if let Some(old) = inner.records.remove(&victim) {
+                if let Some(p) = old.parent {
+                    if let Some(kids) = inner.children.get_mut(&p) {
+                        kids.retain(|k| *k != victim);
+                    }
+                }
+            }
+            inner.children.remove(&victim);
+            inner.evicted += 1;
+        }
+    }
+
+    /// The record for one message, if indexed.
+    pub fn get(&self, msg: u64) -> Option<LineageRecord> {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .records
+            .get(&msg)
+            .cloned()
+    }
+
+    /// Full ancestor + descendant chain of `msg`.
+    pub fn lineage(&self, msg: u64) -> Lineage {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let target = inner.records.get(&msg).cloned();
+
+        let mut ancestors = Vec::new();
+        let mut cur = target.as_ref().and_then(|r| r.parent);
+        // Guard against index corruption producing a parent cycle.
+        let mut hops = 0usize;
+        while let Some(p) = cur {
+            if hops > inner.records.len() {
+                break;
+            }
+            hops += 1;
+            match inner.records.get(&p) {
+                Some(rec) => {
+                    cur = rec.parent;
+                    ancestors.push(rec.clone());
+                }
+                None => break,
+            }
+        }
+
+        let mut descendants = Vec::new();
+        let mut frontier = VecDeque::new();
+        frontier.push_back(msg);
+        let mut seen = std::collections::HashSet::new();
+        while let Some(m) = frontier.pop_front() {
+            if let Some(kids) = inner.children.get(&m) {
+                let mut kids = kids.clone();
+                kids.sort_unstable();
+                for k in kids {
+                    if seen.insert(k) {
+                        if let Some(rec) = inner.records.get(&k) {
+                            descendants.push(rec.clone());
+                        }
+                        frontier.push_back(k);
+                    }
+                }
+            }
+        }
+
+        Lineage {
+            target,
+            ancestors,
+            descendants,
+        }
+    }
+
+    /// Number of records currently held.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .records
+            .len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Records dropped by capacity eviction since creation.
+    pub fn evicted(&self) -> u64 {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).evicted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(msg: u64, parent: Option<u64>, root: u64, rule: &str, queue: &str) -> LineageRecord {
+        LineageRecord {
+            msg,
+            parent,
+            root,
+            rule: (!rule.is_empty()).then(|| rule.to_string()),
+            queue: queue.to_string(),
+            lsn: None,
+        }
+    }
+
+    #[test]
+    fn ancestor_and_descendant_walks() {
+        let idx = ProvenanceIndex::new(64);
+        // 1 -> 2 -> {3, 4}; 3 -> 5
+        idx.record(rec(1, None, 1, "", "in"));
+        idx.record(rec(2, Some(1), 1, "r1", "mid"));
+        idx.record(rec(3, Some(2), 1, "r2", "a"));
+        idx.record(rec(4, Some(2), 1, "r2", "b"));
+        idx.record(rec(5, Some(3), 1, "r3", "out"));
+
+        let l = idx.lineage(3);
+        assert_eq!(l.target.as_ref().unwrap().rule.as_deref(), Some("r2"));
+        let anc: Vec<u64> = l.ancestors.iter().map(|r| r.msg).collect();
+        assert_eq!(anc, [2, 1]);
+        let desc: Vec<u64> = l.descendants.iter().map(|r| r.msg).collect();
+        assert_eq!(desc, [5]);
+
+        let l1 = idx.lineage(1);
+        assert!(l1.ancestors.is_empty());
+        let desc: Vec<u64> = l1.descendants.iter().map(|r| r.msg).collect();
+        assert_eq!(desc, [2, 3, 4, 5], "breadth-first from the root");
+        assert!(l1.descendants.iter().all(|r| r.root == 1));
+    }
+
+    #[test]
+    fn unknown_message_yields_empty_lineage() {
+        let idx = ProvenanceIndex::new(64);
+        let l = idx.lineage(42);
+        assert!(l.target.is_none());
+        assert!(l.ancestors.is_empty());
+        assert!(l.descendants.is_empty());
+    }
+
+    #[test]
+    fn capacity_evicts_oldest_and_counts() {
+        let idx = ProvenanceIndex::new(64); // min capacity
+        for i in 0..100u64 {
+            idx.record(rec(i, i.checked_sub(1), 0, "r", "q"));
+        }
+        assert_eq!(idx.len(), 64);
+        assert_eq!(idx.evicted(), 36);
+        assert!(idx.get(0).is_none(), "oldest evicted");
+        assert!(idx.get(99).is_some(), "newest kept");
+        // Walks stop cleanly at the eviction horizon.
+        let l = idx.lineage(99);
+        assert_eq!(l.ancestors.len(), 63);
+    }
+
+    #[test]
+    fn reinsert_same_record_is_idempotent() {
+        let idx = ProvenanceIndex::new(64);
+        idx.record(rec(1, None, 1, "", "in"));
+        idx.record(rec(2, Some(1), 1, "r", "out"));
+        idx.record(rec(2, Some(1), 1, "r", "out"));
+        let l = idx.lineage(1);
+        assert_eq!(l.descendants.len(), 1);
+        assert_eq!(idx.len(), 2);
+    }
+}

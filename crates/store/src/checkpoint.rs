@@ -41,6 +41,18 @@ pub struct SnapQueue {
     pub priority: i32,
 }
 
+/// Causal lineage edge as serialized into a snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapLineage {
+    pub msg: MsgId,
+    pub parent: MsgId,
+    pub root: MsgId,
+    pub rule: String,
+    pub queue: String,
+    /// WAL LSN of the original lineage record, if logged.
+    pub lsn: Option<u64>,
+}
+
 /// A complete snapshot.
 #[derive(Debug, Default, Clone, PartialEq)]
 pub struct Snapshot {
@@ -53,6 +65,7 @@ pub struct Snapshot {
     pub queues: Vec<SnapQueue>,
     pub messages: Vec<SnapMessage>,
     pub slices: Vec<(String, PropValue, SliceState)>,
+    pub lineage: Vec<SnapLineage>,
 }
 
 fn put_str(out: &mut Vec<u8>, s: &str) {
@@ -124,6 +137,16 @@ impl Snapshot {
                 body.extend_from_slice(&m.0.to_le_bytes());
                 body.extend_from_slice(&e.to_le_bytes());
             }
+        }
+        body.extend_from_slice(&(self.lineage.len() as u32).to_le_bytes());
+        for l in &self.lineage {
+            body.extend_from_slice(&l.msg.0.to_le_bytes());
+            body.extend_from_slice(&l.parent.0.to_le_bytes());
+            body.extend_from_slice(&l.root.0.to_le_bytes());
+            put_str(&mut body, &l.rule);
+            put_str(&mut body, &l.queue);
+            body.push(l.lsn.is_some() as u8);
+            body.extend_from_slice(&l.lsn.unwrap_or(0).to_le_bytes());
         }
         let mut out = Vec::with_capacity(body.len() + 16);
         out.extend_from_slice(MAGIC);
@@ -221,6 +244,25 @@ impl Snapshot {
                     },
                 ));
             }
+            let nl = get_u32(body, &mut at)? as usize;
+            for _ in 0..nl {
+                let msg = MsgId(get_u64(body, &mut at)?);
+                let parent = MsgId(get_u64(body, &mut at)?);
+                let root = MsgId(get_u64(body, &mut at)?);
+                let rule = get_str(body, &mut at)?;
+                let queue = get_str(body, &mut at)?;
+                let has_lsn = *body.get(at)? != 0;
+                at += 1;
+                let lsn = get_u64(body, &mut at)?;
+                snap.lineage.push(SnapLineage {
+                    msg,
+                    parent,
+                    root,
+                    rule,
+                    queue,
+                    lsn: has_lsn.then_some(lsn),
+                });
+            }
             (at == body.len()).then_some(())
         })()
         .ok_or_else(|| corrupt("truncated record"))?;
@@ -291,6 +333,24 @@ mod tests {
                     version: 0,
                 },
             )],
+            lineage: vec![
+                SnapLineage {
+                    msg: MsgId(7),
+                    parent: MsgId(3),
+                    root: MsgId(1),
+                    rule: "forwardOrder".into(),
+                    queue: "crm".into(),
+                    lsn: Some(4242),
+                },
+                SnapLineage {
+                    msg: MsgId(9),
+                    parent: MsgId(7),
+                    root: MsgId(1),
+                    rule: "notify".into(),
+                    queue: "scratch".into(),
+                    lsn: None,
+                },
+            ],
         }
     }
 

@@ -17,7 +17,8 @@ use crate::checkpoint::Snapshot;
 use crate::error::Result;
 use crate::heap::{HeapFile, RecordId};
 use crate::pager::{BufferPool, PageId};
-use crate::store::Logical;
+use crate::store::{LineageSlot, Logical};
+use crate::types::Lsn;
 use crate::wal::{read_log, LogRecord};
 use demaq_obs::Obs;
 use std::collections::HashSet;
@@ -94,6 +95,18 @@ pub fn recover(dir: &Path, _pool: &BufferPool, heap: &HeapFile, obs: &Obs) -> Re
     for (slicing, key, state) in snap.slices.clone() {
         logical.slices.restore_slice(slicing, key, state);
     }
+    for l in &snap.lineage {
+        logical.lineage.insert(
+            l.msg,
+            LineageSlot {
+                parent: l.parent,
+                root: l.root,
+                rule: l.rule.clone(),
+                queue: l.queue.clone(),
+                lsn: l.lsn.map(Lsn),
+            },
+        );
+    }
 
     // Replay WAL segments at or after the snapshot's index.
     let mut wal_index = snap.wal_index;
@@ -128,7 +141,7 @@ pub fn recover(dir: &Path, _pool: &BufferPool, heap: &HeapFile, obs: &Obs) -> Re
             })
             .collect();
         // Pass 2: replay committed effects in order.
-        for (_, rec) in &records {
+        for (lsn, rec) in &records {
             if let Some(txn) = rec.txn() {
                 next_txn = next_txn.max(txn.0 + 1);
                 if !committed.contains(&txn) {
@@ -169,6 +182,27 @@ pub fn recover(dir: &Path, _pool: &BufferPool, heap: &HeapFile, obs: &Obs) -> Re
                 }
                 LogRecord::SliceReset { slicing, key, .. } => {
                     logical.slices.reset(slicing, key);
+                }
+                LogRecord::Lineage {
+                    msg,
+                    parent,
+                    root,
+                    rule,
+                    queue,
+                    ..
+                } => {
+                    if logical.has_message(*msg) {
+                        logical.lineage.insert(
+                            *msg,
+                            LineageSlot {
+                                parent: *parent,
+                                root: *root,
+                                rule: rule.clone(),
+                                queue: queue.clone(),
+                                lsn: Some(*lsn),
+                            },
+                        );
+                    }
                 }
                 LogRecord::Begin { .. }
                 | LogRecord::Commit { .. }

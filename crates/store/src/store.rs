@@ -1,6 +1,6 @@
 //! The message store facade: queues, transactions, checkpoints, GC.
 
-use crate::checkpoint::{SnapMessage, SnapQueue, Snapshot};
+use crate::checkpoint::{SnapLineage, SnapMessage, SnapQueue, Snapshot};
 use crate::error::{Result, StoreError};
 use crate::heap::{HeapFile, RecordId};
 use crate::lock::{LockGranularity, LockManager};
@@ -8,7 +8,7 @@ use crate::pager::{BufferPool, DiskManager};
 use crate::recovery;
 use crate::slice::SliceIndex;
 use crate::txn::{TxnBuf, TxnOp};
-use crate::types::{MsgId, PropValue, QueueMode, StoredMessage, TxnId};
+use crate::types::{LineageEdge, Lsn, MsgId, PropValue, QueueMode, StoredMessage, TxnId};
 use crate::wal::{GroupCommitCfg, LogRecord, LogWriter};
 use demaq_obs::{Counter, Histogram, Obs};
 use parking_lot::{Mutex, RwLock};
@@ -109,12 +109,25 @@ pub(crate) struct QueueState {
     pub(crate) messages: Vec<MsgId>,
 }
 
+/// One message's causal origin as held in [`Logical`] (the [`LineageEdge`]
+/// minus the child id it is keyed by).
+#[derive(Debug, Clone)]
+pub(crate) struct LineageSlot {
+    pub(crate) parent: MsgId,
+    pub(crate) root: MsgId,
+    pub(crate) rule: String,
+    pub(crate) queue: String,
+    pub(crate) lsn: Option<Lsn>,
+}
+
 /// The logical (in-memory, WAL-backed) state.
 #[derive(Default)]
 pub(crate) struct Logical {
     pub(crate) queues: HashMap<String, QueueState>,
     pub(crate) messages: HashMap<MsgId, MsgMetaSlot>,
     pub(crate) slices: SliceIndex,
+    /// Causal origin per rule-created message (root messages absent).
+    pub(crate) lineage: HashMap<MsgId, LineageSlot>,
 }
 
 // Newtype wrapper so recovery can construct metas without exposing fields
@@ -394,6 +407,30 @@ impl MessageStore {
         })
     }
 
+    /// Buffer the causal lineage of a rule-driven enqueue: `msg` (already
+    /// enqueued in this transaction) was created into `queue` by `rule`
+    /// firing on `parent`. Logged to the WAL when the message is
+    /// persistent, so the full causal index survives crashes.
+    pub fn record_lineage(
+        &self,
+        txn: TxnId,
+        msg: MsgId,
+        parent: MsgId,
+        root: MsgId,
+        rule: &str,
+        queue: &str,
+    ) -> Result<()> {
+        self.with_txn(txn, |buf| {
+            buf.ops.push(TxnOp::Lineage {
+                msg,
+                parent,
+                root,
+                rule: rule.to_string(),
+                queue: queue.to_string(),
+            })
+        })
+    }
+
     /// Commit: WAL-log the persistent effects, apply all effects, wait for
     /// durability per [`SyncPolicy`], release locks.
     ///
@@ -419,6 +456,9 @@ impl MessageStore {
                 .filter(|op| self.op_is_persistent(&state, &buf, op))
                 .collect();
             drop(state);
+            // LSN of each lineage record appended in Phase 1, consumed by
+            // Phase 2 so the in-memory lineage carries its durable LSN.
+            let mut lineage_lsns: HashMap<MsgId, Lsn> = HashMap::new();
             if !persistent_ops.is_empty() {
                 let wal = Arc::clone(&self.wal.lock());
                 wal.append(&LogRecord::Begin { txn })?;
@@ -450,8 +490,25 @@ impl MessageStore {
                             slicing: slicing.clone(),
                             key: key.clone(),
                         },
+                        TxnOp::Lineage {
+                            msg,
+                            parent,
+                            root,
+                            rule,
+                            queue,
+                        } => LogRecord::Lineage {
+                            txn,
+                            msg: *msg,
+                            parent: *parent,
+                            root: *root,
+                            rule: rule.clone(),
+                            queue: queue.clone(),
+                        },
                     };
-                    wal.append(&rec)?;
+                    let lsn = wal.append(&rec)?;
+                    if let LogRecord::Lineage { msg, .. } = &rec {
+                        lineage_lsns.insert(*msg, lsn);
+                    }
                 }
                 let (_lsn, target) = wal.append_commit(txn)?;
                 sync_target = Some((wal, target));
@@ -491,6 +548,24 @@ impl MessageStore {
                     TxnOp::SliceAdd { slicing, key, msg } => state.slices.add(slicing, key, *msg),
                     TxnOp::SliceReset { slicing, key } => {
                         state.slices.reset(slicing, key);
+                    }
+                    TxnOp::Lineage {
+                        msg,
+                        parent,
+                        root,
+                        rule,
+                        queue,
+                    } => {
+                        state.lineage.insert(
+                            *msg,
+                            LineageSlot {
+                                parent: *parent,
+                                root: *root,
+                                rule: rule.clone(),
+                                queue: queue.clone(),
+                                lsn: lineage_lsns.get(msg).copied(),
+                            },
+                        );
                     }
                 }
             }
@@ -541,6 +616,7 @@ impl MessageStore {
             TxnOp::MarkProcessed { msg } => msg_persistent(*msg),
             TxnOp::SliceAdd { msg, .. } => msg_persistent(*msg),
             TxnOp::SliceReset { .. } => true,
+            TxnOp::Lineage { msg, .. } => msg_persistent(*msg),
         }
     }
 
@@ -688,6 +764,40 @@ impl MessageStore {
         self.state.read().messages.len()
     }
 
+    /// Causal origin of one rule-created message; `None` for roots
+    /// (external ingests) and purged messages.
+    pub fn lineage_of(&self, msg: MsgId) -> Option<LineageEdge> {
+        let state = self.state.read();
+        state.lineage.get(&msg).map(|slot| LineageEdge {
+            msg,
+            parent: slot.parent,
+            root: slot.root,
+            rule: slot.rule.clone(),
+            queue: slot.queue.clone(),
+            lsn: slot.lsn,
+        })
+    }
+
+    /// Every retained causal edge, sorted by created-message id — the
+    /// engine rebuilds its provenance index from this after recovery.
+    pub fn lineage_edges(&self) -> Vec<LineageEdge> {
+        let state = self.state.read();
+        let mut out: Vec<LineageEdge> = state
+            .lineage
+            .iter()
+            .map(|(&msg, slot)| LineageEdge {
+                msg,
+                parent: slot.parent,
+                root: slot.root,
+                rule: slot.rule.clone(),
+                queue: slot.queue.clone(),
+                lsn: slot.lsn,
+            })
+            .collect();
+        out.sort_by_key(|e| e.msg);
+        out
+    }
+
     // ---- maintenance ----------------------------------------------------------
 
     /// Garbage-collect: purge processed messages not retained by any slice
@@ -719,6 +829,9 @@ impl MessageStore {
                 }
             }
             state.slices.forget(*id);
+            // Lineage of a purged message goes with it — bounds growth;
+            // the obs-side index may retain the edge until it evicts.
+            state.lineage.remove(id);
         }
         self.metrics.gc_runs.inc();
         self.metrics.gc_purged.add(victims.len() as u64);
@@ -786,6 +899,21 @@ impl MessageStore {
             }
             // Transient messages are deliberately omitted.
         }
+        for (&msg, slot) in &state.lineage {
+            // Mirror the message section: only persistent messages'
+            // lineage survives into the snapshot.
+            if state.message_is_persistent(msg).unwrap_or(false) {
+                snap.lineage.push(SnapLineage {
+                    msg,
+                    parent: slot.parent,
+                    root: slot.root,
+                    rule: slot.rule.clone(),
+                    queue: slot.queue.clone(),
+                    lsn: slot.lsn.map(|l| l.0),
+                });
+            }
+        }
+        snap.lineage.sort_by_key(|l| l.msg);
         for ((slicing, key), sstate) in state.slices.iter() {
             // Keep only memberships of persistent messages; epoch always.
             let members: Vec<(MsgId, u64)> = sstate
@@ -962,6 +1090,62 @@ mod tests {
         assert_eq!(store.unsynced_commits(), 1);
         store.checkpoint().unwrap();
         assert_eq!(store.unsynced_commits(), 0, "checkpoint() resets the window");
+    }
+
+    /// Lineage edges are WAL-logged with their LSN, survive plain
+    /// recovery, survive a checkpoint (snapshot section), and die with
+    /// their message at GC.
+    #[test]
+    fn lineage_durability_and_gc() {
+        let dir = TempDir::new().unwrap();
+        let opts = StoreOptions::new(dir.path());
+        let store = MessageStore::open(opts.clone()).unwrap();
+        store.create_queue("in", QueueMode::Persistent, 0).unwrap();
+        store.create_queue("out", QueueMode::Persistent, 0).unwrap();
+
+        let txn = store.begin();
+        let root = store
+            .enqueue(txn, "in", "<a/>".into(), Vec::new(), 0)
+            .unwrap();
+        store.commit(txn).unwrap();
+
+        let txn = store.begin();
+        let child = store
+            .enqueue(txn, "out", "<b/>".into(), Vec::new(), 0)
+            .unwrap();
+        store
+            .record_lineage(txn, child, root, root, "fwd", "out")
+            .unwrap();
+        store.commit(txn).unwrap();
+
+        let edge = store.lineage_of(child).expect("lineage recorded");
+        assert_eq!(edge.parent, root);
+        assert_eq!(edge.root, root);
+        assert_eq!(edge.rule, "fwd");
+        assert_eq!(edge.queue, "out");
+        assert!(edge.lsn.is_some(), "persistent lineage carries its LSN");
+        assert!(store.lineage_of(root).is_none(), "roots have no edge");
+
+        // Plain recovery (WAL replay).
+        drop(store);
+        let store = MessageStore::open(opts.clone()).unwrap();
+        assert_eq!(store.lineage_of(child).unwrap(), edge);
+        assert_eq!(store.lineage_edges(), vec![edge.clone()]);
+
+        // Checkpoint truncates the WAL; the snapshot section must carry
+        // the edge (and its original LSN) across the next recovery.
+        store.checkpoint().unwrap();
+        drop(store);
+        let store = MessageStore::open(opts).unwrap();
+        assert_eq!(store.lineage_of(child).unwrap(), edge);
+
+        // GC: once the child is processed and unreferenced, its lineage
+        // goes with it.
+        let txn = store.begin();
+        store.mark_processed(txn, child).unwrap();
+        store.commit(txn).unwrap();
+        store.gc().unwrap();
+        assert!(store.lineage_of(child).is_none());
     }
 
     /// The fsync-per-commit baseline path (`group_commit_max_batch <= 1`)

@@ -30,6 +30,15 @@ pub enum TxnOp {
         slicing: String,
         key: PropValue,
     },
+    /// Causal lineage of a rule-driven enqueue buffered in this
+    /// transaction: `msg` was created by `rule` firing on `parent`.
+    Lineage {
+        msg: MsgId,
+        parent: MsgId,
+        root: MsgId,
+        rule: String,
+        queue: String,
+    },
 }
 
 /// State of an open transaction.

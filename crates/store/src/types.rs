@@ -153,6 +153,21 @@ impl fmt::Display for PropValue {
     }
 }
 
+/// One durable causal edge: `msg` was created (into `queue`) by `rule`
+/// firing on `parent`; `root` names the causal tree the message belongs
+/// to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LineageEdge {
+    pub msg: MsgId,
+    pub parent: MsgId,
+    pub root: MsgId,
+    pub rule: String,
+    pub queue: String,
+    /// WAL LSN of the lineage record; `None` when the created message is
+    /// transient (nothing was logged).
+    pub lsn: Option<Lsn>,
+}
+
 /// A message as read from a queue.
 #[derive(Debug, Clone)]
 pub struct StoredMessage {

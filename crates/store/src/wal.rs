@@ -96,6 +96,19 @@ pub enum LogRecord {
     Checkpoint {
         snapshot: String,
     },
+    /// Causal lineage of one rule-driven enqueue: `msg` was created (into
+    /// `queue`) by `rule` firing on `parent`; `root` names the causal
+    /// tree. Redundant with the message's provenance system properties by
+    /// design — it lets the full causal index be rebuilt from WAL records
+    /// alone, with a durable LSN per edge.
+    Lineage {
+        txn: TxnId,
+        msg: MsgId,
+        parent: MsgId,
+        root: MsgId,
+        rule: String,
+        queue: String,
+    },
 }
 
 const T_BEGIN: u8 = 1;
@@ -106,6 +119,7 @@ const T_PROCESSED: u8 = 5;
 const T_SLICE_ADD: u8 = 6;
 const T_SLICE_RESET: u8 = 7;
 const T_CHECKPOINT: u8 = 8;
+const T_LINEAGE: u8 = 9;
 
 fn put_str(out: &mut Vec<u8>, s: &str) {
     out.extend_from_slice(&(s.len() as u32).to_le_bytes());
@@ -206,6 +220,22 @@ impl LogRecord {
                 out.push(T_CHECKPOINT);
                 put_str(&mut out, snapshot);
             }
+            LogRecord::Lineage {
+                txn,
+                msg,
+                parent,
+                root,
+                rule,
+                queue,
+            } => {
+                out.push(T_LINEAGE);
+                put_u64(&mut out, txn.0);
+                put_u64(&mut out, msg.0);
+                put_u64(&mut out, parent.0);
+                put_u64(&mut out, root.0);
+                put_str(&mut out, rule);
+                put_str(&mut out, queue);
+            }
         }
         out
     }
@@ -266,6 +296,14 @@ impl LogRecord {
             T_CHECKPOINT => LogRecord::Checkpoint {
                 snapshot: get_str(buf, &mut at)?,
             },
+            T_LINEAGE => LogRecord::Lineage {
+                txn: TxnId(get_u64(buf, &mut at)?),
+                msg: MsgId(get_u64(buf, &mut at)?),
+                parent: MsgId(get_u64(buf, &mut at)?),
+                root: MsgId(get_u64(buf, &mut at)?),
+                rule: get_str(buf, &mut at)?,
+                queue: get_str(buf, &mut at)?,
+            },
             _ => return None,
         };
         if at != buf.len() {
@@ -283,7 +321,8 @@ impl LogRecord {
             | LogRecord::Enqueue { txn, .. }
             | LogRecord::MarkProcessed { txn, .. }
             | LogRecord::SliceAdd { txn, .. }
-            | LogRecord::SliceReset { txn, .. } => Some(*txn),
+            | LogRecord::SliceReset { txn, .. }
+            | LogRecord::Lineage { txn, .. } => Some(*txn),
             LogRecord::Checkpoint { .. } => None,
         }
     }
@@ -697,6 +736,14 @@ mod tests {
             },
             LogRecord::Commit { txn: TxnId(1) },
             LogRecord::Abort { txn: TxnId(2) },
+            LogRecord::Lineage {
+                txn: TxnId(1),
+                msg: MsgId(11),
+                parent: MsgId(10),
+                root: MsgId(3),
+                rule: "forwardOrder".into(),
+                queue: "finance".into(),
+            },
             LogRecord::Checkpoint {
                 snapshot: "ckpt-000001".into(),
             },

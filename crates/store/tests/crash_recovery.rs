@@ -12,7 +12,12 @@
 //!   a commit record; queue order stays strictly ascending by id;
 //! * **replay order = runtime order** — slice membership order after
 //!   recovery equals the order of `SliceAdd` records of committed
-//!   transactions in the WAL.
+//!   transactions in the WAL;
+//! * **causal chain survives** — each workload transaction enqueues a
+//!   parent and a derived message linked by `record_lineage`; after
+//!   recovery the lineage rebuilt from the WAL must equal the pre-crash
+//!   chain for every acked derived message, and the store's lineage set
+//!   must be exactly the committed `Lineage` records of the WAL.
 //!
 //! The child is this same test binary re-invoked (`current_exe()`) with
 //! the `#[ignore]`d `crash_child_body` test selected; without
@@ -81,12 +86,22 @@ fn crash_child_body() {
                         .enqueue(txn, QUEUE, payload.clone(), Vec::new(), 0)
                         .unwrap();
                     store.slice_add(txn, SLICING, slice_key(), msg).unwrap();
+                    // A derived message causally linked to `msg`, so the
+                    // parent can check the rebuilt lineage chain.
+                    let derived_payload = format!("derived-{t}-{i}:{}", msg.0);
+                    let derived = store
+                        .enqueue(txn, QUEUE, derived_payload.clone(), Vec::new(), 0)
+                        .unwrap();
+                    store.slice_add(txn, SLICING, slice_key(), derived).unwrap();
+                    store
+                        .record_lineage(txn, derived, msg, msg, "spawn", QUEUE)
+                        .unwrap();
                     store.commit(txn).unwrap();
                     // One write syscall per line: `writeln!` issues one
                     // write per format fragment, and a SIGKILL between
                     // them leaves a torn line the parent would misread
                     // as a corrupted ack.
-                    let line = format!("{} {payload}\n", msg.0);
+                    let line = format!("{} {payload}\n{} {derived_payload}\n", msg.0, derived.0);
                     let mut f = acks.lock().unwrap();
                     f.write_all(line.as_bytes()).unwrap();
                     f.flush().unwrap();
@@ -180,6 +195,7 @@ fn run_round(dir: &Path, kill_after: Duration, crash_after_bytes: Option<u64>) -
     wal_files.sort();
     let mut committed: HashSet<TxnId> = HashSet::new();
     let mut adds: Vec<(TxnId, MsgId)> = Vec::new();
+    let mut wal_lineage: Vec<(TxnId, MsgId, MsgId)> = Vec::new();
     let mut torn = false;
     for f in &wal_files {
         let scan = read_log(f).unwrap();
@@ -190,6 +206,9 @@ fn run_round(dir: &Path, kill_after: Duration, crash_after_bytes: Option<u64>) -
                     committed.insert(txn);
                 }
                 LogRecord::SliceAdd { txn, msg, .. } => adds.push((txn, msg)),
+                LogRecord::Lineage {
+                    txn, msg, parent, ..
+                } => wal_lineage.push((txn, msg, parent)),
                 _ => {}
             }
         }
@@ -240,6 +259,46 @@ fn run_round(dir: &Path, kill_after: Duration, crash_after_bytes: Option<u64>) -
         members, wal_members,
         "slice membership after recovery diverges from the WAL's committed adds"
     );
+
+    // Invariant: the causal chain rebuilt from the WAL equals the
+    // pre-crash chain. (a) The store's lineage set is exactly the
+    // committed `Lineage` records; (b) every acked derived message (its
+    // payload names its parent) resolves to that parent.
+    let mut committed_edges: Vec<(MsgId, MsgId)> = wal_lineage
+        .iter()
+        .filter(|(txn, _, _)| committed.contains(txn))
+        .map(|(_, msg, parent)| (*msg, *parent))
+        .collect();
+    committed_edges.sort();
+    let mut recovered_edges: Vec<(MsgId, MsgId)> = store
+        .lineage_edges()
+        .iter()
+        .map(|e| (e.msg, e.parent))
+        .collect();
+    recovered_edges.sort();
+    assert_eq!(
+        recovered_edges, committed_edges,
+        "recovered lineage diverges from the WAL's committed Lineage records"
+    );
+    for (id, payload) in &acked {
+        let Some((_, parent)) = payload.split_once(':') else {
+            continue; // not a derived message
+        };
+        let parent = MsgId(parent.parse().unwrap());
+        let edge = store.lineage_of(*id).unwrap_or_else(|| {
+            panic!("acked derived message {id:?} lost its lineage after recovery")
+        });
+        assert_eq!(
+            edge.parent, parent,
+            "acked derived message {id:?} rebuilt with the wrong parent"
+        );
+        assert_eq!(edge.root, parent);
+        assert_eq!(edge.rule, "spawn");
+        assert!(
+            edge.lsn.is_some(),
+            "recovered lineage of {id:?} lost its WAL LSN"
+        );
+    }
 
     // Invariant: no uncommitted effects — every surviving message's
     // payload is one the workload actually wrote (shape check), and the

@@ -66,6 +66,20 @@ awk '$1 == "demaq_xquery_plans_lowered_total" { plans = $2 }
            print "e11: plans_lowered=" plans " ebv_short_circuits=" ebv " interned_symbols=" syms }' \
     target/metrics/e11_lowered_plans.prom
 
+echo "== bench smoke: E12 sustained drain (4 workers, fsync-always) =="
+# Composed hot path under full durability; asserts lineage coverage and
+# per-rule attribution internally, and 4 workers must finish the drain.
+DEMAQ_E12_SMOKE=1 cargo bench --offline -p demaq-bench --bench e12_sustained_drain
+cp -f crates/bench/target/metrics/e12_sustained_drain.prom target/metrics/ 2>/dev/null || true
+
+echo "== bench trajectory: BENCH_E*.json schema gate =="
+# Every bench smoke above must also have emitted its schema-versioned
+# trajectory entry at the repo root. The checker is the offline, jq-free
+# validator in crates/bench; --require fails the gate when a bench ran
+# without writing its report.
+cargo run --offline -q -p demaq-bench --bin bench-check -- \
+    --require e9,e10,e11,e12 BENCH_E*.json
+
 echo "== clippy =="
 # --no-deps keeps the vendored shims out of the lint gate; warnings in
 # first-party crates are errors.

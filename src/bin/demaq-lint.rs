@@ -74,7 +74,7 @@ fn main() -> ExitCode {
                     _ => Severity::Allow,
                 };
                 let Some(code) = args.next().as_deref().and_then(LintCode::parse) else {
-                    return usage(&format!("{arg} expects a lint code (DQ001..DQ008 or slug)"));
+                    return usage(&format!("{arg} expects a lint code (DQ001..DQ009 or slug)"));
                 };
                 config.set(code, sev);
             }
@@ -235,7 +235,7 @@ usage: demaq-lint [--format human|json] [--deny CODE] [--warn CODE] [--allow COD
 
 Lints Demaq application programs. FILEs are .qdl programs or Rust sources
 whose raw-string literals embed programs (`create queue …`). CODE is a
-stable lint code (DQ001..DQ008) or its slug (e.g. unknown-enqueue-target).
+stable lint code (DQ001..DQ009) or its slug (e.g. unknown-enqueue-target).
 Exits 1 when any deny-severity finding (including parse/validation errors)
 is present.
 ";

@@ -187,7 +187,10 @@ fn dq006_property_read_never_written() {
 
 #[test]
 fn dq007_error_queue_cycle() {
+    // `set errorqueue sink` keeps `sink` an observable lineage terminal
+    // so this program seeds exactly the DQ007 defect.
     let a = run(r#"
+        set errorqueue sink
         create queue work kind basic mode persistent errorqueue handler
         create queue handler kind basic mode persistent errorqueue work
         create queue sink kind basic mode persistent
@@ -210,6 +213,23 @@ fn dq008_slicing_key_never_written() {
     "#);
     assert_eq!(codes(&a), ["DQ008"], "{}", a.render_human());
     assert_eq!(a.diagnostics[0].subject, "slicing perCustomer");
+}
+
+#[test]
+fn dq009_dead_end_lineage() {
+    let a = run(r#"
+        create queue inbox kind basic mode persistent
+        create queue ship kind outgoingGateway mode persistent endpoint "urn:ship"
+        create queue limbo kind basic mode persistent
+        create rule send for inbox
+          if (//order) then do enqueue <req/> into ship
+        create rule stash for inbox
+          if (//order) then do enqueue <copy/> into limbo
+    "#);
+    assert_eq!(codes(&a), ["DQ009"], "{}", a.render_human());
+    assert_eq!(a.diagnostics[0].code, LintCode::DeadEndLineage);
+    assert_eq!(a.diagnostics[0].subject, "queue limbo");
+    assert!(!a.has_deny(), "dead-end lineage warns, it does not deny");
 }
 
 #[test]
