@@ -81,7 +81,7 @@ mod tests {
                 .enqueue(
                     txn,
                     queue,
-                    format!("<doc><customerID>{customer}</customerID><n>{i}</n></doc>"),
+                    format!("<doc><customerID>{customer}</customerID><n>{i}</n></doc>").into(),
                     vec![],
                     0,
                 )

@@ -140,6 +140,10 @@ fn bench_e12(c: &mut Criterion) {
         .result("enqueued", stats.enqueued as f64, "count")
         .metric_from(&text, "demaq_store_commits_total")
         .metric_from(&text, "demaq_store_group_commit_waits_total")
+        .metric_from(&text, "demaq_store_apply_batches_total")
+        .metric_from(&text, "demaq_store_apply_waits_total")
+        .metric_from(&text, "demaq_store_payload_shared_reads_total")
+        .metric_from(&text, "demaq_store_payload_copies_total")
         .metric_from(&text, "demaq_obs_trace_overwrites_total");
     report.write();
     demaq_bench::dump_metrics(&server, "e12_sustained_drain");

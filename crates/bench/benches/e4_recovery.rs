@@ -33,7 +33,7 @@ fn populate(dir: &TempDir, messages: usize, checkpoint: bool) -> u64 {
             .enqueue(
                 txn,
                 "q",
-                format!("<order><n>{i}</n><body>payload {i}</body></order>"),
+                format!("<order><n>{i}</n><body>payload {i}</body></order>").into(),
                 vec![],
                 0,
             )
@@ -110,7 +110,7 @@ fn log_volume_report() {
         for i in 0..500 {
             let txn = store.begin();
             let id = store
-                .enqueue(txn, "q", format!("<m>{i}</m>"), vec![], 0)
+                .enqueue(txn, "q", format!("<m>{i}</m>").into(), vec![], 0)
                 .expect("enq");
             store.mark_processed(txn, id).expect("mark");
             store.commit(txn).expect("commit");

@@ -56,7 +56,7 @@ fn run_workload(store: &Arc<MessageStore>, threads: usize, per_thread: usize) {
                 for i in 0..per_thread {
                     let txn = store.begin();
                     let id = store
-                        .enqueue(txn, "q", format!("<m t='{t}' n='{i}'/>"), vec![], 0)
+                        .enqueue(txn, "q", format!("<m t='{t}' n='{i}'/>").into(), vec![], 0)
                         .expect("enqueue");
                     store
                         .slice_add(txn, "s", PropValue::Int((i % 8) as i64), id)

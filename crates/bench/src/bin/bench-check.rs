@@ -1,7 +1,8 @@
 //! `bench-check` — validate the machine-readable bench trajectory.
 //!
 //! ```text
-//! bench-check [--require e9,e10,e11,e12] FILE...
+//! bench-check [--require e9,e10,e11,e12]
+//!             [--baseline FILE --min-ratio R [--headline NAME]] FILE...
 //! ```
 //!
 //! Validates every `BENCH_E*.json` argument against the
@@ -11,8 +12,18 @@
 //! bench which ran also emitted its trajectory entry. A missing or
 //! unreadable file is a failure, not a skip: a bench that ran without
 //! writing its report is exactly the regression this tool exists to
-//! catch. Exit status: 0 all valid (and required experiments covered),
-//! 1 otherwise, 2 on usage errors.
+//! catch.
+//!
+//! With `--baseline`, the input covering the baseline's experiment is
+//! compared against it on the headline result (`drain_throughput` unless
+//! `--headline` overrides): the run fails if `candidate / baseline <
+//! min-ratio` — the CI perf gate against the committed trajectory entry.
+//! The comparison is reported with both modes, since a smoke candidate
+//! is routinely gated against a full-mode committed entry (pick the
+//! ratio accordingly).
+//!
+//! Exit status: 0 all valid (and required experiments covered, and the
+//! baseline ratio held), 1 otherwise, 2 on usage errors.
 
 use demaq_bench::report;
 use std::collections::BTreeSet;
@@ -21,6 +32,9 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let mut required: BTreeSet<String> = BTreeSet::new();
     let mut paths: Vec<String> = Vec::new();
+    let mut baseline: Option<String> = None;
+    let mut min_ratio: Option<f64> = None;
+    let mut headline = "drain_throughput".to_string();
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -32,10 +46,34 @@ fn main() -> ExitCode {
                 };
                 required.extend(list.split(',').map(|s| s.trim().to_string()));
             }
+            "--baseline" => {
+                let Some(path) = args.next() else {
+                    eprintln!("bench-check: --baseline expects a BENCH_E*.json path");
+                    return ExitCode::from(2);
+                };
+                baseline = Some(path);
+            }
+            "--min-ratio" => {
+                let ratio = args.next().and_then(|v| v.parse::<f64>().ok());
+                let Some(ratio) = ratio.filter(|r| r.is_finite() && *r > 0.0) else {
+                    eprintln!("bench-check: --min-ratio expects a positive number (e.g. 0.8)");
+                    return ExitCode::from(2);
+                };
+                min_ratio = Some(ratio);
+            }
+            "--headline" => {
+                let Some(name) = args.next() else {
+                    eprintln!("bench-check: --headline expects a result name");
+                    return ExitCode::from(2);
+                };
+                headline = name;
+            }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: bench-check [--require e9,e10,...] FILE...\n\
-                     Validates BENCH_E*.json reports against the demaq-bench/v1 schema."
+                    "usage: bench-check [--require e9,e10,...] \
+                     [--baseline FILE --min-ratio R [--headline NAME]] FILE...\n\
+                     Validates BENCH_E*.json reports against the demaq-bench/v1 schema;\n\
+                     with --baseline, gates the matching input's headline result against it."
                 );
                 return ExitCode::SUCCESS;
             }
@@ -46,6 +84,10 @@ fn main() -> ExitCode {
             }
         }
     }
+    if baseline.is_some() != min_ratio.is_some() {
+        eprintln!("bench-check: --baseline and --min-ratio must be used together");
+        return ExitCode::from(2);
+    }
     if paths.is_empty() {
         eprintln!("bench-check: no input files");
         return ExitCode::from(2);
@@ -53,6 +95,7 @@ fn main() -> ExitCode {
 
     let mut failed = false;
     let mut covered: BTreeSet<String> = BTreeSet::new();
+    let mut valid: Vec<(String, String, report::ReportSummary)> = Vec::new();
     for path in &paths {
         let text = match std::fs::read_to_string(path) {
             Ok(t) => t,
@@ -71,9 +114,20 @@ fn main() -> ExitCode {
                     "bench-check: ok {path}: {} ({}, {} result(s))",
                     summary.experiment, summary.mode, summary.results
                 );
+                valid.push((path.clone(), text, summary));
             }
             Err(e) => {
                 eprintln!("bench-check: FAIL {path}: {e}");
+                failed = true;
+            }
+        }
+    }
+
+    if let (Some(base_path), Some(ratio)) = (&baseline, min_ratio) {
+        match check_baseline(base_path, ratio, &headline, &valid) {
+            Ok(line) => println!("bench-check: {line}"),
+            Err(e) => {
+                eprintln!("bench-check: FAIL {e}");
                 failed = true;
             }
         }
@@ -93,5 +147,48 @@ fn main() -> ExitCode {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
+    }
+}
+
+/// Gate the input covering the baseline's experiment against the
+/// baseline's headline result. Returns the success line to print, or the
+/// failure description.
+fn check_baseline(
+    base_path: &str,
+    min_ratio: f64,
+    headline: &str,
+    valid: &[(String, String, report::ReportSummary)],
+) -> Result<String, String> {
+    let base_text = std::fs::read_to_string(base_path)
+        .map_err(|e| format!("baseline {base_path}: cannot read: {e}"))?;
+    let base = report::validate(&base_text).map_err(|e| format!("baseline {base_path}: {e}"))?;
+    let base_value = report::result_value(&base_text, headline)
+        .map_err(|e| format!("baseline {base_path}: {e}"))?;
+    if base_value <= 0.0 {
+        return Err(format!(
+            "baseline {base_path}: `{headline}` is {base_value}, cannot gate against it"
+        ));
+    }
+    let prefix = base.experiment.split('_').next().unwrap_or_default();
+    let candidate = valid
+        .iter()
+        .find(|(_, _, s)| s.experiment.split('_').next().unwrap_or_default() == prefix)
+        .ok_or(format!(
+            "no valid input covers baseline experiment `{}` — nothing to gate",
+            base.experiment
+        ))?;
+    let (cand_path, cand_text, cand) = candidate;
+    let cand_value = report::result_value(cand_text, headline)
+        .map_err(|e| format!("candidate {cand_path}: {e}"))?;
+    let ratio = cand_value / base_value;
+    let line = format!(
+        "{cand_path} ({}) vs baseline {base_path} ({}): `{headline}` \
+         {cand_value:.1} / {base_value:.1} = {ratio:.3} (min {min_ratio})",
+        cand.mode, base.mode
+    );
+    if ratio < min_ratio {
+        Err(format!("perf gate: {line}"))
+    } else {
+        Ok(format!("perf gate ok: {line}"))
     }
 }

@@ -260,6 +260,28 @@ pub fn validate(json: &str) -> Result<ReportSummary, String> {
     })
 }
 
+/// Extract one named headline result's value from a report document.
+/// Used by `bench-check --baseline` to compare trajectory entries.
+pub fn result_value(json: &str, name: &str) -> Result<f64, String> {
+    let value = Json::parse(json)?;
+    let obj = value.as_obj().ok_or("top level must be an object")?;
+    let results = obj
+        .iter()
+        .find(|(k, _)| k == "results")
+        .and_then(|(_, v)| v.as_arr())
+        .ok_or("missing `results` array")?;
+    for r in results {
+        let Some(entry) = r.as_obj() else { continue };
+        let get = |k: &str| entry.iter().find(|(n, _)| n == k).map(|(_, v)| v);
+        if get("name").and_then(Json::as_str) == Some(name) {
+            return get("value")
+                .and_then(Json::as_num)
+                .ok_or(format!("result `{name}` has no numeric value"));
+        }
+    }
+    Err(format!("no result named `{name}`"))
+}
+
 // ---- minimal JSON parser (validation only; offline, dependency-free) -------
 
 #[derive(Debug, Clone, PartialEq)]

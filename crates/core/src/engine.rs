@@ -291,6 +291,7 @@ pub struct ServerBuilder {
     in_memory: bool,
     sync: SyncPolicy,
     group_commit: Option<(usize, std::time::Duration)>,
+    batched_apply: bool,
     lock_granularity: LockGranularity,
     plan_mode: PlanMode,
     seed: u64,
@@ -319,6 +320,7 @@ impl Default for ServerBuilder {
             in_memory: false,
             sync: SyncPolicy::Always,
             group_commit: None,
+            batched_apply: true,
             lock_granularity: LockGranularity::Slice,
             plan_mode: PlanMode::RuleAtATime,
             seed: 7,
@@ -377,6 +379,16 @@ impl ServerBuilder {
     /// baseline). Defaults to the store's group-commit defaults.
     pub fn group_commit(mut self, max_batch: usize, max_wait: std::time::Duration) -> Self {
         self.group_commit = Some((max_batch, max_wait));
+        self
+    }
+
+    /// Batched logical apply: post-WAL commit effects are applied by a
+    /// leader for a whole batch of committers under one state-lock
+    /// acquisition (the logical-apply analogue of group commit). Disable
+    /// for the apply-per-commit baseline (benchmark E12's comparison
+    /// knob). Defaults to enabled.
+    pub fn batched_apply(mut self, enabled: bool) -> Self {
+        self.batched_apply = enabled;
         self
     }
 
@@ -553,6 +565,7 @@ impl ServerBuilder {
             opts.group_commit_max_batch = max_batch;
             opts.group_commit_max_wait = max_wait;
         }
+        opts.batched_apply = self.batched_apply;
         opts.lock_granularity = self.lock_granularity;
         opts.obs = Some(Arc::clone(&obs));
         let store = Arc::new(MessageStore::open(opts)?);
@@ -899,7 +912,7 @@ impl Server {
         let result = (|| -> Result<MsgId> {
             let id = self
                 .store
-                .enqueue(txn, queue, xml.to_string(), props.clone(), now)?;
+                .enqueue(txn, queue, xml.into(), props.clone(), now)?;
             self.add_slice_memberships(txn, id, &props)?;
             if let (Some(p), Some(r)) = (parent, root) {
                 self.store
@@ -1677,7 +1690,7 @@ impl Server {
         let payload_len = payload.len();
         let id = self
             .store
-            .enqueue(txn, target, payload, props.clone(), now)
+            .enqueue(txn, target, payload.into(), props.clone(), now)
             .map_err(ExecError::Store)?;
         self.add_slice_memberships(txn, id, &props)
             .map_err(|e| match e {
@@ -1772,7 +1785,7 @@ impl Server {
                             self.clock.now() + d.max(0),
                             TimerJob {
                                 target: t,
-                                payload: stored.payload.clone(),
+                                payload: stored.payload.to_string(),
                                 props,
                             },
                         );
@@ -1997,7 +2010,7 @@ impl Server {
             .store
             .queue_messages(queue)?
             .into_iter()
-            .map(|m| m.payload)
+            .map(|m| m.payload.to_string())
             .collect())
     }
 

@@ -136,7 +136,7 @@ impl GatewayManager {
             _ => out.endpoint.clone(),
         };
         let to_addr = to.clone();
-        let mut env = Envelope::new(to, self.server_addr.clone(), msg.payload.clone());
+        let mut env = Envelope::new(to, self.server_addr.clone(), msg.payload.to_string());
         if let Some(PropValue::Str(s)) = msg.prop("Sender") {
             env = env.with_header("Sender", s.clone());
         }

@@ -40,4 +40,6 @@ pub mod wal;
 pub use error::{Result, StoreError};
 pub use lock::{LockGranularity, LockKey, LockMode};
 pub use store::{MessageStore, QueueInfo, StoreOptions, SyncPolicy};
-pub use types::{LineageEdge, Lsn, MessageMeta, MsgId, PropValue, QueueMode, StoredMessage, TxnId};
+pub use types::{
+    LineageEdge, Lsn, MessageMeta, MsgId, PayloadBytes, PropValue, QueueMode, StoredMessage, TxnId,
+};

@@ -18,7 +18,7 @@ use crate::error::Result;
 use crate::heap::{HeapFile, RecordId};
 use crate::pager::{BufferPool, PageId};
 use crate::store::{LineageSlot, Logical};
-use crate::types::Lsn;
+use crate::types::{Lsn, PayloadBytes};
 use crate::wal::{read_log, LogRecord};
 use demaq_obs::Obs;
 use std::collections::HashSet;
@@ -78,15 +78,27 @@ pub fn recover(dir: &Path, _pool: &BufferPool, heap: &HeapFile, obs: &Obs) -> Re
     }
     let mut snap_msgs = snap.messages.clone();
     snap_msgs.sort_by_key(|m| m.id);
+    let payload_copies = obs.registry.counter("demaq_store_payload_copies_total");
     for m in snap_msgs {
+        let rid = RecordId {
+            page: PageId(m.rid_page),
+            slot: m.rid_slot,
+        };
+        // The one place a payload is ever copied out of the heap: snapshot
+        // materialization. UTF-8 is validated here, once, and the shared
+        // handle then serves every runtime read without touching the heap.
+        let bytes = PayloadBytes::from_utf8(heap.read(rid)?).map_err(|e| {
+            crate::error::StoreError::Corrupt(format!(
+                "heap record for message {} is not valid UTF-8: {e}",
+                m.id
+            ))
+        })?;
+        payload_copies.inc();
         logical.insert_message(
             m.id,
             m.queue.clone(),
-            Some(RecordId {
-                page: PageId(m.rid_page),
-                slot: m.rid_slot,
-            }),
-            None,
+            Some(rid),
+            bytes,
             m.props.clone(),
             m.processed,
             m.enqueued_at,
@@ -162,11 +174,14 @@ pub fn recover(dir: &Path, _pool: &BufferPool, heap: &HeapFile, obs: &Obs) -> Re
                         continue; // already captured by the snapshot
                     }
                     let rid = heap.append(payload.as_bytes())?;
+                    // Share the decoded record's payload handle — replay
+                    // re-appends the bytes to the heap but never clones
+                    // them for the in-memory state.
                     logical.insert_message(
                         *msg,
                         queue.clone(),
                         Some(rid),
-                        None,
+                        payload.clone(),
                         props.clone(),
                         false,
                         *enqueued_at,

@@ -54,6 +54,13 @@ pub struct SliceIndex {
     /// Monotonic clock feeding [`SliceState::version`]; never reused
     /// within a process lifetime.
     version_clock: u64,
+    /// While a batch apply is in flight ([`SliceIndex::begin_batch`]),
+    /// every mutation stamps this shared version instead of bumping the
+    /// clock per-op. Sound for cache validation because readers can't
+    /// observe mid-batch state (the store holds the state write lock for
+    /// the whole batch) — any batch that touched a slice leaves it with a
+    /// version strictly greater than any pre-batch value.
+    batch_version: Option<u64>,
 }
 
 impl SliceIndex {
@@ -61,10 +68,33 @@ impl SliceIndex {
         SliceIndex::default()
     }
 
+    /// Bump the version clock once and reuse that value for every mutation
+    /// until [`end_batch`](Self::end_batch) — one bump per apply batch.
+    pub fn begin_batch(&mut self) {
+        self.version_clock += 1;
+        self.batch_version = Some(self.version_clock);
+    }
+
+    /// Leave batch mode; later mutations bump the clock per-op again.
+    pub fn end_batch(&mut self) {
+        self.batch_version = None;
+    }
+
+    /// The version to stamp on a mutated slice: the shared batch version
+    /// while one is active, otherwise a fresh clock tick.
+    fn next_version(&mut self) -> u64 {
+        match self.batch_version {
+            Some(v) => v,
+            None => {
+                self.version_clock += 1;
+                self.version_clock
+            }
+        }
+    }
+
     /// Add `msg` to the slice `(slicing, key)` under its current epoch.
     pub fn add(&mut self, slicing: &str, key: &PropValue, msg: MsgId) {
-        self.version_clock += 1;
-        let version = self.version_clock;
+        let version = self.next_version();
         let state = self
             .slices
             .entry((slicing.to_string(), key.clone()))
@@ -83,8 +113,7 @@ impl SliceIndex {
 
     /// Begin a new lifetime for the slice. Returns the new epoch.
     pub fn reset(&mut self, slicing: &str, key: &PropValue) -> u64 {
-        self.version_clock += 1;
-        let version = self.version_clock;
+        let version = self.next_version();
         let state = self
             .slices
             .entry((slicing.to_string(), key.clone()))
@@ -163,8 +192,14 @@ impl SliceIndex {
                     state.members.retain(|(m, _)| *m != msg);
                     if state.members.len() != before {
                         // GC purge invalidates cached member sequences.
-                        self.version_clock += 1;
-                        state.version = self.version_clock;
+                        let version = match self.batch_version {
+                            Some(v) => v,
+                            None => {
+                                self.version_clock += 1;
+                                self.version_clock
+                            }
+                        };
+                        state.version = version;
                     }
                 }
             }

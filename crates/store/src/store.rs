@@ -8,11 +8,11 @@ use crate::pager::{BufferPool, DiskManager};
 use crate::recovery;
 use crate::slice::SliceIndex;
 use crate::txn::{TxnBuf, TxnOp};
-use crate::types::{LineageEdge, Lsn, MsgId, PropValue, QueueMode, StoredMessage, TxnId};
+use crate::types::{LineageEdge, Lsn, MsgId, PayloadBytes, PropValue, QueueMode, StoredMessage, TxnId};
 use crate::wal::{GroupCommitCfg, LogRecord, LogWriter};
 use demaq_obs::{Counter, Histogram, Obs};
-use parking_lot::{Mutex, RwLock};
-use std::collections::HashMap;
+use parking_lot::{Condvar, Mutex, RwLock};
+use std::collections::{HashMap, VecDeque};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -49,6 +49,13 @@ pub struct StoreOptions {
     /// Group commit: how long a sync leader waits for more committers to
     /// join its batch before fsyncing.
     pub group_commit_max_wait: Duration,
+    /// Batched logical apply: committers enqueue their post-WAL apply work
+    /// (still in WAL order) and the first to arrive applies the whole
+    /// pending batch under one `state` lock acquisition, bumping the slice
+    /// version clock once per batch — the logical-apply analogue of group
+    /// commit. `false` reverts to applying inline under the commit-order
+    /// mutex (the pre-batching baseline, kept for A/B crash testing).
+    pub batched_apply: bool,
     /// Observability context to register store metrics in
     /// (`demaq_store_*`). `None` keeps a private, unexported registry.
     pub obs: Option<Arc<Obs>>,
@@ -65,6 +72,7 @@ impl StoreOptions {
             lock_timeout: Duration::from_secs(5),
             group_commit_max_batch: gc.max_batch,
             group_commit_max_wait: gc.max_wait,
+            batched_apply: true,
             obs: None,
         }
     }
@@ -87,10 +95,25 @@ pub struct QueueInfo {
 }
 
 /// Where a payload lives.
+///
+/// Both variants keep the shared [`PayloadBytes`] handle resident: reads
+/// are refcount bumps, never heap reads or UTF-8 revalidation. The heap
+/// record behind a persistent payload exists for checkpoints (snapshots
+/// reference it so the WAL can be truncated); it is only read back during
+/// recovery, where [`PayloadBytes::from_utf8`] validates it once.
 #[derive(Debug, Clone)]
 enum Payload {
-    Heap(RecordId),
-    Mem(String),
+    Heap { rid: RecordId, bytes: PayloadBytes },
+    Mem(PayloadBytes),
+}
+
+impl Payload {
+    fn bytes(&self) -> &PayloadBytes {
+        match self {
+            Payload::Heap { bytes, .. } => bytes,
+            Payload::Mem(bytes) => bytes,
+        }
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -141,15 +164,14 @@ impl Logical {
         id: MsgId,
         queue: String,
         rid: Option<RecordId>,
-        inline: Option<String>,
+        bytes: PayloadBytes,
         props: Vec<(String, PropValue)>,
         processed: bool,
         enqueued_at: i64,
     ) {
-        let payload = match (rid, inline) {
-            (Some(r), _) => Payload::Heap(r),
-            (None, Some(s)) => Payload::Mem(s),
-            (None, None) => Payload::Mem(String::new()),
+        let payload = match rid {
+            Some(rid) => Payload::Heap { rid, bytes },
+            None => Payload::Mem(bytes),
         };
         self.messages.insert(
             id,
@@ -210,7 +232,7 @@ impl Logical {
 
     pub(crate) fn message_is_persistent(&self, msg: MsgId) -> Option<bool> {
         let meta = self.messages.get(&msg)?;
-        Some(matches!(meta.0.payload, Payload::Heap(_)))
+        Some(matches!(meta.0.payload, Payload::Heap { .. }))
     }
 }
 
@@ -224,12 +246,23 @@ pub struct MessageStore {
     /// stays valid against the old segment).
     wal: Mutex<Arc<LogWriter>>,
     wal_index: AtomicU64,
-    /// Sequences Phase 1 (WAL append) and Phase 2 (logical apply) of
-    /// `commit` as one atomic step, so WAL replay order always equals
-    /// runtime apply order. Checkpoints take it too — a commit can never
-    /// be caught between its WAL records and its in-memory effects while a
-    /// snapshot is cut. Lock order: `commit_order` → `state` → `wal`.
+    /// Sequences Phase 1 (WAL append) of `commit` — and, under batched
+    /// apply, the handoff of the logical-apply job to the batch queue — as
+    /// one atomic step, so WAL replay order always equals runtime apply
+    /// order. With `batched_apply` off, Phase 2 (logical apply) runs under
+    /// it too. Checkpoints take it (and drain the apply queue) so a commit
+    /// can never be caught between its WAL records and its in-memory
+    /// effects while a snapshot is cut.
+    /// Lock order: `maintenance` → `commit_order` → `state` → `wal`;
+    /// `apply` is only held briefly and never while waiting for `state`.
     commit_order: Mutex<()>,
+    /// Batch-apply coordinator state (see [`MessageStore::apply_wait`]).
+    apply: Mutex<ApplyState>,
+    apply_cv: Condvar,
+    /// Serializes the maintenance jobs (checkpoint, retention GC) against
+    /// each other — never taken by committers, so neither job blocks the
+    /// commit path while doing its slow work outside `state`.
+    maintenance: Mutex<()>,
     /// Lock manager — the engine acquires queue/slice/message locks here.
     pub locks: LockManager,
     state: RwLock<Logical>,
@@ -243,6 +276,49 @@ pub struct MessageStore {
     metrics: StoreMetrics,
 }
 
+/// One committed transaction's logical-apply work, queued (in WAL order)
+/// for the batch-apply leader.
+struct ApplyJob {
+    /// Position in the global apply sequence (assigned under
+    /// `commit_order`, so contiguous and in WAL order).
+    seq: u64,
+    buf: TxnBuf,
+    /// LSN of each lineage record appended in Phase 1.
+    lineage_lsns: HashMap<MsgId, Lsn>,
+}
+
+/// Shared state of the batch-apply coordinator (leader/follower, modeled
+/// on the WAL group-commit protocol in `wal::LogWriter::sync_to`).
+struct ApplyState {
+    /// Jobs appended under `commit_order` — FIFO order is WAL order.
+    jobs: VecDeque<ApplyJob>,
+    /// Next sequence number to assign.
+    next_seq: u64,
+    /// Every job with `seq < applied_seq` has been applied.
+    applied_seq: u64,
+    /// A leader is currently applying a batch under the state lock.
+    leader_active: bool,
+    /// Apply errors waiting to be claimed by their committer.
+    failed: HashMap<u64, StoreError>,
+    /// Persistence flag of enqueues that are WAL-logged but not yet
+    /// applied — lets Phase-1 classification of a later transaction see
+    /// messages whose apply job is still queued.
+    pending_persistent: HashMap<MsgId, bool>,
+}
+
+impl ApplyState {
+    fn new() -> ApplyState {
+        ApplyState {
+            jobs: VecDeque::new(),
+            next_seq: 0,
+            applied_seq: 0,
+            leader_active: false,
+            failed: HashMap::new(),
+            pending_persistent: HashMap::new(),
+        }
+    }
+}
+
 /// Registry handles for store metrics (`demaq_store_*`), resolved once at
 /// open so the commit path never touches the registry maps.
 struct StoreMetrics {
@@ -252,6 +328,18 @@ struct StoreMetrics {
     checkpoints: Counter,
     gc_runs: Counter,
     gc_purged: Counter,
+    /// Batches applied by an apply leader (batched mode only).
+    apply_batches: Counter,
+    /// Jobs per applied batch (value histogram, not nanoseconds).
+    apply_batch_size: Histogram,
+    /// Commits that waited for another committer's in-flight batch apply.
+    apply_waits: Counter,
+    /// Payload reads served by sharing the resident buffer (refcount
+    /// bump) — the zero-copy path.
+    payload_shared_reads: Counter,
+    /// Payloads actually byte-copied + UTF-8-validated (recovery
+    /// materializing heap records); stays flat in steady state.
+    payload_copies: Counter,
 }
 
 impl StoreMetrics {
@@ -264,6 +352,11 @@ impl StoreMetrics {
             checkpoints: r.counter("demaq_store_checkpoints_total"),
             gc_runs: r.counter("demaq_store_gc_runs_total"),
             gc_purged: r.counter("demaq_store_gc_purged_total"),
+            apply_batches: r.counter("demaq_store_apply_batches_total"),
+            apply_batch_size: r.histogram("demaq_store_apply_batch_size"),
+            apply_waits: r.counter("demaq_store_apply_waits_total"),
+            payload_shared_reads: r.counter("demaq_store_payload_shared_reads_total"),
+            payload_copies: r.counter("demaq_store_payload_copies_total"),
         }
     }
 }
@@ -289,6 +382,9 @@ impl MessageStore {
             wal: Mutex::new(wal),
             wal_index: AtomicU64::new(rec.wal_index),
             commit_order: Mutex::new(()),
+            apply: Mutex::new(ApplyState::new()),
+            apply_cv: Condvar::new(),
+            maintenance: Mutex::new(()),
             state: RwLock::new(rec.logical),
             txns: Mutex::new(HashMap::new()),
             next_msg: AtomicU64::new(rec.next_msg),
@@ -361,7 +457,7 @@ impl MessageStore {
         &self,
         txn: TxnId,
         queue: &str,
-        payload: String,
+        payload: PayloadBytes,
         props: Vec<(String, PropValue)>,
         enqueued_at: i64,
     ) -> Result<MsgId> {
@@ -434,11 +530,18 @@ impl MessageStore {
     /// Commit: WAL-log the persistent effects, apply all effects, wait for
     /// durability per [`SyncPolicy`], release locks.
     ///
-    /// Phases 1 (WAL append) and 2 (logical apply) run under the
-    /// `commit_order` mutex, so the order of commit records in the WAL is
-    /// exactly the order effects become visible — replay order equals
-    /// runtime order. The durability wait (Phase 3) happens *outside* that
-    /// mutex: concurrent committers batch into a shared fsync via the
+    /// Phase 1 (WAL append) runs under the `commit_order` mutex. With
+    /// batched apply (the default), the logical-apply job is pushed onto
+    /// the apply queue *under the same mutex* — so queue order equals WAL
+    /// order — and Phase 2 happens through the batch-apply coordinator
+    /// ([`apply_wait`](Self::apply_wait)): one leader applies every queued
+    /// job under a single `state` lock acquisition. With batching off,
+    /// Phase 2 runs inline under `commit_order` (the original design).
+    /// Either way, the order effects become visible is exactly the order
+    /// of commit records in the WAL — replay order equals runtime order.
+    ///
+    /// The durability wait (Phase 3) happens outside all ordering locks:
+    /// concurrent committers batch into a shared fsync via the
     /// group-commit coordinator. Releasing the order mutex before the
     /// sync is safe in a redo-only log — any transaction that reads our
     /// effects commits *after* us in the WAL, so its durability implies
@@ -446,15 +549,29 @@ impl MessageStore {
     pub fn commit(&self, txn: TxnId) -> Result<()> {
         let buf = self.txns.lock().remove(&txn).ok_or(StoreError::TxnClosed)?;
         let mut sync_target: Option<(Arc<LogWriter>, u64)> = None;
+        let mut apply_seq: Option<u64> = None;
         {
             let _order = self.commit_order.lock();
             // Phase 1: write-ahead logging (persistent effects only).
+            // Enqueue persistence is remembered for the batch queue so a
+            // later transaction's classification can see messages whose
+            // apply job is still pending.
             let state = self.state.read();
-            let persistent_ops: Vec<&TxnOp> = buf
-                .ops
-                .iter()
-                .filter(|op| self.op_is_persistent(&state, &buf, op))
-                .collect();
+            let mut enqueue_flags: Vec<(MsgId, bool)> = Vec::new();
+            let persistent_ops: Vec<&TxnOp> = {
+                let apply = self.apply.lock();
+                buf.ops
+                    .iter()
+                    .filter(|op| {
+                        let persistent =
+                            self.op_is_persistent(&state, &apply.pending_persistent, &buf, op);
+                        if let TxnOp::Enqueue { msg, .. } = op {
+                            enqueue_flags.push((*msg, persistent));
+                        }
+                        persistent
+                    })
+                    .collect()
+            };
             drop(state);
             // LSN of each lineage record appended in Phase 1, consumed by
             // Phase 2 so the in-memory lineage carries its durable LSN.
@@ -474,6 +591,8 @@ impl MessageStore {
                             txn,
                             queue: queue.clone(),
                             msg: *msg,
+                            // Refcount bump — the record shares the
+                            // enqueuer's buffer instead of copying it.
                             payload: payload.clone(),
                             props: props.clone(),
                             enqueued_at: *enqueued_at,
@@ -513,62 +632,31 @@ impl MessageStore {
                 let (_lsn, target) = wal.append_commit(txn)?;
                 sync_target = Some((wal, target));
             }
-            // Phase 2: apply to the logical state.
-            let mut state = self.state.write();
-            for op in &buf.ops {
-                match op {
-                    TxnOp::Enqueue {
-                        queue,
-                        msg,
-                        payload,
-                        props,
-                        enqueued_at,
-                    } => {
-                        let persistent = state
-                            .queues
-                            .get(queue)
-                            .map(|q| q.info.mode == QueueMode::Persistent)
-                            .unwrap_or(true);
-                        let (rid, inline) = if persistent {
-                            (Some(self.heap.append(payload.as_bytes())?), None)
-                        } else {
-                            (None, Some(payload.clone()))
-                        };
-                        state.insert_message(
-                            *msg,
-                            queue.clone(),
-                            rid,
-                            inline,
-                            props.clone(),
-                            false,
-                            *enqueued_at,
-                        );
-                    }
-                    TxnOp::MarkProcessed { msg } => state.mark_processed(*msg),
-                    TxnOp::SliceAdd { slicing, key, msg } => state.slices.add(slicing, key, *msg),
-                    TxnOp::SliceReset { slicing, key } => {
-                        state.slices.reset(slicing, key);
-                    }
-                    TxnOp::Lineage {
-                        msg,
-                        parent,
-                        root,
-                        rule,
-                        queue,
-                    } => {
-                        state.lineage.insert(
-                            *msg,
-                            LineageSlot {
-                                parent: *parent,
-                                root: *root,
-                                rule: rule.clone(),
-                                queue: queue.clone(),
-                                lsn: lineage_lsns.get(msg).copied(),
-                            },
-                        );
-                    }
+            if self.opts.batched_apply {
+                // Phase 2 handoff: enqueue the apply job while still under
+                // `commit_order` — FIFO position equals WAL position.
+                let mut apply = self.apply.lock();
+                let seq = apply.next_seq;
+                apply.next_seq += 1;
+                for (msg, persistent) in enqueue_flags {
+                    apply.pending_persistent.insert(msg, persistent);
                 }
+                apply.jobs.push_back(ApplyJob {
+                    seq,
+                    buf,
+                    lineage_lsns,
+                });
+                apply_seq = Some(seq);
+            } else {
+                // Phase 2 inline: apply under the commit-order mutex.
+                let mut state = self.state.write();
+                self.apply_buf(&mut state, &buf, &lineage_lsns)?;
             }
+        }
+        // Phase 2 (batched): wait until a batch leader applied our job —
+        // possibly becoming that leader ourselves.
+        if let Some(seq) = apply_seq {
+            self.apply_wait(seq)?;
         }
         // Early lock release (before the durability wait): safe because the
         // log is redo-only — see the method docs.
@@ -594,7 +682,185 @@ impl MessageStore {
         Ok(())
     }
 
-    fn op_is_persistent(&self, state: &Logical, buf: &TxnBuf, op: &TxnOp) -> bool {
+    /// Apply one committed transaction's effects to the logical state.
+    /// Runs either inline under `commit_order` (unbatched) or from the
+    /// batch-apply leader, which holds the state write lock across a whole
+    /// batch of jobs.
+    fn apply_buf(
+        &self,
+        state: &mut Logical,
+        buf: &TxnBuf,
+        lineage_lsns: &HashMap<MsgId, Lsn>,
+    ) -> Result<()> {
+        for op in &buf.ops {
+            match op {
+                TxnOp::Enqueue {
+                    queue,
+                    msg,
+                    payload,
+                    props,
+                    enqueued_at,
+                } => {
+                    let persistent = state
+                        .queues
+                        .get(queue)
+                        .map(|q| q.info.mode == QueueMode::Persistent)
+                        .unwrap_or(true);
+                    // The heap append copies bytes into pages for the
+                    // checkpoint's benefit; the in-memory state shares the
+                    // enqueuer's buffer either way.
+                    let rid = if persistent {
+                        self.metrics.payload_copies.inc();
+                        Some(self.heap.append(payload.as_bytes())?)
+                    } else {
+                        None
+                    };
+                    state.insert_message(
+                        *msg,
+                        queue.clone(),
+                        rid,
+                        payload.clone(),
+                        props.clone(),
+                        false,
+                        *enqueued_at,
+                    );
+                }
+                TxnOp::MarkProcessed { msg } => state.mark_processed(*msg),
+                TxnOp::SliceAdd { slicing, key, msg } => state.slices.add(slicing, key, *msg),
+                TxnOp::SliceReset { slicing, key } => {
+                    state.slices.reset(slicing, key);
+                }
+                TxnOp::Lineage {
+                    msg,
+                    parent,
+                    root,
+                    rule,
+                    queue,
+                } => {
+                    state.lineage.insert(
+                        *msg,
+                        LineageSlot {
+                            parent: *parent,
+                            root: *root,
+                            rule: rule.clone(),
+                            queue: queue.clone(),
+                            lsn: lineage_lsns.get(msg).copied(),
+                        },
+                    );
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Block until the apply job with sequence `seq` has been applied —
+    /// the batch-apply leader/follower protocol (the logical-apply
+    /// analogue of `wal::LogWriter::sync_to`). The first committer to
+    /// find no leader active drains the *whole* queue and applies it
+    /// under one `state` write-lock acquisition, bumping the slice
+    /// version clock once for the batch; everyone else parks on the
+    /// condvar until a leader's batch covers their job.
+    fn apply_wait(&self, seq: u64) -> Result<()> {
+        self.apply_wait_inner(seq, true)
+    }
+
+    /// `claim_error`: whether a failure of job `seq` belongs to this
+    /// caller (true for the committer itself; false for a maintenance
+    /// drain, which must leave the error for the real committer).
+    fn apply_wait_inner(&self, seq: u64, claim_error: bool) -> Result<()> {
+        let mut apply = self.apply.lock();
+        loop {
+            if claim_error {
+                if let Some(err) = apply.failed.remove(&seq) {
+                    return Err(err);
+                }
+            }
+            if apply.applied_seq > seq {
+                return Ok(());
+            }
+            if apply.leader_active {
+                self.metrics.apply_waits.inc();
+                self.apply_cv.wait(&mut apply);
+                continue;
+            }
+            apply.leader_active = true;
+            let batch: Vec<ApplyJob> = apply.jobs.drain(..).collect();
+            // Jobs are queued contiguously under `commit_order`, so the
+            // drained batch covers every seq below `next_seq`.
+            let batch_end = apply.next_seq;
+            drop(apply);
+
+            let mut failures: Vec<(u64, StoreError)> = Vec::new();
+            {
+                let mut state = self.state.write();
+                // One version-clock bump covers the whole batch: caches
+                // validating against slice versions still observe a fresh
+                // value (readers can't see mid-batch state — the write
+                // lock is held throughout).
+                state.slices.begin_batch();
+                for job in &batch {
+                    if let Err(e) = self.apply_buf(&mut state, &job.buf, &job.lineage_lsns) {
+                        failures.push((job.seq, e));
+                    }
+                }
+                state.slices.end_batch();
+            }
+
+            apply = self.apply.lock();
+            apply.leader_active = false;
+            apply.applied_seq = apply.applied_seq.max(batch_end);
+            for job in &batch {
+                for op in &job.buf.ops {
+                    if let TxnOp::Enqueue { msg, .. } = op {
+                        apply.pending_persistent.remove(msg);
+                    }
+                }
+            }
+            for (s, e) in failures {
+                apply.failed.insert(s, e);
+            }
+            self.metrics.apply_batches.inc();
+            self.metrics.apply_batch_size.record_ns(batch.len() as u64);
+            self.apply_cv.notify_all();
+            // Loop: our own job was in the drained batch (we only became
+            // leader because it was unapplied), so the next iteration
+            // returns — unless its apply failed, which the error check
+            // surfaces.
+        }
+    }
+
+    /// Apply every queued job (checkpoint preamble): after this returns,
+    /// no commit sits between its WAL records and its in-memory effects.
+    /// Caller must hold `commit_order` so no new jobs can be queued.
+    fn drain_applies(&self) -> Result<()> {
+        if !self.opts.batched_apply {
+            return Ok(());
+        }
+        let mut apply = self.apply.lock();
+        loop {
+            if apply.leader_active {
+                self.apply_cv.wait(&mut apply);
+                continue;
+            }
+            if apply.jobs.is_empty() {
+                // Errors of drained jobs stay in `failed` for their
+                // committers; the state itself is as applied as it gets.
+                return Ok(());
+            }
+            let target = apply.next_seq - 1;
+            drop(apply);
+            self.apply_wait_inner(target, false)?;
+            apply = self.apply.lock();
+        }
+    }
+
+    fn op_is_persistent(
+        &self,
+        state: &Logical,
+        pending: &HashMap<MsgId, bool>,
+        buf: &TxnBuf,
+        op: &TxnOp,
+    ) -> bool {
         let queue_persistent = |q: &str| {
             state
                 .queues
@@ -603,13 +869,17 @@ impl MessageStore {
                 .unwrap_or(true)
         };
         let msg_persistent = |m: MsgId| {
-            // Either already stored, or being enqueued by this very txn.
-            state.message_is_persistent(m).unwrap_or_else(|| {
-                buf.ops.iter().any(|o| match o {
-                    TxnOp::Enqueue { msg, queue, .. } => *msg == m && queue_persistent(queue),
-                    _ => false,
+            // Already applied, WAL-logged but pending apply, or being
+            // enqueued by this very txn.
+            state
+                .message_is_persistent(m)
+                .or_else(|| pending.get(&m).copied())
+                .unwrap_or_else(|| {
+                    buf.ops.iter().any(|o| match o {
+                        TxnOp::Enqueue { msg, queue, .. } => *msg == m && queue_persistent(queue),
+                        _ => false,
+                    })
                 })
-            })
         };
         match op {
             TxnOp::Enqueue { queue, .. } => queue_persistent(queue),
@@ -635,15 +905,12 @@ impl MessageStore {
             .messages
             .get(&id)
             .ok_or_else(|| StoreError::NotFound(format!("message {id}")))?;
-        let payload = match &meta.0.payload {
-            Payload::Mem(s) => s.clone(),
-            Payload::Heap(rid) => String::from_utf8(self.heap.read(*rid)?)
-                .map_err(|_| StoreError::Corrupt(format!("message {id} payload is not UTF-8")))?,
-        };
+        self.metrics.payload_shared_reads.inc();
         Ok(StoredMessage {
             id,
             queue: meta.0.queue.clone(),
-            payload,
+            // Refcount bump — no heap read, no byte copy, no revalidation.
+            payload: meta.0.payload.bytes().clone(),
             props: meta.0.props.clone(),
             processed: meta.0.processed,
             enqueued_at: meta.0.enqueued_at,
@@ -674,18 +941,18 @@ impl MessageStore {
         })
     }
 
-    /// Read one message's payload only (document-cache miss path).
-    pub fn payload(&self, id: MsgId) -> Result<String> {
+    /// Read one message's payload only (document-cache miss path). A
+    /// refcount bump of the resident, already-validated buffer: the heap
+    /// is never read and UTF-8 is never revalidated — validation happened
+    /// exactly once, at enqueue or recovery.
+    pub fn payload(&self, id: MsgId) -> Result<PayloadBytes> {
         let state = self.state.read();
         let meta = state
             .messages
             .get(&id)
             .ok_or_else(|| StoreError::NotFound(format!("message {id}")))?;
-        match &meta.0.payload {
-            Payload::Mem(s) => Ok(s.clone()),
-            Payload::Heap(rid) => String::from_utf8(self.heap.read(*rid)?)
-                .map_err(|_| StoreError::Corrupt(format!("message {id} payload is not UTF-8"))),
-        }
+        self.metrics.payload_shared_reads.inc();
+        Ok(meta.0.payload.bytes().clone())
     }
 
     /// Ids of all retained messages of a queue in arrival order — lets
@@ -811,27 +1078,53 @@ impl MessageStore {
     /// can invalidate caches keyed by them (e.g. the engine's document
     /// cache).
     pub fn gc_collect(&self) -> Result<Vec<MsgId>> {
-        let mut state = self.state.write();
-        let victims: Vec<MsgId> = state
-            .messages
-            .iter()
-            .filter(|(id, m)| m.0.processed && !state.slices.is_retained(**id))
-            .map(|(&id, _)| id)
-            .collect();
-        for id in &victims {
-            if let Some(meta) = state.messages.remove(id) {
-                if let Payload::Heap(rid) = meta.0.payload {
-                    // Tolerate double-deletes after replay.
-                    let _ = self.heap.delete(rid);
+        // Serialize against checkpoints: a snapshot cut must never land in
+        // the window below where a message is gone from `state` but its
+        // heap record is not yet released (the snapshot would reference a
+        // record we are about to tombstone). Committers never take this
+        // lock, so they are not blocked by the slow part.
+        let _maint = self.maintenance.lock();
+        let mut heap_victims: Vec<RecordId> = Vec::new();
+        let victims: Vec<MsgId> = {
+            // Under the state lock: only the cheap logical removals
+            // (maps, queue vectors, slice index).
+            let mut state = self.state.write();
+            let victims: Vec<MsgId> = state
+                .messages
+                .iter()
+                .filter(|(id, m)| m.0.processed && !state.slices.is_retained(**id))
+                .map(|(&id, _)| id)
+                .collect();
+            let victim_set: std::collections::HashSet<MsgId> = victims.iter().copied().collect();
+            for id in &victims {
+                if let Some(meta) = state.messages.remove(id) {
+                    if let Payload::Heap { rid, .. } = meta.0.payload {
+                        heap_victims.push(rid);
+                    }
                 }
-                if let Some(q) = state.queues.get_mut(&meta.0.queue) {
-                    q.messages.retain(|m| m != id);
+                state.slices.forget(*id);
+                // Lineage of a purged message goes with it — bounds growth;
+                // the obs-side index may retain the edge until it evicts.
+                state.lineage.remove(id);
+            }
+            // One pass per queue instead of one retain per victim — keeps
+            // the in-lock work linear in the number of retained + purged
+            // messages.
+            if !victim_set.is_empty() {
+                for q in state.queues.values_mut() {
+                    q.messages.retain(|m| !victim_set.contains(m));
                 }
             }
-            state.slices.forget(*id);
-            // Lineage of a purged message goes with it — bounds growth;
-            // the obs-side index may retain the edge until it evicts.
-            state.lineage.remove(id);
+            victims
+        };
+        // Heap-record release (page walks, tombstoning, free-list upkeep)
+        // happens with the state lock released: committers and readers
+        // proceed while the heap reclaims space. Nothing can resurrect a
+        // reference — the ids are gone from every index above, and reads
+        // never touch the heap anyway (payloads are resident).
+        for rid in heap_victims {
+            // Tolerate double-deletes after replay.
+            let _ = self.heap.delete(rid);
         }
         self.metrics.gc_runs.inc();
         self.metrics.gc_purged.add(victims.len() as u64);
@@ -856,14 +1149,52 @@ impl MessageStore {
     }
 
     /// Take a checkpoint: flush the heap, cut a snapshot, rotate the WAL.
+    ///
+    /// The cut (everything that must see a consistent store) happens under
+    /// the locks; the expensive part — serializing and fsyncing the
+    /// snapshot file, deleting old segments — happens *after* they are
+    /// released, so committers make progress while a large snapshot is
+    /// still being written. Crash-safe because the previous snapshot and
+    /// all WAL segments survive on disk until the new snapshot file has
+    /// been durably published.
     pub fn checkpoint(&self) -> Result<()> {
+        // Serialize whole-store maintenance: GC must not tombstone heap
+        // records the snapshot we are writing still references.
+        let _maint = self.maintenance.lock();
+        let (snap, new_index) = self.checkpoint_cut()?;
+        // Locks are released; only `maintenance` is still held.
+        //
+        // Test failpoint: stretch the out-of-lock write window so the
+        // regression test can assert committers are not blocked by it
+        // (mirrors DEMAQ_WAL_CRASH_AFTER_BYTES in the WAL).
+        if let Ok(ms) = std::env::var("DEMAQ_CKPT_SLOW_WRITE_MS") {
+            if let Ok(ms) = ms.parse::<u64>() {
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+            }
+        }
+        snap.write_to(&self.opts.dir.join("ckpt.snap"))?;
+        // Old segments are now superfluous.
+        for i in 0..new_index {
+            let _ = std::fs::remove_file(self.opts.dir.join(format!("wal-{i:06}.log")));
+        }
+        self.metrics.checkpoints.inc();
+        Ok(())
+    }
+
+    /// The in-lock half of [`checkpoint`](Self::checkpoint): cut a
+    /// consistent snapshot and rotate the WAL, returning the snapshot for
+    /// the caller to write outside the locks.
+    fn checkpoint_cut(&self) -> Result<(Snapshot, u64)> {
         // Take the commit-order mutex first: without it a committer could
         // sit between Phase 1 (records in the old WAL segment) and Phase 2
         // (effects not yet in `state`) while we snapshot — the snapshot
         // would miss the txn and we'd delete the segment holding its only
         // trace. Lock order matches `commit`.
         let _order = self.commit_order.lock();
-        let state = self.state.write(); // stop-the-world (simple & correct)
+        // Flush the batched-apply queue: every WAL-logged txn must be in
+        // `state` before we cut, for the same reason as above.
+        self.drain_applies()?;
+        let state = self.state.write(); // stop-the-world for the cut only
         let old_wal = Arc::clone(&self.wal.lock());
         old_wal.sync_now()?;
         self.unsynced_commits.store(0, Ordering::Relaxed);
@@ -886,7 +1217,7 @@ impl MessageStore {
             });
         }
         for (&id, meta) in &state.messages {
-            if let Payload::Heap(rid) = meta.0.payload {
+            if let Payload::Heap { rid, .. } = meta.0.payload {
                 snap.messages.push(SnapMessage {
                     id,
                     queue: meta.0.queue.clone(),
@@ -946,14 +1277,8 @@ impl MessageStore {
             *wal = new_wal;
             self.wal_index.store(new_index, Ordering::SeqCst);
         }
-        snap.write_to(&self.opts.dir.join("ckpt.snap"))?;
-        // Old segments are now superfluous.
-        for i in 0..new_index {
-            let _ = std::fs::remove_file(self.opts.dir.join(format!("wal-{i:06}.log")));
-        }
         drop(state);
-        self.metrics.checkpoints.inc();
-        Ok(())
+        Ok((snap, new_index))
     }
 
     /// Bytes appended to the current WAL segment (benchmark metric E4).
@@ -1007,7 +1332,7 @@ mod tests {
                     for i in 0..40u64 {
                         let txn = store.begin();
                         let msg = store
-                            .enqueue(txn, "q", format!("m-{t}-{i}"), Vec::new(), 0)
+                            .enqueue(txn, "q", format!("m-{t}-{i}").into(), Vec::new(), 0)
                             .unwrap();
                         store.slice_add(txn, "s", key.clone(), msg).unwrap();
                         store.commit(txn).unwrap();

@@ -6,7 +6,7 @@
 //! commit, under locks acquired during the transaction (strict 2PL). An
 //! abort simply discards the buffer.
 
-use crate::types::{MsgId, PropValue, TxnId};
+use crate::types::{MsgId, PayloadBytes, PropValue, TxnId};
 
 /// A buffered write operation.
 #[derive(Debug, Clone)]
@@ -14,7 +14,9 @@ pub enum TxnOp {
     Enqueue {
         queue: String,
         msg: MsgId,
-        payload: String,
+        /// Shared payload handle — the same buffer the WAL record and the
+        /// message map will hold; cloning it is a refcount bump.
+        payload: PayloadBytes,
         props: Vec<(String, PropValue)>,
         enqueued_at: i64,
     },

@@ -2,6 +2,8 @@
 
 use std::cmp::Ordering;
 use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
 
 /// Globally unique message identifier, monotonically increasing — doubles
 /// as the arrival order within the whole store.
@@ -168,14 +170,91 @@ pub struct LineageEdge {
     pub lsn: Option<Lsn>,
 }
 
+/// Refcounted, immutable, UTF-8-validated payload bytes.
+///
+/// One `PayloadBytes` buffer is shared — by refcount, never by copy — from
+/// enqueue through the WAL record, the in-memory message map, and every
+/// read (`Store::payload`, `StoredMessage`). Validation happens exactly
+/// once, when the buffer is created: either from an owned `String`
+/// (enqueue) or via [`PayloadBytes::from_utf8`] (recovery materializing a
+/// heap record). Holding one is the proof the bytes are valid UTF-8, so
+/// the read path never revalidates.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct PayloadBytes(Arc<str>);
+
+impl PayloadBytes {
+    /// Validate `bytes` as UTF-8 once and wrap them. The only entry point
+    /// for bytes of unproven encoding (heap reads during recovery).
+    pub fn from_utf8(bytes: Vec<u8>) -> Result<PayloadBytes, std::string::FromUtf8Error> {
+        String::from_utf8(bytes).map(PayloadBytes::from)
+    }
+
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    pub fn as_bytes(&self) -> &[u8] {
+        self.0.as_bytes()
+    }
+}
+
+impl From<String> for PayloadBytes {
+    fn from(s: String) -> PayloadBytes {
+        PayloadBytes(Arc::from(s))
+    }
+}
+
+impl From<&str> for PayloadBytes {
+    fn from(s: &str) -> PayloadBytes {
+        PayloadBytes(Arc::from(s))
+    }
+}
+
+impl Deref for PayloadBytes {
+    type Target = str;
+    fn deref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl PartialEq<str> for PayloadBytes {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<&str> for PayloadBytes {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
+impl PartialEq<String> for PayloadBytes {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+
+impl fmt::Debug for PayloadBytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&self.0, f)
+    }
+}
+
+impl fmt::Display for PayloadBytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
 /// A message as read from a queue.
 #[derive(Debug, Clone)]
 pub struct StoredMessage {
     pub id: MsgId,
     /// Name of the containing queue.
     pub queue: String,
-    /// Serialized XML payload.
-    pub payload: String,
+    /// Serialized XML payload (shared, not copied, with the store).
+    pub payload: PayloadBytes,
     /// Property values attached at creation.
     pub props: Vec<(String, PropValue)>,
     /// Has the rule engine finished processing this message?

@@ -9,16 +9,26 @@
 //! from slice membership ("frees the system from the need to fully log
 //! message deletions").
 //!
-//! Record framing: `[len u32][crc32 u32][payload]`.
+//! Record framing: `[len u32][crc32 u32][payload]`. A record payload is
+//! never empty (encoding always emits at least the tag byte), so a frame
+//! header of `len == 0` can only be a zero-filled tail — the scan treats
+//! it as end-of-log, never as a record.
 //!
 //! # Tail semantics (the recovery boundary)
 //!
 //! [`read_log`] distinguishes two kinds of damage:
 //!
-//! * **Torn tail** — a truncated frame or a CRC mismatch. This is the
-//!   expected signature of a crash mid-`write`: the scan stops cleanly at
-//!   the last valid record and reports the discarded byte count
-//!   ([`LogScan::discarded`]). Everything before the tear is trusted.
+//! * **Torn tail** — a truncated frame, a CRC mismatch, or a zero-length
+//!   frame header. These are the expected signatures of a crash
+//!   mid-`write`: the scan stops cleanly at the last valid record and
+//!   reports the discarded byte count ([`LogScan::discarded`], which
+//!   excludes trailing zeros — journaling filesystems can legitimately
+//!   recover a crashed file with its size extended but the data
+//!   unwritten, i.e. a zero tail). The zero-frame check runs *before*
+//!   the CRC check: `crc32` of an empty payload is 0, so an all-zero
+//!   frame would otherwise read as CRC-valid and then fail decoding as
+//!   hard corruption, turning an ordinary crash into a refused recovery.
+//!   Everything before the tear is trusted.
 //! * **Hard corruption** — a frame whose CRC verifies but whose payload
 //!   does not decode. A CRC-valid-but-undecodable record cannot be
 //!   produced by a torn write (the CRC covers the whole payload), so it
@@ -43,7 +53,7 @@
 //! covers their commit LSN.
 
 use crate::error::{Result, StoreError};
-use crate::types::{Lsn, MsgId, PropValue, TxnId};
+use crate::types::{Lsn, MsgId, PayloadBytes, PropValue, TxnId};
 use demaq_obs::{Counter, Histogram, Registry};
 use parking_lot::{Condvar, Mutex};
 use std::fs::{File, OpenOptions};
@@ -69,7 +79,11 @@ pub enum LogRecord {
         txn: TxnId,
         queue: String,
         msg: MsgId,
-        payload: String,
+        /// Shared handle onto the enqueuer's payload buffer — building
+        /// this record never copies the payload. Decoding (recovery)
+        /// validates UTF-8 once in `get_str`, so the handle it yields is
+        /// proof-carrying too.
+        payload: PayloadBytes,
         props: Vec<(String, PropValue)>,
         enqueued_at: i64,
     },
@@ -260,7 +274,8 @@ impl LogRecord {
                 let queue = get_str(buf, &mut at)?;
                 let msg = MsgId(get_u64(buf, &mut at)?);
                 let enqueued_at = get_i64(buf, &mut at)?;
-                let payload = get_str(buf, &mut at)?;
+                // `get_str` validated UTF-8; the handle carries the proof.
+                let payload = PayloadBytes::from(get_str(buf, &mut at)?);
                 let n = u32::from_le_bytes(buf.get(at..at + 4)?.try_into().ok()?) as usize;
                 at += 4;
                 let mut props = Vec::with_capacity(n);
@@ -333,14 +348,31 @@ impl LogRecord {
 pub fn crc32(bytes: &[u8]) -> u32 {
     let mut crc: u32 = 0xFFFF_FFFF;
     for &b in bytes {
-        crc ^= b as u32;
-        for _ in 0..8 {
-            let mask = (crc & 1).wrapping_neg();
-            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
-        }
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ b as u32) & 0xFF) as usize];
     }
     !crc
 }
+
+/// Byte-at-a-time lookup table for [`crc32`], built at compile time. The
+/// checksum runs over every WAL byte on the commit path, so the naive
+/// bit-loop (8 shift/xor rounds per byte) was a measurable slice of
+/// per-commit CPU; the table does one shift/xor per byte.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut j = 0;
+        while j < 8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+            j += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
 
 /// Group-commit tuning knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -357,6 +389,12 @@ pub struct GroupCommitCfg {
     /// never waits at all, while N concurrent committers quickly converge
     /// on batches of N. Zero disables the window entirely — batching then
     /// only happens among commits that pile up during an in-flight fsync.
+    ///
+    /// Deliberately *not* tuned to chase maximal batches: measured on a
+    /// single-core host, forcing the batch up to the full worker count
+    /// (probing windows) reduced throughput — with every worker blocked
+    /// in one big batch, nothing overlaps the device flush, whereas
+    /// smaller batches hide the fsync behind the other workers' compute.
     pub max_wait: Duration,
 }
 
@@ -388,7 +426,17 @@ pub struct LogWriter {
     sync_handle: File,
     cfg: GroupCommitCfg,
     sync_state: Mutex<SyncState>,
+    /// Durability waiters: followers blocked until a sync covers their
+    /// commit LSN, notified once per completed sync (plus leadership
+    /// handoff). Kept separate from [`LogWriter::window_cv`] so the
+    /// per-commit registration in `append_commit` never wakes them —
+    /// with one shared condvar every arriving commit woke every blocked
+    /// follower just to recheck and sleep again, a storm of futex
+    /// round-trips that was pure overhead on the commit path.
     sync_cv: Condvar,
+    /// The batching-window leader (at most one), woken per new commit so
+    /// its window can fill early.
+    window_cv: Condvar,
     obs: OnceLock<WalObs>,
 }
 
@@ -453,6 +501,7 @@ impl LogWriter {
                 prev_batch: 1,
             }),
             sync_cv: Condvar::new(),
+            window_cv: Condvar::new(),
             obs: OnceLock::new(),
         })
     }
@@ -501,8 +550,9 @@ impl LogWriter {
         let mut st = self.sync_state.lock();
         st.pending_commits += 1;
         drop(st);
-        // Wake a leader sitting in its batching window.
-        self.sync_cv.notify_all();
+        // Wake only a leader sitting in its batching window — durability
+        // waiters on `sync_cv` don't care about new arrivals.
+        self.window_cv.notify_one();
         Ok((lsn, target))
     }
 
@@ -537,7 +587,7 @@ impl LogWriter {
                         if now >= deadline {
                             break;
                         }
-                        if self.sync_cv.wait_for(&mut st, deadline - now).timed_out() {
+                        if self.window_cv.wait_for(&mut st, deadline - now).timed_out() {
                             break;
                         }
                     }
@@ -631,8 +681,9 @@ pub struct LogScan {
     /// Byte length of the valid prefix — the offset right after the last
     /// valid record. [`LogWriter::open`] truncates the file here.
     pub valid_len: u64,
-    /// Trailing bytes discarded as a torn tail (file length minus
-    /// `valid_len`); zero for a clean file.
+    /// Trailing bytes discarded as a torn tail — the suffix after
+    /// `valid_len` up to the last non-zero byte. A zero-filled tail does
+    /// not count; zero for a clean file.
     pub discarded: u64,
 }
 
@@ -656,6 +707,17 @@ pub fn read_log(path: &Path) -> Result<LogScan> {
     while at + 8 <= buf.len() {
         let len = u32::from_le_bytes(buf[at..at + 4].try_into().unwrap()) as usize;
         let crc = u32::from_le_bytes(buf[at + 4..at + 8].try_into().unwrap());
+        if len == 0 {
+            // A record payload is never empty, so this is a zero-filled
+            // tail (a tear that never got past the header, or a
+            // filesystem that recovered the crashed file's size without
+            // its data): end of log. Checked before the CRC — crc32 of
+            // an empty payload is 0, so an all-zero frame would
+            // otherwise read as CRC-valid and then fail decoding as
+            // hard corruption, refusing recovery after an ordinary
+            // crash.
+            break;
+        }
         if at + 8 + len > buf.len() {
             break; // torn tail: truncated frame
         }
@@ -673,10 +735,18 @@ pub fn read_log(path: &Path) -> Result<LogScan> {
         }
         at += 8 + len;
     }
+    // Torn bytes are the suffix after the valid prefix *minus* trailing
+    // zeros: a zero-filled tail is an ordinary crash signature (see the
+    // module docs), not damage worth reporting.
+    let tail_end = buf
+        .iter()
+        .rposition(|&b| b != 0)
+        .map_or(0, |p| p + 1)
+        .max(at);
     Ok(LogScan {
         records: out,
         valid_len: at as u64,
-        discarded: (buf.len() - at) as u64,
+        discarded: (tail_end - at) as u64,
     })
 }
 
@@ -699,6 +769,7 @@ pub fn log_size(path: &PathBuf) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::io::{Seek, SeekFrom};
     use tempfile::TempDir;
 
     fn writer(path: &Path) -> LogWriter {
@@ -785,13 +856,42 @@ mod tests {
         w.sync_now().unwrap();
         let clean_len = w.end_lsn().0;
         drop(w);
-        // Append garbage simulating a torn write.
-        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        // Garbage at the append offset (inside the preallocated zeros),
+        // simulating a torn write where the writer actually writes.
+        let mut f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.seek(SeekFrom::Start(clean_len)).unwrap();
         f.write_all(&[200, 1, 0, 0, 77, 77]).unwrap();
         let scan = read_log(&path).unwrap();
         assert_eq!(scan.records.len(), sample_records().len());
         assert_eq!(scan.valid_len, clean_len);
+        // Only the torn bytes count — the zero padding after them doesn't.
         assert_eq!(scan.discarded, 6);
+    }
+
+    /// A zero-filled tail — what a journaling filesystem can leave behind
+    /// when it recovers a crashed file's size but not its data — must scan
+    /// as an ordinary torn tail with nothing discarded, not as hard
+    /// corruption. (An all-zero frame header is `len == 0, crc == 0`, and
+    /// crc32 of the empty payload *is* 0: without the explicit zero-length
+    /// check the scan would call it CRC-valid, fail to decode it, and
+    /// refuse recovery after an ordinary crash.)
+    #[test]
+    fn zero_filled_tail_is_a_clean_tail() {
+        let dir = TempDir::new().unwrap();
+        let path = dir.path().join("wal.log");
+        let w = writer(&path);
+        w.append(&LogRecord::Begin { txn: TxnId(1) }).unwrap();
+        w.append(&LogRecord::Commit { txn: TxnId(1) }).unwrap();
+        w.sync_now().unwrap();
+        let clean_len = w.end_lsn().0;
+        drop(w);
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(&[0u8; 4096]).unwrap();
+        drop(f);
+        let scan = read_log(&path).unwrap();
+        assert_eq!(scan.records.len(), 2);
+        assert_eq!(scan.valid_len, clean_len);
+        assert_eq!(scan.discarded, 0, "a zero tail must not read as torn");
     }
 
     /// The torn-tail regression: records appended *after* reopening over a
@@ -802,15 +902,18 @@ mod tests {
     fn reopen_over_torn_tail_keeps_later_appends_readable() {
         let dir = TempDir::new().unwrap();
         let path = dir.path().join("wal.log");
+        let clean_len;
         {
             let w = writer(&path);
             w.append(&LogRecord::Begin { txn: TxnId(1) }).unwrap();
             w.append(&LogRecord::Commit { txn: TxnId(1) }).unwrap();
             w.sync_now().unwrap();
+            clean_len = w.end_lsn().0;
         }
-        // Crash mid-record: half a frame of garbage at the tail.
+        // Crash mid-record: half a frame of garbage at the append offset.
         {
-            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            let mut f = OpenOptions::new().write(true).open(&path).unwrap();
+            f.seek(SeekFrom::Start(clean_len)).unwrap();
             f.write_all(&[90, 0, 0, 0, 1, 2, 3]).unwrap();
         }
         // Reopen appends a fresh committed record…
@@ -848,18 +951,20 @@ mod tests {
             w.append(&rec).unwrap();
         }
         w.sync_now().unwrap();
+        let clean_len = w.end_lsn().0;
         drop(w);
-        // Flip a byte in the middle: scan stops at the damaged record and
-        // reports everything after it as discarded.
+        // Flip a byte in the middle of the valid prefix: scan stops at
+        // the damaged record and reports the damaged suffix (up to where
+        // the real records end — the zero padding beyond is not damage).
         let mut bytes = std::fs::read(&path).unwrap();
-        let mid = bytes.len() / 2;
+        let mid = (clean_len / 2) as usize;
         bytes[mid] ^= 0xFF;
         std::fs::write(&path, &bytes).unwrap();
         let scan = read_log(&path).unwrap();
         assert!(scan.records.len() < sample_records().len());
         assert_eq!(
             scan.valid_len + scan.discarded,
-            bytes.len() as u64,
+            clean_len,
             "discarded must account for the whole damaged suffix"
         );
         assert!(scan.discarded > 0);
@@ -874,10 +979,13 @@ mod tests {
         let w = writer(&path);
         w.append(&LogRecord::Begin { txn: TxnId(1) }).unwrap();
         w.sync_now().unwrap();
+        let clean_len = w.end_lsn().0;
         drop(w);
-        // Append a frame with a bogus record tag but a *correct* CRC.
+        // A frame with a bogus record tag but a *correct* CRC, at the
+        // append offset where a real (buggy) writer would put it.
         let payload = [0xEEu8, 1, 2, 3];
-        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        let mut f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.seek(SeekFrom::Start(clean_len)).unwrap();
         f.write_all(&(payload.len() as u32).to_le_bytes()).unwrap();
         f.write_all(&crc32(&payload).to_le_bytes()).unwrap();
         f.write_all(&payload).unwrap();

@@ -54,7 +54,7 @@ proptest! {
             txn: TxnId(txn),
             queue,
             msg: MsgId(msg),
-            payload,
+            payload: payload.into(),
             props,
             enqueued_at: at,
         };
@@ -190,7 +190,7 @@ proptest! {
             for batch in &batches {
                 let txn = store.begin();
                 for (q, payload) in batch {
-                    store.enqueue(txn, q, payload.clone(), vec![], 0).unwrap();
+                    store.enqueue(txn, q, payload.clone().into(), vec![], 0).unwrap();
                     expected.push((q.clone(), payload.clone()));
                 }
                 store.commit(txn).unwrap();
@@ -210,7 +210,7 @@ proptest! {
         let mut recovered: Vec<(String, String)> = Vec::new();
         for q in ["a", "b"] {
             for m in store.queue_messages(q).unwrap() {
-                recovered.push((m.queue, m.payload));
+                recovered.push((m.queue, m.payload.to_string()));
             }
         }
         let sort = |mut v: Vec<(String, String)>| {

@@ -15,7 +15,7 @@ fn open(dir: &TempDir) -> MessageStore {
 fn enqueue_one(store: &MessageStore, queue: &str, payload: &str) -> MsgId {
     let txn = store.begin();
     let id = store
-        .enqueue(txn, queue, payload.to_string(), vec![], 0)
+        .enqueue(txn, queue, payload.into(), vec![], 0)
         .unwrap();
     store.commit(txn).unwrap();
     id
@@ -50,7 +50,7 @@ fn arrival_order_is_preserved() {
         enqueue_one(&store, "q", &format!("<m>{i}</m>"));
     }
     let msgs = store.queue_messages("q").unwrap();
-    let bodies: Vec<String> = msgs.iter().map(|m| m.payload.clone()).collect();
+    let bodies: Vec<String> = msgs.iter().map(|m| m.payload.to_string()).collect();
     let expected: Vec<String> = (0..20).map(|i| format!("<m>{i}</m>")).collect();
     assert_eq!(bodies, expected);
 }
@@ -405,7 +405,7 @@ fn concurrent_enqueues_from_many_threads() {
                         .acquire(txn, LockKey::Queue("q".into()), LockMode::Shared)
                         .unwrap();
                     store
-                        .enqueue(txn, "q", format!("<m t='{t}' i='{i}'/>"), vec![], 0)
+                        .enqueue(txn, "q", format!("<m t='{t}' i='{i}'/>").into(), vec![], 0)
                         .unwrap();
                     store.commit(txn).unwrap();
                 }
@@ -464,4 +464,97 @@ fn checkpoint_truncates_wal() {
         .filter(|e| e.file_name().to_string_lossy().starts_with("wal-"))
         .collect();
     assert_eq!(wal_files.len(), 1);
+}
+
+#[test]
+fn commits_progress_while_checkpoint_writes() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    // Regression: `checkpoint()` used to hold the commit-order and state
+    // locks across the snapshot *write*; a large (here: artificially slow)
+    // checkpoint stalled every committer for its full duration. The cut
+    // still happens under the locks, the write must not.
+    let dir = TempDir::new().unwrap();
+    let store = Arc::new(open(&dir));
+    store.create_queue("q", QueueMode::Persistent, 0).unwrap();
+    for i in 0..200 {
+        enqueue_one(&store, "q", &format!("<m>{i}</m>"));
+    }
+    std::env::set_var("DEMAQ_CKPT_SLOW_WRITE_MS", "2000");
+    let ckpt_done = Arc::new(AtomicBool::new(false));
+    let ckpt = {
+        let store = Arc::clone(&store);
+        let done = Arc::clone(&ckpt_done);
+        std::thread::spawn(move || {
+            store.checkpoint().unwrap();
+            done.store(true, Ordering::SeqCst);
+        })
+    };
+    // Let the checkpoint take its cut and enter the slow write window.
+    std::thread::sleep(Duration::from_millis(200));
+    let committed = enqueue_one(&store, "q", "<during-checkpoint/>");
+    let still_writing = !ckpt_done.load(Ordering::SeqCst);
+    ckpt.join().unwrap();
+    std::env::remove_var("DEMAQ_CKPT_SLOW_WRITE_MS");
+    assert!(
+        still_writing,
+        "checkpoint finished before the concurrent commit — the slow-write \
+         failpoint did not arm and the test exercised nothing"
+    );
+    assert_eq!(store.message(committed).unwrap().payload, "<during-checkpoint/>");
+}
+
+#[test]
+fn gc_of_many_messages_does_not_stall_committers() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::time::Instant;
+    // Regression: `gc_collect()` used to release heap records while holding
+    // the state write lock; purging a large backlog blocked committers for
+    // the whole sweep. Heap release now happens outside the lock, so a
+    // concurrent commit sees only the (linear, in-memory) logical removal.
+    let dir = TempDir::new().unwrap();
+    let store = Arc::new(open(&dir));
+    store.create_queue("q", QueueMode::Persistent, 0).unwrap();
+    for b in 0..20 {
+        let txn = store.begin();
+        let ids: Vec<MsgId> = (0..500)
+            .map(|i| {
+                store
+                    .enqueue(txn, "q", format!("<m>{b}-{i}</m>").into(), vec![], 0)
+                    .unwrap()
+            })
+            .collect();
+        store.commit(txn).unwrap();
+        let txn = store.begin();
+        for id in ids {
+            store.mark_processed(txn, id).unwrap();
+        }
+        store.commit(txn).unwrap();
+    }
+    let gc_done = Arc::new(AtomicBool::new(false));
+    let gc = {
+        let store = Arc::clone(&store);
+        let done = Arc::clone(&gc_done);
+        std::thread::spawn(move || {
+            let purged = store.gc_collect().unwrap().len();
+            done.store(true, Ordering::SeqCst);
+            purged
+        })
+    };
+    // While the GC sweeps 10k messages, commits must keep completing
+    // within a bounded wait.
+    let mut max_latency = Duration::ZERO;
+    loop {
+        let t0 = Instant::now();
+        enqueue_one(&store, "q", "<during-gc/>");
+        max_latency = max_latency.max(t0.elapsed());
+        if gc_done.load(Ordering::SeqCst) {
+            break;
+        }
+    }
+    let purged = gc.join().unwrap();
+    assert_eq!(purged, 10_000, "GC missed processed messages");
+    assert!(
+        max_latency < Duration::from_secs(2),
+        "a commit stalled {max_latency:?} behind the concurrent GC"
+    );
 }
