@@ -19,18 +19,24 @@
 //! | DQ007 | error-queue-cycle | deny |
 //! | DQ008 | slicing-key-misuse | warn |
 //! | DQ009 | dead-end-lineage | warn |
+//! | DQ010 | cross-shard-hot-edge | warn |
 //!
 //! The same flow graph yields a deterministic global lock-acquisition
 //! order ([`Analysis::lock_order`]) that the engine uses for deadlock
-//! *avoidance* on cross-enqueueing rules.
+//! *avoidance* on cross-enqueueing rules, and a queue → shard
+//! [`placement::Placement`] the sharded runtime routes enqueues with.
 
 pub mod extract;
 pub mod facts;
 pub mod graph;
+pub mod placement;
 
 pub use extract::extract_qdl_programs;
 pub use facts::{EnqueueSite, RuleFacts};
 pub use graph::{error_route_edges, strongly_connected, ErrorEdge, FlowEdge, FlowGraph};
+pub use placement::{
+    compute_placement, cross_shard_edges, stable_hash, Placement, QueuePlacement,
+};
 
 use demaq_qdl::{AppSpec, PropKind, QueueKind};
 use demaq_xml::schema::Schema;
@@ -92,10 +98,14 @@ pub enum LintCode {
     /// an outgoing gateway or error queue (the causal chain dead-ends
     /// unobserved).
     DeadEndLineage,
+    /// DQ010: a rule's enqueue target is placed on a different shard than
+    /// its trigger queue under the computed placement, so the hot chain
+    /// hops shards.
+    CrossShardHotEdge,
 }
 
 impl LintCode {
-    pub const ALL: [LintCode; 9] = [
+    pub const ALL: [LintCode; 10] = [
         LintCode::UnknownEnqueueTarget,
         LintCode::EnqueueIntoIncomingGateway,
         LintCode::UnreachableQueue,
@@ -105,6 +115,7 @@ impl LintCode {
         LintCode::ErrorQueueCycle,
         LintCode::SlicingKeyMisuse,
         LintCode::DeadEndLineage,
+        LintCode::CrossShardHotEdge,
     ];
 
     pub fn as_str(&self) -> &'static str {
@@ -118,6 +129,7 @@ impl LintCode {
             LintCode::ErrorQueueCycle => "DQ007",
             LintCode::SlicingKeyMisuse => "DQ008",
             LintCode::DeadEndLineage => "DQ009",
+            LintCode::CrossShardHotEdge => "DQ010",
         }
     }
 
@@ -132,6 +144,7 @@ impl LintCode {
             LintCode::ErrorQueueCycle => "error-queue-cycle",
             LintCode::SlicingKeyMisuse => "slicing-key-misuse",
             LintCode::DeadEndLineage => "dead-end-lineage",
+            LintCode::CrossShardHotEdge => "cross-shard-hot-edge",
         }
     }
 
@@ -738,6 +751,22 @@ pub fn analyze(spec: &AppSpec, rules: &[RuleFacts], config: &LintConfig) -> Anal
                     ),
                 );
             }
+        }
+    }
+
+    // ---- DQ010: cross-shard hot edges --------------------------------------
+    // Nominal 2-shard placement: a flow edge that hops shards at N=2 hops
+    // at every N>1, so placement regressions surface at deploy time even
+    // when today's deployment is single-shard.
+    {
+        let placement =
+            placement::compute_placement(spec, rules, &graph, 2, &BTreeMap::new());
+        for e in placement::cross_shard_edges(spec, rules, &graph, &placement) {
+            emit(
+                LintCode::CrossShardHotEdge,
+                format!("rule {}", e.rule),
+                e.message,
+            );
         }
     }
 

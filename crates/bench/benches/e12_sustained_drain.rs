@@ -44,6 +44,16 @@ fn smoke() -> bool {
     std::env::var("DEMAQ_E12_SMOKE").is_ok()
 }
 
+/// First sample of `name` in Prometheus-style metrics text (0 if absent —
+/// counters register lazily on first increment).
+fn metric_value(text: &str, name: &str) -> f64 {
+    text.lines()
+        .filter(|l| l.starts_with(name))
+        .filter_map(|l| l.rsplit(' ').next()?.parse().ok())
+        .next()
+        .unwrap_or(0.0)
+}
+
 fn messages() -> usize {
     if smoke() {
         256
@@ -58,6 +68,10 @@ fn build_server(dir: &TempDir) -> Server {
         .program(PIPELINE)
         .dir(dir.path())
         .sync_policy(SyncPolicy::Always)
+        // The full run emits ~12k trace events (3 stages × 2048 messages,
+        // enqueue + process each); the 4096 default ring dropped 8192 of
+        // them, leaving no usable tail.
+        .trace_capacity(32768)
         .build()
         .expect("valid program")
 }
@@ -121,6 +135,15 @@ fn bench_e12(c: &mut Criterion) {
 
     let secs = elapsed.as_secs_f64().max(1e-9);
     let text = server.metrics_text();
+
+    // The drain path shares payload bytes zero-copy end to end: enqueue,
+    // WAL append, recovery-free reads, and rule evaluation all borrow the
+    // same `Arc<str>`. Copies only happen on checkpoint materialization
+    // and snapshot recovery, neither of which this workload performs.
+    let copies = metric_value(&text, "demaq_store_payload_copies_total");
+    assert_eq!(copies, 0.0, "drain path must not copy payload bytes");
+    let overwrites = metric_value(&text, "demaq_obs_trace_overwrites_total");
+    assert_eq!(overwrites, 0.0, "trace ring must be sized for the run");
     let mut report = BenchReport::new("e12_sustained_drain", smoke());
     report
         .result("drain_throughput", drained as f64 / secs, "msgs/s")

@@ -284,31 +284,46 @@ struct TimerJob {
 impl Eq for TimerJob {}
 
 /// Builder for [`Server`].
+#[derive(Clone)]
 pub struct ServerBuilder {
-    program: Option<String>,
-    spec: Option<AppSpec>,
-    dir: Option<PathBuf>,
-    in_memory: bool,
+    pub(crate) program: Option<String>,
+    pub(crate) spec: Option<AppSpec>,
+    pub(crate) dir: Option<PathBuf>,
+    pub(crate) in_memory: bool,
     sync: SyncPolicy,
     group_commit: Option<(usize, std::time::Duration)>,
     batched_apply: bool,
     lock_granularity: LockGranularity,
     plan_mode: PlanMode,
-    seed: u64,
-    clock: Option<Clock>,
-    network: Option<Arc<Network>>,
+    pub(crate) seed: u64,
+    pub(crate) clock: Option<Clock>,
+    pub(crate) network: Option<Arc<Network>>,
     wsdl_files: HashMap<String, String>,
     collections: HashMap<String, Vec<Arc<Document>>>,
-    server_addr: String,
-    start_time_ms: i64,
-    obs: Option<Arc<Obs>>,
+    pub(crate) server_addr: String,
+    pub(crate) start_time_ms: i64,
+    pub(crate) obs: Option<Arc<Obs>>,
     doc_cache_shards: usize,
     doc_cache_budget: usize,
     slice_seq_cache: bool,
     lowered_plans: bool,
     strict_analysis: StrictAnalysis,
     analysis_lock_order: bool,
-    provenance_capacity: usize,
+    pub(crate) provenance_capacity: usize,
+    pub(crate) trace_capacity: Option<usize>,
+    /// Base added to freshly allocated message ids (shard `i` of a
+    /// [`crate::shard::ShardedServer`] gets `i << 48`, so ids are unique
+    /// across shards without coordination).
+    pub(crate) msg_id_base: u64,
+    /// Link back to the shard router when this server is one shard of a
+    /// [`crate::shard::ShardedServer`]. `None` for a standalone server.
+    pub(crate) shard_link: Option<Arc<crate::shard::ShardLink>>,
+    /// When `Some`, only the named incoming-gateway queues register network
+    /// listeners (each gateway listens on exactly one shard).
+    pub(crate) incoming_gateways: Option<HashSet<String>>,
+    /// Share one causal provenance index across shards so lineage chains
+    /// that hop shards stay queryable from any of them.
+    pub(crate) shared_provenance: Option<Arc<ProvenanceIndex>>,
 }
 
 impl Default for ServerBuilder {
@@ -338,6 +353,11 @@ impl Default for ServerBuilder {
             strict_analysis: StrictAnalysis::Warn,
             analysis_lock_order: true,
             provenance_capacity: 65_536,
+            trace_capacity: None,
+            msg_id_base: 0,
+            shard_link: None,
+            incoming_gateways: None,
+            shared_provenance: None,
         }
     }
 }
@@ -511,6 +531,24 @@ impl ServerBuilder {
         self
     }
 
+    /// Capacity of the trace ring (events retained before overwrite).
+    /// Defaults to the [`Obs::new`] default (4096). Ignored when an
+    /// existing observability context is supplied via [`Self::obs`] —
+    /// that context's ring is already sized.
+    pub fn trace_capacity(mut self, events: usize) -> Self {
+        self.trace_capacity = Some(events);
+        self
+    }
+
+    /// Partition the application across `n` engine shards, each with its
+    /// own store (private WAL, slice index, document cache) and worker
+    /// pool. Queue placement is derived from the flow graph so hot rule
+    /// chains stay shard-local; `shards(1)` degrades to a single server
+    /// behaviorally identical to [`Self::build`].
+    pub fn shards(self, n: usize) -> crate::shard::ShardedServerBuilder {
+        crate::shard::ShardedServerBuilder::new(self, n)
+    }
+
     /// Compile the application and open the store.
     pub fn build(self) -> Result<Server> {
         let spec = match (self.spec, self.program) {
@@ -547,7 +585,10 @@ impl ServerBuilder {
                 ))
             }
         };
-        let obs = self.obs.unwrap_or_else(Obs::new);
+        let obs = self.obs.unwrap_or_else(|| match self.trace_capacity {
+            Some(events) => Obs::with_trace_capacity(events),
+            None => Obs::new(),
+        });
         if self.strict_analysis != StrictAnalysis::Off {
             for d in &app.analysis.diagnostics {
                 obs.registry
@@ -567,6 +608,7 @@ impl ServerBuilder {
         }
         opts.batched_apply = self.batched_apply;
         opts.lock_granularity = self.lock_granularity;
+        opts.msg_id_base = self.msg_id_base;
         opts.obs = Some(Arc::clone(&obs));
         let store = Arc::new(MessageStore::open(opts)?);
 
@@ -593,8 +635,13 @@ impl ServerBuilder {
             .unwrap_or_else(|| Arc::new(Network::new(clock.clone(), self.seed)));
         net.attach_obs(&obs);
         let app = Arc::new(app);
-        let gateways =
-            GatewayManager::new(&app, Arc::clone(&net), self.server_addr, Arc::clone(&obs));
+        let gateways = GatewayManager::with_incoming_filter(
+            &app,
+            Arc::clone(&net),
+            self.server_addr,
+            Arc::clone(&obs),
+            self.incoming_gateways.as_ref(),
+        );
         let timers = TimerWheel::new();
         timers.attach_fire_counter(obs.registry.counter("demaq_net_timer_fired_total"));
         let metrics = EngineMetrics::new(
@@ -611,7 +658,9 @@ impl ServerBuilder {
         // `Lineage` records replayed by recovery), then backfill root
         // records for causal-tree roots that are still retained — roots
         // have no durable edge of their own.
-        let provenance = ProvenanceIndex::new(self.provenance_capacity);
+        let provenance = self
+            .shared_provenance
+            .unwrap_or_else(|| Arc::new(ProvenanceIndex::new(self.provenance_capacity)));
         let edges = store.lineage_edges();
         for e in &edges {
             provenance.record(LineageRecord {
@@ -660,6 +709,7 @@ impl ServerBuilder {
             obs,
             analysis_lock_order: self.analysis_lock_order,
             provenance,
+            shard_link: self.shard_link,
             active_workers: AtomicUsize::new(0),
         };
         // Recovery: re-schedule surviving unprocessed messages.
@@ -697,8 +747,12 @@ pub struct Server {
     /// avoidance) instead of plain name order.
     analysis_lock_order: bool,
     /// Bounded causal index over message lineage — a cache over the
-    /// store's durable `Lineage` records, rebuilt at startup.
-    provenance: ProvenanceIndex,
+    /// store's durable `Lineage` records, rebuilt at startup. Shared
+    /// across shards of a [`crate::shard::ShardedServer`].
+    provenance: Arc<ProvenanceIndex>,
+    /// Routing directory link when this server is one shard of a
+    /// [`crate::shard::ShardedServer`].
+    shard_link: Option<Arc<crate::shard::ShardLink>>,
     active_workers: AtomicUsize,
 }
 
@@ -837,7 +891,8 @@ impl Server {
     /// Enqueue an external message (as if received out-of-band). Validates
     /// against the queue schema.
     pub fn enqueue_external(&self, queue: &str, xml: &str) -> Result<MsgId> {
-        self.enqueue_with(queue, xml, &[], None, Vec::new(), "")
+        self.enqueue_with(queue, xml, &[], None, Vec::new(), false, "")?
+            .ok_or_else(|| Self::remote_home_error(queue))
     }
 
     /// Enqueue with explicit property values.
@@ -847,13 +902,30 @@ impl Server {
         xml: &str,
         explicit: &[(String, Atomic)],
     ) -> Result<MsgId> {
-        self.enqueue_with(queue, xml, explicit, None, Vec::new(), "")
+        self.enqueue_with(queue, xml, explicit, None, Vec::new(), false, "")?
+            .ok_or_else(|| Self::remote_home_error(queue))
+    }
+
+    fn remote_home_error(queue: &str) -> EngineError {
+        EngineError::Config(format!(
+            "queue `{queue}` is homed on another shard for this message's \
+             slicing key; enqueue through the ShardedServer"
+        ))
     }
 
     /// Shared non-rule enqueue path (external API, gateway ingest, timer
     /// echo, error routing). `via` labels the causal hop in the lineage
     /// record when `system_props` carry a `parentMsg` — e.g. `"<gateway>"`
     /// for an ingested reply that names its remote-side parent.
+    ///
+    /// Returns `Ok(None)` when the target queue is homed on another shard
+    /// of a [`crate::shard::ShardedServer`] and `allow_forward` is set:
+    /// the fully prepared message (payload + computed properties) is
+    /// handed to that shard's mailbox and committed there. With
+    /// `allow_forward` false a remote-homed target is an error — external
+    /// enqueues must go through the sharded front door, which routes
+    /// before picking a shard.
+    #[allow(clippy::too_many_arguments)]
     fn enqueue_with(
         &self,
         queue: &str,
@@ -861,8 +933,9 @@ impl Server {
         explicit: &[(String, Atomic)],
         trigger_props: Option<&[(String, PropValue)]>,
         mut system_props: Vec<(String, PropValue)>,
+        allow_forward: bool,
         via: &str,
-    ) -> Result<MsgId> {
+    ) -> Result<Option<MsgId>> {
         let cq = self
             .app
             .queues
@@ -893,9 +966,51 @@ impl Server {
         )
         .map_err(|e| EngineError::Compile(e.to_string()))?;
 
+        if let Some(link) = &self.shard_link {
+            if let Some(dest) = link.remote_destination(queue, &props) {
+                if !allow_forward {
+                    return Err(Self::remote_home_error(queue));
+                }
+                link.forward(crate::shard::Forwarded {
+                    dest,
+                    queue: queue.to_string(),
+                    xml: xml.to_string(),
+                    props,
+                    enqueued_at: now,
+                    via: via.to_string(),
+                });
+                return Ok(None);
+            }
+        }
+        self.enqueue_prepared(queue, xml, Some(doc), props, now, via)
+            .map(Some)
+    }
+
+    /// Commit a message whose payload and properties are already fully
+    /// prepared (properties computed, schema validated) into the local
+    /// store, then run every post-commit effect. This is the landing half
+    /// of [`Self::enqueue_with`] and of a cross-shard forward — properties
+    /// are deterministic in the trigger and payload, so the destination
+    /// shard commits exactly what local execution would have.
+    pub(crate) fn enqueue_prepared(
+        &self,
+        queue: &str,
+        xml: &str,
+        doc: Option<Arc<Document>>,
+        props: Vec<(String, PropValue)>,
+        enqueued_at: i64,
+        via: &str,
+    ) -> Result<MsgId> {
+        let cq = self
+            .app
+            .queues
+            .get(queue)
+            .ok_or_else(|| EngineError::Config(format!("unknown queue `{queue}`")))?;
+
         // Causal provenance threaded through system properties: a gateway
-        // hop or timer echo names its parent (and causal root) here, and
-        // the edge goes through the WAL inside the enqueue transaction.
+        // hop, timer echo, or cross-shard forward names its parent (and
+        // causal root) here, and the edge goes through the WAL inside the
+        // enqueue transaction.
         let parent = props.iter().find_map(|(n, v)| match v {
             PropValue::Int(p) if n == system::PARENT_MSG => Some(*p as u64),
             _ => None,
@@ -912,7 +1027,7 @@ impl Server {
         let result = (|| -> Result<MsgId> {
             let id = self
                 .store
-                .enqueue(txn, queue, xml.into(), props.clone(), now)?;
+                .enqueue(txn, queue, xml.into(), props.clone(), enqueued_at)?;
             self.add_slice_memberships(txn, id, &props)?;
             if let (Some(p), Some(r)) = (parent, root) {
                 self.store
@@ -932,7 +1047,9 @@ impl Server {
                     TraceCtx::new(Some(root.unwrap_or(id.0)), parent),
                 );
                 self.record_provenance(id, queue);
-                self.doc_cache.insert(id, doc, xml.len());
+                if let Some(doc) = doc {
+                    self.doc_cache.insert(id, doc, xml.len());
+                }
                 self.scheduler.push(id, queue, cq.decl.priority);
                 self.metrics
                     .scheduler_depth
@@ -945,6 +1062,12 @@ impl Server {
                 Err(e)
             }
         }
+    }
+
+    /// Land a message forwarded from another shard: commit it into the
+    /// local store with the properties computed on the trigger's shard.
+    pub(crate) fn ingest_forwarded(&self, f: crate::shard::Forwarded) -> Result<MsgId> {
+        self.enqueue_prepared(&f.queue, &f.xml, None, f.props, f.enqueued_at, &f.via)
     }
 
     /// Register slice memberships for a freshly enqueued message: for every
@@ -1088,7 +1211,15 @@ impl Server {
                 .filter(|(n, _)| n == system::PARENT_MSG || n == system::ROOT_MSG)
                 .cloned()
                 .collect();
-            self.enqueue_with(&job.target, &job.payload, &[], Some(&job.props), sys, "<echo>")?;
+            self.enqueue_with(
+                &job.target,
+                &job.payload,
+                &[],
+                Some(&job.props),
+                sys,
+                true,
+                "<echo>",
+            )?;
         }
         Ok(progressed)
     }
@@ -1123,8 +1254,15 @@ impl Server {
             system_props.push((system::ROOT_MSG.to_string(), PropValue::Int(root)));
         }
         match parse_xml(&env.body) {
-            Ok(_) => match self.enqueue_with(queue, &env.body, &[], None, system_props, "<gateway>")
-            {
+            Ok(_) => match self.enqueue_with(
+                queue,
+                &env.body,
+                &[],
+                None,
+                system_props,
+                true,
+                "<gateway>",
+            ) {
                 Ok(_) => Ok(()),
                 Err(EngineError::Xml(detail)) => {
                     // Schema violations on a gateway: message-related error.
@@ -1209,7 +1347,7 @@ impl Server {
         let result = self.evaluate_and_execute(txn, &meta, &cached, cq, &slice_rules, &slice_keys);
         self.metrics.rule_eval_ns.record(eval_started.elapsed());
         match result {
-            Ok(new_messages) => {
+            Ok((new_messages, forwards)) => {
                 self.store.mark_processed(txn, msg_id)?;
                 let commit_started = Instant::now();
                 self.store.commit(txn)?;
@@ -1243,6 +1381,18 @@ impl Server {
                         .unwrap_or(0);
                     self.scheduler.push(nm.id, &nm.queue, prio);
                     self.post_commit_queue_effects(&nm.queue, nm.id)?;
+                }
+                // Cross-shard enqueues publish only now, after the trigger's
+                // transaction committed — a deadlock retry re-runs the rules
+                // and would otherwise forward twice. Per-rule production is
+                // attributed here, on the shard where the rule fired.
+                if let Some(link) = &self.shard_link {
+                    for f in forwards {
+                        if !f.via.is_empty() {
+                            self.metrics.record_rule_produced(&f.via);
+                        }
+                        link.forward(f);
+                    }
                 }
                 Ok(())
             }
@@ -1306,7 +1456,8 @@ impl Server {
         cq: &crate::app::CompiledQueue,
         slice_rules: &[(SliceCtx, &CompiledRule)],
         slice_keys: &[(String, PropValue)],
-    ) -> std::result::Result<Vec<NewMessage>, ProcessingError> {
+    ) -> std::result::Result<(Vec<NewMessage>, Vec<crate::shard::Forwarded>), ProcessingError>
+    {
         // ---- locking (paper Sec. 4.3) -------------------------------------
         self.acquire_locks(txn, meta, cq, slice_rules, slice_keys)?;
 
@@ -1396,6 +1547,7 @@ impl Server {
 
         // ---- action execution ------------------------------------------------
         let mut new_messages = Vec::new();
+        let mut forwards = Vec::new();
         for (rule_name, update) in updates {
             match update {
                 Update::Enqueue {
@@ -1404,7 +1556,7 @@ impl Server {
                     props,
                 } => {
                     let target_name = target.local.clone();
-                    let nm = self
+                    let outcome = self
                         .execute_enqueue(
                             txn,
                             meta,
@@ -1421,7 +1573,10 @@ impl Server {
                                 detail,
                             },
                         })?;
-                    new_messages.push(nm);
+                    match outcome {
+                        EnqueueOutcome::Local(nm) => new_messages.push(nm),
+                        EnqueueOutcome::Remote(f) => forwards.push(f),
+                    }
                 }
                 Update::Reset { slicing, key } => {
                     let Some(slicing) = slicing else {
@@ -1456,7 +1611,7 @@ impl Server {
                 }
             }
         }
-        Ok(new_messages)
+        Ok((new_messages, forwards))
     }
 
     fn acquire_locks(
@@ -1626,7 +1781,7 @@ impl Server {
         target: &str,
         message: Arc<Document>,
         explicit_props: Vec<(String, Atomic)>,
-    ) -> std::result::Result<NewMessage, ExecError> {
+    ) -> std::result::Result<EnqueueOutcome, ExecError> {
         let cq = self.app.queues.get(target).ok_or_else(|| ExecError::App {
             kind: kind::APPLICATION.into(),
             detail: format!("enqueue into undeclared queue `{target}`"),
@@ -1686,6 +1841,23 @@ impl Server {
             kind: kind::PROPERTY.into(),
             detail: e.0,
         })?;
+        // Cross-shard target: hand the fully prepared message (payload +
+        // properties, including the provenance system props above) to the
+        // owning shard instead of the local store. The caller publishes the
+        // forward only after its own transaction commits, so an aborted or
+        // retried trigger never double-delivers.
+        if let Some(link) = &self.shard_link {
+            if let Some(dest) = link.remote_destination(target, &props) {
+                return Ok(EnqueueOutcome::Remote(crate::shard::Forwarded {
+                    dest,
+                    queue: target.to_string(),
+                    xml: message.root().to_xml(),
+                    props,
+                    enqueued_at: now,
+                    via: rule_name.unwrap_or("").to_string(),
+                }));
+            }
+        }
         let payload = message.root().to_xml();
         let payload_len = payload.len();
         let id = self
@@ -1726,12 +1898,12 @@ impl Server {
         // The parsed document rides along so try_process can cache it once
         // the transaction commits — caching here would leak documents of
         // aborted transactions into the cache.
-        Ok(NewMessage {
+        Ok(EnqueueOutcome::Local(NewMessage {
             id,
             queue: target.to_string(),
             doc: message,
             payload_len,
-        })
+        }))
     }
 
     /// Post-commit side effects of a message landing in `queue`: outgoing
@@ -1939,7 +2111,7 @@ impl Server {
                 .unwrap_or(id.0 as i64);
             sys.push((system::ROOT_MSG.to_string(), PropValue::Int(root)));
         }
-        self.enqueue_with(&eq, &xml, &[], None, sys, rule.unwrap_or("<error>"))?;
+        self.enqueue_with(&eq, &xml, &[], None, sys, true, rule.unwrap_or("<error>"))?;
         Ok(())
     }
 
@@ -2060,6 +2232,46 @@ impl Server {
         self.doc_cache.note_parse();
         Ok(self.doc_cache.insert(id, doc, payload.len()))
     }
+
+    // ---- shard-runtime hooks (crate-internal) ---------------------------------
+
+    /// Pump network/gateway/timer machinery once (shard driver loop).
+    pub(crate) fn pump_env(&self) -> Result<bool> {
+        self.pump_environment()
+    }
+
+    /// Earliest pending environment event (virtual-clock fast-forward
+    /// target across shards).
+    pub(crate) fn next_event_at(&self) -> Option<i64> {
+        [
+            self.timers.next_due(),
+            self.net.next_due(),
+            self.gateways.next_retry_at(),
+        ]
+        .into_iter()
+        .flatten()
+        .min()
+    }
+
+    pub(crate) fn sched(&self) -> &Scheduler {
+        &self.scheduler
+    }
+
+    /// Pop one scheduled message, keeping the depth gauge honest.
+    pub(crate) fn pop_scheduled(&self) -> Option<(MsgId, String)> {
+        let popped = self.scheduler.pop();
+        if popped.is_some() {
+            self.metrics
+                .scheduler_depth
+                .set(self.scheduler.len() as i64);
+        }
+        popped
+    }
+
+    /// Process one message with the standard retry-on-conflict policy.
+    pub(crate) fn process_one(&self, msg: MsgId, queue: &str) -> Result<()> {
+        self.process_message(msg, queue)
+    }
 }
 
 /// A message created by `do enqueue` inside a processing transaction. Its
@@ -2070,6 +2282,13 @@ struct NewMessage {
     queue: String,
     doc: Arc<Document>,
     payload_len: usize,
+}
+
+/// Where a rule-produced enqueue landed: the local store (the common,
+/// fast path) or another shard's mailbox (published after commit).
+enum EnqueueOutcome {
+    Local(NewMessage),
+    Remote(crate::shard::Forwarded),
 }
 
 /// Queue-reader helper: owns what the closure needs without borrowing the

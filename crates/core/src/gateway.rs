@@ -44,6 +44,20 @@ impl GatewayManager {
         server_addr: String,
         obs: Arc<Obs>,
     ) -> GatewayManager {
+        Self::with_incoming_filter(app, net, server_addr, obs, None)
+    }
+
+    /// Like [`Self::new`], but when `incoming` is `Some`, only the named
+    /// incoming-gateway queues register network listeners. A sharded
+    /// server homes each incoming gateway on exactly one shard — two
+    /// shards listening on the same address would both claim deliveries.
+    pub fn with_incoming_filter(
+        app: &CompiledApp,
+        net: Arc<Network>,
+        server_addr: String,
+        obs: Arc<Obs>,
+        incoming: Option<&std::collections::HashSet<String>>,
+    ) -> GatewayManager {
         let inbox: Arc<Mutex<Vec<(String, Envelope)>>> = Arc::new(Mutex::new(Vec::new()));
         let mut outgoing = HashMap::new();
         let mut reliable_senders = Vec::new();
@@ -83,6 +97,9 @@ impl GatewayManager {
                     outgoing.insert(name.clone(), Outgoing { endpoint, reliable });
                 }
                 QueueKind::IncomingGateway => {
+                    if incoming.is_some_and(|set| !set.contains(name)) {
+                        continue; // homed on another shard
+                    }
                     // Listen address: explicit `endpoint` or the queue name.
                     let addr = q.decl.endpoint.clone().unwrap_or_else(|| name.clone());
                     let inbox2 = Arc::clone(&inbox);

@@ -44,11 +44,13 @@ pub mod gateway;
 pub mod host;
 pub mod properties;
 pub mod scheduler;
+pub mod shard;
 
 pub use app::CompiledApp;
 pub use demaq_analysis as analysis;
 pub use demaq_obs::{Lineage, LineageRecord, ProvenanceIndex, TraceFilter};
 pub use engine::{EngineError, RuleProfile, Server, ServerBuilder, ServerStats, StrictAnalysis};
+pub use shard::{ShardedServer, ShardedServerBuilder};
 
 /// Result alias for engine operations.
 pub type Result<T> = std::result::Result<T, EngineError>;

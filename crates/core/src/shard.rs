@@ -1,0 +1,556 @@
+//! Sharded engine runtime: N independent engine shards behind one routing
+//! directory (ROADMAP item 2; benchmark E13).
+//!
+//! The paper's slice-granularity locking (Sec. 5) already treats slices as
+//! independent units of work, and Gray's "Queues Are Databases" argues the
+//! queue *is* the database — so the store scales out the way a partitioned
+//! database does. Each shard is a full [`Server`] with a private store
+//! (own WAL, commit pipeline, slice index, document cache) and worker
+//! pool; a [`Placement`] computed from the application's flow graph maps
+//! `(queue, slicing-key-hash)` to a shard at enqueue time, so hot rule
+//! chains stay shard-local and independent WAL pipelines overlap their
+//! fsync waits.
+//!
+//! Cross-shard enqueues produced by rule firings are published to the
+//! destination shard's mailbox only after the producing transaction
+//! commits (a deadlock retry re-runs the rules and must not deliver
+//! twice); the message travels with its computed properties, which carry
+//! the causal `parentMsg`/`rootMsg` system properties, so lineage chains
+//! survive the hop exactly as they do across gateway hops.
+//!
+//! A 1-shard [`ShardedServer`] degrades to today's single server: the
+//! placement maps every queue to shard 0, the routing check never fires,
+//! and message ids start at the same base.
+
+use crate::engine::{EngineError, Server, ServerBuilder, ServerStats};
+use crate::host::{atomic_to_prop, cast_prop};
+use crate::properties::compute_properties;
+use crate::Result;
+use demaq_analysis::{compute_placement, stable_hash, FlowGraph, Placement, RuleFacts};
+use demaq_net::{Clock, Network};
+use demaq_obs::{Counter, Lineage, Obs, ProvenanceIndex, TraceEvent};
+use demaq_qdl::{parse_program, QueueKind};
+use demaq_store::{MsgId, PropValue, StoredMessage};
+use demaq_xml::parse as parse_xml;
+use demaq_xquery::Atomic;
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+static NEXT_SHARD_TMP: AtomicU64 = AtomicU64::new(0);
+
+/// Process-stable hash of a slicing-key value: FNV-1a over the value's
+/// canonical serialized bytes (type tag + payload), so every shard — and
+/// every process of a future distributed deployment — agrees on
+/// `hash % shards`.
+pub(crate) fn key_hash(v: &PropValue) -> u64 {
+    let mut buf = Vec::with_capacity(16);
+    v.encode(&mut buf);
+    stable_hash(&buf)
+}
+
+/// A fully prepared message in flight between shards: payload plus the
+/// properties computed on the producing shard (property computation is
+/// deterministic in the trigger and payload, so the destination commits
+/// exactly what local execution would have).
+pub(crate) struct Forwarded {
+    pub(crate) dest: usize,
+    pub(crate) queue: String,
+    pub(crate) xml: String,
+    pub(crate) props: Vec<(String, PropValue)>,
+    pub(crate) enqueued_at: i64,
+    /// Rule name (or `"<echo>"`-style marker) for the lineage edge.
+    pub(crate) via: String,
+}
+
+/// Shared state of one sharded deployment: the routing directory and the
+/// cross-shard mailboxes.
+pub(crate) struct ShardRouter {
+    placement: Placement,
+    mailboxes: Vec<Mutex<VecDeque<Forwarded>>>,
+    /// Forwards published but not yet ingested by their destination —
+    /// part of the drain-termination condition.
+    in_flight: AtomicUsize,
+    /// Workers currently processing a message, across all shards.
+    active: AtomicUsize,
+    forwards_total: Counter,
+    ingest_errors: Counter,
+}
+
+impl ShardRouter {
+    fn new(placement: Placement, obs: &Obs) -> ShardRouter {
+        let shards = placement.shards;
+        ShardRouter {
+            placement,
+            mailboxes: (0..shards).map(|_| Mutex::new(VecDeque::new())).collect(),
+            in_flight: AtomicUsize::new(0),
+            active: AtomicUsize::new(0),
+            forwards_total: obs.registry.counter("demaq_engine_shard_forwards_total"),
+            ingest_errors: obs
+                .registry
+                .counter("demaq_engine_shard_ingest_errors_total"),
+        }
+    }
+
+    fn forward(&self, f: Forwarded) {
+        // Increment before publishing: a drainer must never observe an
+        // empty mailbox + zero in-flight while a forward is mid-publish.
+        self.in_flight.fetch_add(1, Ordering::SeqCst);
+        self.forwards_total.inc();
+        self.mailboxes[f.dest].lock().push_back(f);
+    }
+
+    fn take(&self, shard: usize) -> Option<Forwarded> {
+        self.mailboxes[shard].lock().pop_front()
+    }
+
+    /// Mark one taken forward as fully ingested (scheduled on the
+    /// destination). Called only after the ingest committed, so the
+    /// work is visible in the destination's scheduler before the
+    /// in-flight count drops.
+    fn settle(&self) {
+        self.in_flight.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    fn mailbox_empty(&self, shard: usize) -> bool {
+        self.mailboxes[shard].lock().is_empty()
+    }
+}
+
+/// One shard's handle to the router (stored in its [`Server`]).
+pub(crate) struct ShardLink {
+    pub(crate) shard: usize,
+    pub(crate) router: Arc<ShardRouter>,
+}
+
+impl ShardLink {
+    /// `Some(dest)` when a message with these properties entering `queue`
+    /// is homed on a *different* shard than this one.
+    pub(crate) fn remote_destination(
+        &self,
+        queue: &str,
+        props: &[(String, PropValue)],
+    ) -> Option<usize> {
+        let p = &self.router.placement;
+        if p.shards <= 1 {
+            return None;
+        }
+        let key = p
+            .key_property(queue)
+            .and_then(|kp| props.iter().find(|(n, _)| n == kp))
+            .map(|(_, v)| key_hash(v));
+        let dest = p.route(queue, key);
+        (dest != self.shard).then_some(dest)
+    }
+
+    pub(crate) fn forward(&self, f: Forwarded) {
+        self.router.forward(f);
+    }
+}
+
+/// Builder for [`ShardedServer`] — obtained from
+/// [`ServerBuilder::shards`]; every other knob is inherited from the base
+/// builder and applied uniformly to each shard.
+pub struct ShardedServerBuilder {
+    base: ServerBuilder,
+    shards: usize,
+    overrides: BTreeMap<String, usize>,
+}
+
+impl ShardedServerBuilder {
+    pub(crate) fn new(base: ServerBuilder, shards: usize) -> ShardedServerBuilder {
+        ShardedServerBuilder {
+            base,
+            shards: shards.max(1),
+            overrides: BTreeMap::new(),
+        }
+    }
+
+    /// Pin a queue to a shard, overriding the computed placement
+    /// (shard index taken modulo the shard count).
+    pub fn place_queue(mut self, queue: &str, shard: usize) -> Self {
+        self.overrides.insert(queue.to_string(), shard);
+        self
+    }
+
+    /// Compile the application, derive the placement from its flow graph,
+    /// and open one store per shard (subdirectories `shard-0` …
+    /// `shard-N-1` of the configured directory).
+    pub fn build(self) -> Result<ShardedServer> {
+        let shards = self.shards;
+        let mut base = self.base;
+
+        // Resolve the application once; every shard compiles the same spec.
+        let spec = match (&base.spec, &base.program) {
+            (Some(s), _) => s.clone(),
+            (None, Some(p)) => {
+                parse_program(p).map_err(|e| EngineError::Compile(e.to_string()))?
+            }
+            (None, None) => return Err(EngineError::Config("no program provided".into())),
+        };
+        base.spec = Some(spec.clone());
+        base.program = None;
+
+        let facts: Vec<RuleFacts> = spec
+            .rules
+            .iter()
+            .map(|r| RuleFacts::from_rule(r, &spec))
+            .collect();
+        let graph = FlowGraph::build(&spec, &facts);
+        let placement = compute_placement(&spec, &facts, &graph, shards, &self.overrides);
+
+        // Shared infrastructure: one metric registry + trace ring, one
+        // clock, one simulated network, one causal index — so a sharded
+        // deployment reads exactly like a single server from the outside.
+        let obs = base.obs.clone().unwrap_or_else(|| match base.trace_capacity {
+            Some(events) => Obs::with_trace_capacity(events),
+            None => Obs::new(),
+        });
+        base.obs = Some(Arc::clone(&obs));
+        let clock = match (&base.clock, &base.network) {
+            (Some(c), _) => c.clone(),
+            (None, Some(net)) => net.clock().clone(),
+            (None, None) => Clock::virtual_at(base.start_time_ms),
+        };
+        base.clock = Some(clock.clone());
+        if base.network.is_none() {
+            base.network = Some(Arc::new(Network::new(clock.clone(), base.seed)));
+        }
+        base.shared_provenance = Some(Arc::new(ProvenanceIndex::new(base.provenance_capacity)));
+
+        let root = match (&base.dir, base.in_memory) {
+            (Some(d), _) => d.clone(),
+            (None, true) => std::env::temp_dir().join(format!(
+                "demaq-sharded-{}-{}",
+                std::process::id(),
+                NEXT_SHARD_TMP.fetch_add(1, Ordering::Relaxed)
+            )),
+            (None, false) => {
+                return Err(EngineError::Config(
+                    "choose a store directory with .dir(..) or .in_memory()".into(),
+                ))
+            }
+        };
+        base.in_memory = false;
+
+        // Home every incoming gateway on exactly one shard: two shards
+        // listening on the same transport address would both claim
+        // deliveries.
+        let mut incoming_homes: Vec<HashSet<String>> = vec![HashSet::new(); shards];
+        for q in &spec.queues {
+            if q.kind == QueueKind::IncomingGateway {
+                incoming_homes[placement.route(&q.name, None)].insert(q.name.clone());
+            }
+        }
+
+        let router = Arc::new(ShardRouter::new(placement.clone(), &obs));
+        let server_addr = base.server_addr.clone();
+        let mut servers = Vec::with_capacity(shards);
+        for (i, homes) in incoming_homes.into_iter().enumerate() {
+            let mut b = base.clone();
+            b.dir = Some(root.join(format!("shard-{i}")));
+            // Shard-unique id spaces without coordination; shard 0 keeps
+            // base 0 so a 1-shard deployment allocates the same ids as a
+            // plain server.
+            b.msg_id_base = (i as u64) << 48;
+            b.shard_link = Some(Arc::new(ShardLink {
+                shard: i,
+                router: Arc::clone(&router),
+            }));
+            b.incoming_gateways = Some(homes);
+            if i > 0 {
+                // Reliable-messaging ack receivers register under the
+                // server address; secondary shards need distinct ones.
+                b.server_addr = format!("{server_addr}/shard{i}");
+            }
+            servers.push(b.build()?);
+        }
+        Ok(ShardedServer {
+            shards: servers,
+            router,
+            clock,
+            obs,
+            placement,
+        })
+    }
+}
+
+/// N engine shards behind one routing directory. The public surface
+/// mirrors [`Server`]: external enqueues route to the owning shard,
+/// inspection merges across shards, metrics/traces/lineage come from the
+/// shared observability context.
+pub struct ShardedServer {
+    shards: Vec<Server>,
+    router: Arc<ShardRouter>,
+    clock: Clock,
+    obs: Arc<Obs>,
+    placement: Placement,
+}
+
+impl ShardedServer {
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Direct access to one shard (tests, inspection).
+    pub fn shard(&self, i: usize) -> &Server {
+        &self.shards[i]
+    }
+
+    /// The computed routing directory.
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+
+    /// Enqueue an external message on its owning shard.
+    pub fn enqueue_external(&self, queue: &str, xml: &str) -> Result<MsgId> {
+        let dest = self.external_destination(queue, xml, &[])?;
+        self.shards[dest].enqueue_external(queue, xml)
+    }
+
+    /// Enqueue with explicit property values on the owning shard. When the
+    /// slicing key arrives as an explicit property this routes without
+    /// parsing the payload.
+    pub fn enqueue_external_with_props(
+        &self,
+        queue: &str,
+        xml: &str,
+        explicit: &[(String, Atomic)],
+    ) -> Result<MsgId> {
+        let dest = self.external_destination(queue, xml, explicit)?;
+        self.shards[dest].enqueue_external_with_props(queue, xml, explicit)
+    }
+
+    /// The shard a fresh external message is homed on. Must agree with the
+    /// engine-side routing check, so explicit key values go through the
+    /// same `xs:` cast that property computation applies.
+    fn external_destination(
+        &self,
+        queue: &str,
+        xml: &str,
+        explicit: &[(String, Atomic)],
+    ) -> Result<usize> {
+        if self.placement.shards <= 1 {
+            return Ok(0);
+        }
+        let Some(kp) = self.placement.key_property(queue) else {
+            return Ok(self.placement.route(queue, None));
+        };
+        let app = self.shards[0].app();
+        if let Some((_, a)) = explicit.iter().find(|(n, _)| n == kp) {
+            let raw = atomic_to_prop(a);
+            let v = match app.spec.properties.iter().find(|p| p.name == kp) {
+                Some(pd) => cast_prop(&raw, &pd.ty).map_err(EngineError::Compile)?,
+                None => raw,
+            };
+            return Ok(self.placement.route(queue, Some(key_hash(&v))));
+        }
+        // Key not explicit: compute the full property set on a throwaway
+        // parse (the destination shard recomputes it on the real enqueue;
+        // properties are deterministic in payload + explicit values).
+        let doc = parse_xml(xml).map_err(|e| EngineError::Xml(e.to_string()))?;
+        let props = compute_properties(
+            app,
+            queue,
+            &doc.root(),
+            explicit,
+            None,
+            Vec::new(),
+            self.clock.now(),
+        )
+        .map_err(|e| EngineError::Compile(e.to_string()))?;
+        let key = props.iter().find(|(n, _)| n == kp).map(|(_, v)| key_hash(v));
+        Ok(self.placement.route(queue, key))
+    }
+
+    /// Drive everything to quiescence single-threaded: drain mailboxes,
+    /// process messages, pump each shard's network machinery —
+    /// fast-forwarding the shared virtual clock when idle. Returns the
+    /// number of messages processed.
+    pub fn run_until_idle(&self) -> Result<u64> {
+        let mut processed = 0u64;
+        loop {
+            let mut progressed = false;
+            for (i, s) in self.shards.iter().enumerate() {
+                while let Some(f) = self.router.take(i) {
+                    s.ingest_forwarded(f)?;
+                    self.router.settle();
+                    progressed = true;
+                }
+                while s.step()? {
+                    processed += 1;
+                    progressed = true;
+                }
+                if s.pump_env()? {
+                    progressed = true;
+                }
+            }
+            if progressed {
+                continue;
+            }
+            if self.clock.is_virtual() {
+                let next = self.shards.iter().filter_map(|s| s.next_event_at()).min();
+                match next {
+                    Some(t) if t > self.clock.now() => self.clock.set(t),
+                    Some(_) => {}
+                    None => break,
+                }
+            } else {
+                break;
+            }
+        }
+        Ok(processed)
+    }
+
+    /// Process everything currently schedulable with `threads_per_shard`
+    /// workers pinned to each shard. Workers drain their own shard's
+    /// scheduler and mailbox; termination requires every scheduler empty,
+    /// no worker mid-message, and no forward in flight anywhere — a
+    /// message may hop shards arbitrarily often before the fleet drains.
+    /// Network/timer pumping is not performed inside; call
+    /// [`Self::run_until_idle`] afterwards for gateway scenarios.
+    pub fn process_all_parallel(&self, threads_per_shard: usize) -> Result<u64> {
+        let processed = AtomicU64::new(0);
+        let tps = threads_per_shard.max(1);
+        std::thread::scope(|scope| {
+            for i in 0..self.shards.len() {
+                for _ in 0..tps {
+                    let shards = &self.shards;
+                    let router = &self.router;
+                    let processed = &processed;
+                    scope.spawn(move || drain_worker(shards, i, router, processed));
+                }
+            }
+        });
+        Ok(processed.load(Ordering::Relaxed))
+    }
+
+    /// Payload strings of all retained messages of a queue, merged across
+    /// shards (shard order, arrival order within a shard).
+    pub fn queue_bodies(&self, queue: &str) -> Result<Vec<String>> {
+        let mut out = Vec::new();
+        for s in &self.shards {
+            out.extend(s.queue_bodies(queue)?);
+        }
+        Ok(out)
+    }
+
+    /// All retained messages of a queue, merged across shards.
+    pub fn queue_messages(&self, queue: &str) -> Result<Vec<StoredMessage>> {
+        let mut out = Vec::new();
+        for s in &self.shards {
+            out.extend(s.queue_messages(queue)?);
+        }
+        Ok(out)
+    }
+
+    /// Causal lineage of a message — the index is shared across shards,
+    /// so chains that hop shards resolve from anywhere.
+    pub fn lineage(&self, msg: MsgId) -> Lineage {
+        self.shards[0].lineage(msg)
+    }
+
+    /// The shared causal provenance index.
+    pub fn provenance(&self) -> &ProvenanceIndex {
+        self.shards[0].provenance()
+    }
+
+    /// Statistics over the shared metric registry (covers all shards).
+    pub fn stats(&self) -> ServerStats {
+        self.shards[0].stats()
+    }
+
+    /// Prometheus-style rendering of the shared registry.
+    pub fn metrics_text(&self) -> String {
+        self.shards[0].metrics_text()
+    }
+
+    /// The shared observability context.
+    pub fn metrics(&self) -> Arc<Obs> {
+        Arc::clone(&self.obs)
+    }
+
+    /// Tail of the shared trace ring.
+    pub fn trace_tail(&self, n: usize) -> Vec<TraceEvent> {
+        self.shards[0].trace_tail(n)
+    }
+
+    /// Run retention GC on every shard; returns total messages purged.
+    pub fn gc(&self) -> Result<usize> {
+        let mut purged = 0;
+        for s in &self.shards {
+            purged += s.gc()?;
+        }
+        Ok(purged)
+    }
+
+    /// GC + checkpoint on every shard.
+    pub fn maintenance(&self) -> Result<usize> {
+        let mut purged = 0;
+        for s in &self.shards {
+            purged += s.maintenance()?;
+        }
+        Ok(purged)
+    }
+
+    /// Advance the shared virtual clock.
+    pub fn advance_time(&self, ms: i64) {
+        self.clock.advance(ms);
+    }
+}
+
+/// One pinned drain worker: land forwards, process own scheduler, park
+/// when idle until the whole fleet has drained.
+fn drain_worker(shards: &[Server], me: usize, router: &ShardRouter, processed: &AtomicU64) {
+    let s = &shards[me];
+    loop {
+        // Land forwarded messages first so cross-shard work is scheduled
+        // before the idle check below can observe "all empty".
+        while let Some(f) = router.take(me) {
+            if s.ingest_forwarded(f).is_err() {
+                router.ingest_errors.inc();
+            }
+            router.settle();
+        }
+        match s.pop_scheduled() {
+            Some((msg, queue)) => {
+                router.active.fetch_add(1, Ordering::SeqCst);
+                let r = s.process_one(msg, &queue);
+                let remaining = router.active.fetch_sub(1, Ordering::SeqCst) - 1;
+                if r.is_ok() {
+                    processed.fetch_add(1, Ordering::Relaxed);
+                }
+                if remaining == 0 && s.sched().is_empty() {
+                    // Likely drained: wake parked peers (on every shard —
+                    // the last message may have forwarded work elsewhere)
+                    // so they observe termination or fresh mail promptly.
+                    for t in shards {
+                        t.sched().wake_all();
+                    }
+                }
+            }
+            None => {
+                if !router.mailbox_empty(me) {
+                    continue;
+                }
+                if router.active.load(Ordering::SeqCst) == 0
+                    && router.in_flight.load(Ordering::SeqCst) == 0
+                    && shards.iter().all(|t| t.sched().is_empty())
+                {
+                    for t in shards {
+                        t.sched().wake_all();
+                    }
+                    break;
+                }
+                // Park until a push/requeue signals new work; the timeout
+                // is a backstop re-checking mailboxes and termination.
+                s.sched().park(std::time::Duration::from_millis(2));
+            }
+        }
+    }
+}

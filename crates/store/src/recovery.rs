@@ -8,8 +8,9 @@
 //!    transaction ids; pass two replays only *their* records, in log
 //!    order — uncommitted work disappears, which is the whole of undo in a
 //!    deferred-write store.
-//! 3. Re-append replayed payloads to the heap (their pre-crash heap space,
-//!    if any, is garbage and will be reclaimed by the GC's page recycling).
+//! 3. Replayed payloads stay heap-less (`Payload::Mem`): their WAL segment
+//!    survives until the next checkpoint cut materializes them into the
+//!    heap, mirroring the live commit path's deferred materialization.
 //! 4. The caller then runs the retention GC, which re-derives any deletions
 //!    the crash forgot — deletions are never logged.
 
@@ -173,14 +174,14 @@ pub fn recover(dir: &Path, _pool: &BufferPool, heap: &HeapFile, obs: &Obs) -> Re
                     if logical.has_message(*msg) {
                         continue; // already captured by the snapshot
                     }
-                    let rid = heap.append(payload.as_bytes())?;
-                    // Share the decoded record's payload handle — replay
-                    // re-appends the bytes to the heap but never clones
-                    // them for the in-memory state.
+                    // Share the decoded record's payload handle; heap
+                    // materialization is deferred to the next checkpoint
+                    // cut, exactly as on the live commit path. Until then
+                    // the surviving WAL segment keeps the bytes durable.
                     logical.insert_message(
                         *msg,
                         queue.clone(),
-                        Some(rid),
+                        None,
                         payload.clone(),
                         props.clone(),
                         false,

@@ -56,6 +56,12 @@ pub struct StoreOptions {
     /// commit. `false` reverts to applying inline under the commit-order
     /// mutex (the pre-batching baseline, kept for A/B crash testing).
     pub batched_apply: bool,
+    /// Lowest message id this store may assign (exclusive base). A sharded
+    /// deployment gives each shard a disjoint id range (e.g. shard *i*
+    /// starts at `i << 48`) so ids stay globally unique across stores and
+    /// cross-shard lineage edges never collide. Recovery takes the max of
+    /// this and the recovered counter.
+    pub msg_id_base: u64,
     /// Observability context to register store metrics in
     /// (`demaq_store_*`). `None` keeps a private, unexported registry.
     pub obs: Option<Arc<Obs>>,
@@ -73,6 +79,7 @@ impl StoreOptions {
             group_commit_max_batch: gc.max_batch,
             group_commit_max_wait: gc.max_wait,
             batched_apply: true,
+            msg_id_base: 0,
             obs: None,
         }
     }
@@ -101,6 +108,13 @@ pub struct QueueInfo {
 /// record behind a persistent payload exists for checkpoints (snapshots
 /// reference it so the WAL can be truncated); it is only read back during
 /// recovery, where [`PayloadBytes::from_utf8`] validates it once.
+///
+/// Heap materialization is *deferred*: the commit path always inserts
+/// `Mem` (the WAL record alone makes the payload durable), and the next
+/// checkpoint cut appends persistent-queue payloads to the heap, flipping
+/// them to `Heap` so the snapshot can reference them. Until a checkpoint
+/// runs, a persistent message is simply a `Mem` payload plus its WAL
+/// record — persistence is a property of the *queue*, not of the variant.
 #[derive(Debug, Clone)]
 enum Payload {
     Heap { rid: RecordId, bytes: PayloadBytes },
@@ -231,8 +245,16 @@ impl Logical {
     }
 
     pub(crate) fn message_is_persistent(&self, msg: MsgId) -> Option<bool> {
+        // Queue mode, not payload variant: with deferred heap
+        // materialization a persistent message stays `Payload::Mem` until
+        // the next checkpoint cut.
         let meta = self.messages.get(&msg)?;
-        Some(matches!(meta.0.payload, Payload::Heap { .. }))
+        Some(
+            self.queues
+                .get(&meta.0.queue)
+                .map(|q| q.info.mode == QueueMode::Persistent)
+                .unwrap_or(true),
+        )
     }
 }
 
@@ -337,8 +359,10 @@ struct StoreMetrics {
     /// Payload reads served by sharing the resident buffer (refcount
     /// bump) — the zero-copy path.
     payload_shared_reads: Counter,
-    /// Payloads actually byte-copied + UTF-8-validated (recovery
-    /// materializing heap records); stays flat in steady state.
+    /// Payloads actually byte-copied: recovery materializing a snapshot's
+    /// heap records (plus UTF-8 revalidation), and checkpoint cuts
+    /// appending deferred persistent payloads into the heap. Stays at
+    /// zero on a pure drain path — commits never copy.
     payload_copies: Counter,
 }
 
@@ -387,7 +411,7 @@ impl MessageStore {
             maintenance: Mutex::new(()),
             state: RwLock::new(rec.logical),
             txns: Mutex::new(HashMap::new()),
-            next_msg: AtomicU64::new(rec.next_msg),
+            next_msg: AtomicU64::new(rec.next_msg.max(opts.msg_id_base + 1)),
             next_txn: AtomicU64::new(rec.next_txn),
             unsynced_commits: AtomicU64::new(0),
             metrics: StoreMetrics::new(&obs),
@@ -701,24 +725,16 @@ impl MessageStore {
                     props,
                     enqueued_at,
                 } => {
-                    let persistent = state
-                        .queues
-                        .get(queue)
-                        .map(|q| q.info.mode == QueueMode::Persistent)
-                        .unwrap_or(true);
-                    // The heap append copies bytes into pages for the
-                    // checkpoint's benefit; the in-memory state shares the
-                    // enqueuer's buffer either way.
-                    let rid = if persistent {
-                        self.metrics.payload_copies.inc();
-                        Some(self.heap.append(payload.as_bytes())?)
-                    } else {
-                        None
-                    };
+                    // No heap append here: the WAL record already carries
+                    // the bytes durably, and the in-memory state shares the
+                    // enqueuer's buffer. The next checkpoint cut
+                    // materializes persistent payloads into the heap so the
+                    // snapshot can reference them (deferred
+                    // materialization — the commit path is copy-free).
                     state.insert_message(
                         *msg,
                         queue.clone(),
-                        rid,
+                        None,
                         payload.clone(),
                         props.clone(),
                         false,
@@ -1194,10 +1210,34 @@ impl MessageStore {
         // Flush the batched-apply queue: every WAL-logged txn must be in
         // `state` before we cut, for the same reason as above.
         self.drain_applies()?;
-        let state = self.state.write(); // stop-the-world for the cut only
+        let mut state = self.state.write(); // stop-the-world for the cut only
         let old_wal = Arc::clone(&self.wal.lock());
         old_wal.sync_now()?;
         self.unsynced_commits.store(0, Ordering::Relaxed);
+        // Deferred heap materialization: the commit path never appends to
+        // the heap, so persistent payloads enqueued since the last
+        // checkpoint are still `Mem`. Append them now — before the pool
+        // flush below — so the snapshot can reference their records and
+        // the WAL segments holding their bytes can be deleted.
+        let persistent_queues: std::collections::HashSet<String> = state
+            .queues
+            .values()
+            .filter(|q| q.info.mode == QueueMode::Persistent)
+            .map(|q| q.info.name.clone())
+            .collect();
+        for meta in state.messages.values_mut() {
+            if !persistent_queues.contains(&meta.0.queue) {
+                continue;
+            }
+            if let Payload::Mem(bytes) = &meta.0.payload {
+                let rid = self.heap.append(bytes.as_bytes())?;
+                self.metrics.payload_copies.inc();
+                meta.0.payload = Payload::Heap {
+                    rid,
+                    bytes: bytes.clone(),
+                };
+            }
+        }
         self.pool.flush_all()?;
         let new_index = self.wal_index.load(Ordering::SeqCst) + 1;
 

@@ -77,13 +77,24 @@ cp -f BENCH_E12.json target/e12_baseline.json
 DEMAQ_E12_SMOKE=1 cargo bench --offline -p demaq-bench --bench e12_sustained_drain
 cp -f crates/bench/target/metrics/e12_sustained_drain.prom target/metrics/ 2>/dev/null || true
 
+echo "== bench smoke: E13 sharded drain scaling (1/2/4 shards) =="
+# The sharded runtime must beat the single-WAL baseline by whatever the
+# host's fsync parallelism allows: the bench probes N-stream append+fsync
+# throughput first and asserts scaling_4v1 against that host-adaptive
+# ceiling internally (a fixed 1.8x would be unfalsifiable on a 1-core
+# runner and too lax on a real 4-core box). It also asserts zero
+# cross-shard forwards (placement keeps the keyed chain shard-local),
+# zero payload copies, and zero trace-ring overwrites.
+cp -f BENCH_E13.json target/e13_baseline.json
+DEMAQ_E13_SMOKE=1 cargo bench --offline -p demaq-bench --bench e13_sharded_drain
+
 echo "== bench trajectory: BENCH_E*.json schema gate =="
 # Every bench smoke above must also have emitted its schema-versioned
 # trajectory entry at the repo root. The checker is the offline, jq-free
 # validator in crates/bench; --require fails the gate when a bench ran
 # without writing its report.
 cargo run --offline -q -p demaq-bench --bin bench-check -- \
-    --require e9,e10,e11,e12 BENCH_E*.json
+    --require e9,e10,e11,e12,e13 BENCH_E*.json
 
 echo "== bench perf gate: E12 smoke vs committed trajectory =="
 # The smoke-produced BENCH_E12.json is gated against the committed
@@ -96,6 +107,15 @@ echo "== bench perf gate: E12 smoke vs committed trajectory =="
 # 0.5 still catches any structural regression.
 cargo run --offline -q -p demaq-bench --bin bench-check -- \
     --baseline target/e12_baseline.json --min-ratio 0.5 BENCH_E12.json
+
+echo "== bench perf gate: E13 smoke vs committed trajectory =="
+# Same shape as the E12 gate: the smoke run's absolute throughput numbers
+# must stay within noise of the committed full-mode entry (0.5 floor for
+# the same +/-40% host IO swing), and the scaling-ratio gate itself ran
+# inside the bench above.
+cargo run --offline -q -p demaq-bench --bin bench-check -- \
+    --baseline target/e13_baseline.json --min-ratio 0.5 \
+    --headline drain_throughput_4shard BENCH_E13.json
 
 echo "== clippy =="
 # --no-deps keeps the vendored shims out of the lint gate; warnings in
