@@ -545,6 +545,10 @@ impl ServerBuilder {
     /// pool. Queue placement is derived from the flow graph so hot rule
     /// chains stay shard-local; `shards(1)` degrades to a single server
     /// behaviorally identical to [`Self::build`].
+    ///
+    /// [`Self::in_memory`] has no sharded equivalent: the sharded builder
+    /// downgrades it to on-disk stores under a process-temp directory
+    /// that is removed when the `ShardedServer` drops.
     pub fn shards(self, n: usize) -> crate::shard::ShardedServerBuilder {
         crate::shard::ShardedServerBuilder::new(self, n)
     }
@@ -714,7 +718,7 @@ impl ServerBuilder {
         };
         // Recovery: re-schedule surviving unprocessed messages.
         for (msg, queue, prio) in server.store.unprocessed() {
-            server.scheduler.push(msg, &queue, prio);
+            server.sched_push(msg, &queue, prio);
         }
         Ok(server)
     }
@@ -1050,7 +1054,7 @@ impl Server {
                 if let Some(doc) = doc {
                     self.doc_cache.insert(id, doc, xml.len());
                 }
-                self.scheduler.push(id, queue, cq.decl.priority);
+                self.sched_push(id, queue, cq.decl.priority);
                 self.metrics
                     .scheduler_depth
                     .set(self.scheduler.len() as i64);
@@ -1066,8 +1070,31 @@ impl Server {
 
     /// Land a message forwarded from another shard: commit it into the
     /// local store with the properties computed on the trigger's shard.
-    pub(crate) fn ingest_forwarded(&self, f: crate::shard::Forwarded) -> Result<MsgId> {
-        self.enqueue_prepared(&f.queue, &f.xml, None, f.props, f.enqueued_at, &f.via)
+    /// Borrows the forward so a failed ingest can be retried.
+    pub(crate) fn ingest_forwarded(&self, f: &crate::shard::Forwarded) -> Result<MsgId> {
+        self.enqueue_prepared(&f.queue, &f.xml, None, f.props.clone(), f.enqueued_at, &f.via)
+    }
+
+    /// Insert into the scheduler, keeping the shard router's conserved
+    /// pending count (drain-termination proof, see
+    /// [`crate::shard::ShardRouter`]) in step with every accepted
+    /// insertion. All scheduling goes through here or
+    /// [`Self::sched_requeue`].
+    fn sched_push(&self, msg: MsgId, queue: &str, priority: i32) {
+        if self.scheduler.push(msg, queue, priority) {
+            if let Some(link) = &self.shard_link {
+                link.router.note_scheduled();
+            }
+        }
+    }
+
+    /// [`Self::sched_push`] for deadlock-retry requeues.
+    fn sched_requeue(&self, msg: MsgId, queue: &str, priority: i32) {
+        if self.scheduler.requeue(msg, queue, priority) {
+            if let Some(link) = &self.shard_link {
+                link.router.note_scheduled();
+            }
+        }
     }
 
     /// Register slice memberships for a freshly enqueued message: for every
@@ -1379,7 +1406,7 @@ impl Server {
                         .get(&nm.queue)
                         .map(|q| q.decl.priority)
                         .unwrap_or(0);
-                    self.scheduler.push(nm.id, &nm.queue, prio);
+                    self.sched_push(nm.id, &nm.queue, prio);
                     self.post_commit_queue_effects(&nm.queue, nm.id)?;
                 }
                 // Cross-shard enqueues publish only now, after the trigger's
@@ -1400,13 +1427,13 @@ impl Server {
                 self.store.abort(txn);
                 // Put the message back for retry.
                 self.metrics.requeues.inc();
-                self.scheduler.requeue(msg_id, queue, cq.decl.priority);
+                self.sched_requeue(msg_id, queue, cq.decl.priority);
                 Err(EngineError::Store(StoreError::Deadlock))
             }
             Err(ProcessingError::Store(StoreError::LockTimeout)) => {
                 self.store.abort(txn);
                 self.metrics.requeues.inc();
-                self.scheduler.requeue(msg_id, queue, cq.decl.priority);
+                self.sched_requeue(msg_id, queue, cq.decl.priority);
                 Err(EngineError::Store(StoreError::LockTimeout))
             }
             Err(ProcessingError::Store(e)) => {
@@ -2140,9 +2167,12 @@ impl Server {
         std::thread::scope(|scope| {
             for _ in 0..threads.max(1) {
                 scope.spawn(|| loop {
+                    // Claim *before* popping: a peer must never observe an
+                    // empty scheduler + zero active workers while a popped
+                    // message is still about to be processed.
+                    self.active_workers.fetch_add(1, Ordering::SeqCst);
                     match self.scheduler.pop() {
                         Some((msg, queue)) => {
-                            self.active_workers.fetch_add(1, Ordering::SeqCst);
                             let r = self.process_message(msg, &queue);
                             let remaining =
                                 self.active_workers.fetch_sub(1, Ordering::SeqCst) - 1;
@@ -2158,7 +2188,9 @@ impl Server {
                         None => {
                             // Exit only when no one is mid-flight (they may
                             // still enqueue more work).
-                            if self.active_workers.load(Ordering::SeqCst) == 0 {
+                            if self.active_workers.fetch_sub(1, Ordering::SeqCst) - 1 == 0
+                                && self.scheduler.is_empty()
+                            {
                                 self.scheduler.wake_all();
                                 break;
                             }

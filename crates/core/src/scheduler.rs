@@ -79,7 +79,8 @@ impl Scheduler {
     }
 
     /// Add an unprocessed message at the back of its priority class.
-    pub fn push(&self, msg: MsgId, queue: &str, priority: i32) {
+    /// Returns whether it was inserted (`false` = already scheduled).
+    pub fn push(&self, msg: MsgId, queue: &str, priority: i32) -> bool {
         let mut st = self.inner.lock();
         if st.queued.insert(msg) {
             let seq = st.next_back;
@@ -91,6 +92,9 @@ impl Scheduler {
                 queue: queue.to_string(),
             });
             self.work_available.notify_one();
+            true
+        } else {
+            false
         }
     }
 
@@ -104,8 +108,8 @@ impl Scheduler {
 
     /// Put a message back (lock conflict / deadlock retry) — it rejoins
     /// the *front* of its priority class, keeping its place ahead of work
-    /// that arrived later.
-    pub fn requeue(&self, msg: MsgId, queue: &str, priority: i32) {
+    /// that arrived later. Returns whether it was inserted.
+    pub fn requeue(&self, msg: MsgId, queue: &str, priority: i32) -> bool {
         let mut st = self.inner.lock();
         if st.queued.insert(msg) {
             let seq = st.next_front;
@@ -117,6 +121,9 @@ impl Scheduler {
                 queue: queue.to_string(),
             });
             self.work_available.notify_one();
+            true
+        } else {
+            false
         }
     }
 

@@ -30,7 +30,7 @@ use demaq_analysis::{compute_placement, stable_hash, FlowGraph, Placement, RuleF
 use demaq_net::{Clock, Network};
 use demaq_obs::{Counter, Lineage, Obs, ProvenanceIndex, TraceEvent};
 use demaq_qdl::{parse_program, QueueKind};
-use demaq_store::{MsgId, PropValue, StoredMessage};
+use demaq_store::{MsgId, PropValue, StoreError, StoredMessage};
 use demaq_xml::parse as parse_xml;
 use demaq_xquery::Atomic;
 use parking_lot::Mutex;
@@ -66,14 +66,30 @@ pub(crate) struct Forwarded {
 
 /// Shared state of one sharded deployment: the routing directory and the
 /// cross-shard mailboxes.
+///
+/// ## Drain-termination accounting
+///
+/// Parallel draining terminates on a *single* conserved counter,
+/// `pending`: the number of undrained messages anywhere in the fleet —
+/// queued in a scheduler, claimed by a worker, or published in a mailbox.
+/// Scanning separate per-state counters (schedulers, active workers,
+/// in-flight forwards) is unsound no matter the read order: a message can
+/// migrate from a state a drainer already read as zero into one it read
+/// earlier, so every per-state snapshot can be zero while work survives.
+/// One counter has no such window. Every handoff counts the destination
+/// before releasing the source: a product is registered at scheduler
+/// insertion / forward publication *before* its producer's decrement, an
+/// ingested forward at scheduler insertion before [`Self::settle`], so
+/// `pending` never dips to zero while work exists — and a single atomic
+/// read of zero is a sound termination proof.
 pub(crate) struct ShardRouter {
     placement: Placement,
     mailboxes: Vec<Mutex<VecDeque<Forwarded>>>,
-    /// Forwards published but not yet ingested by their destination —
-    /// part of the drain-termination condition.
-    in_flight: AtomicUsize,
-    /// Workers currently processing a message, across all shards.
-    active: AtomicUsize,
+    /// Undrained messages fleet-wide (see struct docs). Snapshot-reset at
+    /// the start of each parallel drain; scheduler insertions elsewhere
+    /// (recovery, external enqueues, single-threaded runs) may leave it
+    /// stale in between, which the reset makes harmless.
+    pending: AtomicUsize,
     forwards_total: Counter,
     ingest_errors: Counter,
 }
@@ -84,8 +100,7 @@ impl ShardRouter {
         ShardRouter {
             placement,
             mailboxes: (0..shards).map(|_| Mutex::new(VecDeque::new())).collect(),
-            in_flight: AtomicUsize::new(0),
-            active: AtomicUsize::new(0),
+            pending: AtomicUsize::new(0),
             forwards_total: obs.registry.counter("demaq_engine_shard_forwards_total"),
             ingest_errors: obs
                 .registry
@@ -94,11 +109,26 @@ impl ShardRouter {
     }
 
     fn forward(&self, f: Forwarded) {
-        // Increment before publishing: a drainer must never observe an
-        // empty mailbox + zero in-flight while a forward is mid-publish.
-        self.in_flight.fetch_add(1, Ordering::SeqCst);
+        // Count before publishing: a drainer must never observe
+        // `pending == 0` while a forward is mid-publish. The producing
+        // worker's own decrement comes later still, so the count also
+        // never drops while the message is only in the mailbox.
+        self.pending.fetch_add(1, Ordering::SeqCst);
         self.forwards_total.inc();
         self.mailboxes[f.dest].lock().push_back(f);
+    }
+
+    /// A message was inserted into some shard's scheduler (called from the
+    /// engine on every accepted push/requeue).
+    pub(crate) fn note_scheduled(&self) {
+        self.pending.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// A claimed message is fully dealt with (processed, errored out, or
+    /// abandoned); its products were already counted. Returns the
+    /// remaining pending count.
+    fn note_done(&self) -> usize {
+        self.pending.fetch_sub(1, Ordering::SeqCst) - 1
     }
 
     fn take(&self, shard: usize) -> Option<Forwarded> {
@@ -106,15 +136,20 @@ impl ShardRouter {
     }
 
     /// Mark one taken forward as fully ingested (scheduled on the
-    /// destination). Called only after the ingest committed, so the
-    /// work is visible in the destination's scheduler before the
-    /// in-flight count drops.
+    /// destination, which counted it again) or abandoned. Called only
+    /// after the ingest committed (or permanently failed), so successful
+    /// work is visible in the destination's scheduler count before this
+    /// decrement.
     fn settle(&self) {
-        self.in_flight.fetch_sub(1, Ordering::SeqCst);
+        self.pending.fetch_sub(1, Ordering::SeqCst);
     }
 
     fn mailbox_empty(&self, shard: usize) -> bool {
         self.mailboxes[shard].lock().is_empty()
+    }
+
+    fn mailbox_len(&self, shard: usize) -> usize {
+        self.mailboxes[shard].lock().len()
     }
 }
 
@@ -177,6 +212,10 @@ impl ShardedServerBuilder {
     /// Compile the application, derive the placement from its flow graph,
     /// and open one store per shard (subdirectories `shard-0` …
     /// `shard-N-1` of the configured directory).
+    ///
+    /// Note that `.in_memory()` is downgraded here: sharded stores are
+    /// always on-disk, under a temp directory that lives exactly as long
+    /// as the returned [`ShardedServer`].
     pub fn build(self) -> Result<ShardedServer> {
         let shards = self.shards;
         let mut base = self.base;
@@ -219,13 +258,22 @@ impl ShardedServerBuilder {
         }
         base.shared_provenance = Some(Arc::new(ProvenanceIndex::new(base.provenance_capacity)));
 
+        // `.in_memory()` has no sharded equivalent (each shard needs its
+        // own WAL + heap files), so it downgrades to real on-disk stores
+        // under a process-temp root. The root is removed again when the
+        // `ShardedServer` is dropped.
+        let mut temp_root = None;
         let root = match (&base.dir, base.in_memory) {
             (Some(d), _) => d.clone(),
-            (None, true) => std::env::temp_dir().join(format!(
-                "demaq-sharded-{}-{}",
-                std::process::id(),
-                NEXT_SHARD_TMP.fetch_add(1, Ordering::Relaxed)
-            )),
+            (None, true) => {
+                let root = std::env::temp_dir().join(format!(
+                    "demaq-sharded-{}-{}",
+                    std::process::id(),
+                    NEXT_SHARD_TMP.fetch_add(1, Ordering::Relaxed)
+                ));
+                temp_root = Some(root.clone());
+                root
+            }
             (None, false) => {
                 return Err(EngineError::Config(
                     "choose a store directory with .dir(..) or .in_memory()".into(),
@@ -272,6 +320,7 @@ impl ShardedServerBuilder {
             clock,
             obs,
             placement,
+            temp_root,
         })
     }
 }
@@ -286,6 +335,21 @@ pub struct ShardedServer {
     clock: Clock,
     obs: Arc<Obs>,
     placement: Placement,
+    /// Set when `.in_memory()` was downgraded to on-disk stores under a
+    /// process-temp root (see [`ShardedServerBuilder::build`]); removed on
+    /// drop.
+    temp_root: Option<std::path::PathBuf>,
+}
+
+impl Drop for ShardedServer {
+    fn drop(&mut self) {
+        if let Some(root) = self.temp_root.take() {
+            // Close the per-shard stores first so no WAL/heap file is
+            // still being written while the tree goes away.
+            self.shards.clear();
+            let _ = std::fs::remove_dir_all(&root);
+        }
+    }
 }
 
 impl ShardedServer {
@@ -378,8 +442,9 @@ impl ShardedServer {
             let mut progressed = false;
             for (i, s) in self.shards.iter().enumerate() {
                 while let Some(f) = self.router.take(i) {
-                    s.ingest_forwarded(f)?;
+                    let r = s.ingest_forwarded(&f);
                     self.router.settle();
+                    r?;
                     progressed = true;
                 }
                 while s.step()? {
@@ -409,24 +474,44 @@ impl ShardedServer {
 
     /// Process everything currently schedulable with `threads_per_shard`
     /// workers pinned to each shard. Workers drain their own shard's
-    /// scheduler and mailbox; termination requires every scheduler empty,
-    /// no worker mid-message, and no forward in flight anywhere — a
-    /// message may hop shards arbitrarily often before the fleet drains.
+    /// scheduler and mailbox; the fleet terminates when the router's
+    /// conserved pending count (see [`ShardRouter`]) reaches zero — a
+    /// message may hop shards arbitrarily often before that.
     /// Network/timer pumping is not performed inside; call
     /// [`Self::run_until_idle`] afterwards for gateway scenarios.
+    ///
+    /// A forward whose ingest fails permanently on its destination shard
+    /// is abandoned *loudly*: the fleet still drains everything else, and
+    /// the first such error is returned.
     pub fn process_all_parallel(&self, threads_per_shard: usize) -> Result<u64> {
         let processed = AtomicU64::new(0);
+        let failure: Mutex<Option<EngineError>> = Mutex::new(None);
         let tps = threads_per_shard.max(1);
+        // Exact snapshot of outstanding work before any worker starts:
+        // everything scheduled plus any leftover mailbox items. External
+        // enqueues concurrent with the drain are not supported (as
+        // before), so this is the whole initial population.
+        let initial: usize = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| s.sched().len() + self.router.mailbox_len(i))
+            .sum();
+        self.router.pending.store(initial, Ordering::SeqCst);
         std::thread::scope(|scope| {
             for i in 0..self.shards.len() {
                 for _ in 0..tps {
                     let shards = &self.shards;
                     let router = &self.router;
                     let processed = &processed;
-                    scope.spawn(move || drain_worker(shards, i, router, processed));
+                    let failure = &failure;
+                    scope.spawn(move || drain_worker(shards, i, router, processed, failure));
                 }
             }
         });
+        if let Some(e) = failure.into_inner() {
+            return Err(e);
+        }
         Ok(processed.load(Ordering::Relaxed))
     }
 
@@ -505,30 +590,35 @@ impl ShardedServer {
 }
 
 /// One pinned drain worker: land forwards, process own scheduler, park
-/// when idle until the whole fleet has drained.
-fn drain_worker(shards: &[Server], me: usize, router: &ShardRouter, processed: &AtomicU64) {
+/// when idle until the whole fleet has drained (`pending == 0`).
+fn drain_worker(
+    shards: &[Server],
+    me: usize,
+    router: &ShardRouter,
+    processed: &AtomicU64,
+    failure: &Mutex<Option<EngineError>>,
+) {
     let s = &shards[me];
     loop {
         // Land forwarded messages first so cross-shard work is scheduled
-        // before the idle check below can observe "all empty".
+        // before the idle check below can observe a drained fleet.
         while let Some(f) = router.take(me) {
-            if s.ingest_forwarded(f).is_err() {
-                router.ingest_errors.inc();
-            }
-            router.settle();
+            land_forward(s, router, &f, failure);
         }
         match s.pop_scheduled() {
             Some((msg, queue)) => {
-                router.active.fetch_add(1, Ordering::SeqCst);
+                // A claimed message stays counted in `pending` until after
+                // processing: its products (scheduler insertions, forward
+                // publications) are counted inside `process_one`, so the
+                // decrement below can never expose a transient zero.
                 let r = s.process_one(msg, &queue);
-                let remaining = router.active.fetch_sub(1, Ordering::SeqCst) - 1;
                 if r.is_ok() {
                     processed.fetch_add(1, Ordering::Relaxed);
                 }
-                if remaining == 0 && s.sched().is_empty() {
-                    // Likely drained: wake parked peers (on every shard —
-                    // the last message may have forwarded work elsewhere)
-                    // so they observe termination or fresh mail promptly.
+                if router.note_done() == 0 {
+                    // Fleet drained: wake parked peers on every shard so
+                    // they observe termination without waiting out the
+                    // park timeout.
                     for t in shards {
                         t.sched().wake_all();
                     }
@@ -538,10 +628,7 @@ fn drain_worker(shards: &[Server], me: usize, router: &ShardRouter, processed: &
                 if !router.mailbox_empty(me) {
                     continue;
                 }
-                if router.active.load(Ordering::SeqCst) == 0
-                    && router.in_flight.load(Ordering::SeqCst) == 0
-                    && shards.iter().all(|t| t.sched().is_empty())
-                {
+                if router.pending.load(Ordering::SeqCst) == 0 {
                     for t in shards {
                         t.sched().wake_all();
                     }
@@ -553,4 +640,38 @@ fn drain_worker(shards: &[Server], me: usize, router: &ShardRouter, processed: &
             }
         }
     }
+}
+
+/// Ingest one forwarded message on its destination shard. The producing
+/// transaction already committed on the source shard, so this must not
+/// silently drop: lock conflicts (the only failures that are both
+/// transient and safely retryable — they abort before anything commits)
+/// are retried with backoff; any other error is recorded for
+/// [`ShardedServer::process_all_parallel`] to return, and the forward is
+/// abandoned with its pending count released so the fleet still drains.
+fn land_forward(
+    s: &Server,
+    router: &ShardRouter,
+    f: &Forwarded,
+    failure: &Mutex<Option<EngineError>>,
+) {
+    let mut result = s.ingest_forwarded(f);
+    for attempt in 0..3u32 {
+        match &result {
+            Err(EngineError::Store(StoreError::Deadlock))
+            | Err(EngineError::Store(StoreError::LockTimeout)) => {
+                std::thread::sleep(std::time::Duration::from_micros(100 << attempt));
+                result = s.ingest_forwarded(f);
+            }
+            _ => break,
+        }
+    }
+    if let Err(e) = result {
+        router.ingest_errors.inc();
+        let mut slot = failure.lock();
+        if slot.is_none() {
+            *slot = Some(e);
+        }
+    }
+    router.settle();
 }

@@ -165,6 +165,13 @@ pub(crate) struct Logical {
     pub(crate) slices: SliceIndex,
     /// Causal origin per rule-created message (root messages absent).
     pub(crate) lineage: HashMap<MsgId, LineageSlot>,
+    /// Persistent-queue messages inserted as `Payload::Mem` and not yet
+    /// materialized into the heap. The checkpoint cut drains this instead
+    /// of scanning every retained message, so its stop-the-world section
+    /// is bounded by what arrived since the last cut, not by store size.
+    /// May hold ids that were purged or turned out transient; the
+    /// materializer re-checks and discards those.
+    unmaterialized: Vec<MsgId>,
 }
 
 // Newtype wrapper so recovery can construct metas without exposing fields
@@ -183,10 +190,18 @@ impl Logical {
         processed: bool,
         enqueued_at: i64,
     ) {
+        let deferred = rid.is_none();
         let payload = match rid {
             Some(rid) => Payload::Heap { rid, bytes },
             None => Payload::Mem(bytes),
         };
+        if deferred {
+            // Every `Mem` insertion registers here; a message missing from
+            // this list would be dropped from the next snapshot while its
+            // WAL segment is deleted. Transient-queue ids are filtered out
+            // below once the queue entry is at hand.
+            self.unmaterialized.push(id);
+        }
         self.messages.insert(
             id,
             MsgMetaSlot(MsgMeta {
@@ -197,7 +212,7 @@ impl Logical {
                 enqueued_at,
             }),
         );
-        let messages = &mut self
+        let qstate = self
             .queues
             .entry(queue.clone())
             .or_insert_with(|| QueueState {
@@ -207,8 +222,13 @@ impl Logical {
                     priority: 0,
                 },
                 messages: Vec::new(),
-            })
-            .messages;
+            });
+        if deferred && qstate.info.mode != QueueMode::Persistent {
+            // Transient payloads never reach the heap; drop the entry
+            // pushed above so the list only grows with persistent work.
+            self.unmaterialized.pop();
+        }
+        let messages = &mut qstate.messages;
         // Queue order is id (arrival) order. Concurrent transactions may
         // commit out of id order, so insert at the sorted position — almost
         // always the tail.
@@ -1177,6 +1197,10 @@ impl MessageStore {
         // Serialize whole-store maintenance: GC must not tombstone heap
         // records the snapshot we are writing still references.
         let _maint = self.maintenance.lock();
+        // Bulk heap materialization happens out here — before the
+        // commit-order lock, outside the state write lock — so the
+        // stop-the-world cut below only handles what commits in the gap.
+        self.materialize_pending()?;
         let (snap, new_index) = self.checkpoint_cut()?;
         // Locks are released; only `maintenance` is still held.
         //
@@ -1197,6 +1221,55 @@ impl MessageStore {
         Ok(())
     }
 
+    /// Materialize pending persistent payloads into the heap *outside*
+    /// the commit-order lock and (for the appends — the expensive part)
+    /// outside the state lock entirely. Caller must hold `maintenance`:
+    /// that is what makes the heap exclusively ours (the commit path
+    /// never appends to it) and pins every examined message in place (GC
+    /// cannot purge concurrently). Payload bytes are immutable, so only
+    /// the `Mem` → `Heap` flip at the end needs the write lock.
+    fn materialize_pending(&self) -> Result<()> {
+        // One read-lock scope for both the work list and the `examined`
+        // set: an id added to `unmaterialized` after this scan must stay
+        // on the list for the in-lock cut, or it would be dropped from
+        // the snapshot without ever reaching the heap.
+        let (work, examined): (Vec<(MsgId, PayloadBytes)>, std::collections::HashSet<MsgId>) = {
+            let state = self.state.read();
+            let work = state
+                .unmaterialized
+                .iter()
+                .filter(|id| state.message_is_persistent(**id).unwrap_or(false))
+                .filter_map(|id| match state.messages.get(id) {
+                    Some(meta) => match &meta.0.payload {
+                        Payload::Mem(bytes) => Some((*id, bytes.clone())),
+                        Payload::Heap { .. } => None,
+                    },
+                    None => None,
+                })
+                .collect();
+            (work, state.unmaterialized.iter().copied().collect())
+        };
+        let mut flips = Vec::with_capacity(work.len());
+        for (id, bytes) in work {
+            let rid = self.heap.append(bytes.as_bytes())?;
+            self.metrics.payload_copies.inc();
+            flips.push((id, rid, bytes));
+        }
+        let mut state = self.state.write();
+        for (id, rid, bytes) in flips {
+            if let Some(meta) = state.messages.get_mut(&id) {
+                if matches!(meta.0.payload, Payload::Mem(_)) {
+                    meta.0.payload = Payload::Heap { rid, bytes };
+                }
+            }
+        }
+        // Everything examined is now either flipped, purged, or
+        // transient — drop those entries; ids that committed since the
+        // scan stay for the in-lock remainder of the cut.
+        state.unmaterialized.retain(|id| !examined.contains(id));
+        Ok(())
+    }
+
     /// The in-lock half of [`checkpoint`](Self::checkpoint): cut a
     /// consistent snapshot and rotate the WAL, returning the snapshot for
     /// the caller to write outside the locks.
@@ -1214,21 +1287,17 @@ impl MessageStore {
         let old_wal = Arc::clone(&self.wal.lock());
         old_wal.sync_now()?;
         self.unsynced_commits.store(0, Ordering::Relaxed);
-        // Deferred heap materialization: the commit path never appends to
-        // the heap, so persistent payloads enqueued since the last
-        // checkpoint are still `Mem`. Append them now — before the pool
-        // flush below — so the snapshot can reference their records and
-        // the WAL segments holding their bytes can be deleted.
-        let persistent_queues: std::collections::HashSet<String> = state
-            .queues
-            .values()
-            .filter(|q| q.info.mode == QueueMode::Persistent)
-            .map(|q| q.info.name.clone())
-            .collect();
-        for meta in state.messages.values_mut() {
-            if !persistent_queues.contains(&meta.0.queue) {
-                continue;
-            }
+        // Deferred heap materialization, in-lock remainder: the bulk ran
+        // in `materialize_pending` before the commit-order lock; only
+        // payloads committed in the gap since are still `Mem`. Append
+        // them now — before the pool flush below — so the snapshot can
+        // reference their records and the WAL segments holding their
+        // bytes can be deleted.
+        let late: Vec<MsgId> = std::mem::take(&mut state.unmaterialized);
+        for id in late {
+            let Some(meta) = state.messages.get_mut(&id) else {
+                continue; // purged since it was enqueued
+            };
             if let Payload::Mem(bytes) = &meta.0.payload {
                 let rid = self.heap.append(bytes.as_bytes())?;
                 self.metrics.payload_copies.inc();
@@ -1237,6 +1306,17 @@ impl MessageStore {
                     bytes: bytes.clone(),
                 };
             }
+        }
+        // Backstop for the data-loss invariant behind the side list: a
+        // persistent `Mem` payload missed here would be absent from the
+        // snapshot while the WAL segment holding its bytes is deleted.
+        #[cfg(debug_assertions)]
+        for (id, meta) in &state.messages {
+            debug_assert!(
+                !(matches!(meta.0.payload, Payload::Mem(_))
+                    && state.message_is_persistent(*id).unwrap_or(false)),
+                "persistent message {id:?} not materialized at checkpoint cut"
+            );
         }
         self.pool.flush_all()?;
         let new_index = self.wal_index.load(Ordering::SeqCst) + 1;

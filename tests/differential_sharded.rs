@@ -33,6 +33,23 @@ const KEYED_PIPELINE: &str = r#"
       if (//enriched) then do enqueue <done>{//enriched/text()}</done> into done
 "#;
 
+/// The keyed pipeline with a *rekeying* enrich stage: the produced
+/// message's lane hashes to a different shard than its trigger's, so
+/// every enrich firing rides the cross-shard forward path.
+const REKEY: &str = r#"
+    create queue intake kind basic mode persistent
+    create queue enriched kind basic mode persistent
+    create queue done kind basic mode persistent
+    create property lane as xs:integer inherited
+    create slicing lanes on lane
+    create rule enrich for intake
+      if (//job) then
+        do enqueue <enriched>{string(//job/@n)}</enriched> into enriched
+          with lane value ((xs:integer(//job/@n) * 3 + 1) mod 7)
+    create rule finish for enriched
+      if (//enriched) then do enqueue <done>{//enriched/text()}</done> into done
+"#;
+
 fn single(program: &str) -> Server {
     Server::builder()
         .program(program)
@@ -168,19 +185,6 @@ fn chain_shape(l: &demaq::Lineage) -> Vec<(String, Option<String>)> {
 /// lineage must still match the single-server run exactly.
 #[test]
 fn rekeying_pipeline_forwards_across_shards() {
-    const REKEY: &str = r#"
-        create queue intake kind basic mode persistent
-        create queue enriched kind basic mode persistent
-        create queue done kind basic mode persistent
-        create property lane as xs:integer inherited
-        create slicing lanes on lane
-        create rule enrich for intake
-          if (//job) then
-            do enqueue <enriched>{string(//job/@n)}</enriched> into enriched
-              with lane value ((xs:integer(//job/@n) * 3 + 1) mod 7)
-        create rule finish for enriched
-          if (//enriched) then do enqueue <done>{//enriched/text()}</done> into done
-    "#;
     const N: usize = 40;
     let s1 = single(REKEY);
     let s4 = sharded(REKEY, 4);
@@ -236,6 +240,37 @@ fn keyed_pipeline_parallel_drain_matches() {
         sorted_bodies(&queues, |q| s1.queue_bodies(q).unwrap()),
         sorted_bodies(&queues, |q| s4.queue_bodies(q).unwrap()),
     );
+}
+
+/// The rekeying pipeline under *parallel* drain: cross-shard forwards race
+/// the fleet's termination detection. Regression test for the drain bug
+/// where a worker could observe empty schedulers and no active peers while
+/// a just-popped message was about to forward cross-shard, terminate the
+/// fleet, and strand the forward in a dead shard's mailbox. Several rounds
+/// vary the thread interleaving.
+#[test]
+fn rekeying_pipeline_parallel_drain_matches() {
+    const N: usize = 40;
+    for _round in 0..4 {
+        let s1 = single(REKEY);
+        let s4 = sharded(REKEY, 4);
+        for i in 0..N {
+            let xml = format!("<job n='{i}'/>");
+            s1.enqueue_external_with_props("intake", &xml, &lane(i)).unwrap();
+            s4.enqueue_external_with_props("intake", &xml, &lane(i)).unwrap();
+        }
+        let d1 = s1.process_all_parallel(2).unwrap();
+        let d4 = s4.process_all_parallel(2).unwrap();
+        assert_eq!(d1, (3 * N) as u64);
+        assert_eq!(d4, (3 * N) as u64, "sharded drain lost work");
+        let queues = ["intake", "enriched", "done"];
+        assert_eq!(
+            sorted_bodies(&queues, |q| s1.queue_bodies(q).unwrap()),
+            sorted_bodies(&queues, |q| s4.queue_bodies(q).unwrap()),
+        );
+        let forwards = metric_value(&s4.metrics_text(), "demaq_engine_shard_forwards_total");
+        assert!(forwards > 0.0, "expected cross-shard forwards, got {forwards}");
+    }
 }
 
 /// Paper listings on 1-shard vs 4-shard deployments: programs without a
