@@ -15,6 +15,31 @@ use demaq_qdl::{AppSpec, RuleDecl};
 use demaq_xquery::ast::{AttrValuePart, Axis, DirContent, FlworClause, NodeTest};
 use demaq_xquery::{fold_boolean, lower, Expr, Plan};
 
+/// What an aggregate read ranges over.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum AggReadSource {
+    /// A named queue (`qs:queue("…")`, `collection("…")`, or the rule's
+    /// own target via argument-less `qs:queue()`).
+    Queue(String),
+    /// The rule's slice (`qs:slice()`).
+    Slice,
+}
+
+/// One aggregate function application over a queue or slice found in a
+/// rule body or property binding: `count`/`sum`/`min`/`max`/`exists`/`avg`
+/// whose argument reads `qs:queue(…)` or `qs:slice()`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct AggregateReadFact {
+    /// Aggregate function name (`count`, `sum`, …).
+    pub op: String,
+    /// The queue or slice it reads.
+    pub source: AggReadSource,
+    /// True when the shape matches what the incremental maintenance pass
+    /// ([`demaq_xquery::recognize_aggregate`]) can answer from a
+    /// materialized cell; false means every evaluation rescans the source.
+    pub incremental: bool,
+}
+
 /// One `do enqueue … into Q` occurrence in a rule body.
 #[derive(Debug, Clone)]
 pub struct EnqueueSite {
@@ -49,6 +74,9 @@ pub struct RuleFacts {
     pub named_resets: Vec<String>,
     /// Count of bare `do reset` occurrences (implicit slicing context).
     pub bare_resets: usize,
+    /// Aggregate reads (`count`/`sum`/… over `qs:queue`/`qs:slice`) in
+    /// the body, with whether the incremental pass maintains each.
+    pub aggregate_reads: Vec<AggregateReadFact>,
     /// Element names the trigger condition requires, when extractable.
     pub trigger_elements: Option<Vec<String>>,
     /// The body constant-folds away: either the whole body lowers to a
@@ -72,6 +100,7 @@ impl RuleFacts {
             prop_reads: Vec::new(),
             named_resets: Vec::new(),
             bare_resets: 0,
+            aggregate_reads: Vec::new(),
             trigger_elements: extract_trigger_elements(&rule.body),
             never_fires: false,
         };
@@ -127,6 +156,7 @@ impl RuleFacts {
             prop_reads: Vec::new(),
             named_resets: Vec::new(),
             bare_resets: 0,
+            aggregate_reads: Vec::new(),
             trigger_elements,
             never_fires: false,
         };
@@ -137,6 +167,8 @@ impl RuleFacts {
 
     fn scan_body(&mut self, body: &Expr) {
         walk(body, false, self);
+        let own = (!self.on_slicing).then(|| self.target.clone());
+        self.aggregate_reads = extract_aggregate_reads(body, own.as_deref());
         self.never_fires = body_never_fires(body);
     }
 
@@ -168,6 +200,86 @@ fn body_never_fires(body: &Expr) -> bool {
     }
     // A body that folds to a constant cannot carry pending updates.
     matches!(lower(body), Plan::Const(_))
+}
+
+/// Aggregate functions the extractor looks for. `avg` has no
+/// incremental shape (no [`demaq_xquery::AggOp`]), so it always surfaces
+/// as a rescan fact.
+const AGG_NAMES: &[&str] = &["count", "sum", "min", "max", "exists", "avg"];
+
+/// Every aggregate read in `body`: recognized incremental shapes (exactly
+/// the ones `demaq_xquery::recognize_aggregate` — and hence the engine's
+/// plan lowerer — accepts), plus bare-name aggregate calls whose argument
+/// touches `qs:queue`/`qs:slice` in any other shape (rescans).
+/// `own_queue` resolves argument-less `qs:queue()` for non-slicing rules.
+pub fn extract_aggregate_reads(body: &Expr, own_queue: Option<&str>) -> Vec<AggregateReadFact> {
+    let mut out = Vec::new();
+    body.visit(&mut |e| {
+        if let Some(spec) = demaq_xquery::recognize_aggregate(e) {
+            let source = match &spec.source {
+                demaq_xquery::AggSource::Queue(q) => AggReadSource::Queue(q.clone()),
+                demaq_xquery::AggSource::Slice => AggReadSource::Slice,
+            };
+            out.push(AggregateReadFact {
+                op: spec.op.name().to_string(),
+                source,
+                incremental: true,
+            });
+            return;
+        }
+        let Expr::FunctionCall { name, args } = e else {
+            return;
+        };
+        let bare = name.prefix.is_none() || name.prefix.as_deref() == Some("fn");
+        if !bare || !AGG_NAMES.contains(&name.local.as_str()) {
+            return;
+        }
+        // Any queue/slice reference inside the argument marks the read.
+        let mut source: Option<AggReadSource> = None;
+        for a in args {
+            a.visit(&mut |x| {
+                if source.is_some() {
+                    return;
+                }
+                if let Expr::FunctionCall { name, args } = x {
+                    let qs = name.prefix.as_deref() == Some("qs");
+                    let coll = (name.prefix.is_none()
+                        || name.prefix.as_deref() == Some("fn"))
+                        && name.local == "collection";
+                    match (qs, name.local.as_str(), args.as_slice()) {
+                        (true, "queue", [Expr::StringLit(q)]) => {
+                            source = Some(AggReadSource::Queue(q.clone()));
+                        }
+                        (true, "queue", []) => {
+                            if let Some(own) = own_queue {
+                                source = Some(AggReadSource::Queue(own.to_string()));
+                            }
+                        }
+                        (true, "slice", _) => source = Some(AggReadSource::Slice),
+                        _ if coll => {
+                            if let Some(Expr::StringLit(q)) = args.first() {
+                                source = Some(AggReadSource::Queue(q.clone()));
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            });
+            if source.is_some() {
+                break;
+            }
+        }
+        if let Some(source) = source {
+            out.push(AggregateReadFact {
+                op: name.local.clone(),
+                source,
+                incremental: false,
+            });
+        }
+    });
+    out.sort();
+    out.dedup();
+    out
 }
 
 /// Recursive walk tracking whether the current position is guarded by a

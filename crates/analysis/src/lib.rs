@@ -20,6 +20,7 @@
 //! | DQ008 | slicing-key-misuse | warn |
 //! | DQ009 | dead-end-lineage | warn |
 //! | DQ010 | cross-shard-hot-edge | warn |
+//! | DQ011 | unbounded-aggregate-rescan | warn |
 //!
 //! The same flow graph yields a deterministic global lock-acquisition
 //! order ([`Analysis::lock_order`]) that the engine uses for deadlock
@@ -32,7 +33,9 @@ pub mod graph;
 pub mod placement;
 
 pub use extract::extract_qdl_programs;
-pub use facts::{EnqueueSite, RuleFacts};
+pub use facts::{
+    extract_aggregate_reads, AggReadSource, AggregateReadFact, EnqueueSite, RuleFacts,
+};
 pub use graph::{error_route_edges, strongly_connected, ErrorEdge, FlowEdge, FlowGraph};
 pub use placement::{
     compute_placement, cross_shard_edges, stable_hash, Placement, QueuePlacement,
@@ -102,10 +105,15 @@ pub enum LintCode {
     /// its trigger queue under the computed placement, so the hot chain
     /// hops shards.
     CrossShardHotEdge,
+    /// DQ011: an aggregate read over a queue in a shape the incremental
+    /// maintenance pass cannot answer from a materialized cell, where no
+    /// rule processes the queue to bound its retention — every evaluation
+    /// rescans a queue that only grows.
+    UnboundedAggregateRescan,
 }
 
 impl LintCode {
-    pub const ALL: [LintCode; 10] = [
+    pub const ALL: [LintCode; 11] = [
         LintCode::UnknownEnqueueTarget,
         LintCode::EnqueueIntoIncomingGateway,
         LintCode::UnreachableQueue,
@@ -116,6 +124,7 @@ impl LintCode {
         LintCode::SlicingKeyMisuse,
         LintCode::DeadEndLineage,
         LintCode::CrossShardHotEdge,
+        LintCode::UnboundedAggregateRescan,
     ];
 
     pub fn as_str(&self) -> &'static str {
@@ -130,6 +139,7 @@ impl LintCode {
             LintCode::SlicingKeyMisuse => "DQ008",
             LintCode::DeadEndLineage => "DQ009",
             LintCode::CrossShardHotEdge => "DQ010",
+            LintCode::UnboundedAggregateRescan => "DQ011",
         }
     }
 
@@ -145,6 +155,7 @@ impl LintCode {
             LintCode::SlicingKeyMisuse => "slicing-key-misuse",
             LintCode::DeadEndLineage => "dead-end-lineage",
             LintCode::CrossShardHotEdge => "cross-shard-hot-edge",
+            LintCode::UnboundedAggregateRescan => "unbounded-aggregate-rescan",
         }
     }
 
@@ -216,6 +227,23 @@ impl std::fmt::Display for Diagnostic {
     }
 }
 
+/// One edge of the aggregate dependency graph: an aggregate node (in a
+/// rule body or property binding) and the queue or slicing it reads.
+/// The engine's incremental maintenance pass answers the `incremental`
+/// edges from materialized cells validated by the store's version clocks;
+/// the rest rescan on every evaluation.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct AggregateDep {
+    /// Where the aggregate sits: `rule NAME` or `property NAME`.
+    pub site: String,
+    /// Aggregate function name (`count`, `sum`, …).
+    pub op: String,
+    /// What it reads: `queue NAME` or `slicing NAME`.
+    pub source: String,
+    /// True when the incremental pass maintains this aggregate.
+    pub incremental: bool,
+}
+
 /// The analyzer's output: diagnostics, the flow graph, and the derived
 /// global lock-acquisition order.
 #[derive(Debug, Clone)]
@@ -224,6 +252,9 @@ pub struct Analysis {
     pub graph: FlowGraph,
     /// Queues in global lock-acquisition order (flow sources first).
     pub lock_order: Vec<String>,
+    /// Aggregate reads found in rule bodies and property bindings, with
+    /// the queue/slicing each depends on (sorted, deduplicated).
+    pub aggregate_deps: Vec<AggregateDep>,
 }
 
 impl Analysis {
@@ -770,6 +801,80 @@ pub fn analyze(spec: &AppSpec, rules: &[RuleFacts], config: &LintConfig) -> Anal
         }
     }
 
+    // ---- aggregate dependency graph ----------------------------------------
+    // Every aggregate node (rule bodies and property binding values) with
+    // the queue/slicing it reads; consumed by DQ011 below and exposed on
+    // the Analysis for tooling.
+    let mut aggregate_deps: Vec<AggregateDep> = Vec::new();
+    for r in rules {
+        for a in &r.aggregate_reads {
+            let source = match &a.source {
+                AggReadSource::Queue(q) => format!("queue {q}"),
+                // qs:slice() outside a slicing rule is a runtime error,
+                // not a dependency.
+                AggReadSource::Slice if r.on_slicing => format!("slicing {}", r.target),
+                AggReadSource::Slice => continue,
+            };
+            aggregate_deps.push(AggregateDep {
+                site: format!("rule {}", r.name),
+                op: a.op.clone(),
+                source,
+                incremental: a.incremental,
+            });
+        }
+    }
+    for p in &spec.properties {
+        for b in &p.bindings {
+            for a in extract_aggregate_reads(&b.value, None) {
+                let AggReadSource::Queue(q) = &a.source else {
+                    continue;
+                };
+                aggregate_deps.push(AggregateDep {
+                    site: format!("property {}", p.name),
+                    op: a.op.clone(),
+                    source: format!("queue {q}"),
+                    incremental: a.incremental,
+                });
+            }
+        }
+    }
+    aggregate_deps.sort();
+    aggregate_deps.dedup();
+
+    // ---- DQ011: unbounded aggregate rescans --------------------------------
+    // A rescan-shaped aggregate over a queue no rule processes: nothing
+    // drains the queue, so retention GC never bounds it, and every
+    // evaluation pays O(N) over a membership that only grows. Slice reads
+    // are bounded by the slice lifetime (reset), incremental shapes by
+    // the materialized cell.
+    for r in rules {
+        for a in &r.aggregate_reads {
+            if a.incremental {
+                continue;
+            }
+            let AggReadSource::Queue(q) = &a.source else {
+                continue;
+            };
+            if spec.queue(q).is_none() {
+                continue; // unknown queue is DQ001's job
+            }
+            if ruled_queues.contains(q.as_str()) {
+                continue; // a rule drains it; retention bounds the scan
+            }
+            emit(
+                LintCode::UnboundedAggregateRescan,
+                format!("rule {}", r.name),
+                format!(
+                    "`{}` over queue `{q}` is not in a shape the incremental \
+                     aggregate pass maintains, and no rule processes `{q}` to \
+                     bound its retention: every evaluation rescans a queue that \
+                     only grows",
+                    a.op
+                ),
+            );
+        }
+    }
+
     diags.sort_by(|a, b| {
         (a.code, &a.subject, &a.message).cmp(&(b.code, &b.subject, &b.message))
     });
@@ -780,6 +885,7 @@ pub fn analyze(spec: &AppSpec, rules: &[RuleFacts], config: &LintConfig) -> Anal
         diagnostics: diags,
         graph,
         lock_order,
+        aggregate_deps,
     }
 }
 
@@ -907,6 +1013,80 @@ mod tests {
               if (//order) then do enqueue <fwd/> into outbox
         "#);
         assert!(a.diagnostics.is_empty(), "got: {:?}", a.diagnostics);
+    }
+
+    #[test]
+    fn unbounded_aggregate_rescan_is_dq011() {
+        // `avg` has no incremental shape, and nothing processes `audit`,
+        // so its retention is unbounded: every evaluation rescans.
+        let a = run(r#"
+            create queue inbox kind basic mode persistent
+            create queue audit kind basic mode persistent
+            create queue outbox kind basic mode persistent
+            create rule stash for inbox
+              if (//order) then do enqueue <copy/> into audit
+            create rule watch for inbox
+              if (avg(qs:queue("audit")//n) > 2) then do enqueue <hot/> into outbox
+        "#);
+        assert_eq!(codes(&a), ["DQ011"], "{}", a.render_human());
+        assert_eq!(a.diagnostics[0].subject, "rule watch");
+
+        // The same read in an incremental shape is maintained by the
+        // materialized-cell pass: no warning.
+        let a = run(r#"
+            create queue inbox kind basic mode persistent
+            create queue audit kind basic mode persistent
+            create queue outbox kind basic mode persistent
+            create rule stash for inbox
+              if (//order) then do enqueue <copy/> into audit
+            create rule watch for inbox
+              if (count(qs:queue("audit")//n) > 2) then do enqueue <hot/> into outbox
+        "#);
+        assert!(a.diagnostics.is_empty(), "got: {:?}", a.diagnostics);
+
+        // A rescan over a queue some rule processes is bounded by
+        // retention GC: no warning.
+        let a = run(r#"
+            create queue inbox kind basic mode persistent
+            create queue outbox kind basic mode persistent
+            create rule fwd for inbox
+              if (avg(qs:queue("inbox")//n) > 2) then do enqueue <hot/> into outbox
+        "#);
+        assert!(a.diagnostics.is_empty(), "got: {:?}", a.diagnostics);
+    }
+
+    #[test]
+    fn aggregate_deps_cover_rules_and_property_bindings() {
+        let a = run(r#"
+            create queue intake kind basic mode persistent
+            create queue done kind basic mode persistent
+            create property lane as xs:integer inherited
+            create property depth as xs:integer fixed
+              queue done value count(qs:queue("intake"))
+            create slicing lanes on lane
+            create rule enrich for intake
+              if (//job and avg(qs:queue("done")//n) < 5) then
+                do enqueue <done/> into done with lane value 1
+            create rule drain for lanes
+              if (count(qs:slice()) > 3) then do reset
+        "#);
+        let deps: Vec<(&str, &str, &str, bool)> = a
+            .aggregate_deps
+            .iter()
+            .map(|d| (d.site.as_str(), d.op.as_str(), d.source.as_str(), d.incremental))
+            .collect();
+        assert_eq!(
+            deps,
+            [
+                ("property depth", "count", "queue intake", true),
+                ("rule drain", "count", "slicing lanes", true),
+                ("rule enrich", "avg", "queue done", false),
+            ],
+            "got: {:?}",
+            a.aggregate_deps
+        );
+        // The rescan over `done` (processed by no rule) is also DQ011.
+        assert_eq!(codes(&a), ["DQ011"], "{}", a.render_human());
     }
 
     #[test]

@@ -43,10 +43,16 @@ fn smoke() -> bool {
 }
 
 fn build_server(cached: bool) -> Server {
+    // The E14 aggregate registry answers this rule's membership-only
+    // `count` without materializing the slice at all, which would leave
+    // the caches under measurement with zero traffic. E10 isolates the
+    // cache layer, so both twins pin the pre-registry engine shape; the
+    // registry's own win over this exact workload is measured by E14.
     let mut b = Server::builder()
         .program(JOIN_PROGRAM)
         .in_memory()
-        .sync_policy(SyncPolicy::Batch);
+        .sync_policy(SyncPolicy::Batch)
+        .incremental_aggregates(false);
     if !cached {
         b = b.doc_cache_budget(0).slice_seq_cache(false);
     }

@@ -1,0 +1,199 @@
+//! E14 — Incremental slice aggregates (ISSUE 9).
+//!
+//! A slicing rule whose condition aggregates over its slice used to
+//! rescan all N members on every arrival: `sum(qs:slice()//v)` folded N
+//! documents per message, so N arrivals cost O(N²) member visits even
+//! with the E10 caches (the *fold* was linear, not the loads). The
+//! aggregate registry materializes one cell per `(aggregate, slicing
+//! key)` validated by the store's version clocks: an append-only arrival
+//! takes the delta path (absorb exactly the new suffix), a same-version
+//! re-read is a pure hit, and reset/GC force a rebuild — per-message
+//! aggregate cost becomes O(1) in N.
+//!
+//! Measured:
+//! * `aggregate_rule_{incremental,rescan}` — N arrivals into one hot
+//!   slice, each followed by `run_until_idle`, so the rule's `count` +
+//!   `sum` aggregates re-evaluate against the growing slice.
+//! * Representative runs assert the counter shape (deltas ≈ N with each
+//!   delta absorbing a 1-member suffix; rebuilds rare; membership-only
+//!   `count` answered as hits) and the end-to-end wall-clock ratio:
+//!   ≥ 5x over the rescan twin at N = 1024 in full mode.
+//!
+//! The headline `incremental_throughput` is per-message and therefore
+//! comparable between smoke (N=48) and full (N=1024) runs — flatness in
+//! N is the claim being gated.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use demaq::Server;
+use demaq_store::store::SyncPolicy;
+use std::time::Instant;
+
+/// One hot slice every message joins. The guard aggregates twice — a
+/// membership-only `count` (registry fast path) and a stepped `sum`
+/// (materialized cell) — and never fires, so each arrival pays exactly
+/// the aggregate-read cost.
+const AGG_PROGRAM: &str = r#"
+    create queue parts kind basic mode persistent
+    create queue alerts kind basic mode persistent
+    create property rid as xs:string fixed queue parts value //@rid
+    create slicing byRid on rid
+    create rule watch for byRid
+      if (count(qs:slice()) >= 1000000 or sum(qs:slice()//v) >= 1000000000) then
+        do enqueue <overflow>{qs:slicekey()}</overflow> into alerts
+"#;
+
+fn smoke() -> bool {
+    std::env::var("DEMAQ_E14_SMOKE").is_ok()
+}
+
+fn build_server(incremental: bool) -> Server {
+    Server::builder()
+        .program(AGG_PROGRAM)
+        .in_memory()
+        .sync_policy(SyncPolicy::Batch)
+        .incremental_aggregates(incremental)
+        .build()
+        .expect("valid program")
+}
+
+/// N arrivals into the single slice, processing after each so the rule
+/// always re-aggregates mid-growth (the O(N²) rescan shape).
+fn run_feed(server: &Server, n: usize) {
+    for i in 0..n {
+        server
+            .enqueue_external("parts", &format!("<p rid='hot'><v>{}</v></p>", i % 17))
+            .expect("enqueue");
+        server.run_until_idle().expect("idle");
+    }
+}
+
+/// Read one unlabeled counter/gauge value from a Prometheus exposition.
+fn metric_value(text: &str, name: &str) -> u64 {
+    text.lines()
+        .find(|l| l.starts_with(name) && l.as_bytes().get(name.len()) == Some(&b' '))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse::<f64>().ok())
+        .map(|v| v as u64)
+        .unwrap_or(0)
+}
+
+fn timed_feed(incremental: bool, n: usize) -> (Server, f64) {
+    let server = build_server(incremental);
+    let t0 = Instant::now();
+    run_feed(&server, n);
+    (server, t0.elapsed().as_secs_f64())
+}
+
+fn bench_e14(c: &mut Criterion) {
+    let sizes: &[usize] = if smoke() { &[32] } else { &[256, 1024] };
+    let mut group = c.benchmark_group("e14_incremental_aggregates");
+    group.sample_size(10);
+
+    for &n in sizes {
+        group.throughput(Throughput::Elements(n as u64));
+        for incremental in [true, false] {
+            let label = if incremental {
+                "aggregate_rule_incremental"
+            } else {
+                "aggregate_rule_rescan"
+            };
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, &n| {
+                b.iter(|| {
+                    let server = build_server(incremental);
+                    run_feed(&server, n);
+                    server.stats().processed
+                });
+            });
+        }
+    }
+    group.finish();
+
+    // Representative runs with metric snapshots and the shape asserts.
+    let n = if smoke() { 48 } else { 1024 };
+
+    let (server, t_inc) = timed_feed(true, n);
+    let text = server.metrics_text();
+    let hits = metric_value(&text, "demaq_core_agg_hits_total");
+    let deltas = metric_value(&text, "demaq_core_agg_deltas_total");
+    let rebuilds = metric_value(&text, "demaq_core_agg_rebuilds_total");
+    assert!(hits > 0, "membership fast path saw no hits:\n{text}");
+    assert!(deltas > 0, "append-only growth must take the delta path:\n{text}");
+    // Flat-in-N counter shape: every arrival's aggregate reads are
+    // answered by the registry (hits + deltas + rebuilds cover all
+    // reads), each delta absorbs exactly the 1-message suffix (so deltas
+    // is linear in N, and total member visits ≈ N, not N²), and full
+    // refolds stay rare.
+    assert!(
+        hits + deltas + rebuilds >= n as u64,
+        "registry must answer at least one read per arrival (N={n}): \
+         hits={hits} deltas={deltas} rebuilds={rebuilds}"
+    );
+    assert!(
+        deltas <= (n + 8) as u64,
+        "delta count must stay linear in N={n}, got {deltas}"
+    );
+    assert!(
+        rebuilds <= (n / 8 + 4) as u64,
+        "rebuilds must stay rare for an append-only slice, got {rebuilds}"
+    );
+    demaq_bench::dump_metrics(&server, "e14_incremental_aggregates");
+
+    let (server, t_rescan) = timed_feed(false, n);
+    let text = server.metrics_text();
+    for name in [
+        "demaq_core_agg_hits_total",
+        "demaq_core_agg_deltas_total",
+        "demaq_core_agg_rebuilds_total",
+    ] {
+        assert_eq!(
+            metric_value(&text, name),
+            0,
+            "the rescan twin has no registry; {name} must be 0"
+        );
+    }
+    demaq_bench::dump_metrics(&server, "e14_incremental_aggregates_rescan");
+
+    let speedup = t_rescan / t_inc.max(1e-9);
+    if !smoke() {
+        assert!(
+            speedup >= 5.0,
+            "incremental aggregates must beat the rescan twin ≥5x at N={n}, \
+             got {speedup:.2}x ({t_rescan:.3}s vs {t_inc:.3}s)"
+        );
+        // Per-message cost must be flat in N: quadrupling the slice may
+        // not even double the per-message time (generous bound; a rescan
+        // engine quadruples it).
+        let (_, t_small) = timed_feed(true, n / 4);
+        let per_big = t_inc / n as f64;
+        let per_small = t_small / (n / 4) as f64;
+        assert!(
+            per_big <= per_small * 2.0,
+            "per-message aggregate cost must stay flat in N: \
+             {:.1}us at N={} vs {:.1}us at N={}",
+            per_big * 1e6,
+            n,
+            per_small * 1e6,
+            n / 4
+        );
+    }
+
+    println!(
+        "e14: N={n} hits={hits} deltas={deltas} rebuilds={rebuilds} \
+         incremental={t_inc:.3}s rescan={t_rescan:.3}s speedup={speedup:.2}x"
+    );
+
+    let mut report = demaq_bench::report::BenchReport::new("e14_incremental_aggregates", smoke());
+    report
+        .result("slice_members", n as f64, "count")
+        .result("agg_hits", hits as f64, "count")
+        .result("agg_deltas", deltas as f64, "count")
+        .result("agg_rebuilds", rebuilds as f64, "count")
+        .result("incremental_wall_s", t_inc, "s")
+        .result("rescan_wall_s", t_rescan, "s")
+        .result("incremental_throughput", n as f64 / t_inc.max(1e-9), "msg/s")
+        .result("speedup_vs_rescan", speedup, "x");
+    report.write();
+}
+
+criterion_group!(benches, bench_e14);
+criterion_main!(benches);

@@ -1,0 +1,328 @@
+//! Materialized aggregate cells (ISSUE 9's reactive aggregate registry).
+//!
+//! Each cell holds the running [`AggAcc`] fold of one recognized aggregate
+//! shape ([`demaq_xquery::AggregateSpec`]) over one *scope* — a whole
+//! queue or one `(slicing, key)` slice — together with the member-id list
+//! it was folded over and the store-side **version counter** current when
+//! the fold was taken. Reads validate against the live `(ids, version)`
+//! pair the store reports under one state lock:
+//!
+//! * version match → the cell is current: return its result, zero member
+//!   access ([`AggLookup::Hit`]).
+//! * old ids are a strict prefix of the new → only new members arrived
+//!   since the fold: absorb just the suffix ([`AggLookup::Extend`] — the
+//!   *delta* path that makes per-message aggregate cost O(1) in N).
+//! * anything else (reset epoch bump, GC purge, cold) → refold from
+//!   scratch ([`AggLookup::Miss`], a *rebuild*).
+//!
+//! The version clocks are bumped **inside batched commit apply** (member
+//! add, queue insert, reset) and by GC purges — see
+//! `demaq_store::slice::SliceIndex` — so a stale cell can never validate.
+//! Cells are process-local and never persisted: after a crash the clock
+//! restarts at 0 (which it never emits) and every cell rebuilds from the
+//! recovered store, so recovery correctness never depends on cached state.
+//! Abort safety is by construction — folds only ever observe post-commit
+//! applied state, and a cell is only stored under the version read with
+//! its membership.
+
+use demaq_obs::{Counter, Obs};
+use demaq_store::{MsgId, PropValue};
+use demaq_xquery::AggAcc;
+use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// What a cell aggregates over.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum AggScope {
+    /// All retained messages of a named queue.
+    Queue(String),
+    /// The current lifetime of one slice.
+    Slice(String, PropValue),
+}
+
+/// Result of a registry probe.
+pub enum AggLookup {
+    /// Cell is current: the aggregate's value, zero member access.
+    Hit(demaq_xquery::Sequence),
+    /// Members grew append-only since the fold: resume `acc` over
+    /// `current_ids[from..]` only.
+    Extend { acc: AggAcc, from: usize },
+    /// Cold, reset, or purged: fold from scratch.
+    Miss,
+}
+
+struct Cell {
+    version: u64,
+    ids: Vec<MsgId>,
+    acc: AggAcc,
+    last_used: u64,
+}
+
+type AggShard = HashMap<(String, AggScope), Cell>;
+
+/// Sharded registry of materialized aggregate cells keyed by
+/// `(aggregate cache key, scope)`.
+pub struct AggRegistry {
+    shards: Box<[Mutex<AggShard>]>,
+    shard_mask: u64,
+    cap_per_shard: usize,
+    tick: AtomicU64,
+    hits: Counter,
+    deltas: Counter,
+    rebuilds: Counter,
+}
+
+impl AggRegistry {
+    pub fn new(shards: usize, cap: usize, obs: &Obs) -> AggRegistry {
+        let n = shards.max(1).next_power_of_two();
+        let r = &obs.registry;
+        AggRegistry {
+            shards: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
+            shard_mask: (n - 1) as u64,
+            cap_per_shard: (cap / n).max(1),
+            tick: AtomicU64::new(0),
+            hits: r.counter("demaq_core_agg_hits_total"),
+            deltas: r.counter("demaq_core_agg_deltas_total"),
+            rebuilds: r.counter("demaq_core_agg_rebuilds_total"),
+        }
+    }
+
+    fn shard(&self, key: &str, scope: &AggScope) -> &Mutex<AggShard> {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        scope.hash(&mut h);
+        &self.shards[(h.finish() & self.shard_mask) as usize]
+    }
+
+    /// Count a read answered without touching any member document (used by
+    /// the engine's membership-only fast path for `count`/`exists` with no
+    /// steps, which bypasses cells entirely).
+    pub fn note_fast_hit(&self) {
+        self.hits.inc();
+    }
+
+    /// Probe against the store's current `(ids, version)` pair (read
+    /// atomically under one store lock by the caller). `version` 0 means
+    /// the clock has no reading for this scope — never cacheable.
+    pub fn lookup(
+        &self,
+        key: &str,
+        scope: &AggScope,
+        version: u64,
+        current_ids: &[MsgId],
+    ) -> AggLookup {
+        if version == 0 {
+            return AggLookup::Miss;
+        }
+        let mut shard = self.shard(key, scope).lock();
+        let Some(cell) = shard.get_mut(&(key.to_string(), scope.clone())) else {
+            return AggLookup::Miss;
+        };
+        cell.last_used = self.tick.fetch_add(1, Ordering::Relaxed);
+        if cell.version == version {
+            self.hits.inc();
+            return AggLookup::Hit(cell.acc.result());
+        }
+        if !cell.ids.is_empty()
+            && cell.ids.len() <= current_ids.len()
+            && cell.ids[..] == current_ids[..cell.ids.len()]
+        {
+            return AggLookup::Extend {
+                acc: cell.acc.clone(),
+                from: cell.ids.len(),
+            };
+        }
+        AggLookup::Miss
+    }
+
+    /// Store a fold taken over `ids` at `version`. `extended` marks the
+    /// delta path (absorbed a suffix) vs a full rebuild in the metrics.
+    /// Folds that errored must NOT be stored — the caller declines the
+    /// read instead, so the fallback reproduces the reference error.
+    pub fn store(
+        &self,
+        key: &str,
+        scope: &AggScope,
+        version: u64,
+        ids: Vec<MsgId>,
+        acc: AggAcc,
+        extended: bool,
+    ) {
+        if extended {
+            self.deltas.inc();
+        } else {
+            self.rebuilds.inc();
+        }
+        if version == 0 {
+            return;
+        }
+        let mut shard = self.shard(key, scope).lock();
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed);
+        shard.insert(
+            (key.to_string(), scope.clone()),
+            Cell {
+                version,
+                ids,
+                acc,
+                last_used: tick,
+            },
+        );
+        if shard.len() > self.cap_per_shard {
+            if let Some(victim) = shard
+                .iter()
+                .min_by_key(|(_, c)| c.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                shard.remove(&victim);
+            }
+        }
+    }
+
+    /// Drop cells folded over any purged message (GC hook). The version
+    /// bump in the store already makes them unreturnable as `Hit`s, and
+    /// the prefix check rejects them for `Extend`; this just frees memory.
+    pub fn invalidate_msgs(&self, purged: &[MsgId]) {
+        if purged.is_empty() {
+            return;
+        }
+        let set: HashSet<MsgId> = purged.iter().copied().collect();
+        for shard in self.shards.iter() {
+            shard
+                .lock()
+                .retain(|_, c| !c.ids.iter().any(|m| set.contains(m)));
+        }
+    }
+
+    /// Cell count (tests/diagnostics).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use demaq_xquery::AggOp;
+    use std::sync::Arc;
+
+    fn obs() -> Arc<Obs> {
+        Obs::new()
+    }
+
+    fn count_acc(n: i64) -> AggAcc {
+        let mut acc = AggAcc::new(AggOp::Count);
+        if let AggAcc::Count(c) = &mut acc {
+            *c = n;
+        }
+        acc
+    }
+
+    fn ids(v: &[u64]) -> Vec<MsgId> {
+        v.iter().map(|&i| MsgId(i)).collect()
+    }
+
+    #[test]
+    fn hit_on_version_match() {
+        let o = obs();
+        let reg = AggRegistry::new(4, 1024, &o);
+        let scope = AggScope::Queue("q".into());
+        assert!(matches!(reg.lookup("k", &scope, 7, &ids(&[1])), AggLookup::Miss));
+        reg.store("k", &scope, 7, ids(&[1]), count_acc(1), false);
+        match reg.lookup("k", &scope, 7, &ids(&[1])) {
+            AggLookup::Hit(s) => assert_eq!(s.to_string(), "1"),
+            _ => panic!("expected hit"),
+        }
+        assert_eq!(o.registry.counter_total("demaq_core_agg_hits_total"), 1);
+        assert_eq!(o.registry.counter_total("demaq_core_agg_rebuilds_total"), 1);
+    }
+
+    #[test]
+    fn extend_on_appended_members() {
+        let o = obs();
+        let reg = AggRegistry::new(4, 1024, &o);
+        let scope = AggScope::Slice("s".into(), PropValue::Str("a".into()));
+        reg.store("k", &scope, 3, ids(&[1, 2]), count_acc(2), false);
+        match reg.lookup("k", &scope, 5, &ids(&[1, 2, 3, 4])) {
+            AggLookup::Extend { acc, from } => {
+                assert_eq!(from, 2);
+                assert!(matches!(acc, AggAcc::Count(2)));
+            }
+            _ => panic!("expected extend"),
+        }
+        reg.store("k", &scope, 5, ids(&[1, 2, 3, 4]), count_acc(4), true);
+        assert_eq!(o.registry.counter_total("demaq_core_agg_deltas_total"), 1);
+        match reg.lookup("k", &scope, 5, &ids(&[1, 2, 3, 4])) {
+            AggLookup::Hit(s) => assert_eq!(s.to_string(), "4"),
+            _ => panic!("expected hit after delta store"),
+        }
+    }
+
+    #[test]
+    fn miss_on_divergent_membership() {
+        let o = obs();
+        let reg = AggRegistry::new(4, 1024, &o);
+        let scope = AggScope::Queue("q".into());
+        reg.store("k", &scope, 3, ids(&[1, 2]), count_acc(2), false);
+        // Reset / purge: id 1 gone — not a prefix.
+        assert!(matches!(
+            reg.lookup("k", &scope, 9, &ids(&[2, 3])),
+            AggLookup::Miss
+        ));
+        // Empty cached ids never extend.
+        reg.store("k2", &scope, 3, vec![], count_acc(0), false);
+        assert!(matches!(
+            reg.lookup("k2", &scope, 9, &ids(&[1])),
+            AggLookup::Miss
+        ));
+    }
+
+    #[test]
+    fn version_zero_never_caches() {
+        let o = obs();
+        let reg = AggRegistry::new(4, 1024, &o);
+        let scope = AggScope::Queue("q".into());
+        reg.store("k", &scope, 0, ids(&[1]), count_acc(1), false);
+        assert!(reg.is_empty(), "version-0 store is dropped");
+        assert!(matches!(reg.lookup("k", &scope, 0, &ids(&[1])), AggLookup::Miss));
+    }
+
+    #[test]
+    fn scopes_and_keys_are_independent() {
+        let o = obs();
+        let reg = AggRegistry::new(4, 1024, &o);
+        let qa = AggScope::Slice("s".into(), PropValue::Str("a".into()));
+        let qb = AggScope::Slice("s".into(), PropValue::Str("b".into()));
+        reg.store("k", &qa, 3, ids(&[1]), count_acc(1), false);
+        assert!(matches!(reg.lookup("k", &qb, 3, &ids(&[1])), AggLookup::Miss));
+        assert!(matches!(reg.lookup("other", &qa, 3, &ids(&[1])), AggLookup::Miss));
+        assert!(matches!(reg.lookup("k", &qa, 3, &ids(&[1])), AggLookup::Hit(_)));
+    }
+
+    #[test]
+    fn invalidate_drops_cells_over_purged_members() {
+        let o = obs();
+        let reg = AggRegistry::new(4, 1024, &o);
+        let scope = AggScope::Queue("q".into());
+        reg.store("k", &scope, 3, ids(&[1, 2]), count_acc(2), false);
+        reg.store("k2", &scope, 3, ids(&[5]), count_acc(1), false);
+        reg.invalidate_msgs(&ids(&[2]));
+        assert_eq!(reg.len(), 1, "only the cell containing msg 2 dropped");
+    }
+
+    #[test]
+    fn lru_eviction_bounds_cells() {
+        let o = obs();
+        let reg = AggRegistry::new(1, 2, &o);
+        let s = |n: &str| AggScope::Queue(n.into());
+        reg.store("k", &s("a"), 1, ids(&[1]), count_acc(1), false);
+        reg.store("k", &s("b"), 2, ids(&[1]), count_acc(1), false);
+        reg.store("k", &s("c"), 3, ids(&[1]), count_acc(1), false);
+        assert_eq!(reg.len(), 2, "cap enforced");
+    }
+}

@@ -50,6 +50,14 @@ pub struct CompiledApp {
     /// Whole-application static analysis (flow graph, diagnostics,
     /// lock-order derivation), computed once at deploy time.
     pub analysis: Analysis,
+    /// Deploy-time constant-folded property bindings:
+    /// `prop name -> queue name -> value` for every binding whose value
+    /// expression lowers to [`Plan::Const`] (`value false`, `value 3`, …).
+    /// `compute_properties` reuses the value instead of re-evaluating the
+    /// expression on every enqueue. The inner `Option` mirrors
+    /// `eval_binding`: a constant *empty* sequence leaves the property
+    /// absent.
+    pub const_prop_bindings: HashMap<String, HashMap<String, Option<demaq_store::PropValue>>>,
     /// queue name -> global lock-acquisition rank (position in
     /// [`Analysis::lock_order`]; flow sources rank first). Every
     /// transaction acquires queue locks in ascending rank, which turns
@@ -163,6 +171,26 @@ impl CompiledApp {
             .map(|p| (p.name.clone(), p.clone()))
             .collect();
 
+        // Constant-fold property bindings once at deploy time (ISSUE 9
+        // satellite): a `Fixed` (or defaulted) binding like `value false`
+        // used to re-run the evaluator on every enqueue.
+        let mut const_prop_bindings: HashMap<String, HashMap<String, Option<demaq_store::PropValue>>> =
+            HashMap::new();
+        for p in &spec.properties {
+            for b in &p.bindings {
+                if let Some(seq) = demaq_xquery::lower(&b.value).as_const() {
+                    let value = seq
+                        .0
+                        .first()
+                        .map(|item| crate::host::atomic_to_prop(&item.atomize()));
+                    let per_queue = const_prop_bindings.entry(p.name.clone()).or_default();
+                    for q in &b.queues {
+                        per_queue.insert(q.clone(), value.clone());
+                    }
+                }
+            }
+        }
+
         // Compile rules into their targets.
         for r in &spec.rules {
             let on_slicing = slicings.contains_key(&r.target);
@@ -216,6 +244,7 @@ impl CompiledApp {
             slicings,
             properties,
             slicings_by_property,
+            const_prop_bindings,
             analysis,
             lock_ranks,
         })

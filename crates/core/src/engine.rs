@@ -8,12 +8,13 @@
 //! ([`Server::process_all_parallel`]) under queue- or slice-granularity
 //! locking (Sec. 4.3).
 
+use crate::aggregates::{AggLookup, AggRegistry, AggScope};
 use crate::app::CompiledApp;
 use crate::cache::{CachedDoc, DocCache, SeqLookup, SliceSeqCache};
 use crate::compiler::CompiledRule;
 use crate::errors::{error_message, kind};
 use crate::gateway::GatewayManager;
-use crate::host::{atomic_to_prop, prop_to_atomic, QsHost, SliceCtx};
+use crate::host::{atomic_to_prop, prop_to_atomic, QsHost, SliceCtx, SliceLoader};
 use crate::properties::{compute_properties, system, PropError};
 use crate::scheduler::Scheduler;
 use demaq_net::{Clock, Envelope, Network, TimerWheel};
@@ -29,8 +30,8 @@ use demaq_store::{
 };
 use demaq_xml::{parse as parse_xml, Document, NodeRef};
 use demaq_xquery::{
-    Atomic, DynamicContext, Error as XqError, Evaluator, Expr, Item, Plan, PlanEvaluator,
-    Sequence, StaticContext, Update,
+    AggAcc, AggOp, AggSource, AggregateSpec, Atomic, DynamicContext, Error as XqError, Evaluator,
+    Expr, Item, Plan, PlanEvaluator, Sequence, StaticContext, Update,
 };
 use std::collections::{HashMap, HashSet};
 use std::fmt;
@@ -306,6 +307,7 @@ pub struct ServerBuilder {
     doc_cache_shards: usize,
     doc_cache_budget: usize,
     slice_seq_cache: bool,
+    incremental_aggregates: bool,
     lowered_plans: bool,
     strict_analysis: StrictAnalysis,
     analysis_lock_order: bool,
@@ -349,6 +351,7 @@ impl Default for ServerBuilder {
             doc_cache_shards: 16,
             doc_cache_budget: 64 << 20,
             slice_seq_cache: true,
+            incremental_aggregates: true,
             lowered_plans: true,
             strict_analysis: StrictAnalysis::Warn,
             analysis_lock_order: true,
@@ -495,6 +498,15 @@ impl ServerBuilder {
     /// to enabled.
     pub fn slice_seq_cache(mut self, enabled: bool) -> Self {
         self.slice_seq_cache = enabled;
+        self
+    }
+
+    /// Enable or disable the incremental aggregate registry (materialized
+    /// `count`/`sum`/`min`/`max`/`exists` cells over queues and slices,
+    /// validated by the store's version clocks). Defaults to enabled;
+    /// `false` keeps the reference rescan engine — the differential twin.
+    pub fn incremental_aggregates(mut self, enabled: bool) -> Self {
+        self.incremental_aggregates = enabled;
         self
     }
 
@@ -709,7 +721,12 @@ impl ServerBuilder {
                 self.doc_cache_budget,
                 &obs,
             )),
-            slice_seq: SliceSeqCache::new(16, 4096, self.slice_seq_cache, &obs),
+            slice_seq: Arc::new(SliceSeqCache::new(16, 4096, self.slice_seq_cache, &obs)),
+            agg: if self.incremental_aggregates {
+                Some(Arc::new(AggRegistry::new(16, 4096, &obs)))
+            } else {
+                None
+            },
             obs,
             analysis_lock_order: self.analysis_lock_order,
             provenance,
@@ -746,7 +763,10 @@ pub struct Server {
     doc_cache: Arc<DocCache>,
     /// Materialized slice member sequences, validated against the store's
     /// slice version counters.
-    slice_seq: SliceSeqCache,
+    slice_seq: Arc<SliceSeqCache>,
+    /// Materialized aggregate cells (ISSUE 9), validated against the same
+    /// version clocks; `None` runs the reference rescan engine.
+    agg: Option<Arc<AggRegistry>>,
     /// Order queue locks by the analysis-derived flow rank (deadlock
     /// avoidance) instead of plain name order.
     analysis_lock_order: bool,
@@ -831,6 +851,10 @@ impl Server {
             (
                 "demaq_xquery_ebv_short_circuits_total",
                 demaq_xquery::plan::ebv_short_circuits_total(),
+            ),
+            (
+                "demaq_core_prop_const_hits_total",
+                crate::properties::prop_const_hits_total(),
             ),
         ] {
             let c = r.counter(name);
@@ -1348,7 +1372,7 @@ impl Server {
 
         // The applicable slicing contexts: slicings keyed by a property the
         // message carries.
-        let mut slice_rules: Vec<(SliceCtx, &CompiledRule)> = Vec::new();
+        let mut slice_rules: Vec<(String, PropValue, &CompiledRule)> = Vec::new();
         let mut slice_keys: Vec<(String, PropValue)> = Vec::new();
         for (pname, value) in &meta.props {
             if let Some(slicings) = self.app.slicings_by_property.get(pname) {
@@ -1356,14 +1380,7 @@ impl Server {
                     slice_keys.push((sname.clone(), value.clone()));
                     let cs = &self.app.slicings[sname];
                     for rule in &cs.rules {
-                        slice_rules.push((
-                            SliceCtx {
-                                slicing: sname.clone(),
-                                key: value.clone(),
-                                members: Sequence::empty(), // filled per evaluation
-                            },
-                            rule,
-                        ));
+                        slice_rules.push((sname.clone(), value.clone(), rule));
                     }
                 }
             }
@@ -1456,7 +1473,7 @@ impl Server {
                     .rules
                     .iter()
                     .find(|r| r.name == rule)
-                    .or_else(|| slice_rules.iter().map(|(_, r)| *r).find(|r| r.name == rule));
+                    .or_else(|| slice_rules.iter().map(|(_, _, r)| *r).find(|r| r.name == rule));
                 self.mark_processed_standalone(msg_id)?;
                 let payload = self.store.payload(msg_id).ok();
                 self.route_error_resolved(
@@ -1481,7 +1498,7 @@ impl Server {
         meta: &MessageMeta,
         cached: &CachedDoc,
         cq: &crate::app::CompiledQueue,
-        slice_rules: &[(SliceCtx, &CompiledRule)],
+        slice_rules: &[(String, PropValue, &CompiledRule)],
         slice_keys: &[(String, PropValue)],
     ) -> std::result::Result<(Vec<NewMessage>, Vec<crate::shard::Forwarded>), ProcessingError>
     {
@@ -1539,15 +1556,17 @@ impl Server {
             }
         }
 
-        // Slicing rules, each with its slice context.
-        for (ctx, rule) in slice_rules {
+        // Slicing rules, each with its slice context. Member documents
+        // load lazily on first `qs:slice()` touch — a body whose aggregate
+        // reads are answered by the registry never materializes them.
+        for (slicing, key, rule) in slice_rules {
             self.metrics.rules_evaluated.inc();
-            let members = self.slice_member_docs(&ctx.slicing, &ctx.key)?;
-            let full_ctx = SliceCtx {
-                slicing: ctx.slicing.clone(),
-                key: ctx.key.clone(),
-                members,
+            let loader: SliceLoader = {
+                let handle = self.read_handle();
+                let (s, k) = (slicing.clone(), key.clone());
+                Arc::new(move || handle.slice_member_docs(&s, &k))
             };
+            let full_ctx = SliceCtx::lazy(slicing.clone(), key.clone(), loader);
             let started = Instant::now();
             let evaluated = if self.lowered_plans {
                 self.eval_rule_plan(&rule.plan, meta, &msg_root, Some(full_ctx))
@@ -1563,8 +1582,8 @@ impl Server {
                         slicing: None,
                         key: None,
                     } => Update::Reset {
-                        slicing: Some(ctx.slicing.as_str().into()),
-                        key: Some(prop_to_atomic(&ctx.key)),
+                        slicing: Some(slicing.as_str().into()),
+                        key: Some(prop_to_atomic(key)),
                     },
                     other => other,
                 };
@@ -1646,11 +1665,14 @@ impl Server {
         txn: TxnId,
         meta: &MessageMeta,
         cq: &crate::app::CompiledQueue,
-        slice_rules: &[(SliceCtx, &CompiledRule)],
+        slice_rules: &[(String, PropValue, &CompiledRule)],
         slice_keys: &[(String, PropValue)],
     ) -> std::result::Result<(), ProcessingError> {
         let mut plan: Vec<(LockKey, LockMode)> = Vec::new();
-        let all_rules = cq.rules.iter().chain(slice_rules.iter().map(|(_, r)| *r));
+        let all_rules = cq
+            .rules
+            .iter()
+            .chain(slice_rules.iter().map(|(_, _, r)| *r));
         match self.store.lock_granularity() {
             LockGranularity::Queue => {
                 plan.push((LockKey::Queue(meta.queue.clone()), LockMode::Exclusive));
@@ -1716,19 +1738,24 @@ impl Server {
         // host must be 'static); committed state at evaluation time is read
         // through the shared document cache, so repeated `qs:queue()` calls
         // over a stable queue parse each message at most once.
+        let handle = self.read_handle();
         let queue_reader: crate::host::QueueReader = {
-            let handle = DocCacheHandle {
-                store: Arc::clone(&self.store),
-                cache: Arc::clone(&self.doc_cache),
-            };
+            let handle = handle.clone();
             Arc::new(move |qname: &str| handle.queue_docs(qname))
         };
+        let agg_reader: Option<crate::host::AggregateReader> = handle.agg.is_some().then(|| {
+            let handle = handle.clone();
+            let rd: crate::host::AggregateReader =
+                Arc::new(move |spec, slice_ctx| handle.aggregate_read(spec, slice_ctx));
+            rd
+        });
         let host = QsHost {
             message: msg_root.clone(),
             properties: meta.props.clone(),
             queue_name: meta.queue.clone(),
             queue_reader,
             slice,
+            agg_reader,
             collections: Arc::clone(&self.collections),
             now_ms: self.clock.now(),
         };
@@ -1765,38 +1792,15 @@ impl Server {
         Ok(std::mem::take(&mut ev.updates))
     }
 
-    /// Parsed document roots of a slice's current members, through the
-    /// materialized-sequence cache. The `(members, version)` pair is read
-    /// atomically from the store under one lock; a version match reuses the
-    /// cached sequence outright, and append-only growth parses only the new
-    /// suffix — the N-arrivals join goes from O(N²) to O(N) parse work.
-    fn slice_member_docs(
-        &self,
-        slicing: &str,
-        key: &PropValue,
-    ) -> std::result::Result<Sequence, ProcessingError> {
-        let (ids, version) = self.store.slice_members_versioned(slicing, key);
-        let (mut items, from, extended) = match self.slice_seq.lookup(slicing, key, version, &ids)
-        {
-            SeqLookup::Hit(seq) => return Ok(seq),
-            SeqLookup::Extend { seq, from } => (seq.0, from, true),
-            SeqLookup::Miss => (Vec::with_capacity(ids.len()), 0, false),
-        };
-        for id in &ids[from..] {
-            let cached = self.doc_for(*id).map_err(|e| match e {
-                EngineError::Store(s) => ProcessingError::Store(s),
-                other => ProcessingError::Rule {
-                    rule: "<slice-access>".into(),
-                    error_kind: kind::APPLICATION.into(),
-                    detail: other.to_string(),
-                },
-            })?;
-            items.push(Item::Node(cached.doc.root()));
+    /// Committed-state reader closing over the shared caches — what the
+    /// host closures (queue reader, slice loader, aggregate reader) own.
+    fn read_handle(&self) -> ReadHandle {
+        ReadHandle {
+            store: Arc::clone(&self.store),
+            cache: Arc::clone(&self.doc_cache),
+            slice_seq: Arc::clone(&self.slice_seq),
+            agg: self.agg.clone(),
         }
-        let seq = Sequence(items);
-        self.slice_seq
-            .store(slicing, key, version, ids, seq.clone(), extended);
-        Ok(seq)
     }
 
     /// Execute a single `do enqueue` action inside `txn`.
@@ -2234,6 +2238,9 @@ impl Server {
             // entries unreturnable; this releases the memory).
             self.doc_cache.remove_many(&purged);
             self.slice_seq.invalidate_msgs(&purged);
+            if let Some(agg) = &self.agg {
+                agg.invalidate_msgs(&purged);
+            }
         }
         Ok(purged.len())
     }
@@ -2323,16 +2330,21 @@ enum EnqueueOutcome {
     Remote(crate::shard::Forwarded),
 }
 
-/// Queue-reader helper: owns what the closure needs without borrowing the
-/// server. Payloads resolve through the shared document cache, so
-/// `qs:queue()` over a stable queue parses each message at most once
-/// instead of once per rule firing.
-struct DocCacheHandle {
+/// Committed-state reader: owns what the host closures need without
+/// borrowing the server. Payloads resolve through the shared document
+/// cache, member sequences through the slice-sequence cache, and
+/// recognized aggregate reads through the materialized cell registry —
+/// so `qs:queue()` over a stable queue parses each message at most once,
+/// and a registry hit touches no member document at all.
+#[derive(Clone)]
+struct ReadHandle {
     store: Arc<MessageStore>,
     cache: Arc<DocCache>,
+    slice_seq: Arc<SliceSeqCache>,
+    agg: Option<Arc<AggRegistry>>,
 }
 
-impl DocCacheHandle {
+impl ReadHandle {
     fn queue_docs(&self, qname: &str) -> std::result::Result<Sequence, XqError> {
         let ids = self
             .store
@@ -2340,24 +2352,120 @@ impl DocCacheHandle {
             .map_err(|e| XqError::dynamic(format!("qs:queue(\"{qname}\"): {e}")))?;
         let mut out = Vec::with_capacity(ids.len());
         for id in ids {
-            if let Some(hit) = self.cache.get(id) {
-                out.push(Item::Node(hit.doc.root()));
-                continue;
+            match self.doc_root(id)? {
+                Some(root) => out.push(Item::Node(root)),
+                None => continue,
             }
-            let payload = match self.store.payload(id) {
-                Ok(p) => p,
-                // GC'd between the id scan and this read: the message drops
-                // out, equivalent to having taken the snapshot later.
-                Err(StoreError::NotFound(_)) => continue,
-                Err(e) => return Err(XqError::dynamic(format!("stored message {id}: {e}"))),
-            };
-            let doc = parse_xml(&payload)
-                .map_err(|e| XqError::dynamic(format!("stored message {id}: {e}")))?;
-            self.cache.note_parse();
-            let entry = self.cache.insert(id, doc, payload.len());
-            out.push(Item::Node(entry.doc.root()));
         }
         Ok(Sequence(out))
+    }
+
+    /// Root of one stored message through the document cache. `Ok(None)`
+    /// means the message was GC'd between the id scan and this read: it
+    /// drops out, equivalent to having taken the snapshot later.
+    fn doc_root(&self, id: MsgId) -> std::result::Result<Option<NodeRef>, XqError> {
+        if let Some(hit) = self.cache.get(id) {
+            return Ok(Some(hit.doc.root()));
+        }
+        let payload = match self.store.payload(id) {
+            Ok(p) => p,
+            Err(StoreError::NotFound(_)) => return Ok(None),
+            Err(e) => return Err(XqError::dynamic(format!("stored message {id}: {e}"))),
+        };
+        let doc = parse_xml(&payload)
+            .map_err(|e| XqError::dynamic(format!("stored message {id}: {e}")))?;
+        self.cache.note_parse();
+        let entry = self.cache.insert(id, doc, payload.len());
+        Ok(Some(entry.doc.root()))
+    }
+
+    /// Parsed document roots of a slice's current members, through the
+    /// materialized-sequence cache. The `(members, version)` pair is read
+    /// atomically from the store under one lock; a version match reuses the
+    /// cached sequence outright, and append-only growth parses only the new
+    /// suffix — the N-arrivals join goes from O(N²) to O(N) parse work.
+    fn slice_member_docs(
+        &self,
+        slicing: &str,
+        key: &PropValue,
+    ) -> std::result::Result<Sequence, XqError> {
+        let (ids, version) = self.store.slice_members_versioned(slicing, key);
+        let (mut items, from, extended) =
+            match self.slice_seq.lookup(slicing, key, version, &ids) {
+                SeqLookup::Hit(seq) => return Ok(seq),
+                SeqLookup::Extend { seq, from } => (seq.0, from, true),
+                SeqLookup::Miss => (Vec::with_capacity(ids.len()), 0, false),
+            };
+        for id in &ids[from..] {
+            if let Some(root) = self.doc_root(*id)? {
+                items.push(Item::Node(root));
+            }
+        }
+        let seq = Sequence(items);
+        self.slice_seq
+            .store(slicing, key, version, ids, seq.clone(), extended);
+        Ok(seq)
+    }
+
+    /// Answer a recognized aggregate read from the cell registry;
+    /// `slice_ctx` carries the firing rule's `(slicing, key)` for
+    /// `qs:slice()` sources. `None` declines: the plan's embedded fallback
+    /// then runs the reference rescan — which also reproduces the exact
+    /// reference error for unknown queues, missing slice context, or a
+    /// fold that errored (errored folds are never cached).
+    fn aggregate_read(
+        &self,
+        spec: &AggregateSpec,
+        slice_ctx: Option<(&str, &PropValue)>,
+    ) -> Option<std::result::Result<Sequence, XqError>> {
+        let agg = self.agg.as_ref()?;
+        let (scope, ids, version) = match (&spec.source, slice_ctx) {
+            (AggSource::Queue(q), _) => {
+                let (ids, version) = self.store.queue_message_ids_versioned(q).ok()?;
+                (AggScope::Queue(q.clone()), ids, version)
+            }
+            (AggSource::Slice, Some((sl, k))) => {
+                let (ids, version) = self.store.slice_members_versioned(sl, k);
+                (AggScope::Slice(sl.to_string(), k.clone()), ids, version)
+            }
+            (AggSource::Slice, None) => return None,
+        };
+        // Membership-only fast path: step-free `count`/`exists` are pure
+        // functions of the id list — no cell, no document access.
+        if spec.steps.is_empty() {
+            match spec.op {
+                AggOp::Count => {
+                    agg.note_fast_hit();
+                    return Some(Ok(Sequence::int(ids.len() as i64)));
+                }
+                AggOp::Exists => {
+                    agg.note_fast_hit();
+                    return Some(Ok(Sequence::bool(!ids.is_empty())));
+                }
+                _ => {}
+            }
+        }
+        let key = spec.cache_key();
+        let (mut acc, from, extended) = match agg.lookup(&key, &scope, version, &ids) {
+            AggLookup::Hit(seq) => return Some(Ok(seq)),
+            AggLookup::Extend { acc, from } => (acc, from, true),
+            AggLookup::Miss => (AggAcc::new(spec.op), 0, false),
+        };
+        for id in &ids[from..] {
+            // A load or fold error declines the read (never cached); the
+            // fallback rescan reproduces the identical outcome.
+            let root = match self.doc_root(*id) {
+                Ok(Some(root)) => root,
+                Ok(None) => continue,
+                Err(_) => return None,
+            };
+            if acc.absorb_member(spec, &root).is_err() {
+                return None;
+            }
+        }
+        let result = acc.result();
+        agg.store(&key, &scope, version, ids, acc, extended);
+        Some(Ok(result))
     }
 }
 

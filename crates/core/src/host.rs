@@ -97,12 +97,67 @@ pub fn cast_prop(v: &PropValue, ty: &str) -> Result<PropValue, String> {
 /// document roots of all retained messages of a queue.
 pub type QueueReader = Arc<dyn Fn(&str) -> Result<Sequence, XqError> + Send + Sync>;
 
+/// Deferred loader for a slice's member documents.
+pub type SliceLoader = Arc<dyn Fn() -> Result<Sequence, XqError> + Send + Sync>;
+
+/// Answer a recognized aggregate read from a materialized cell. The second
+/// argument carries the firing rule's `(slicing, key)` when the read is
+/// over `qs:slice()`. `None` declines — the evaluator falls back to the
+/// reference rescan.
+pub type AggregateReader = Arc<
+    dyn Fn(&demaq_xquery::AggregateSpec, Option<(&str, &PropValue)>) -> Option<Result<Sequence, XqError>>
+        + Send
+        + Sync,
+>;
+
 /// The slice context for rules attached to slicings.
+///
+/// Member documents are materialized *lazily*: a rule body that never
+/// touches `qs:slice()` — or whose aggregate reads are answered by the
+/// incremental registry — never pays the O(N) member load.
 pub struct SliceCtx {
     pub slicing: String,
     pub key: PropValue,
-    /// Document roots of the slice's current members.
-    pub members: Sequence,
+    members: SliceMembers,
+}
+
+enum SliceMembers {
+    Ready(Sequence),
+    Lazy {
+        cell: std::sync::OnceLock<Result<Sequence, XqError>>,
+        load: SliceLoader,
+    },
+}
+
+impl SliceCtx {
+    /// A slice context with its member documents already in hand.
+    pub fn with_members(slicing: String, key: PropValue, members: Sequence) -> SliceCtx {
+        SliceCtx {
+            slicing,
+            key,
+            members: SliceMembers::Ready(members),
+        }
+    }
+
+    /// A slice context that loads member documents on first use.
+    pub fn lazy(slicing: String, key: PropValue, load: SliceLoader) -> SliceCtx {
+        SliceCtx {
+            slicing,
+            key,
+            members: SliceMembers::Lazy {
+                cell: std::sync::OnceLock::new(),
+                load,
+            },
+        }
+    }
+
+    /// Document roots of the slice's current members (loaded at most once).
+    pub fn members(&self) -> Result<Sequence, XqError> {
+        match &self.members {
+            SliceMembers::Ready(s) => Ok(s.clone()),
+            SliceMembers::Lazy { cell, load } => cell.get_or_init(|| load()).clone(),
+        }
+    }
 }
 
 /// Host functions for one rule-evaluation pass.
@@ -115,6 +170,9 @@ pub struct QsHost {
     pub queue_name: String,
     pub queue_reader: QueueReader,
     pub slice: Option<SliceCtx>,
+    /// Incremental aggregate registry hook; `None` when the feature is
+    /// disabled (the rescan twin) or the host has no engine behind it.
+    pub agg_reader: Option<AggregateReader>,
     /// Master data collections (paper Sec. 3.5.2's `collection("crm")`).
     pub collections: Arc<HashMap<String, Vec<Arc<Document>>>>,
     /// Engine clock reading for `fn:current-dateTime()`.
@@ -152,7 +210,7 @@ impl HostFunctions for QsHost {
             }
             ("queuename", 0) => Ok(Sequence::str(self.queue_name.clone())),
             ("slice", 0) => match &self.slice {
-                Some(ctx) => Ok(ctx.members.clone()),
+                Some(ctx) => ctx.members(),
                 None => Err(XqError::dynamic(
                     "qs:slice() is only available in rules on slicings (paper Sec. 3.5.2)",
                 )),
@@ -167,6 +225,22 @@ impl HostFunctions for QsHost {
                 "unknown function qs:{other}#{n}"
             ))),
         })
+    }
+
+    fn aggregate(
+        &self,
+        spec: &demaq_xquery::AggregateSpec,
+    ) -> Option<Result<Sequence, XqError>> {
+        let rd = self.agg_reader.as_ref()?;
+        match &spec.source {
+            demaq_xquery::AggSource::Queue(_) => rd(spec, None),
+            // Outside a slice context, decline: the fallback reproduces the
+            // reference "qs:slice() is only available…" error.
+            demaq_xquery::AggSource::Slice => {
+                let ctx = self.slice.as_ref()?;
+                rd(spec, Some((&ctx.slicing, &ctx.key)))
+            }
+        }
     }
 
     fn collection(&self, name: &str) -> Result<Sequence, XqError> {
@@ -261,11 +335,12 @@ mod tests {
                     Ok(Sequence::empty())
                 }
             }),
-            slice: Some(SliceCtx {
-                slicing: "orders".into(),
-                key: PropValue::Str("o9".into()),
-                members: Sequence::one(msg.root()),
-            }),
+            slice: Some(SliceCtx::with_members(
+                "orders".into(),
+                PropValue::Str("o9".into()),
+                Sequence::one(msg.root()),
+            )),
+            agg_reader: None,
             collections: Arc::new(HashMap::new()),
             now_ms: 86_400_000,
         };
@@ -296,6 +371,7 @@ mod tests {
             queue_name: "q".into(),
             queue_reader: Arc::new(|_| Ok(Sequence::empty())),
             slice: None,
+            agg_reader: None,
             collections: Arc::new(HashMap::new()),
             now_ms: 0,
         };

@@ -35,6 +35,7 @@
 //! transaction, giving snapshot semantics. Errors route to error queues as
 //! XML messages (Sec. 3.6).
 
+pub mod aggregates;
 pub mod app;
 pub mod cache;
 pub mod compiler;

@@ -18,7 +18,18 @@ use demaq_qdl::PropKind;
 use demaq_store::PropValue;
 use demaq_xml::NodeRef;
 use demaq_xquery::{Atomic, DynamicContext, Evaluator, StaticContext};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Process-global count of property bindings answered from the deploy-time
+/// constant fold instead of re-evaluation (mirrored into each server's
+/// registry as `demaq_core_prop_const_hits_total`).
+static PROP_CONST_HITS: AtomicU64 = AtomicU64::new(0);
+
+/// Current reading of the constant-binding hit counter.
+pub fn prop_const_hits_total() -> u64 {
+    PROP_CONST_HITS.load(Ordering::Relaxed)
+}
 
 /// Property computation failure (routed to error queues as an
 /// application-program-related error).
@@ -92,6 +103,19 @@ pub fn compute_properties(
             .bindings
             .iter()
             .find(|b| b.queues.iter().any(|q| q == queue));
+        // Deploy-time constant fold: reuse the precomputed value instead
+        // of re-running the evaluator for `value <const>` bindings.
+        let eval_bound = |b: &demaq_qdl::PropBinding| -> Result<Option<PropValue>, PropError> {
+            if let Some(v) = app
+                .const_prop_bindings
+                .get(&prop.name)
+                .and_then(|per_queue| per_queue.get(queue))
+            {
+                PROP_CONST_HITS.fetch_add(1, Ordering::Relaxed);
+                return Ok(v.clone());
+            }
+            eval_binding(&sctx, &dctx, &b.value, msg_root)
+        };
         let relevant = binding.is_some() || prop.kind == PropKind::Inherited;
         if !relevant {
             continue;
@@ -111,7 +135,7 @@ pub fn compute_properties(
         } else if prop.kind == PropKind::Fixed {
             // Always computed.
             match binding {
-                Some(b) => eval_binding(&sctx, &dctx, &b.value, msg_root)?,
+                Some(b) => eval_bound(b)?,
                 None => None,
             }
         } else if prop.kind == PropKind::Inherited {
@@ -122,7 +146,7 @@ pub fn compute_properties(
             match inherited {
                 Some(v) => Some(v),
                 None => match binding {
-                    Some(b) => eval_binding(&sctx, &dctx, &b.value, msg_root)?,
+                    Some(b) => eval_bound(b)?,
                     None => None,
                 },
             }
@@ -130,7 +154,7 @@ pub fn compute_properties(
             // Explicit-kind property without an explicit value: the binding
             // is its default/computed value.
             match binding {
-                Some(b) => eval_binding(&sctx, &dctx, &b.value, msg_root)?,
+                Some(b) => eval_bound(b)?,
                 None => None,
             }
         };
@@ -277,6 +301,28 @@ mod tests {
         let explicit = vec![("Sender".to_string(), Atomic::Str("http://x/".into()))];
         let props = compute_properties(&app, "order", &msg, &explicit, None, vec![], 0).unwrap();
         assert!(props.contains(&("Sender".into(), PropValue::Str("http://x/".into()))));
+    }
+
+    #[test]
+    fn constant_bindings_fold_at_deploy_time() {
+        let app = app(PROGRAM);
+        // `isVIPorder … value false` is a constant binding: folded once at
+        // compile, reused per enqueue.
+        assert_eq!(
+            app.const_prop_bindings["isVIPorder"]["order"],
+            Some(PropValue::Bool(false))
+        );
+        // Path-valued bindings are not constants.
+        assert!(!app.const_prop_bindings.contains_key("orderID"));
+        assert!(!app.const_prop_bindings.contains_key("amount"));
+        let before = prop_const_hits_total();
+        let msg = root("<order><orderID>o</orderID></order>");
+        let props = compute_properties(&app, "order", &msg, &[], None, vec![], 0).unwrap();
+        assert!(props.contains(&("isVIPorder".into(), PropValue::Bool(false))));
+        assert!(
+            prop_const_hits_total() > before,
+            "constant binding must be served from the fold"
+        );
     }
 
     #[test]

@@ -51,6 +51,12 @@ pub struct SliceIndex {
     slices: BTreeMap<(String, PropValue), SliceState>,
     /// Reverse index for retention checks: message -> memberships.
     by_msg: HashMap<MsgId, Vec<(String, PropValue)>>,
+    /// Per-queue version counters sharing the same clock: bumped when a
+    /// message is inserted into or purged from a queue, so caches over
+    /// whole-queue membership (aggregate cells) validate exactly like
+    /// slice-member caches. Process-local, not checkpointed (see
+    /// [`SliceState::version`] for why that is safe).
+    queue_versions: HashMap<String, u64>,
     /// Monotonic clock feeding [`SliceState::version`]; never reused
     /// within a process lifetime.
     version_clock: u64,
@@ -140,6 +146,20 @@ impl SliceIndex {
             }
             None => (Vec::new(), 0),
         }
+    }
+
+    /// Stamp a fresh version on `queue`'s membership counter. Called on
+    /// message insert and GC purge; inside a batch all bumps share the
+    /// batch version, like slice mutations.
+    pub fn bump_queue(&mut self, queue: &str) {
+        let version = self.next_version();
+        self.queue_versions.insert(queue.to_string(), version);
+    }
+
+    /// The queue's membership version (0 when the queue has never been
+    /// touched this process lifetime — the clock never emits 0).
+    pub fn queue_version(&self, queue: &str) -> u64 {
+        self.queue_versions.get(queue).copied().unwrap_or(0)
     }
 
     /// The slice's current version counter (0 when the slice is unknown).
@@ -380,6 +400,25 @@ mod tests {
         // Recreate the same (slicing, key): version must be fresh, not v1.
         idx.add("s", &k("a"), MsgId(2));
         assert!(idx.version("s", &k("a")) > v1);
+    }
+
+    #[test]
+    fn queue_versions_share_the_clock() {
+        let mut idx = SliceIndex::new();
+        assert_eq!(idx.queue_version("q"), 0, "untouched queue is version 0");
+        idx.bump_queue("q");
+        let v1 = idx.queue_version("q");
+        assert_ne!(v1, 0);
+        idx.add("s", &k("a"), MsgId(1)); // slice mutation advances the clock
+        idx.bump_queue("q");
+        assert!(idx.queue_version("q") > v1, "bump after slice add is fresh");
+        assert_eq!(idx.queue_version("other"), 0, "queues are independent");
+        // Batch mode: all bumps share one version.
+        idx.begin_batch();
+        idx.bump_queue("a");
+        idx.bump_queue("b");
+        assert_eq!(idx.queue_version("a"), idx.queue_version("b"));
+        idx.end_batch();
     }
 
     #[test]

@@ -190,6 +190,8 @@ impl Logical {
         processed: bool,
         enqueued_at: i64,
     ) {
+        // Queue membership changes: invalidate whole-queue aggregate cells.
+        self.slices.bump_queue(&queue);
         let deferred = rid.is_none();
         let payload = match rid {
             Some(rid) => Payload::Heap { rid, bytes },
@@ -1003,6 +1005,19 @@ impl MessageStore {
         Ok(q.messages.clone())
     }
 
+    /// Ids of a queue's retained messages together with the queue's
+    /// membership version counter, read atomically under one state lock —
+    /// the consistent pair whole-queue aggregate cells validate against.
+    /// The version is bumped inside commit (insert) and by GC purges.
+    pub fn queue_message_ids_versioned(&self, queue: &str) -> Result<(Vec<MsgId>, u64)> {
+        let state = self.state.read();
+        let q = state
+            .queues
+            .get(queue)
+            .ok_or_else(|| StoreError::NotFound(format!("queue `{queue}`")))?;
+        Ok((q.messages.clone(), state.slices.queue_version(queue)))
+    }
+
     /// All retained messages of a queue in arrival order.
     pub fn queue_messages(&self, queue: &str) -> Result<Vec<StoredMessage>> {
         let state = self.state.read();
@@ -1147,8 +1162,19 @@ impl MessageStore {
             // the in-lock work linear in the number of retained + purged
             // messages.
             if !victim_set.is_empty() {
-                for q in state.queues.values_mut() {
+                let mut touched: Vec<String> = Vec::new();
+                for (name, q) in state.queues.iter_mut() {
+                    let before = q.messages.len();
                     q.messages.retain(|m| !victim_set.contains(m));
+                    if q.messages.len() != before {
+                        touched.push(name.clone());
+                    }
+                }
+                // Purges change queue membership: invalidate whole-queue
+                // aggregate cells, mirroring the slice-version bump that
+                // `forget` already did above.
+                for name in touched {
+                    state.slices.bump_queue(&name);
                 }
             }
             victims

@@ -1,0 +1,447 @@
+//! Incrementalizable aggregate shapes (ISSUE 9).
+//!
+//! [`recognize_aggregate`] spots the rule-body subexpressions the engine
+//! can maintain reactively instead of rescanning: `count` / `sum` /
+//! `min` / `max` / `exists` applied to a `qs:queue("…")` or `qs:slice()`
+//! source, optionally refined by a chain of *predicate-free* axis steps
+//! (`count(qs:slice())`, `sum(qs:queue("orders")//total)`, …). Those
+//! shapes are per-message-independent — their value is a pure function
+//! of the queue/slice membership — so a running [`AggAcc`] folded over
+//! member documents in arrival order computes exactly what the reference
+//! evaluator computes by rescanning, and a new arrival is a **delta**
+//! (absorb one more document) instead of an O(N) rescan.
+//!
+//! Predicated steps, `avg`, positional tricks, and every other argument
+//! shape are left alone: the lowering keeps the original
+//! `Plan::FunctionCall` as the fallback inside [`Plan::AggregateRead`],
+//! so unsupported or cold reads take the reference path unchanged.
+//!
+//! Parity contract: [`AggAcc`] replicates the `fn:` builtin folds from
+//! [`crate::functions`] *literally* — same comparison function, same
+//! error strings — and any absorb/finish error makes the registry decline
+//! the read so the fallback reproduces the identical error. Fold order is
+//! member order rather than cross-document node order; every supported
+//! aggregate is order-independent over the member multiset (`sum` over
+//! floats is associative only up to rounding, which the differential
+//! suite pins with integer-valued corpora).
+
+use crate::ast::{Axis, Expr};
+use crate::error::{Error, Result};
+use crate::eval::axis_candidates;
+use crate::plan::{lower_test, ptest_matches, PTest};
+use crate::value::{Atomic, Sequence};
+use demaq_xml::NodeRef;
+use std::cmp::Ordering;
+
+/// The aggregate functions the incremental pass maintains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggOp {
+    Count,
+    Sum,
+    Min,
+    Max,
+    Exists,
+}
+
+impl AggOp {
+    pub fn name(&self) -> &'static str {
+        match self {
+            AggOp::Count => "count",
+            AggOp::Sum => "sum",
+            AggOp::Min => "min",
+            AggOp::Max => "max",
+            AggOp::Exists => "exists",
+        }
+    }
+
+    fn from_name(name: &str) -> Option<AggOp> {
+        Some(match name {
+            "count" => AggOp::Count,
+            "sum" => AggOp::Sum,
+            "min" => AggOp::Min,
+            "max" => AggOp::Max,
+            "exists" => AggOp::Exists,
+            _ => None?,
+        })
+    }
+}
+
+/// What the aggregate reads: a named queue or the current slice.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AggSource {
+    /// `qs:queue("name")` with a literal queue name.
+    Queue(String),
+    /// `qs:slice()` — resolved against the firing rule's slice context.
+    Slice,
+}
+
+/// A recognized incrementalizable aggregate: `op(source/steps…)` where
+/// every step is a predicate-free axis step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggregateSpec {
+    pub op: AggOp,
+    pub source: AggSource,
+    /// Axis steps applied to each member document root, in order. A
+    /// `//`-descent is expanded to an explicit `descendant-or-self::
+    /// node()` step, exactly as `Plan::RelativePath` evaluates it.
+    pub steps: Vec<(Axis, PTest)>,
+}
+
+impl AggregateSpec {
+    /// Canonical registry key for this aggregate shape. `PTest` carries
+    /// interned `Sym`s, so the key is process-local — which is all the
+    /// registry needs (cells are process-local and never persisted).
+    pub fn cache_key(&self) -> String {
+        let src = match &self.source {
+            AggSource::Queue(q) => format!("queue:{q}"),
+            AggSource::Slice => "slice".to_string(),
+        };
+        format!("{}|{}|{:?}", self.op.name(), src, self.steps)
+    }
+
+    /// Nodes selected by the step chain within one member document.
+    pub fn member_nodes(&self, root: &NodeRef) -> Vec<NodeRef> {
+        let mut current = vec![root.clone()];
+        for (axis, test) in &self.steps {
+            let mut next: Vec<NodeRef> = Vec::new();
+            for node in &current {
+                next.extend(
+                    axis_candidates(*axis, node)
+                        .into_iter()
+                        .filter(|n| ptest_matches(*axis, n, test)),
+                );
+            }
+            // Per-step document-order dedup, as `eval_steps` does. All
+            // nodes share one document here, so the order is total.
+            next.sort();
+            next.dedup_by(|a, b| a.is_same_node(b));
+            current = next;
+        }
+        current
+    }
+}
+
+/// Recognize `count|sum|min|max|exists ( <source-path> )` where the
+/// single argument is `qs:queue("lit")`, `qs:slice()`, or either refined
+/// by predicate-free axis steps. Everything else returns `None`.
+pub fn recognize_aggregate(expr: &Expr) -> Option<AggregateSpec> {
+    let Expr::FunctionCall { name, args } = expr else {
+        return None;
+    };
+    if name.prefix.is_some() || args.len() != 1 {
+        return None;
+    }
+    let op = AggOp::from_name(&name.local)?;
+    let (source, steps) = recognize_source(&args[0])?;
+    Some(AggregateSpec { op, source, steps })
+}
+
+/// Peel a source path down to its `qs:` root, collecting steps outside-in.
+fn recognize_source(expr: &Expr) -> Option<(AggSource, Vec<(Axis, PTest)>)> {
+    match expr {
+        Expr::FunctionCall { name, args } if name.prefix.as_deref() == Some("qs") => {
+            match (name.local.as_str(), args.as_slice()) {
+                ("queue", [Expr::StringLit(q)]) => Some((AggSource::Queue(q.clone()), Vec::new())),
+                ("slice", []) => Some((AggSource::Slice, Vec::new())),
+                _ => None,
+            }
+        }
+        // A parenthesized source without predicates changes nothing.
+        Expr::Filter { base, predicates } if predicates.is_empty() => recognize_source(base),
+        // The parser's primary path form: `qs:slice()//n` parses to
+        // `Path { root: false, steps: [<source>, Step…] }`, with `//`
+        // already expanded to an explicit descendant-or-self step.
+        Expr::Path { root: false, steps } => {
+            let (first, rest) = steps.split_first()?;
+            let (source, mut collected) = recognize_source(first)?;
+            for s in rest {
+                let Expr::Step {
+                    axis,
+                    test,
+                    predicates,
+                } = s
+                else {
+                    return None;
+                };
+                if !predicates.is_empty() {
+                    return None;
+                }
+                collected.push((*axis, lower_test(test)));
+            }
+            Some((source, collected))
+        }
+        Expr::RelativePath {
+            base,
+            step,
+            descend,
+        } => {
+            let Expr::Step {
+                axis,
+                test,
+                predicates,
+            } = step.as_ref()
+            else {
+                return None;
+            };
+            if !predicates.is_empty() {
+                return None;
+            }
+            let (source, mut steps) = recognize_source(base)?;
+            if *descend {
+                steps.push((Axis::DescendantOrSelf, PTest::AnyKind));
+            }
+            steps.push((*axis, lower_test(test)));
+            Some((source, steps))
+        }
+        _ => None,
+    }
+}
+
+/// A running aggregate fold over member documents. Replicates the
+/// corresponding `fn:` builtin exactly: same accumulator state, same
+/// comparison, same error strings — so resuming the fold on new members
+/// (the delta path) is indistinguishable from rescanning everything.
+#[derive(Debug, Clone)]
+pub enum AggAcc {
+    Count(i64),
+    Exists(bool),
+    /// Running best (`fn:min`'s / `fn:max`'s loop variable).
+    Min(Option<Atomic>),
+    Max(Option<Atomic>),
+    /// Node atomization yields `xs:untypedAtomic`, never `xs:integer`,
+    /// so a non-empty `fn:sum` over path results always takes
+    /// `numeric_fold`'s double branch; the empty multiset yields
+    /// `xs:integer` 0 (the builtin's 1-arg zero).
+    Sum { seen: bool, dsum: f64 },
+}
+
+impl AggAcc {
+    pub fn new(op: AggOp) -> AggAcc {
+        match op {
+            AggOp::Count => AggAcc::Count(0),
+            AggOp::Exists => AggAcc::Exists(false),
+            AggOp::Min => AggAcc::Min(None),
+            AggOp::Max => AggAcc::Max(None),
+            AggOp::Sum => AggAcc::Sum {
+                seen: false,
+                dsum: 0.0,
+            },
+        }
+    }
+
+    /// Fold one member document into the accumulator. An `Err` means the
+    /// reference evaluation errors on this multiset too (non-numeric
+    /// sum, incomparable min/max) — the caller must discard the cell and
+    /// fall back so the reference path raises the identical error.
+    pub fn absorb_member(&mut self, spec: &AggregateSpec, root: &NodeRef) -> Result<()> {
+        let nodes = spec.member_nodes(root);
+        match self {
+            AggAcc::Count(c) => *c += nodes.len() as i64,
+            AggAcc::Exists(b) => *b = *b || !nodes.is_empty(),
+            AggAcc::Min(_) | AggAcc::Max(_) => {
+                let (name, want) = if matches!(self, AggAcc::Min(_)) {
+                    ("min", Ordering::Less)
+                } else {
+                    ("max", Ordering::Greater)
+                };
+                let best = match self {
+                    AggAcc::Min(b) | AggAcc::Max(b) => b,
+                    _ => unreachable!(),
+                };
+                for n in &nodes {
+                    let a = Atomic::Untyped(n.string_value());
+                    match best {
+                        None => *best = Some(a),
+                        Some(b) => {
+                            let ord = a.value_cmp(b).ok_or_else(|| {
+                                Error::type_error(format!("fn:{name} over incomparable values"))
+                            })?;
+                            if ord == want {
+                                *best = Some(a);
+                            }
+                        }
+                    }
+                }
+            }
+            AggAcc::Sum { seen, dsum } => {
+                for n in &nodes {
+                    let d = Atomic::Untyped(n.string_value()).to_double();
+                    if d.is_nan() {
+                        return Err(Error::type_error("fn:sum over non-numeric values"));
+                    }
+                    *seen = true;
+                    *dsum += d;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The aggregate's value for the members absorbed so far.
+    pub fn result(&self) -> Sequence {
+        match self {
+            AggAcc::Count(c) => Sequence::int(*c),
+            AggAcc::Exists(b) => Sequence::bool(*b),
+            AggAcc::Min(best) | AggAcc::Max(best) => match best {
+                Some(a) => Sequence::one(a.clone()),
+                None => Sequence::empty(),
+            },
+            AggAcc::Sum { seen, dsum } => {
+                if *seen {
+                    Sequence::one(Atomic::Double(*dsum))
+                } else {
+                    Sequence::int(0)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_expr;
+    use crate::value::Item;
+
+    fn recognize(q: &str) -> Option<AggregateSpec> {
+        recognize_aggregate(&parse_expr(q).unwrap())
+    }
+
+    #[test]
+    fn recognizes_supported_shapes() {
+        let s = recognize("count(qs:slice())").unwrap();
+        assert_eq!(s.op, AggOp::Count);
+        assert_eq!(s.source, AggSource::Slice);
+        assert!(s.steps.is_empty());
+
+        let s = recognize("sum(qs:queue(\"orders\")//total)").unwrap();
+        assert_eq!(s.op, AggOp::Sum);
+        assert_eq!(s.source, AggSource::Queue("orders".into()));
+        // `//total` expands to descendant-or-self::node()/child::total.
+        assert_eq!(s.steps.len(), 2);
+        assert_eq!(s.steps[0].0, Axis::DescendantOrSelf);
+
+        for q in [
+            "exists(qs:slice()/ack)",
+            "min(qs:queue(\"q\")/m/price)",
+            "max(qs:slice()//n)",
+        ] {
+            assert!(recognize(q).is_some(), "{q} should be incrementalizable");
+        }
+    }
+
+    #[test]
+    fn rejects_unsupported_shapes() {
+        for q in [
+            "avg(qs:slice())",                      // op not maintainable as a pure fold
+            "count(qs:queue())",                    // implicit target queue, no literal
+            "count(qs:queue($v))",                  // non-literal queue name
+            "count(qs:slice()[. > 1])",             // predicate
+            "count(qs:slice()/a[2])",               // positional predicate
+            "sum(qs:slice()//n, 0)",                // 2-arg sum
+            "count(//a)",                           // message-relative path
+            "count(qs:slicekey())",                 // not a membership source
+            "string(qs:slice())",                   // not an aggregate
+        ] {
+            assert!(recognize(q).is_none(), "{q} must not be recognized");
+        }
+    }
+
+    #[test]
+    fn cache_key_distinguishes_shapes() {
+        let keys: Vec<String> = [
+            "count(qs:slice())",
+            "count(qs:queue(\"a\"))",
+            "count(qs:queue(\"b\"))",
+            "sum(qs:queue(\"a\"))",
+            "count(qs:queue(\"a\")/x)",
+        ]
+        .iter()
+        .map(|q| recognize(q).unwrap().cache_key())
+        .collect();
+        for i in 0..keys.len() {
+            for j in i + 1..keys.len() {
+                assert_ne!(keys[i], keys[j]);
+            }
+        }
+    }
+
+    fn doc(xml: &str) -> NodeRef {
+        demaq_xml::parse(xml).unwrap().root()
+    }
+
+    /// The fold must agree with the builtin over the same member docs —
+    /// including when resumed incrementally one member at a time.
+    #[test]
+    fn acc_matches_reference_builtins() {
+        let members = [
+            doc("<m><n>5</n></m>"),
+            doc("<m><n>2</n><n>9</n></m>"),
+            doc("<m/>"),
+            doc("<m><n>7</n></m>"),
+        ];
+        for (q, op) in [
+            ("count", AggOp::Count),
+            ("sum", AggOp::Sum),
+            ("min", AggOp::Min),
+            ("max", AggOp::Max),
+            ("exists", AggOp::Exists),
+        ] {
+            let spec = recognize(&format!("{q}(qs:slice()//n)")).unwrap();
+            assert_eq!(spec.op, op);
+            let mut acc = AggAcc::new(op);
+            for m in &members {
+                acc.absorb_member(&spec, m).unwrap();
+            }
+            // Reference: the builtin applied to the atomized node multiset.
+            let all: Sequence = members
+                .iter()
+                .flat_map(|m| spec.member_nodes(m))
+                .map(Item::Node)
+                .collect();
+            let reference =
+                crate::functions::call_builtin(&test_dctx(), q, vec![all], None).unwrap();
+            assert_eq!(
+                format!("{:?}", acc.result()),
+                format!("{:?}", reference),
+                "{q} diverged from fn:{q}"
+            );
+        }
+    }
+
+    #[test]
+    fn acc_errors_match_reference_error_strings() {
+        let bad = doc("<m><n>abc</n></m>");
+        let good = doc("<m><n>1</n></m>");
+
+        let spec = recognize("sum(qs:slice()//n)").unwrap();
+        let mut acc = AggAcc::new(AggOp::Sum);
+        acc.absorb_member(&spec, &good).unwrap();
+        let err = acc.absorb_member(&spec, &bad).unwrap_err();
+        assert!(err.to_string().contains("fn:sum over non-numeric values"));
+
+        // min over string-ish untyped values is fine (string comparison)…
+        let spec = recognize("min(qs:slice()//n)").unwrap();
+        let mut acc = AggAcc::new(AggOp::Min);
+        acc.absorb_member(&spec, &bad).unwrap();
+        acc.absorb_member(&spec, &good).unwrap();
+        assert_eq!(
+            format!("{:?}", acc.result()),
+            format!("{:?}", Sequence::one(Atomic::Untyped("1".into())))
+        );
+    }
+
+    #[test]
+    fn empty_multiset_results_match_builtins() {
+        let dbg = |s: Sequence| format!("{s:?}");
+        assert_eq!(dbg(AggAcc::new(AggOp::Count).result()), dbg(Sequence::int(0)));
+        assert_eq!(dbg(AggAcc::new(AggOp::Sum).result()), dbg(Sequence::int(0)));
+        assert_eq!(dbg(AggAcc::new(AggOp::Exists).result()), dbg(Sequence::bool(false)));
+        assert!(AggAcc::new(AggOp::Min).result().is_empty());
+        assert!(AggAcc::new(AggOp::Max).result().is_empty());
+    }
+
+    fn test_dctx() -> crate::context::DynamicContext {
+        crate::context::DynamicContext::new(std::sync::Arc::new(crate::context::NoHost))
+    }
+}

@@ -42,6 +42,14 @@ pub trait HostFunctions: Send + Sync {
     fn current_date_time_ms(&self) -> i64 {
         0
     }
+
+    /// Answer a recognized aggregate read (`Plan::AggregateRead`) from a
+    /// materialized cell. `None` declines — the evaluator then runs the
+    /// embedded fallback, the reference rescan. Hosts without an
+    /// incremental registry keep this default.
+    fn aggregate(&self, _spec: &crate::aggregate::AggregateSpec) -> Option<Result<Sequence>> {
+        None
+    }
 }
 
 /// A host providing nothing: standalone XQuery evaluation.

@@ -20,6 +20,7 @@
 //! state; updates accumulate on a pending list applied after evaluation,
 //! exactly as the paper's execution model requires.
 
+pub mod aggregate;
 pub mod ast;
 pub mod context;
 pub mod error;
@@ -31,6 +32,7 @@ pub mod plan;
 pub mod update;
 pub mod value;
 
+pub use aggregate::{recognize_aggregate, AggAcc, AggOp, AggSource, AggregateSpec};
 pub use ast::Expr;
 pub use context::{DynamicContext, HostFunctions, NoHost, StaticContext};
 pub use error::{Error, Result};

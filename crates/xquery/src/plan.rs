@@ -68,7 +68,7 @@ pub enum PTest {
     Document,
 }
 
-fn lower_test(test: &NodeTest) -> PTest {
+pub(crate) fn lower_test(test: &NodeTest) -> PTest {
     let named = |q: &QName| (sym::intern(&q.local), q.ns.clone());
     match test {
         NodeTest::Name(q) => {
@@ -98,7 +98,7 @@ fn name_matches(node: &NodeRef, sym: Sym, ns: &Option<String>) -> bool {
     }
 }
 
-fn ptest_matches(axis: Axis, node: &NodeRef, test: &PTest) -> bool {
+pub(crate) fn ptest_matches(axis: Axis, node: &NodeRef, test: &PTest) -> bool {
     // Namespace declarations are stored as attributes for serialization
     // fidelity but are not addressable via the attribute axis.
     if axis == Axis::Attribute {
@@ -302,6 +302,16 @@ pub enum Plan {
         root: bool,
         steps: Vec<(Axis, PTest)>,
     },
+    /// An incrementalizable aggregate over a queue/slice membership
+    /// (`count(qs:slice())`, `sum(qs:queue("q")//n)`, …). The host may
+    /// answer it from a materialized cell; when it declines (registry
+    /// disabled, cold cell, no slice context) the evaluator runs
+    /// `fallback` — the original `Plan::FunctionCall` — so unsupported
+    /// reads are byte-identical to the reference rescan, errors included.
+    AggregateRead {
+        spec: crate::aggregate::AggregateSpec,
+        fallback: Box<Plan>,
+    },
 }
 
 impl Plan {
@@ -360,6 +370,15 @@ impl Lowerer {
             }
             Expr::FunctionCall { name, args } => {
                 let args: Vec<Plan> = args.iter().map(|a| self.lower(a)).collect();
+                if let Some(spec) = crate::aggregate::recognize_aggregate(e) {
+                    return Plan::AggregateRead {
+                        spec,
+                        fallback: Box::new(Plan::FunctionCall {
+                            name: name.clone(),
+                            args,
+                        }),
+                    };
+                }
                 if args.is_empty() && name.prefix.is_none() {
                     // fn:true()/fn:false() are constants.
                     match name.local.as_str() {
@@ -1151,6 +1170,10 @@ impl<'a> PlanEvaluator<'a> {
                 }
                 Ok(Sequence::bool(found))
             }
+            Plan::AggregateRead { spec, fallback } => match self.dctx.host.aggregate(spec) {
+                Some(r) => r,
+                None => self.eval(fallback, focus),
+            },
         }
     }
 

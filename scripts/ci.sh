@@ -88,13 +88,31 @@ echo "== bench smoke: E13 sharded drain scaling (1/2/4 shards) =="
 cp -f BENCH_E13.json target/e13_baseline.json
 DEMAQ_E13_SMOKE=1 cargo bench --offline -p demaq-bench --bench e13_sharded_drain
 
+echo "== bench smoke: E14 incremental slice aggregates =="
+# The aggregate registry must answer every read of the hot slice: the
+# bench asserts the delta/rebuild counter shape internally (deltas linear
+# in N, rebuilds rare, membership-only count answered as hits), and the
+# full-mode run additionally asserts the >=5x end-to-end win over the
+# rescan twin at N=1024. The gate below re-checks the exposition so a
+# silently-disabled registry fails CI.
+cp -f BENCH_E14.json target/e14_baseline.json
+DEMAQ_E14_SMOKE=1 cargo bench --offline -p demaq-bench --bench e14_incremental_aggregates
+cp -f crates/bench/target/metrics/e14_incremental_aggregates.prom \
+      crates/bench/target/metrics/e14_incremental_aggregates_rescan.prom target/metrics/ 2>/dev/null || true
+awk '$1 == "demaq_core_agg_hits_total" { hits = $2 }
+     $1 == "demaq_core_agg_deltas_total" { deltas = $2 }
+     END { if (hits + 0 <= 0 || deltas + 0 <= 0) {
+               print "e14: aggregate registry counters are zero (hits=" hits ", deltas=" deltas ")"; exit 1 }
+           print "e14: agg_hits=" hits " agg_deltas=" deltas }' \
+    target/metrics/e14_incremental_aggregates.prom
+
 echo "== bench trajectory: BENCH_E*.json schema gate =="
 # Every bench smoke above must also have emitted its schema-versioned
 # trajectory entry at the repo root. The checker is the offline, jq-free
 # validator in crates/bench; --require fails the gate when a bench ran
 # without writing its report.
 cargo run --offline -q -p demaq-bench --bin bench-check -- \
-    --require e9,e10,e11,e12,e13 BENCH_E*.json
+    --require e9,e10,e11,e12,e13,e14 BENCH_E*.json
 
 echo "== bench perf gate: E12 smoke vs committed trajectory =="
 # The smoke-produced BENCH_E12.json is gated against the committed
@@ -116,6 +134,16 @@ echo "== bench perf gate: E13 smoke vs committed trajectory =="
 cargo run --offline -q -p demaq-bench --bin bench-check -- \
     --baseline target/e13_baseline.json --min-ratio 0.5 \
     --headline drain_throughput_4shard BENCH_E13.json
+
+echo "== bench perf gate: E14 smoke vs committed trajectory =="
+# The headline is per-message incremental throughput, which is flat in N
+# by design — so the N=48 smoke run is directly comparable to the
+# committed N=1024 full-mode entry. Same 0.5 floor as E12/E13 for host
+# IO/noise swing; any structural regression (registry disabled, delta
+# path broken) lands far below it.
+cargo run --offline -q -p demaq-bench --bin bench-check -- \
+    --baseline target/e14_baseline.json --min-ratio 0.5 \
+    --headline incremental_throughput BENCH_E14.json
 
 echo "== clippy =="
 # --no-deps keeps the vendored shims out of the lint gate; warnings in
