@@ -40,6 +40,36 @@ pub struct AggregateReadFact {
     pub incremental: bool,
 }
 
+/// Raw (non-aggregate, non-suffix) read shapes found in a rule body or
+/// property binding — the input to the message-lifetime pass in
+/// [`crate::liveness`]. Collected by a *pruning* walk: recognized
+/// incremental aggregate shapes and `SOURCE[last()]` suffix reads are not
+/// descended into, so a body that touches members *only* through those
+/// shapes reports no raw scans at all.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScanReads {
+    /// Queues whose member documents are read outside every recognized
+    /// aggregate / bounded-suffix shape (forces `FullScan`).
+    pub queues: Vec<String>,
+    /// The rule's own slice is scanned raw.
+    pub slice: bool,
+    /// Bounded suffix reads: `(None, k)` = the last `k` members of the
+    /// own slice, `(Some(q), k)` = the last `k` members of queue `q`.
+    pub suffix: Vec<(Option<String>, usize)>,
+    /// A queue reference whose target is not statically known — a
+    /// non-literal `qs:queue(E)` / `collection(E)` argument, or an
+    /// argument-less `qs:queue()` outside a queue rule. The analysis
+    /// must then assume *every* queue is scanned.
+    pub dynamic: bool,
+}
+
+impl ScanReads {
+    /// No raw reads at all (aggregate/suffix shapes may still be present).
+    pub fn is_empty(&self) -> bool {
+        self.queues.is_empty() && !self.slice && self.suffix.is_empty() && !self.dynamic
+    }
+}
+
 /// One `do enqueue … into Q` occurrence in a rule body.
 #[derive(Debug, Clone)]
 pub struct EnqueueSite {
@@ -77,6 +107,9 @@ pub struct RuleFacts {
     /// Aggregate reads (`count`/`sum`/… over `qs:queue`/`qs:slice`) in
     /// the body, with whether the incremental pass maintains each.
     pub aggregate_reads: Vec<AggregateReadFact>,
+    /// Raw member-scan shapes left over after pruning recognized
+    /// aggregates and bounded-suffix reads (liveness input).
+    pub scan_reads: ScanReads,
     /// Element names the trigger condition requires, when extractable.
     pub trigger_elements: Option<Vec<String>>,
     /// The body constant-folds away: either the whole body lowers to a
@@ -101,6 +134,7 @@ impl RuleFacts {
             named_resets: Vec::new(),
             bare_resets: 0,
             aggregate_reads: Vec::new(),
+            scan_reads: ScanReads::default(),
             trigger_elements: extract_trigger_elements(&rule.body),
             never_fires: false,
         };
@@ -157,6 +191,7 @@ impl RuleFacts {
             named_resets: Vec::new(),
             bare_resets: 0,
             aggregate_reads: Vec::new(),
+            scan_reads: ScanReads::default(),
             trigger_elements,
             never_fires: false,
         };
@@ -169,6 +204,7 @@ impl RuleFacts {
         walk(body, false, self);
         let own = (!self.on_slicing).then(|| self.target.clone());
         self.aggregate_reads = extract_aggregate_reads(body, own.as_deref());
+        self.scan_reads = extract_scan_reads(body, own.as_deref());
         self.never_fires = body_never_fires(body);
     }
 
@@ -202,9 +238,11 @@ fn body_never_fires(body: &Expr) -> bool {
     matches!(lower(body), Plan::Const(_))
 }
 
-/// Aggregate functions the extractor looks for. `avg` has no
-/// incremental shape (no [`demaq_xquery::AggOp`]), so it always surfaces
-/// as a rescan fact.
+/// Aggregate functions the extractor looks for. All six have incremental
+/// shapes ([`demaq_xquery::AggOp`] — `avg` decomposes into a sum/count
+/// pair); calls that [`demaq_xquery::recognize_aggregate`] rejects
+/// (positional predicates, non-member-local guards, wrapped sources, …)
+/// surface as rescan facts instead.
 const AGG_NAMES: &[&str] = &["count", "sum", "min", "max", "exists", "avg"];
 
 /// Every aggregate read in `body`: recognized incremental shapes (exactly
@@ -280,6 +318,200 @@ pub fn extract_aggregate_reads(body: &Expr, own_queue: Option<&str>) -> Vec<Aggr
     out.sort();
     out.dedup();
     out
+}
+
+/// How an expression directly denotes a member sequence.
+enum SourceRef {
+    Slice,
+    Queue(String),
+    Dynamic,
+}
+
+/// Classify `e` when it *is* a queue/slice member-sequence source
+/// (`qs:slice(…)`, `qs:queue("q")`, `qs:queue()`, `collection("q")`).
+fn direct_source(e: &Expr, own_queue: Option<&str>) -> Option<SourceRef> {
+    let Expr::FunctionCall { name, args } = e else {
+        return None;
+    };
+    let qs = name.prefix.as_deref() == Some("qs");
+    let bare = name.prefix.is_none() || name.prefix.as_deref() == Some("fn");
+    match (qs, name.local.as_str(), args.as_slice()) {
+        (true, "slice", _) => Some(SourceRef::Slice),
+        (true, "queue", [Expr::StringLit(q)]) => Some(SourceRef::Queue(q.clone())),
+        (true, "queue", []) => Some(match own_queue {
+            Some(q) => SourceRef::Queue(q.to_string()),
+            None => SourceRef::Dynamic,
+        }),
+        (true, "queue", _) => Some(SourceRef::Dynamic),
+        _ if bare && name.local == "collection" => Some(match args.first() {
+            Some(Expr::StringLit(q)) => SourceRef::Queue(q.clone()),
+            _ => SourceRef::Dynamic,
+        }),
+        _ => None,
+    }
+}
+
+fn is_last_call(e: &Expr) -> bool {
+    matches!(e, Expr::FunctionCall { name, args }
+        if (name.prefix.is_none() || name.prefix.as_deref() == Some("fn"))
+            && name.local == "last"
+            && args.is_empty())
+}
+
+/// Collect every raw member-scan shape in `body`, pruning recognized
+/// aggregate shapes (answered from materialized cells; their guards are
+/// member-local and contain no `qs:` reads) and `SOURCE[last()]` suffix
+/// reads. `own_queue` resolves argument-less `qs:queue()` for queue
+/// rules; `None` (slicing rules, property bindings) makes it dynamic.
+pub fn extract_scan_reads(body: &Expr, own_queue: Option<&str>) -> ScanReads {
+    let mut out = ScanReads::default();
+    collect_scans(body, own_queue, &mut out);
+    out.queues.sort();
+    out.queues.dedup();
+    out.suffix.sort();
+    out.suffix.dedup();
+    out
+}
+
+fn collect_scans(e: &Expr, own: Option<&str>, out: &mut ScanReads) {
+    if demaq_xquery::recognize_aggregate(e).is_some() {
+        return;
+    }
+    // `SOURCE[last()]` touches only the newest member: a bounded suffix.
+    if let Expr::Filter { base, predicates } = e {
+        if predicates.len() == 1 && is_last_call(&predicates[0]) {
+            match direct_source(base, own) {
+                Some(SourceRef::Slice) => {
+                    out.suffix.push((None, 1));
+                    return;
+                }
+                Some(SourceRef::Queue(q)) => {
+                    out.suffix.push((Some(q), 1));
+                    return;
+                }
+                _ => {}
+            }
+        }
+    }
+    if let Some(src) = direct_source(e, own) {
+        match src {
+            SourceRef::Slice => out.slice = true,
+            SourceRef::Queue(q) => out.queues.push(q),
+            SourceRef::Dynamic => out.dynamic = true,
+        }
+        // Fall through: a computed `collection(E)` argument may itself
+        // contain reads.
+    }
+    for_each_child(e, &mut |c| collect_scans(c, own, out));
+}
+
+/// Apply `f` to each direct child expression of `e` (one level only) —
+/// lets collectors prune subtrees, which `Expr::visit` cannot.
+fn for_each_child(e: &Expr, f: &mut impl FnMut(&Expr)) {
+    match e {
+        Expr::StringLit(_)
+        | Expr::IntLit(_)
+        | Expr::DoubleLit(_)
+        | Expr::Var(_)
+        | Expr::ContextItem => {}
+        Expr::Sequence(es) => es.iter().for_each(&mut *f),
+        Expr::FunctionCall { args, .. } => args.iter().for_each(&mut *f),
+        Expr::Path { steps, .. } => steps.iter().for_each(&mut *f),
+        Expr::Step { predicates, .. } => predicates.iter().for_each(&mut *f),
+        Expr::Filter { base, predicates } => {
+            f(base);
+            predicates.iter().for_each(&mut *f);
+        }
+        Expr::RelativePath { base, step, .. } => {
+            f(base);
+            f(step);
+        }
+        Expr::Or(a, b) | Expr::And(a, b) | Expr::Range(a, b) => {
+            f(a);
+            f(b);
+        }
+        Expr::Comparison { left, right, .. }
+        | Expr::Arith { left, right, .. }
+        | Expr::Set { left, right, .. } => {
+            f(left);
+            f(right);
+        }
+        Expr::Neg(a) => f(a),
+        Expr::If { cond, then, els } => {
+            f(cond);
+            f(then);
+            if let Some(e) = els {
+                f(e);
+            }
+        }
+        Expr::Flwor {
+            clauses,
+            where_,
+            order,
+            ret,
+        } => {
+            for c in clauses {
+                match c {
+                    FlworClause::For { source, .. } => f(source),
+                    FlworClause::Let { value, .. } => f(value),
+                }
+            }
+            if let Some(w) = where_ {
+                f(w);
+            }
+            order.iter().for_each(|o| f(&o.key));
+            f(ret);
+        }
+        Expr::Quantified {
+            bindings,
+            satisfies,
+            ..
+        } => {
+            bindings.iter().for_each(|(_, s)| f(s));
+            f(satisfies);
+        }
+        Expr::DirectElement { attrs, content, .. } => {
+            for (_, parts) in attrs {
+                for p in parts {
+                    if let AttrValuePart::Enclosed(x) = p {
+                        f(x);
+                    }
+                }
+            }
+            for c in content {
+                match c {
+                    DirContent::Text(_) => {}
+                    DirContent::Enclosed(x) | DirContent::Expr(x) => f(x),
+                }
+            }
+        }
+        Expr::ComputedElement { name, content } | Expr::ComputedAttribute { name, content } => {
+            f(name);
+            f(content);
+        }
+        Expr::ComputedText(x) | Expr::ComputedComment(x) | Expr::ComputedDocument(x) => f(x),
+        Expr::Enqueue {
+            message, props, ..
+        } => {
+            f(message);
+            props.iter().for_each(|(_, v)| f(v));
+        }
+        Expr::Reset { key, .. } => {
+            if let Some(k) = key {
+                f(k);
+            }
+        }
+        Expr::Insert { source, target, .. } | Expr::Replace { target, source, .. } => {
+            f(source);
+            f(target);
+        }
+        Expr::Delete { target } => f(target),
+        Expr::Rename { target, name } => {
+            f(target);
+            f(name);
+        }
+        Expr::Cast { expr, .. } | Expr::InstanceOf { expr, .. } => f(expr),
+    }
 }
 
 /// Recursive walk tracking whether the current position is guarded by a

@@ -126,6 +126,9 @@ struct EngineMetrics {
     errors_routed: Counter,
     error_route_cycles: Counter,
     gc_purged: Counter,
+    /// Slice members folded into their base and released for purge by the
+    /// retention-narrowing sweep.
+    retention_released: Counter,
     rule_eval_ns: Histogram,
     txn_commit_ns: Histogram,
     scheduler_depth: Gauge,
@@ -215,6 +218,7 @@ impl EngineMetrics {
             errors_routed: r.counter("demaq_engine_errors_routed_total"),
             error_route_cycles: r.counter("demaq_core_error_route_cycles_total"),
             gc_purged: r.counter("demaq_engine_gc_purged_total"),
+            retention_released: r.counter("demaq_engine_retention_released_total"),
             rule_eval_ns: r.histogram("demaq_engine_rule_eval_ns"),
             txn_commit_ns: r.histogram("demaq_engine_txn_commit_ns"),
             scheduler_depth: r.gauge("demaq_engine_scheduler_depth"),
@@ -309,6 +313,7 @@ pub struct ServerBuilder {
     slice_seq_cache: bool,
     incremental_aggregates: bool,
     lowered_plans: bool,
+    static_retention: bool,
     strict_analysis: StrictAnalysis,
     analysis_lock_order: bool,
     pub(crate) provenance_capacity: usize,
@@ -353,6 +358,7 @@ impl Default for ServerBuilder {
             slice_seq_cache: true,
             incremental_aggregates: true,
             lowered_plans: true,
+            static_retention: true,
             strict_analysis: StrictAnalysis::Warn,
             analysis_lock_order: true,
             provenance_capacity: 65_536,
@@ -516,6 +522,21 @@ impl ServerBuilder {
     /// to enabled; disable for the benchmark E11 baseline.
     pub fn lowered_plans(mut self, enabled: bool) -> Self {
         self.lowered_plans = enabled;
+        self
+    }
+
+    /// Act on the liveness analysis's retention plan: slices whose read
+    /// shape provably never needs full member history get narrowed during
+    /// GC — aggregate-only slices fold processed members into persisted
+    /// base cells and drop the payloads, bounded-suffix slices keep only
+    /// the proven horizon, unread slices drop processed members outright.
+    /// Defaults to enabled; `false` keeps the reference retain-everything
+    /// behavior — the differential twin. Only effective together with
+    /// [`Self::incremental_aggregates`] and [`Self::lowered_plans`] (the
+    /// reference rescan engine must see full history to stay a faithful
+    /// oracle).
+    pub fn static_retention(mut self, enabled: bool) -> Self {
+        self.static_retention = enabled;
         self
     }
 
@@ -704,6 +725,16 @@ impl ServerBuilder {
             }
         }
 
+        // The narrowing sweep and the base-aware read path are one
+        // mechanism: without the incremental registry + lowered plans,
+        // reads rescan raw members and must see full history — so
+        // narrowing only activates when all three switches are on.
+        let narrow = if self.static_retention && self.incremental_aggregates && self.lowered_plans {
+            let plans = narrow_plans(&app);
+            (!plans.is_empty()).then_some(plans)
+        } else {
+            None
+        };
         let server = Server {
             app,
             store,
@@ -727,6 +758,7 @@ impl ServerBuilder {
             } else {
                 None
             },
+            narrow,
             obs,
             analysis_lock_order: self.analysis_lock_order,
             provenance,
@@ -742,6 +774,70 @@ impl ServerBuilder {
 }
 
 static NEXT_TMP: AtomicU64 = AtomicU64::new(0);
+
+/// How the GC sweep may narrow one slicing's retained history, lowered at
+/// build time from the liveness analysis's [`demaq_analysis::SlicePlan`].
+/// Only provably narrowable slicings get an entry; everything else keeps
+/// the paper's full retain-until-reset behavior.
+#[derive(Debug)]
+enum NarrowMode {
+    /// All reads are recognized aggregates: fold processed members into
+    /// the slice's base cells (one per distinct aggregate signature), then
+    /// release them.
+    Aggregate(Vec<AggregateSpec>),
+    /// All reads are `[last()]`-style suffixes: release processed members
+    /// beyond the proven horizon of `k` newest.
+    Suffix(usize),
+}
+
+/// Lower the analysis retention plan into per-slicing narrow modes. For
+/// aggregate-only slicings the folded specs are re-recognized from the
+/// slicing rule bodies — the same recognizer the lowered plans use, so the
+/// base cells the sweep writes are exactly the cells reads will consult.
+fn narrow_plans(app: &CompiledApp) -> HashMap<String, NarrowMode> {
+    use demaq_analysis::ReadShape;
+    let mut plans = HashMap::new();
+    for (name, plan) in &app.analysis.retention.slicings {
+        if !plan.narrowable {
+            continue;
+        }
+        let mode = match plan.shape {
+            // An unread slice may still be the application's *output* —
+            // retained precisely so an external consumer can inspect it
+            // (rules never reading it proves nothing about the outside).
+            // Only read shapes that pin down what the contents are *for*
+            // justify dropping them.
+            ReadShape::Unread => continue,
+            ReadShape::BoundedSuffix(k) => NarrowMode::Suffix(k),
+            ReadShape::AggregateOnly => {
+                let mut specs: Vec<AggregateSpec> = Vec::new();
+                if let Some(slicing) = app.slicings.get(name) {
+                    for rule in &slicing.rules {
+                        rule.body.visit(&mut |e| {
+                            if let Some(spec) = demaq_xquery::recognize_aggregate(e) {
+                                if matches!(spec.source, AggSource::Slice)
+                                    && !specs.iter().any(|s| s.stable_sig() == spec.stable_sig())
+                                {
+                                    specs.push(spec);
+                                }
+                            }
+                        });
+                    }
+                }
+                if specs.is_empty() {
+                    // Analysis saw aggregate reads the recognizer cannot
+                    // fold here — leave the slice fully retained.
+                    continue;
+                }
+                NarrowMode::Aggregate(specs)
+            }
+            // Narrowable excludes FullScan by construction.
+            ReadShape::FullScan => continue,
+        };
+        plans.insert(name.clone(), mode);
+    }
+    plans
+}
 
 /// A running Demaq node.
 pub struct Server {
@@ -767,6 +863,10 @@ pub struct Server {
     /// Materialized aggregate cells (ISSUE 9), validated against the same
     /// version clocks; `None` runs the reference rescan engine.
     agg: Option<Arc<AggRegistry>>,
+    /// Per-slicing retention narrowing derived from the liveness
+    /// analysis; `None` retains full history (analysis found nothing
+    /// narrowable, or [`ServerBuilder::static_retention`] is off).
+    narrow: Option<HashMap<String, NarrowMode>>,
     /// Order queue locks by the analysis-derived flow rank (deadlock
     /// avoidance) instead of plain name order.
     analysis_lock_order: bool,
@@ -2228,8 +2328,12 @@ impl Server {
     }
 
     /// Run the retention GC (paper Sec. 2.3.3) — also invoked by
-    /// [`Server::maintenance`].
+    /// [`Server::maintenance`]. When the liveness analysis proved some
+    /// slicings narrowable, a narrowing sweep runs first: it folds
+    /// processed members into their slices' base cells and releases their
+    /// membership, so the collection pass right after can purge them.
     pub fn gc(&self) -> Result<usize> {
+        self.narrow_retention();
         let purged = self.store.gc_collect()?;
         self.metrics.gc_purged.add(purged.len() as u64);
         if !purged.is_empty() {
@@ -2243,6 +2347,81 @@ impl Server {
             }
         }
         Ok(purged.len())
+    }
+
+    /// The retention-narrowing sweep (ISSUE 10). Per narrowable slicing
+    /// and key: read one consistent `(members, version, base)` view, pick
+    /// the processed members the proven read shape no longer needs, fold
+    /// them into the base cells (aggregate-only mode), and release them
+    /// under a version CAS — a concurrent arrival or reset between read
+    /// and release aborts that slice's release harmlessly; the next sweep
+    /// retries. Releases are memory-only (Sec. 4.1: purge decisions are
+    /// re-derived after a crash, never logged); checkpoints carry the
+    /// base, so released history survives restarts once a cut captured
+    /// it. Any fold, decode, or encode error skips the slice — it stays
+    /// fully retained, which is always safe.
+    fn narrow_retention(&self) -> usize {
+        let Some(plans) = &self.narrow else { return 0 };
+        let mut released = 0;
+        for (slicing, mode) in plans {
+            for key in self.store.slice_keys(slicing) {
+                released += self.narrow_slice(slicing, &key, mode).unwrap_or(0);
+            }
+        }
+        if released > 0 {
+            self.metrics.retention_released.add(released as u64);
+        }
+        released
+    }
+
+    /// Narrow one slice; `None` means an error made this slice skip the
+    /// sweep (nothing released, nothing changed).
+    fn narrow_slice(&self, slicing: &str, key: &PropValue, mode: &NarrowMode) -> Option<usize> {
+        let (members, version, _base_members, base) = self.store.slice_narrow_view(slicing, key);
+        if version == 0 {
+            return Some(0);
+        }
+        let victims: Vec<MsgId> = match mode {
+            NarrowMode::Aggregate(_) => {
+                members.iter().filter(|(_, p)| *p).map(|(m, _)| *m).collect()
+            }
+            NarrowMode::Suffix(k) => {
+                // The newest `k` members stay regardless of processed
+                // state — they are the proven read horizon.
+                let cut = members.len().saturating_sub(*k);
+                members[..cut].iter().filter(|(_, p)| *p).map(|(m, _)| *m).collect()
+            }
+        };
+        if victims.is_empty() {
+            return Some(0);
+        }
+        let cells: Vec<(String, Vec<u8>)> = match mode {
+            // No aggregate reads exist over a suffix shape; carry the base
+            // unchanged (empty unless a past mode change left cells).
+            NarrowMode::Suffix(_) => base,
+            NarrowMode::Aggregate(specs) => {
+                let mut cells = Vec::with_capacity(specs.len());
+                for spec in specs {
+                    let sig = spec.stable_sig();
+                    let mut acc = match base.iter().find(|(s, _)| *s == sig) {
+                        Some((_, bytes)) => AggAcc::decode(bytes)?,
+                        None => AggAcc::new(spec.op),
+                    };
+                    // Fold before purge: the payloads are still readable.
+                    for id in &victims {
+                        let doc = self.doc_for(*id).ok()?;
+                        acc.absorb_member(spec, &doc.doc.root()).ok()?;
+                    }
+                    cells.push((sig, acc.encode()?));
+                }
+                cells
+            }
+        };
+        if self.store.retention_release(slicing, key, version, &victims, cells) {
+            Some(victims.len())
+        } else {
+            Some(0)
+        }
     }
 
     /// Background maintenance: GC + checkpoint ("physical cleanup is
@@ -2419,48 +2598,79 @@ impl ReadHandle {
         slice_ctx: Option<(&str, &PropValue)>,
     ) -> Option<std::result::Result<Sequence, XqError>> {
         let agg = self.agg.as_ref()?;
-        let (scope, ids, version) = match (&spec.source, slice_ctx) {
+        let (scope, ids, version, base_members, base) = match (&spec.source, slice_ctx) {
             (AggSource::Queue(q), _) => {
                 let (ids, version) = self.store.queue_message_ids_versioned(q).ok()?;
-                (AggScope::Queue(q.clone()), ids, version)
+                (AggScope::Queue(q.clone()), ids, version, 0, Vec::new())
             }
             (AggSource::Slice, Some((sl, k))) => {
-                let (ids, version) = self.store.slice_members_versioned(sl, k);
-                (AggScope::Slice(sl.to_string(), k.clone()), ids, version)
+                // Slices carry a base: aggregate state the narrowing sweep
+                // folded out of members that have since been purged. Reads
+                // must seed from it — the raw members alone are no longer
+                // the full history.
+                let (ids, version, base_members, base) = self.store.slice_members_with_base(sl, k);
+                (AggScope::Slice(sl.to_string(), k.clone()), ids, version, base_members, base)
             }
             (AggSource::Slice, None) => return None,
         };
         // Membership-only fast path: step-free `count`/`exists` are pure
-        // functions of the id list — no cell, no document access.
+        // functions of the id list (plus released membership) — no cell,
+        // no document access.
         if spec.steps.is_empty() {
             match spec.op {
                 AggOp::Count => {
                     agg.note_fast_hit();
-                    return Some(Ok(Sequence::int(ids.len() as i64)));
+                    return Some(Ok(Sequence::int(base_members as i64 + ids.len() as i64)));
                 }
                 AggOp::Exists => {
                     agg.note_fast_hit();
-                    return Some(Ok(Sequence::bool(!ids.is_empty())));
+                    return Some(Ok(Sequence::bool(base_members > 0 || !ids.is_empty())));
                 }
                 _ => {}
             }
         }
+        // With a base in play, declining to the fallback rescan is no
+        // longer sound: the rescan only sees surviving members, not the
+        // folded-out history. Errors must surface instead.
+        let has_base = !base.is_empty();
         let key = spec.cache_key();
         let (mut acc, from, extended) = match agg.lookup(&key, &scope, version, &ids) {
             AggLookup::Hit(seq) => return Some(Ok(seq)),
             AggLookup::Extend { acc, from } => (acc, from, true),
-            AggLookup::Miss => (AggAcc::new(spec.op), 0, false),
+            AggLookup::Miss => {
+                let acc = match base.iter().find(|(s, _)| *s == spec.stable_sig()) {
+                    Some((_, bytes)) => match AggAcc::decode(bytes) {
+                        Some(acc) => acc,
+                        None => {
+                            return Some(Err(XqError::dynamic(format!(
+                                "aggregate base cell of slice is unreadable ({key})"
+                            ))))
+                        }
+                    },
+                    None if base_members > 0 => {
+                        // Released history exists but no cell matches this
+                        // read — the rescan would silently ignore it.
+                        return Some(Err(XqError::dynamic(format!(
+                            "aggregate base cell missing for released slice history ({key})"
+                        ))));
+                    }
+                    None => AggAcc::new(spec.op),
+                };
+                (acc, 0, false)
+            }
         };
         for id in &ids[from..] {
-            // A load or fold error declines the read (never cached); the
-            // fallback rescan reproduces the identical outcome.
+            // Without a base, a load or fold error declines the read
+            // (never cached) and the fallback rescan reproduces the
+            // identical outcome; with one, the error must propagate.
             let root = match self.doc_root(*id) {
                 Ok(Some(root)) => root,
                 Ok(None) => continue,
+                Err(e) if has_base => return Some(Err(e)),
                 Err(_) => return None,
             };
-            if acc.absorb_member(spec, &root).is_err() {
-                return None;
+            if let Err(e) = acc.absorb_member(spec, &root) {
+                return if has_base { Some(Err(e)) } else { None };
             }
         }
         let result = acc.result();

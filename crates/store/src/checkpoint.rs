@@ -18,7 +18,11 @@ use std::fs;
 use std::io::Write;
 use std::path::Path;
 
-const MAGIC: &[u8; 8] = b"DEMAQCK1";
+/// Current format: per-slice narrowed-retention base (aggregate
+/// accumulator cells + released-member count) follows the member list.
+const MAGIC: &[u8; 8] = b"DEMAQCK2";
+/// Previous format, still readable: slices carry no base fields.
+const MAGIC_V1: &[u8; 8] = b"DEMAQCK1";
 
 /// Message metadata as serialized into a snapshot.
 #[derive(Debug, Clone, PartialEq)]
@@ -137,6 +141,13 @@ impl Snapshot {
                 body.extend_from_slice(&m.0.to_le_bytes());
                 body.extend_from_slice(&e.to_le_bytes());
             }
+            body.extend_from_slice(&(state.base.len() as u32).to_le_bytes());
+            for (sig, cell) in &state.base {
+                put_str(&mut body, sig);
+                body.extend_from_slice(&(cell.len() as u32).to_le_bytes());
+                body.extend_from_slice(cell);
+            }
+            body.extend_from_slice(&state.base_members.to_le_bytes());
         }
         body.extend_from_slice(&(self.lineage.len() as u32).to_le_bytes());
         for l in &self.lineage {
@@ -159,9 +170,14 @@ impl Snapshot {
     /// Decode from bytes, verifying magic and CRC.
     pub fn decode(buf: &[u8]) -> Result<Snapshot> {
         let corrupt = |m: &str| StoreError::Corrupt(format!("snapshot: {m}"));
-        if buf.len() < 16 || &buf[..8] != MAGIC {
+        if buf.len() < 16 {
             return Err(corrupt("bad magic"));
         }
+        let has_base = match &buf[..8] {
+            m if m == MAGIC => true,
+            m if m == MAGIC_V1 => false,
+            _ => return Err(corrupt("bad magic")),
+        };
         let crc = u32::from_le_bytes(buf[8..12].try_into().unwrap());
         let len = u32::from_le_bytes(buf[12..16].try_into().unwrap()) as usize;
         let body = buf
@@ -234,6 +250,19 @@ impl Snapshot {
                     let e = get_u64(body, &mut at)?;
                     members.push((m, e));
                 }
+                let mut base = Vec::new();
+                let mut base_members = 0u64;
+                if has_base {
+                    let nb = get_u32(body, &mut at)? as usize;
+                    for _ in 0..nb {
+                        let sig = get_str(body, &mut at)?;
+                        let len = get_u32(body, &mut at)? as usize;
+                        let cell = body.get(at..at + len)?.to_vec();
+                        at += len;
+                        base.push((sig, cell));
+                    }
+                    base_members = get_u64(body, &mut at)?;
+                }
                 snap.slices.push((
                     slicing,
                     key,
@@ -241,6 +270,8 @@ impl Snapshot {
                         epoch,
                         members,
                         version: 0,
+                        base,
+                        base_members,
                     },
                 ));
             }
@@ -331,6 +362,8 @@ mod tests {
                     epoch: 2,
                     members: vec![(MsgId(7), 2), (MsgId(5), 1)],
                     version: 0,
+                    base: vec![("count".into(), vec![1, 2, 3]), ("sum|//v".into(), vec![9])],
+                    base_members: 14,
                 },
             )],
             lineage: vec![
@@ -376,6 +409,39 @@ mod tests {
         assert!(Snapshot::read_from(&dir.path().join("nope"))
             .unwrap()
             .is_none());
+    }
+
+    #[test]
+    fn decodes_v1_snapshots_without_base() {
+        // A minimal DEMAQCK1 body, byte-for-byte the old format: slices
+        // end at their member list.
+        let mut body = Vec::new();
+        body.extend_from_slice(&1u64.to_le_bytes()); // wal_index
+        body.extend_from_slice(&2u64.to_le_bytes()); // next_msg
+        body.extend_from_slice(&3u64.to_le_bytes()); // next_txn
+        body.extend_from_slice(&0u64.to_le_bytes()); // heap_live
+        body.extend_from_slice(&0u32.to_le_bytes()); // heap_free
+        body.extend_from_slice(&0u32.to_le_bytes()); // queues
+        body.extend_from_slice(&0u32.to_le_bytes()); // messages
+        body.extend_from_slice(&1u32.to_le_bytes()); // slices
+        put_str(&mut body, "orders");
+        PropValue::Str("9".into()).encode(&mut body);
+        body.extend_from_slice(&1u64.to_le_bytes()); // epoch
+        body.extend_from_slice(&1u32.to_le_bytes()); // member count
+        body.extend_from_slice(&7u64.to_le_bytes()); // msg id
+        body.extend_from_slice(&1u64.to_le_bytes()); // member epoch
+        body.extend_from_slice(&0u32.to_le_bytes()); // lineage
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC_V1);
+        bytes.extend_from_slice(&crc32(&body).to_le_bytes());
+        bytes.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&body);
+        let snap = Snapshot::decode(&bytes).unwrap();
+        let (slicing, _, st) = &snap.slices[0];
+        assert_eq!(slicing, "orders");
+        assert_eq!(st.members, vec![(MsgId(7), 1)]);
+        assert!(st.base.is_empty());
+        assert_eq!(st.base_members, 0);
     }
 
     #[test]

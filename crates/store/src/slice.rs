@@ -15,6 +15,11 @@
 use crate::types::{MsgId, PropValue};
 use std::collections::{BTreeMap, HashMap};
 
+/// Persisted aggregate base cells of one slice: `(stable aggregate
+/// signature, encoded accumulator)` pairs standing in for released
+/// members.
+pub type BaseCells = Vec<(String, Vec<u8>)>;
+
 /// State of one slice (one key of one slicing).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct SliceState {
@@ -25,11 +30,22 @@ pub struct SliceState {
     pub members: Vec<(MsgId, u64)>,
     /// Version counter for cache validation: set to a fresh value from the
     /// index-wide monotonic clock on every mutation (member add, reset,
-    /// GC purge). Process-local — deliberately *not* checkpointed: caches
-    /// keyed by it are process-local too and start empty after recovery.
-    /// Values are drawn from one strictly increasing clock, so a version
-    /// can never recur for a slice (not even across remove/recreate).
+    /// GC purge, retention release). Process-local — deliberately *not*
+    /// checkpointed: caches keyed by it are process-local too and start
+    /// empty after recovery. Values are drawn from one strictly increasing
+    /// clock, so a version can never recur for a slice (not even across
+    /// remove/recreate).
     pub version: u64,
+    /// Persisted aggregate accumulators standing in for released members:
+    /// `(stable aggregate signature, encoded AggAcc)`. Installed by
+    /// [`SliceIndex::release`] when the liveness analysis proved the slice
+    /// is read only through these aggregates; carried in the checkpoint
+    /// (unlike `version`) so recovery does not need the purged payloads.
+    pub base: BaseCells,
+    /// How many current-epoch members have been folded into `base` and
+    /// released. Membership-only aggregates (`count`, `exists`) answer
+    /// `base_members + live members`.
+    pub base_members: u64,
 }
 
 impl SliceState {
@@ -117,7 +133,9 @@ impl SliceIndex {
             .push((slicing.to_string(), key.clone()));
     }
 
-    /// Begin a new lifetime for the slice. Returns the new epoch.
+    /// Begin a new lifetime for the slice. Returns the new epoch. Any
+    /// narrowed-retention base belongs to the old lifetime and is
+    /// discarded with it.
     pub fn reset(&mut self, slicing: &str, key: &PropValue) -> u64 {
         let version = self.next_version();
         let state = self
@@ -126,6 +144,8 @@ impl SliceIndex {
             .or_default();
         state.epoch += 1;
         state.version = version;
+        state.base.clear();
+        state.base_members = 0;
         state.epoch
     }
 
@@ -146,6 +166,65 @@ impl SliceIndex {
             }
             None => (Vec::new(), 0),
         }
+    }
+
+    /// Current members, version, and the narrowed-retention base, read
+    /// together under the caller's lock: `(members, version, base_members,
+    /// base cells)`. A missing slice reports version 0 and empty base.
+    pub fn members_with_base(
+        &self,
+        slicing: &str,
+        key: &PropValue,
+    ) -> (Vec<MsgId>, u64, u64, BaseCells) {
+        match self.slices.get(&(slicing.to_string(), key.clone())) {
+            Some(s) => {
+                let mut v: Vec<MsgId> = s.current_members().collect();
+                v.sort();
+                (v, s.version, s.base_members, s.base.clone())
+            }
+            None => (Vec::new(), 0, 0, Vec::new()),
+        }
+    }
+
+    /// Narrow retention for one slice: fold `victims` (current-epoch
+    /// members whose payloads the caller has already absorbed into
+    /// `cells`) out of the membership and install the accumulator cells
+    /// as the slice's new base. Guarded by compare-and-swap on the
+    /// slice's version — any concurrent arrival or reset since the
+    /// caller's fold invalidates it, and the release is skipped (`false`)
+    /// rather than applied over a membership the fold did not observe.
+    pub fn release(
+        &mut self,
+        slicing: &str,
+        key: &PropValue,
+        expected_version: u64,
+        victims: &[MsgId],
+        cells: BaseCells,
+    ) -> bool {
+        let version = self.next_version();
+        let Some(state) = self.slices.get_mut(&(slicing.to_string(), key.clone())) else {
+            return false;
+        };
+        if state.version != expected_version || expected_version == 0 || victims.is_empty() {
+            return false;
+        }
+        let before = state.members.len();
+        state
+            .members
+            .retain(|(m, _)| !victims.contains(m));
+        debug_assert!(before - state.members.len() >= victims.len());
+        state.base_members += victims.len() as u64;
+        state.base = cells;
+        state.version = version;
+        for victim in victims {
+            if let Some(list) = self.by_msg.get_mut(victim) {
+                list.retain(|(s2, k2)| !(s2 == slicing && k2 == key));
+                if list.is_empty() {
+                    self.by_msg.remove(victim);
+                }
+            }
+        }
+        true
     }
 
     /// Stamp a fresh version on `queue`'s membership counter. Called on
@@ -224,9 +303,12 @@ impl SliceIndex {
                 }
             }
         }
-        // Garbage-collect empty slices at epoch 0 lazily.
-        self.slices
-            .retain(|_, s| !(s.members.is_empty() && s.epoch == 0));
+        // Garbage-collect empty slices at epoch 0 lazily — but never one
+        // carrying a narrowed-retention base: its accumulators still
+        // answer aggregate reads for the released members.
+        self.slices.retain(|_, s| {
+            !(s.members.is_empty() && s.epoch == 0 && s.base_members == 0 && s.base.is_empty())
+        });
     }
 
     /// Iterate all (slicing, key, state) for checkpointing.
@@ -419,6 +501,56 @@ mod tests {
         idx.bump_queue("b");
         assert_eq!(idx.queue_version("a"), idx.queue_version("b"));
         idx.end_batch();
+    }
+
+    #[test]
+    fn release_folds_members_into_base() {
+        let mut idx = SliceIndex::new();
+        idx.add("s", &k("a"), MsgId(1));
+        idx.add("s", &k("a"), MsgId(2));
+        let (members, v, b, cells) = idx.members_with_base("s", &k("a"));
+        assert_eq!(members, vec![MsgId(1), MsgId(2)]);
+        assert_eq!((b, cells.len()), (0, 0));
+        assert!(idx.release("s", &k("a"), v, &[MsgId(1)], vec![("count".into(), vec![1])]));
+        let (members, v2, b, cells) = idx.members_with_base("s", &k("a"));
+        assert_eq!(members, vec![MsgId(2)]);
+        assert!(v2 > v, "release bumps the version");
+        assert_eq!(b, 1);
+        assert_eq!(cells, vec![("count".to_string(), vec![1])]);
+        assert!(!idx.is_retained(MsgId(1)), "released member is unretained");
+        assert!(idx.is_retained(MsgId(2)));
+    }
+
+    #[test]
+    fn release_cas_rejects_stale_version() {
+        let mut idx = SliceIndex::new();
+        idx.add("s", &k("a"), MsgId(1));
+        let (_, v, _, _) = idx.members_with_base("s", &k("a"));
+        idx.add("s", &k("a"), MsgId(2)); // concurrent arrival since the fold
+        assert!(!idx.release("s", &k("a"), v, &[MsgId(1)], Vec::new()));
+        assert!(idx.is_retained(MsgId(1)), "stale release must not apply");
+        assert!(
+            !idx.release("s", &k("zz"), 7, &[MsgId(1)], Vec::new()),
+            "unknown slice"
+        );
+    }
+
+    #[test]
+    fn reset_discards_base_and_forget_keeps_based_slices() {
+        let mut idx = SliceIndex::new();
+        idx.add("s", &k("a"), MsgId(1));
+        let (_, v, _, _) = idx.members_with_base("s", &k("a"));
+        assert!(idx.release("s", &k("a"), v, &[MsgId(1)], vec![("sig".into(), vec![9])]));
+        // No members left, epoch 0 — but the base must survive lazy
+        // slice GC: its accumulators still answer reads.
+        idx.forget(MsgId(42));
+        let (members, _, b, cells) = idx.members_with_base("s", &k("a"));
+        assert!(members.is_empty());
+        assert_eq!((b, cells.len()), (1, 1));
+        // Reset starts a new lifetime: the base goes with the old one.
+        idx.reset("s", &k("a"));
+        let (_, _, b, cells) = idx.members_with_base("s", &k("a"));
+        assert_eq!((b, cells.len()), (0, 0));
     }
 
     #[test]

@@ -6,11 +6,11 @@ use crate::heap::{HeapFile, RecordId};
 use crate::lock::{LockGranularity, LockManager};
 use crate::pager::{BufferPool, DiskManager};
 use crate::recovery;
-use crate::slice::SliceIndex;
+use crate::slice::{BaseCells, SliceIndex};
 use crate::txn::{TxnBuf, TxnOp};
 use crate::types::{LineageEdge, Lsn, MsgId, PayloadBytes, PropValue, QueueMode, StoredMessage, TxnId};
 use crate::wal::{GroupCommitCfg, LogRecord, LogWriter};
-use demaq_obs::{Counter, Histogram, Obs};
+use demaq_obs::{Counter, Gauge, Histogram, Obs};
 use parking_lot::{Condvar, Mutex, RwLock};
 use std::collections::{HashMap, VecDeque};
 use std::path::PathBuf;
@@ -371,7 +371,14 @@ struct StoreMetrics {
     aborts: Counter,
     checkpoints: Counter,
     gc_runs: Counter,
-    gc_purged: Counter,
+    /// Processed messages still resident only because a slice retains
+    /// them — the backlog bounded-retention narrowing tries to shrink.
+    /// Refreshed on every GC pass.
+    retained_backlog: Gauge,
+    /// Total payload bytes resident in the message map. Refreshed on
+    /// every GC pass (also available on demand via
+    /// [`MessageStore::resident_payload_bytes`]).
+    resident_bytes: Gauge,
     /// Batches applied by an apply leader (batched mode only).
     apply_batches: Counter,
     /// Jobs per applied batch (value histogram, not nanoseconds).
@@ -397,7 +404,8 @@ impl StoreMetrics {
             aborts: r.counter("demaq_store_aborts_total"),
             checkpoints: r.counter("demaq_store_checkpoints_total"),
             gc_runs: r.counter("demaq_store_gc_runs_total"),
-            gc_purged: r.counter("demaq_store_gc_purged_total"),
+            retained_backlog: r.gauge("demaq_store_retained_processed_backlog"),
+            resident_bytes: r.gauge("demaq_store_resident_payload_bytes"),
             apply_batches: r.counter("demaq_store_apply_batches_total"),
             apply_batch_size: r.histogram("demaq_store_apply_batch_size"),
             apply_waits: r.counter("demaq_store_apply_waits_total"),
@@ -1067,6 +1075,64 @@ impl MessageStore {
         self.state.read().slices.version(slicing, key)
     }
 
+    /// Members, version, and the released base (member count + encoded
+    /// aggregate cells) of one slice, read atomically. The base is what a
+    /// retention release folded out of purged members; aggregate reads
+    /// seed their accumulators from it.
+    pub fn slice_members_with_base(
+        &self,
+        slicing: &str,
+        key: &PropValue,
+    ) -> (Vec<MsgId>, u64, u64, BaseCells) {
+        self.state.read().slices.members_with_base(slicing, key)
+    }
+
+    /// Like [`slice_members_with_base`](Self::slice_members_with_base) but
+    /// each member carries its processed flag — the narrowing sweep picks
+    /// its fold victims from this single consistent view.
+    pub fn slice_narrow_view(
+        &self,
+        slicing: &str,
+        key: &PropValue,
+    ) -> (Vec<(MsgId, bool)>, u64, u64, BaseCells) {
+        let state = self.state.read();
+        let (ids, version, base_members, base) = state.slices.members_with_base(slicing, key);
+        let flagged = ids
+            .into_iter()
+            .map(|id| {
+                let processed = state.messages.get(&id).map(|m| m.0.processed).unwrap_or(false);
+                (id, processed)
+            })
+            .collect();
+        (flagged, version, base_members, base)
+    }
+
+    /// Fold `victims` out of a slice into its base: drop their membership
+    /// (making them purgeable by the next GC) and install `cells` as the
+    /// slice's released aggregate state. CAS semantics — fails (returning
+    /// `false`, changing nothing) if the slice's version is no longer
+    /// `expected_version`, so a concurrent arrival or reset between the
+    /// caller's read and this write safely aborts the release.
+    ///
+    /// Memory-only by design (paper Sec. 4.1: purge decisions are
+    /// re-derived, never logged): after a crash, replay rebuilds the
+    /// pre-release membership and the narrowing sweep re-runs. The base
+    /// *is* carried by checkpoints, so a release that a checkpoint has
+    /// captured survives restarts even though its members are gone.
+    pub fn retention_release(
+        &self,
+        slicing: &str,
+        key: &PropValue,
+        expected_version: u64,
+        victims: &[MsgId],
+        cells: BaseCells,
+    ) -> bool {
+        self.state
+            .write()
+            .slices
+            .release(slicing, key, expected_version, victims, cells)
+    }
+
     /// Keys of a slicing with visible members.
     pub fn slice_keys(&self, slicing: &str) -> Vec<PropValue> {
         self.state.read().slices.keys(slicing)
@@ -1080,6 +1146,17 @@ impl MessageStore {
     /// Count of messages currently stored (processed + unprocessed).
     pub fn message_count(&self) -> usize {
         self.state.read().messages.len()
+    }
+
+    /// Total payload bytes resident in the message map — the figure the
+    /// E15 soak watches for a plateau under bounded retention.
+    pub fn resident_payload_bytes(&self) -> u64 {
+        self.state
+            .read()
+            .messages
+            .values()
+            .map(|m| m.0.payload.bytes().as_bytes().len() as u64)
+            .sum()
     }
 
     /// Causal origin of one rule-created message; `None` for roots
@@ -1136,6 +1213,13 @@ impl MessageStore {
         // lock, so they are not blocked by the slow part.
         let _maint = self.maintenance.lock();
         let mut heap_victims: Vec<RecordId> = Vec::new();
+        // Per-queue purge counts, for the labeled
+        // `demaq_store_gc_purged_total{queue=...}` counters (resolved from
+        // the registry after the state lock drops — GC is off the commit
+        // path, so lazy resolution is fine).
+        let mut purged_by_queue: Vec<(String, u64)> = Vec::new();
+        let mut retained_backlog: u64 = 0;
+        let mut resident_bytes: u64 = 0;
         let victims: Vec<MsgId> = {
             // Under the state lock: only the cheap logical removals
             // (maps, queue vectors, slice index).
@@ -1162,20 +1246,30 @@ impl MessageStore {
             // the in-lock work linear in the number of retained + purged
             // messages.
             if !victim_set.is_empty() {
-                let mut touched: Vec<String> = Vec::new();
                 for (name, q) in state.queues.iter_mut() {
                     let before = q.messages.len();
                     q.messages.retain(|m| !victim_set.contains(m));
-                    if q.messages.len() != before {
-                        touched.push(name.clone());
+                    let removed = before - q.messages.len();
+                    if removed != 0 {
+                        purged_by_queue.push((name.clone(), removed as u64));
                     }
                 }
                 // Purges change queue membership: invalidate whole-queue
                 // aggregate cells, mirroring the slice-version bump that
                 // `forget` already did above.
-                for name in touched {
-                    state.slices.bump_queue(&name);
+                for (name, _) in &purged_by_queue {
+                    state.slices.bump_queue(name);
                 }
+            }
+            // Everything processed that survived this pass is retained by
+            // a slice — that is exactly the backlog bounded-retention
+            // narrowing exists to shrink. Resident bytes ride on the same
+            // scan for the E15 soak gauge.
+            for meta in state.messages.values() {
+                if meta.0.processed {
+                    retained_backlog += 1;
+                }
+                resident_bytes += meta.0.payload.bytes().as_bytes().len() as u64;
             }
             victims
         };
@@ -1189,7 +1283,14 @@ impl MessageStore {
             let _ = self.heap.delete(rid);
         }
         self.metrics.gc_runs.inc();
-        self.metrics.gc_purged.add(victims.len() as u64);
+        for (queue, n) in purged_by_queue {
+            self.obs
+                .registry
+                .counter_with("demaq_store_gc_purged_total", &[("queue", &queue)])
+                .add(n);
+        }
+        self.metrics.retained_backlog.set(retained_backlog as i64);
+        self.metrics.resident_bytes.set(resident_bytes as i64);
         Ok(victims)
     }
 
@@ -1406,6 +1507,8 @@ impl MessageStore {
                     epoch: sstate.epoch,
                     members,
                     version: 0,
+                    base: sstate.base.clone(),
+                    base_members: sstate.base_members,
                 },
             ));
         }

@@ -1,18 +1,24 @@
-//! Incrementalizable aggregate shapes (ISSUE 9).
+//! Incrementalizable aggregate shapes (ISSUE 9, extended by ISSUE 10).
 //!
 //! [`recognize_aggregate`] spots the rule-body subexpressions the engine
 //! can maintain reactively instead of rescanning: `count` / `sum` /
-//! `min` / `max` / `exists` applied to a `qs:queue("…")` or `qs:slice()`
-//! source, optionally refined by a chain of *predicate-free* axis steps
-//! (`count(qs:slice())`, `sum(qs:queue("orders")//total)`, …). Those
-//! shapes are per-message-independent — their value is a pure function
-//! of the queue/slice membership — so a running [`AggAcc`] folded over
-//! member documents in arrival order computes exactly what the reference
+//! `min` / `max` / `exists` / `avg` applied to a `qs:queue("…")` or
+//! `qs:slice()` source, optionally refined by a chain of axis steps
+//! (`count(qs:slice())`, `sum(qs:queue("orders")//total)`, …). Steps may
+//! carry **guard predicates** — member-local boolean filters like
+//! `[status = "open"]` — as long as each guard is deterministic,
+//! position-free, and touches nothing outside the member document
+//! ([`guard predicates`](is_guard_pred)). Those shapes are
+//! per-message-independent — their value is a pure function of the
+//! queue/slice membership — so a running [`AggAcc`] folded over member
+//! documents in arrival order computes exactly what the reference
 //! evaluator computes by rescanning, and a new arrival is a **delta**
-//! (absorb one more document) instead of an O(N) rescan.
+//! (absorb one more document) instead of an O(N) rescan. `avg` decomposes
+//! into a sum/count cell pair ([`AggAcc::Avg`]), so it folds just like
+//! the others.
 //!
-//! Predicated steps, `avg`, positional tricks, and every other argument
-//! shape are left alone: the lowering keeps the original
+//! Positional predicates, variables, `qs:` context reads, and every
+//! other argument shape are left alone: the lowering keeps the original
 //! `Plan::FunctionCall` as the fallback inside [`Plan::AggregateRead`],
 //! so unsupported or cold reads take the reference path unchanged.
 //!
@@ -24,14 +30,24 @@
 //! aggregate is order-independent over the member multiset (`sum` over
 //! floats is associative only up to rounding, which the differential
 //! suite pins with integer-valued corpora).
+//!
+//! Accumulators can round-trip through an opaque byte encoding
+//! ([`AggAcc::encode`]/[`AggAcc::decode`]) keyed by the shape's
+//! [`AggregateSpec::stable_sig`]; the store persists those pairs as
+//! retention *bases* when the liveness analysis proves a slice is read
+//! only through these shapes (ISSUE 10), so purged members keep
+//! contributing to every future read.
 
 use crate::ast::{Axis, Expr};
+use crate::context::{DynamicContext, NoHost, StaticContext};
 use crate::error::{Error, Result};
-use crate::eval::axis_candidates;
+use crate::eval::{axis_candidates, Evaluator, Focus};
 use crate::plan::{lower_test, ptest_matches, PTest};
-use crate::value::{Atomic, Sequence};
+use crate::value::{Atomic, Item, Sequence};
+use demaq_xml::sym;
 use demaq_xml::NodeRef;
 use std::cmp::Ordering;
+use std::sync::Arc;
 
 /// The aggregate functions the incremental pass maintains.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,6 +57,7 @@ pub enum AggOp {
     Min,
     Max,
     Exists,
+    Avg,
 }
 
 impl AggOp {
@@ -51,6 +68,7 @@ impl AggOp {
             AggOp::Min => "min",
             AggOp::Max => "max",
             AggOp::Exists => "exists",
+            AggOp::Avg => "avg",
         }
     }
 
@@ -61,6 +79,7 @@ impl AggOp {
             "min" => AggOp::Min,
             "max" => AggOp::Max,
             "exists" => AggOp::Exists,
+            "avg" => AggOp::Avg,
             _ => None?,
         })
     }
@@ -75,8 +94,20 @@ pub enum AggSource {
     Slice,
 }
 
+/// One axis step of a recognized aggregate path, with its (possibly
+/// empty) guard predicates. A source-level filter (`qs:slice()[g]`)
+/// normalizes to a `self::node()[g]` step, which evaluates identically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggStep {
+    pub axis: Axis,
+    pub test: PTest,
+    /// Member-local boolean guards, each accepted by [`is_guard_pred`].
+    pub preds: Vec<Expr>,
+}
+
 /// A recognized incrementalizable aggregate: `op(source/steps…)` where
-/// every step is a predicate-free axis step.
+/// every step is an axis step whose predicates (if any) are member-local
+/// boolean guards.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AggregateSpec {
     pub op: AggOp,
@@ -84,13 +115,14 @@ pub struct AggregateSpec {
     /// Axis steps applied to each member document root, in order. A
     /// `//`-descent is expanded to an explicit `descendant-or-self::
     /// node()` step, exactly as `Plan::RelativePath` evaluates it.
-    pub steps: Vec<(Axis, PTest)>,
+    pub steps: Vec<AggStep>,
 }
 
 impl AggregateSpec {
     /// Canonical registry key for this aggregate shape. `PTest` carries
-    /// interned `Sym`s, so the key is process-local — which is all the
-    /// registry needs (cells are process-local and never persisted).
+    /// interned `Sym`s, so the key is process-local — fine for the
+    /// in-memory cell registry, but **never** for persisted state; the
+    /// store keys retention bases by [`Self::stable_sig`] instead.
     pub fn cache_key(&self) -> String {
         let src = match &self.source {
             AggSource::Queue(q) => format!("queue:{q}"),
@@ -99,17 +131,60 @@ impl AggregateSpec {
         format!("{}|{}|{:?}", self.op.name(), src, self.steps)
     }
 
+    /// Process-independent signature: interned symbols are resolved back
+    /// to their names, so the same source text produces the same string
+    /// in every process. This is the key the store persists retention
+    /// bases under (checkpoint survives restarts; `Sym` values do not).
+    pub fn stable_sig(&self) -> String {
+        let src = match &self.source {
+            AggSource::Queue(q) => format!("queue:{q}"),
+            AggSource::Slice => "slice".to_string(),
+        };
+        let mut out = format!("{}|{}", self.op.name(), src);
+        for s in &self.steps {
+            out.push_str(&format!("|{:?}/{}", s.axis, ptest_sig(&s.test)));
+            for p in &s.preds {
+                // The AST `Debug` form carries only names and literals
+                // (no interned ids), so it is process-stable.
+                out.push_str(&format!("[{p:?}]"));
+            }
+        }
+        out
+    }
+
+    /// Whether any step carries guard predicates (such specs never take
+    /// the membership-only fast path).
+    pub fn has_guards(&self) -> bool {
+        self.steps.iter().any(|s| !s.preds.is_empty())
+    }
+
     /// Nodes selected by the step chain within one member document.
-    pub fn member_nodes(&self, root: &NodeRef) -> Vec<NodeRef> {
+    /// Errors when a guard predicate errors — the reference rescan
+    /// errors identically on this member.
+    pub fn member_nodes(&self, root: &NodeRef) -> Result<Vec<NodeRef>> {
+        let mut guard_eval = None;
         let mut current = vec![root.clone()];
-        for (axis, test) in &self.steps {
+        for step in &self.steps {
             let mut next: Vec<NodeRef> = Vec::new();
             for node in &current {
-                next.extend(
-                    axis_candidates(*axis, node)
-                        .into_iter()
-                        .filter(|n| ptest_matches(*axis, n, test)),
-                );
+                // Per-context-node batch, exactly as `eval_steps` scopes
+                // predicate positions.
+                let mut batch: Vec<NodeRef> = axis_candidates(step.axis, node)
+                    .into_iter()
+                    .filter(|n| ptest_matches(step.axis, n, &step.test))
+                    .collect();
+                for pred in &step.preds {
+                    let ev = guard_eval.get_or_insert_with(GuardEval::new);
+                    let size = batch.len();
+                    let mut kept = Vec::with_capacity(batch.len());
+                    for (i, n) in batch.iter().enumerate() {
+                        if ev.keep(pred, n, i + 1, size)? {
+                            kept.push(n.clone());
+                        }
+                    }
+                    batch = kept;
+                }
+                next.extend(batch);
             }
             // Per-step document-order dedup, as `eval_steps` does. All
             // nodes share one document here, so the order is total.
@@ -117,13 +192,145 @@ impl AggregateSpec {
             next.dedup_by(|a, b| a.is_same_node(b));
             current = next;
         }
-        current
+        Ok(current)
     }
 }
 
-/// Recognize `count|sum|min|max|exists ( <source-path> )` where the
+/// Process-stable rendering of a `PTest` (interned syms resolved).
+fn ptest_sig(t: &PTest) -> String {
+    let named = |n: &Option<(sym::Sym, Option<String>)>| match n {
+        Some((s, ns)) => format!("{}:{ns:?}", sym::resolve(*s)),
+        None => "*".to_string(),
+    };
+    match t {
+        PTest::Name { sym: s, ns } => format!("{}:{ns:?}", sym::resolve(*s)),
+        PTest::AnyName => "*".to_string(),
+        PTest::AnyKind => "node()".to_string(),
+        PTest::Text => "text()".to_string(),
+        PTest::Comment => "comment()".to_string(),
+        PTest::Element(n) => format!("element({})", named(n)),
+        PTest::Attribute(n) => format!("attribute({})", named(n)),
+        PTest::Pi(n) => format!("pi({n:?})"),
+        PTest::Document => "document()".to_string(),
+    }
+}
+
+/// Guard-predicate evaluator: a host-free dynamic context (guards are
+/// statically proven to never touch the host) shared across one fold.
+struct GuardEval {
+    sctx: StaticContext,
+    dctx: DynamicContext,
+}
+
+impl GuardEval {
+    fn new() -> GuardEval {
+        GuardEval {
+            sctx: StaticContext::default(),
+            dctx: DynamicContext::new(Arc::new(NoHost)),
+        }
+    }
+
+    /// The reference `apply_predicates` keep-test for one node: numeric
+    /// value = positional test (statically excluded for guards, kept for
+    /// defense in depth), anything else by effective boolean value.
+    fn keep(&self, pred: &Expr, node: &NodeRef, pos: usize, size: usize) -> Result<bool> {
+        let mut ev = Evaluator::new(&self.sctx, &self.dctx);
+        let f = Focus {
+            item: Item::Node(node.clone()),
+            pos,
+            size,
+        };
+        let v = ev.eval(pred, Some(&f))?;
+        match v.0.as_slice() {
+            [Item::Atomic(a)] if a.is_numeric() => Ok(a.to_double() == pos as f64),
+            _ => v.effective_boolean(),
+        }
+    }
+}
+
+/// Builtins a guard predicate may call: deterministic, context-free
+/// beyond their arguments.
+const GUARD_FNS: &[&str] = &[
+    "not", "exists", "empty", "boolean", "true", "false", "count", "sum", "min", "max", "avg",
+    "number", "string", "string-length", "contains", "starts-with", "ends-with", "concat",
+    "normalize-space", "abs", "floor", "ceiling", "round", "upper-case", "lower-case",
+    "substring", "string-join",
+];
+
+/// Builtins whose value is never a single number — safe as a predicate's
+/// *top-level* expression (a numeric predicate is a positional test).
+const BOOLISH_FNS: &[&str] = &[
+    "not", "exists", "empty", "boolean", "true", "false", "contains", "starts-with", "ends-with",
+];
+
+/// Is `e` evaluable against one member document alone: no variables, no
+/// `qs:` context reads, no `fn:position`/`fn:last`, no clock, no
+/// constructors or updates — and every nested predicate is itself a
+/// guard (so nested positional tricks are caught too)?
+fn is_member_local(e: &Expr) -> bool {
+    match e {
+        Expr::StringLit(_) | Expr::IntLit(_) | Expr::DoubleLit(_) | Expr::ContextItem => true,
+        Expr::Sequence(es) => es.iter().all(is_member_local),
+        Expr::FunctionCall { name, args } => match name.prefix.as_deref() {
+            None => GUARD_FNS.contains(&name.local.as_str()) && args.iter().all(is_member_local),
+            Some("xs") => args.iter().all(is_member_local),
+            _ => false,
+        },
+        Expr::Path { root: _, steps } => steps.iter().all(is_member_local),
+        Expr::Step {
+            axis: _,
+            test: _,
+            predicates,
+        } => predicates.iter().all(is_guard_pred),
+        Expr::Filter { base, predicates } => {
+            is_member_local(base) && predicates.iter().all(is_guard_pred)
+        }
+        Expr::RelativePath {
+            base,
+            step,
+            descend: _,
+        } => is_member_local(base) && is_member_local(step),
+        Expr::Or(l, r) | Expr::And(l, r) | Expr::Range(l, r) => {
+            is_member_local(l) && is_member_local(r)
+        }
+        Expr::Comparison { left, right, .. }
+        | Expr::Arith { left, right, .. }
+        | Expr::Set { left, right, .. } => is_member_local(left) && is_member_local(right),
+        Expr::Neg(x) => is_member_local(x),
+        Expr::If { cond, then, els } => {
+            is_member_local(cond)
+                && is_member_local(then)
+                && els.as_deref().is_none_or(is_member_local)
+        }
+        Expr::Cast { expr, .. } | Expr::InstanceOf { expr, .. } => is_member_local(expr),
+        // Variables, FLWOR/quantifiers (bindings), constructors, updates,
+        // and anything else: not provably member-local.
+        _ => false,
+    }
+}
+
+/// A *guard* predicate: member-local (see [`is_member_local`]) and of a
+/// top-level form that can never evaluate to a single number — numeric
+/// predicates are positional tests, whose value depends on membership
+/// order and therefore cannot be folded member-at-a-time.
+fn is_guard_pred(e: &Expr) -> bool {
+    let boolish = match e {
+        Expr::Comparison { .. } | Expr::Or(..) | Expr::And(..) | Expr::StringLit(_) => true,
+        Expr::Path { .. } | Expr::RelativePath { .. } | Expr::Step { .. } | Expr::Filter { .. } => {
+            true
+        }
+        Expr::FunctionCall { name, .. } => {
+            name.prefix.is_none() && BOOLISH_FNS.contains(&name.local.as_str())
+        }
+        _ => false,
+    };
+    boolish && is_member_local(e)
+}
+
+/// Recognize `count|sum|min|max|exists|avg ( <source-path> )` where the
 /// single argument is `qs:queue("lit")`, `qs:slice()`, or either refined
-/// by predicate-free axis steps. Everything else returns `None`.
+/// by axis steps with member-local guard predicates. Everything else
+/// returns `None`.
 pub fn recognize_aggregate(expr: &Expr) -> Option<AggregateSpec> {
     let Expr::FunctionCall { name, args } = expr else {
         return None;
@@ -136,8 +343,16 @@ pub fn recognize_aggregate(expr: &Expr) -> Option<AggregateSpec> {
     Some(AggregateSpec { op, source, steps })
 }
 
+/// Accept a step's predicates when every one is a guard.
+fn guard_preds(predicates: &[Expr]) -> Option<Vec<Expr>> {
+    predicates
+        .iter()
+        .all(is_guard_pred)
+        .then(|| predicates.to_vec())
+}
+
 /// Peel a source path down to its `qs:` root, collecting steps outside-in.
-fn recognize_source(expr: &Expr) -> Option<(AggSource, Vec<(Axis, PTest)>)> {
+fn recognize_source(expr: &Expr) -> Option<(AggSource, Vec<AggStep>)> {
     match expr {
         Expr::FunctionCall { name, args } if name.prefix.as_deref() == Some("qs") => {
             match (name.local.as_str(), args.as_slice()) {
@@ -146,8 +361,21 @@ fn recognize_source(expr: &Expr) -> Option<(AggSource, Vec<(Axis, PTest)>)> {
                 _ => None,
             }
         }
-        // A parenthesized source without predicates changes nothing.
-        Expr::Filter { base, predicates } if predicates.is_empty() => recognize_source(base),
+        // A filtered source: guards normalize to a self::node() step
+        // (identical semantics for position-free predicates); an
+        // unguarded parenthesized source changes nothing.
+        Expr::Filter { base, predicates } => {
+            let (source, mut collected) = recognize_source(base)?;
+            if !predicates.is_empty() {
+                let preds = guard_preds(predicates)?;
+                collected.push(AggStep {
+                    axis: Axis::SelfAxis,
+                    test: PTest::AnyKind,
+                    preds,
+                });
+            }
+            Some((source, collected))
+        }
         // The parser's primary path form: `qs:slice()//n` parses to
         // `Path { root: false, steps: [<source>, Step…] }`, with `//`
         // already expanded to an explicit descendant-or-self step.
@@ -163,10 +391,11 @@ fn recognize_source(expr: &Expr) -> Option<(AggSource, Vec<(Axis, PTest)>)> {
                 else {
                     return None;
                 };
-                if !predicates.is_empty() {
-                    return None;
-                }
-                collected.push((*axis, lower_test(test)));
+                collected.push(AggStep {
+                    axis: *axis,
+                    test: lower_test(test),
+                    preds: guard_preds(predicates)?,
+                });
             }
             Some((source, collected))
         }
@@ -183,14 +412,20 @@ fn recognize_source(expr: &Expr) -> Option<(AggSource, Vec<(Axis, PTest)>)> {
             else {
                 return None;
             };
-            if !predicates.is_empty() {
-                return None;
-            }
+            let preds = guard_preds(predicates)?;
             let (source, mut steps) = recognize_source(base)?;
             if *descend {
-                steps.push((Axis::DescendantOrSelf, PTest::AnyKind));
+                steps.push(AggStep {
+                    axis: Axis::DescendantOrSelf,
+                    test: PTest::AnyKind,
+                    preds: Vec::new(),
+                });
             }
-            steps.push((*axis, lower_test(test)));
+            steps.push(AggStep {
+                axis: *axis,
+                test: lower_test(test),
+                preds,
+            });
             Some((source, steps))
         }
         _ => None,
@@ -213,6 +448,10 @@ pub enum AggAcc {
     /// `numeric_fold`'s double branch; the empty multiset yields
     /// `xs:integer` 0 (the builtin's 1-arg zero).
     Sum { seen: bool, dsum: f64 },
+    /// `fn:avg` decomposed into its sum/count pair (ROADMAP 5a): the
+    /// builtin computes `numeric_fold(seq, "sum") / count(seq)`, both of
+    /// which fold member-at-a-time.
+    Avg { count: i64, dsum: f64 },
 }
 
 impl AggAcc {
@@ -226,15 +465,20 @@ impl AggAcc {
                 seen: false,
                 dsum: 0.0,
             },
+            AggOp::Avg => AggAcc::Avg {
+                count: 0,
+                dsum: 0.0,
+            },
         }
     }
 
     /// Fold one member document into the accumulator. An `Err` means the
     /// reference evaluation errors on this multiset too (non-numeric
-    /// sum, incomparable min/max) — the caller must discard the cell and
-    /// fall back so the reference path raises the identical error.
+    /// sum/avg, incomparable min/max, erroring guard) — the caller must
+    /// discard the cell and fall back so the reference path raises the
+    /// identical error.
     pub fn absorb_member(&mut self, spec: &AggregateSpec, root: &NodeRef) -> Result<()> {
-        let nodes = spec.member_nodes(root);
+        let nodes = spec.member_nodes(root)?;
         match self {
             AggAcc::Count(c) => *c += nodes.len() as i64,
             AggAcc::Exists(b) => *b = *b || !nodes.is_empty(),
@@ -273,6 +517,18 @@ impl AggAcc {
                     *dsum += d;
                 }
             }
+            AggAcc::Avg { count, dsum } => {
+                for n in &nodes {
+                    let d = Atomic::Untyped(n.string_value()).to_double();
+                    if d.is_nan() {
+                        // `fn:avg` sums through `numeric_fold(_, "sum")`,
+                        // so its error string names fn:sum.
+                        return Err(Error::type_error("fn:sum over non-numeric values"));
+                    }
+                    *count += 1;
+                    *dsum += d;
+                }
+            }
         }
         Ok(())
     }
@@ -293,6 +549,143 @@ impl AggAcc {
                     Sequence::int(0)
                 }
             }
+            AggAcc::Avg { count, dsum } => {
+                if *count == 0 {
+                    Sequence::empty()
+                } else {
+                    Sequence::one(Atomic::Double(*dsum / *count as f64))
+                }
+            }
+        }
+    }
+
+    /// Serialize for persistence (retention bases in the checkpoint).
+    /// `None` when the state is not encodable (a `QName` best — which
+    /// member atomization never produces — stays process-local).
+    pub fn encode(&self) -> Option<Vec<u8>> {
+        let mut out = Vec::with_capacity(16);
+        match self {
+            AggAcc::Count(c) => {
+                out.push(0);
+                out.extend_from_slice(&c.to_le_bytes());
+            }
+            AggAcc::Exists(b) => {
+                out.push(1);
+                out.push(*b as u8);
+            }
+            AggAcc::Min(best) => {
+                out.push(2);
+                encode_opt_atomic(&mut out, best)?;
+            }
+            AggAcc::Max(best) => {
+                out.push(3);
+                encode_opt_atomic(&mut out, best)?;
+            }
+            AggAcc::Sum { seen, dsum } => {
+                out.push(4);
+                out.push(*seen as u8);
+                out.extend_from_slice(&dsum.to_bits().to_le_bytes());
+            }
+            AggAcc::Avg { count, dsum } => {
+                out.push(5);
+                out.extend_from_slice(&count.to_le_bytes());
+                out.extend_from_slice(&dsum.to_bits().to_le_bytes());
+            }
+        }
+        Some(out)
+    }
+
+    /// Inverse of [`Self::encode`]; `None` on any malformed input (a
+    /// corrupt or future-format base simply fails to load, and the slice
+    /// stays fully retained).
+    pub fn decode(bytes: &[u8]) -> Option<AggAcc> {
+        let mut r = Reader(bytes);
+        let acc = match r.u8()? {
+            0 => AggAcc::Count(r.i64()?),
+            1 => AggAcc::Exists(r.u8()? != 0),
+            2 => AggAcc::Min(r.opt_atomic()?),
+            3 => AggAcc::Max(r.opt_atomic()?),
+            4 => AggAcc::Sum {
+                seen: r.u8()? != 0,
+                dsum: f64::from_bits(r.u64()?),
+            },
+            5 => AggAcc::Avg {
+                count: r.i64()?,
+                dsum: f64::from_bits(r.u64()?),
+            },
+            _ => return None,
+        };
+        r.0.is_empty().then_some(acc)
+    }
+}
+
+fn encode_opt_atomic(out: &mut Vec<u8>, a: &Option<Atomic>) -> Option<()> {
+    match a {
+        None => out.push(0),
+        Some(a) => {
+            out.push(1);
+            let (tag, bytes): (u8, Vec<u8>) = match a {
+                Atomic::Str(s) => (0, s.as_bytes().to_vec()),
+                Atomic::Bool(b) => (1, vec![*b as u8]),
+                Atomic::Int(i) => (2, i.to_le_bytes().to_vec()),
+                Atomic::Decimal(d) => (3, d.to_bits().to_le_bytes().to_vec()),
+                Atomic::Double(d) => (4, d.to_bits().to_le_bytes().to_vec()),
+                Atomic::DateTime(t) => (5, t.to_le_bytes().to_vec()),
+                Atomic::Duration(t) => (6, t.to_le_bytes().to_vec()),
+                Atomic::Untyped(s) => (7, s.as_bytes().to_vec()),
+                Atomic::QName(_) => return None,
+            };
+            out.push(tag);
+            out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+            out.extend_from_slice(&bytes);
+        }
+    }
+    Some(())
+}
+
+struct Reader<'a>(&'a [u8]);
+
+impl Reader<'_> {
+    fn take(&mut self, n: usize) -> Option<&[u8]> {
+        (self.0.len() >= n).then(|| {
+            let (head, rest) = self.0.split_at(n);
+            self.0 = rest;
+            head
+        })
+    }
+    fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|b| b[0])
+    }
+    fn u64(&mut self) -> Option<u64> {
+        self.take(8).map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+    }
+    fn i64(&mut self) -> Option<i64> {
+        self.take(8).map(|b| i64::from_le_bytes(b.try_into().unwrap()))
+    }
+    fn opt_atomic(&mut self) -> Option<Option<Atomic>> {
+        match self.u8()? {
+            0 => Some(None),
+            1 => {
+                let tag = self.u8()?;
+                let len = self.take(4).map(|b| u32::from_le_bytes(b.try_into().unwrap()))? as usize;
+                let bytes = self.take(len)?;
+                let s = || String::from_utf8(bytes.to_vec()).ok();
+                let f = |b: &[u8]| Some(f64::from_bits(u64::from_le_bytes(b.try_into().ok()?)));
+                let i = |b: &[u8]| Some(i64::from_le_bytes(b.try_into().ok()?));
+                let a = match tag {
+                    0 => Atomic::Str(s()?),
+                    1 => Atomic::Bool(*bytes.first()? != 0),
+                    2 => Atomic::Int(i(bytes)?),
+                    3 => Atomic::Decimal(f(bytes)?),
+                    4 => Atomic::Double(f(bytes)?),
+                    5 => Atomic::DateTime(i(bytes)?),
+                    6 => Atomic::Duration(i(bytes)?),
+                    7 => Atomic::Untyped(s()?),
+                    _ => return None,
+                };
+                Some(Some(a))
+            }
+            _ => None,
         }
     }
 }
@@ -319,51 +712,80 @@ mod tests {
         assert_eq!(s.source, AggSource::Queue("orders".into()));
         // `//total` expands to descendant-or-self::node()/child::total.
         assert_eq!(s.steps.len(), 2);
-        assert_eq!(s.steps[0].0, Axis::DescendantOrSelf);
+        assert_eq!(s.steps[0].axis, Axis::DescendantOrSelf);
 
         for q in [
             "exists(qs:slice()/ack)",
             "min(qs:queue(\"q\")/m/price)",
             "max(qs:slice()//n)",
+            "avg(qs:slice()//n)", // sum/count pair (ROADMAP 5a)
+            "avg(qs:queue(\"orders\")//total)",
         ] {
             assert!(recognize(q).is_some(), "{q} should be incrementalizable");
         }
     }
 
     #[test]
+    fn recognizes_guarded_shapes() {
+        // Member-local boolean guards fold member-at-a-time.
+        for q in [
+            "count(qs:slice()[. > 1])",
+            "count(qs:slice()//n[. > 5])",
+            "sum(qs:slice()//item[status = \"open\"]/v)",
+            "count(qs:queue(\"q\")/m[exists(ack)])",
+            "avg(qs:slice()//n[not(@skip)])",
+        ] {
+            let s = recognize(q).unwrap_or_else(|| panic!("{q} should be recognized"));
+            assert!(s.has_guards(), "{q} must carry its guard");
+        }
+    }
+
+    #[test]
     fn rejects_unsupported_shapes() {
         for q in [
-            "avg(qs:slice())",                      // op not maintainable as a pure fold
-            "count(qs:queue())",                    // implicit target queue, no literal
-            "count(qs:queue($v))",                  // non-literal queue name
-            "count(qs:slice()[. > 1])",             // predicate
-            "count(qs:slice()/a[2])",               // positional predicate
-            "sum(qs:slice()//n, 0)",                // 2-arg sum
-            "count(//a)",                           // message-relative path
-            "count(qs:slicekey())",                 // not a membership source
-            "string(qs:slice())",                   // not an aggregate
+            "count(qs:queue())",          // implicit target queue, no literal
+            "count(qs:queue($v))",        // non-literal queue name
+            "count(qs:slice()/a[2])",     // positional predicate
+            "count(qs:slice()[1])",       // positional source filter
+            "count(qs:slice()//n[position() < 2])", // explicit position
+            "count(qs:slice()//n[last()])", // membership-order dependent
+            "count(qs:slice()//n[$v])",   // free variable
+            "count(qs:slice()[qs:property(\"p\") = 1])", // context read
+            "sum(qs:slice()//n, 0)",      // 2-arg sum
+            "count(//a)",                 // message-relative path
+            "count(qs:slicekey())",       // not a membership source
+            "string(qs:slice())",         // not an aggregate
         ] {
             assert!(recognize(q).is_none(), "{q} must not be recognized");
         }
     }
 
     #[test]
-    fn cache_key_distinguishes_shapes() {
-        let keys: Vec<String> = [
+    fn cache_key_and_stable_sig_distinguish_shapes() {
+        let shapes = [
             "count(qs:slice())",
             "count(qs:queue(\"a\"))",
             "count(qs:queue(\"b\"))",
             "sum(qs:queue(\"a\"))",
+            "avg(qs:queue(\"a\"))",
             "count(qs:queue(\"a\")/x)",
-        ]
-        .iter()
-        .map(|q| recognize(q).unwrap().cache_key())
-        .collect();
-        for i in 0..keys.len() {
-            for j in i + 1..keys.len() {
-                assert_ne!(keys[i], keys[j]);
+            "count(qs:queue(\"a\")/x[. > 1])",
+        ];
+        for pick in [AggregateSpec::cache_key, AggregateSpec::stable_sig] {
+            let keys: Vec<String> = shapes.iter().map(|q| pick(&recognize(q).unwrap())).collect();
+            for i in 0..keys.len() {
+                for j in i + 1..keys.len() {
+                    assert_ne!(keys[i], keys[j]);
+                }
             }
         }
+    }
+
+    #[test]
+    fn stable_sig_has_no_interned_ids() {
+        let sig = recognize("sum(qs:slice()//total)").unwrap().stable_sig();
+        assert!(sig.contains("total"), "names resolved in {sig}");
+        assert!(!sig.contains("Sym("), "no raw interned ids in {sig}");
     }
 
     fn doc(xml: &str) -> NodeRef {
@@ -386,6 +808,7 @@ mod tests {
             ("min", AggOp::Min),
             ("max", AggOp::Max),
             ("exists", AggOp::Exists),
+            ("avg", AggOp::Avg),
         ] {
             let spec = recognize(&format!("{q}(qs:slice()//n)")).unwrap();
             assert_eq!(spec.op, op);
@@ -396,7 +819,7 @@ mod tests {
             // Reference: the builtin applied to the atomized node multiset.
             let all: Sequence = members
                 .iter()
-                .flat_map(|m| spec.member_nodes(m))
+                .flat_map(|m| spec.member_nodes(m).unwrap())
                 .map(Item::Node)
                 .collect();
             let reference =
@@ -409,6 +832,37 @@ mod tests {
         }
     }
 
+    /// Guarded folds must agree with the reference evaluator filtering
+    /// the same members.
+    #[test]
+    fn guarded_acc_matches_reference() {
+        let members = [
+            doc("<m><n>5</n></m>"),
+            doc("<m><n>2</n><n>9</n></m>"),
+            doc("<m><n>abc</n></m>"),
+            doc("<m><n>7</n></m>"),
+        ];
+        let spec = recognize("count(qs:slice()//n[. > 4])").unwrap();
+        let mut acc = AggAcc::new(AggOp::Count);
+        for m in &members {
+            acc.absorb_member(&spec, m).unwrap();
+        }
+        // 5, 9, 7 pass; 2 fails; "abc" > 4 is false (untyped numeric cmp).
+        assert_eq!(format!("{:?}", acc.result()), format!("{:?}", Sequence::int(3)));
+
+        // Guards also shield sum from non-numeric members the reference
+        // would filter out the same way.
+        let spec = recognize("sum(qs:slice()//n[. > 4])").unwrap();
+        let mut acc = AggAcc::new(AggOp::Sum);
+        for m in &members {
+            acc.absorb_member(&spec, m).unwrap();
+        }
+        assert_eq!(
+            format!("{:?}", acc.result()),
+            format!("{:?}", Sequence::one(Atomic::Double(21.0)))
+        );
+    }
+
     #[test]
     fn acc_errors_match_reference_error_strings() {
         let bad = doc("<m><n>abc</n></m>");
@@ -417,6 +871,13 @@ mod tests {
         let spec = recognize("sum(qs:slice()//n)").unwrap();
         let mut acc = AggAcc::new(AggOp::Sum);
         acc.absorb_member(&spec, &good).unwrap();
+        let err = acc.absorb_member(&spec, &bad).unwrap_err();
+        assert!(err.to_string().contains("fn:sum over non-numeric values"));
+
+        // `fn:avg` folds through `numeric_fold(_, "sum")`, so its error
+        // string names fn:sum as well.
+        let spec = recognize("avg(qs:slice()//n)").unwrap();
+        let mut acc = AggAcc::new(AggOp::Avg);
         let err = acc.absorb_member(&spec, &bad).unwrap_err();
         assert!(err.to_string().contains("fn:sum over non-numeric values"));
 
@@ -439,6 +900,47 @@ mod tests {
         assert_eq!(dbg(AggAcc::new(AggOp::Exists).result()), dbg(Sequence::bool(false)));
         assert!(AggAcc::new(AggOp::Min).result().is_empty());
         assert!(AggAcc::new(AggOp::Max).result().is_empty());
+        // fn:avg over the empty sequence is the empty sequence.
+        assert!(AggAcc::new(AggOp::Avg).result().is_empty());
+    }
+
+    /// Persistence round-trip: every accumulator state survives
+    /// encode/decode byte-identically (retention bases in checkpoints).
+    #[test]
+    fn acc_encode_decode_round_trip() {
+        let states = [
+            AggAcc::Count(42),
+            AggAcc::Exists(true),
+            AggAcc::Exists(false),
+            AggAcc::Min(None),
+            AggAcc::Min(Some(Atomic::Untyped("7".into()))),
+            AggAcc::Max(Some(Atomic::Int(-3))),
+            AggAcc::Max(Some(Atomic::Double(2.5))),
+            AggAcc::Sum {
+                seen: true,
+                dsum: 19.25,
+            },
+            AggAcc::Sum {
+                seen: false,
+                dsum: 0.0,
+            },
+            AggAcc::Avg {
+                count: 6,
+                dsum: 33.0,
+            },
+        ];
+        for acc in states {
+            let bytes = acc.encode().expect("encodable");
+            let back = AggAcc::decode(&bytes).expect("decodable");
+            assert_eq!(format!("{acc:?}"), format!("{back:?}"));
+        }
+        // Malformed input never panics.
+        assert!(AggAcc::decode(&[]).is_none());
+        assert!(AggAcc::decode(&[9]).is_none());
+        assert!(AggAcc::decode(&[0, 1]).is_none());
+        let mut long = AggAcc::Count(1).encode().unwrap();
+        long.push(0);
+        assert!(AggAcc::decode(&long).is_none(), "trailing bytes rejected");
     }
 
     fn test_dctx() -> crate::context::DynamicContext {

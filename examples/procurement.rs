@@ -136,7 +136,9 @@ const PROGRAM: &str = r#"
         return
           if (not($payments[//requestID = $mRID])) then
             do enqueue <reminder><requestID>{$mRID}</requestID></reminder> into customer
-          else ()
+          else (: paid: the invoice needs no further retention — release its
+                  slice, Fig. 8 style (and satisfy the analyzer's DQ012) :)
+            do reset invoiceRetention key $mRID
 
     (: ---- Example 3.5: compensate dead customer links -------------------- :)
     create rule deadLink for crmErrors

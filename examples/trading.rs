@@ -8,7 +8,8 @@
 //! * when a tick crosses an order's limit, an execution report goes out and
 //!   the order's slice lifetime ends (so its messages can be collected),
 //! * stale ticks are ignored; an audit trail retains all executions via a
-//!   second slicing (multiple independent retention criteria, Sec. 2.3.3).
+//!   second, per-day slicing until an end-of-day close-out releases the day
+//!   (multiple independent retention criteria, Sec. 2.3.3).
 //!
 //! ```text
 //! cargo run --example trading
@@ -32,9 +33,17 @@ const PROGRAM: &str = r#"
     create slicing bySymbol on symbol
 
     (: Audit: every execution is retained per trading day. :)
+    create queue dayClose kind basic mode persistent
     create property tradingDay as xs:string fixed
-        queue executions value //@day
+        queue executions, dayClose value //@day
     create slicing auditByDay on tradingDay
+
+    (: The day's audit trail is released only by an explicit end-of-day
+       close-out message — per-day slicing exists exactly so whole days
+       can be archived and let go (Sec. 2.3.3). :)
+    create rule archiveDay for auditByDay
+      if (qs:message()/dayClose) then
+        do reset
 
     (: A tick executes every open buy-limit order whose limit it crosses
        (price <= limit) and that has not executed yet. :)

@@ -106,13 +106,30 @@ awk '$1 == "demaq_core_agg_hits_total" { hits = $2 }
            print "e14: agg_hits=" hits " agg_deltas=" deltas }' \
     target/metrics/e14_incremental_aggregates.prom
 
+echo "== bench smoke: E15 static retention soak =="
+# The liveness plan must actually narrow: the soak asserts internally
+# that the narrowed twin released members, its resident bytes plateau
+# while the full-retention twin keeps growing, and the observable stats
+# match. The gate below re-checks the exposition so a silently-disabled
+# plan (narrowing gated off, plan never lowered) fails CI.
+cp -f BENCH_E15.json target/e15_baseline.json
+DEMAQ_E15_SMOKE=1 cargo bench --offline -p demaq-bench --bench e15_retention_soak
+cp -f crates/bench/target/metrics/e15_retention_soak.prom \
+      crates/bench/target/metrics/e15_retention_soak_full.prom target/metrics/ 2>/dev/null || true
+awk '$1 == "demaq_engine_retention_released_total" { released = $2 }
+     $1 == "demaq_store_resident_payload_bytes" { resident = $2 }
+     END { if (released + 0 <= 0) {
+               print "e15: retention narrowing released nothing (released=" released ")"; exit 1 }
+           print "e15: released=" released " resident_bytes=" resident }' \
+    target/metrics/e15_retention_soak.prom
+
 echo "== bench trajectory: BENCH_E*.json schema gate =="
 # Every bench smoke above must also have emitted its schema-versioned
 # trajectory entry at the repo root. The checker is the offline, jq-free
 # validator in crates/bench; --require fails the gate when a bench ran
 # without writing its report.
 cargo run --offline -q -p demaq-bench --bin bench-check -- \
-    --require e9,e10,e11,e12,e13,e14 BENCH_E*.json
+    --require e9,e10,e11,e12,e13,e14,e15 BENCH_E*.json
 
 echo "== bench perf gate: E12 smoke vs committed trajectory =="
 # The smoke-produced BENCH_E12.json is gated against the committed
@@ -144,6 +161,16 @@ echo "== bench perf gate: E14 smoke vs committed trajectory =="
 cargo run --offline -q -p demaq-bench --bin bench-check -- \
     --baseline target/e14_baseline.json --min-ratio 0.5 \
     --headline incremental_throughput BENCH_E14.json
+
+echo "== bench perf gate: E15 smoke vs committed trajectory =="
+# The headline is per-message soak throughput, flat in uptime by design,
+# so the 192-msg smoke run compares directly to the committed 3072-msg
+# full-mode entry. Same 0.5 floor as E12-E14 for host IO/noise swing;
+# a structural regression (narrowing taxing the hot path, GC scans gone
+# quadratic) lands far below it.
+cargo run --offline -q -p demaq-bench --bin bench-check -- \
+    --baseline target/e15_baseline.json --min-ratio 0.5 \
+    --headline soak_throughput BENCH_E15.json
 
 echo "== clippy =="
 # --no-deps keeps the vendored shims out of the lint gate; warnings in

@@ -8,10 +8,12 @@
 //!
 //! ```text
 //! demaq-lint [--format human|json] [--deny CODE] [--warn CODE] [--allow CODE] FILE...
+//! demaq-lint --explain CODE
 //! ```
 //!
 //! Exit status: 0 when no deny-severity findings (parse and validation
-//! errors count as deny), 1 otherwise, 2 on usage errors.
+//! errors count as deny; info findings are advisory and never fail), 1
+//! otherwise, 2 on usage errors.
 
 use demaq_analysis::{
     analyze_spec, extract_qdl_programs, json_str, Analysis, LintCode, LintConfig, Severity,
@@ -74,9 +76,16 @@ fn main() -> ExitCode {
                     _ => Severity::Allow,
                 };
                 let Some(code) = args.next().as_deref().and_then(LintCode::parse) else {
-                    return usage(&format!("{arg} expects a lint code (DQ001..DQ009 or slug)"));
+                    return usage(&format!("{arg} expects a lint code (DQ001..DQ013 or slug)"));
                 };
                 config.set(code, sev);
+            }
+            "--explain" => {
+                let Some(code) = args.next().as_deref().and_then(LintCode::parse) else {
+                    return usage("--explain expects a lint code (DQ001..DQ013 or slug)");
+                };
+                explain(code);
+                return ExitCode::SUCCESS;
             }
             "--help" | "-h" => {
                 print!("{}", HELP);
@@ -224,6 +233,20 @@ fn render_json(reports: &[ProgramReport], denies: usize) {
     println!("{out}");
 }
 
+/// `--explain CODE`: what the lint detects, its default severity, and a
+/// minimal program that triggers it.
+fn explain(code: LintCode) {
+    println!("{} ({})", code.as_str(), code.slug());
+    println!("default severity: {}", code.default_severity().as_str());
+    println!();
+    println!("{}", code.description());
+    println!();
+    println!("example:");
+    for line in code.example().lines() {
+        println!("    {line}");
+    }
+}
+
 fn usage(msg: &str) -> ExitCode {
     eprintln!("demaq-lint: {msg}");
     eprint!("{}", HELP);
@@ -232,10 +255,13 @@ fn usage(msg: &str) -> ExitCode {
 
 const HELP: &str = "\
 usage: demaq-lint [--format human|json] [--deny CODE] [--warn CODE] [--allow CODE] FILE...
+       demaq-lint --explain CODE
 
 Lints Demaq application programs. FILEs are .qdl programs or Rust sources
 whose raw-string literals embed programs (`create queue …`). CODE is a
-stable lint code (DQ001..DQ009) or its slug (e.g. unknown-enqueue-target).
-Exits 1 when any deny-severity finding (including parse/validation errors)
-is present.
+stable lint code (DQ001..DQ013) or its slug (e.g. unknown-enqueue-target).
+`--explain` prints what a code detects, its default severity, and a
+minimal triggering example. Info-severity findings are advisory and never
+affect the exit status. Exits 1 when any deny-severity finding (including
+parse/validation errors) is present.
 ";

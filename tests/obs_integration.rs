@@ -138,6 +138,64 @@ fn exposition_contains_latency_histograms() {
 }
 
 #[test]
+fn gc_metrics_report_per_queue_purges_and_retained_backlog() {
+    // `scratch` messages are purgeable once processed; `ledger` messages
+    // are retained by the byK slicing (no reset, never read by rules) and
+    // become the processed-but-retained backlog.
+    let server = Server::builder()
+        .program(
+            r#"
+            create queue scratch kind basic mode persistent
+            create queue ledger kind basic mode persistent
+            create property k as xs:string fixed
+                queue ledger value //@k
+            create slicing byK on k
+            "#,
+        )
+        .in_memory()
+        .sync_policy(SyncPolicy::Batch)
+        .build()
+        .unwrap();
+    for i in 0..3 {
+        server
+            .enqueue_external("scratch", &format!("<t n='{i}'/>"))
+            .unwrap();
+    }
+    for k in ["a", "b"] {
+        server
+            .enqueue_external("ledger", &format!("<entry k='{k}'/>"))
+            .unwrap();
+    }
+    server.run_until_idle().unwrap();
+    let purged = server.gc().unwrap();
+    assert_eq!(purged, 3, "only the unsliced scratch messages are purgeable");
+
+    let text = server.metrics_text();
+    // GC purges are attributed per queue via labels.
+    let purged_by_queue = labeled_samples(&text, "demaq_store_gc_purged_total");
+    assert_eq!(purged_by_queue.get("scratch").copied(), Some(3));
+    assert_eq!(purged_by_queue.get("ledger").copied().unwrap_or(0), 0);
+    assert_eq!(purged_by_queue.values().sum::<u64>(), 3);
+
+    // The retained-processed backlog gauge counts what GC could not purge.
+    let backlog_line = text
+        .lines()
+        .find(|l| l.starts_with("demaq_store_retained_processed_backlog"))
+        .expect("backlog gauge sample");
+    let backlog: u64 = backlog_line.rsplit(' ').next().unwrap().parse().unwrap();
+    assert_eq!(backlog, 2, "both ledger entries are processed yet retained");
+
+    // Resident payload bytes: gauge agrees with the store accessor.
+    let resident_line = text
+        .lines()
+        .find(|l| l.starts_with("demaq_store_resident_payload_bytes"))
+        .expect("resident bytes gauge sample");
+    let resident: u64 = resident_line.rsplit(' ').next().unwrap().parse().unwrap();
+    assert_eq!(resident, server.store().resident_payload_bytes());
+    assert!(resident > 0, "the retained ledger entries have payload bytes");
+}
+
+#[test]
 fn tracer_records_message_lifecycle() {
     let server = build_server();
     server

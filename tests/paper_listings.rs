@@ -148,6 +148,12 @@ fn example_3_3_join_parallel_checks() {
                 do enqueue <offer>{//requestID}{$pricelist//price}</offer> into customer
             else (: problems :)
               do enqueue <refusal>{//requestID}</refusal> into customer
+        (: Fig. 8's companion rule: release the request's messages once the
+           reply is out — without it the slicing retains every request's
+           messages forever (the analyzer's DQ012 flags exactly that) :)
+        create rule cleanupRequest for requestMsgs
+          if (qs:slice()/offer or qs:slice()/refusal) then
+            do reset
     "#;
     let pricelist =
         demaq_xml::parse("<pricelist><price currency='EUR'>95</price></pricelist>").unwrap();
